@@ -1,0 +1,269 @@
+package hifi
+
+// This file is the benchmark harness required by the reproduction: one
+// benchmark per table and figure of the paper's evaluation, each printing
+// (once) the regenerated rows through b.Log when run with -v, plus
+// microbenchmarks of the core mechanisms. Run:
+//
+//	go test -bench=. -benchmem
+//	go test -bench=BenchmarkFig16 -benchtime=1x -v   # see the table
+//
+// The simulation-backed benchmarks use a moderate trace length so the full
+// suite completes in minutes; pass -accesses via HIFI_FULL=1 semantics is
+// intentionally avoided — edit benchOpts for full-scale runs.
+
+import (
+	"sync"
+	"testing"
+
+	"racetrack/hifi/internal/errmodel"
+	"racetrack/hifi/internal/experiments"
+	"racetrack/hifi/internal/pecc"
+	"racetrack/hifi/internal/physics"
+	"racetrack/hifi/internal/shiftctrl"
+	"racetrack/hifi/internal/sim"
+	"racetrack/hifi/internal/stripe"
+)
+
+// benchOpts sizes the simulation-backed experiment benchmarks.
+func benchOpts() experiments.RunOpts {
+	o := experiments.DefaultRunOpts()
+	o.AccessesPerCore = 150_000
+	o.MCTrials = 100_000
+	return o
+}
+
+// logOnce logs each experiment's table a single time per process so -v
+// output stays readable across b.N iterations.
+var logged sync.Map
+
+func logTable(b *testing.B, t experiments.Table) {
+	b.Helper()
+	if _, dup := logged.LoadOrStore(t.Title, true); !dup {
+		b.Log("\n" + t.String())
+	}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Fig1())
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Fig4(o.MCTrials, o.Seed))
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Table2())
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Fig7())
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Table3())
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Fig10(o))
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Fig11(o))
+	}
+}
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Fig12())
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Fig13())
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Fig14(o))
+	}
+}
+
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Fig15())
+	}
+}
+
+func BenchmarkFig16(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Fig16(o))
+	}
+}
+
+func BenchmarkFig17(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Fig17(o))
+	}
+}
+
+func BenchmarkFig18(b *testing.B) {
+	o := benchOpts()
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Fig18(o))
+	}
+}
+
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.Table5())
+	}
+}
+
+// --- microbenchmarks of the core mechanisms ---
+
+func BenchmarkPECCDecode(b *testing.B) {
+	code := pecc.SECDED(8)
+	w := code.ExpectedWindow(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := code.Decode(2, w); !res.Detected {
+			b.Fatal("expected detection")
+		}
+	}
+}
+
+func BenchmarkPlannerBuild(b *testing.B) {
+	em := errmodel.Model{}
+	tm := shiftctrl.DefaultTiming()
+	for i := 0; i < b.N; i++ {
+		shiftctrl.NewPlanner(em, tm, 63, 63)
+	}
+}
+
+func BenchmarkAdapterLookup(b *testing.B) {
+	em := errmodel.Model{}
+	p := shiftctrl.NewPlanner(em, shiftctrl.DefaultTiming(), 7, 7)
+	a := shiftctrl.NewAdapter(p, 2e9, 3.156e8, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.SequenceFor(7, uint64(i)%3_000_000)
+	}
+}
+
+func BenchmarkTapeAccess(b *testing.B) {
+	tp := shiftctrl.NewTape(pecc.SECDED(8), 64, errmodel.Model{},
+		shiftctrl.DefaultTiming(), sim.NewRNG(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tp.AlignTo(i%8, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMemoryReadLine(b *testing.B) {
+	mem, err := New(64<<10, Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	line := make([]byte, 64)
+	if err := mem.WriteLine(0, line); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := mem.ReadLine(int64(i%64) * 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPhysicsSampleShift(b *testing.B) {
+	p := physics.Default()
+	r := sim.NewRNG(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		physics.SampleShift(p, 4, r)
+	}
+}
+
+func BenchmarkStripeShift(b *testing.B) {
+	s := stripe.New(88)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ShiftRight(1, nil)
+		s.ShiftLeft(1, nil)
+	}
+}
+
+func BenchmarkOTapeAccess(b *testing.B) {
+	tp := shiftctrl.NewOTape(pecc.MustNewO(1, 8), 64, errmodel.Model{},
+		shiftctrl.DefaultTiming(), sim.NewRNG(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tp.AlignTo(i % 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benchmarks (regenerate the ablation tables) ---
+
+func BenchmarkAblStrength(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.AblationStrength())
+	}
+}
+
+func BenchmarkAblDrive(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.AblationDrive())
+	}
+}
+
+func BenchmarkAblMaterial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.AblationMaterial())
+	}
+}
+
+func BenchmarkAblBECC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.AblationBECC())
+	}
+}
+
+func BenchmarkAblSTS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.AblationSTS())
+	}
+}
+
+func BenchmarkAblPromo(b *testing.B) {
+	o := experiments.QuickRunOpts() // simulation-backed: scaled for bench
+	for i := 0; i < b.N; i++ {
+		logTable(b, experiments.AblationPromo(o))
+	}
+}

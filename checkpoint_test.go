@@ -1,0 +1,79 @@
+package hifi
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	mem, err := New(16<<10, Config{ErrorScale: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 16; i++ {
+		line := bytes.Repeat([]byte{byte(i + 1)}, 64)
+		if err := mem.WriteLine(i*64, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := mem.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := New(16<<10, Config{ErrorScale: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 16; i++ {
+		got, valid, err := restored.ReadLine(i * 64)
+		if err != nil || !valid {
+			t.Fatalf("line %d: %v valid=%v", i, err, valid)
+		}
+		if got[0] != byte(i+1) {
+			t.Errorf("line %d = %#x", i, got[0])
+		}
+	}
+	// Unwritten lines stay invalid.
+	if _, valid, _ := restored.ReadLine(20 * 64); valid {
+		t.Error("unwritten line restored as valid")
+	}
+}
+
+func TestCheckpointGeometryMismatch(t *testing.T) {
+	small, _ := New(8<<10, Config{})
+	big, _ := New(16<<10, Config{})
+	var buf bytes.Buffer
+	if err := small.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := big.Load(&buf); err == nil {
+		t.Error("geometry mismatch accepted")
+	}
+}
+
+func TestCheckpointRejectsGarbage(t *testing.T) {
+	mem, _ := New(8<<10, Config{})
+	cases := []string{"", "XXXX", "HFCK", "HFCK\x02\x00\x00\x00\x00\x00\x00\x00"}
+	for i, c := range cases {
+		if err := mem.Load(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestCheckpointTruncated(t *testing.T) {
+	mem, _ := New(8<<10, Config{})
+	var buf bytes.Buffer
+	if err := mem.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	cut := buf.Bytes()[:buf.Len()/2]
+	if err := mem.Load(bytes.NewReader(cut)); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+}

@@ -1,0 +1,97 @@
+// Command hifi-experiments regenerates the paper's evaluation tables and
+// figures. Each experiment prints the same rows or series the paper
+// reports; see EXPERIMENTS.md for the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	hifi-experiments                 # run everything, full size
+//	hifi-experiments -run fig11      # one experiment
+//	hifi-experiments -scaled         # scaled-down hierarchy (seconds, not minutes)
+//	hifi-experiments -csv -run fig16 # machine-readable output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"racetrack/hifi/internal/experiments"
+)
+
+func main() {
+	var (
+		run      = flag.String("run", "", "comma-separated experiment names (default: all); see -list")
+		list     = flag.Bool("list", false, "list experiment names and exit")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		outDir   = flag.String("out", "", "write one CSV file per experiment into this directory")
+		scaled   = flag.Bool("scaled", false, "scaled-down hierarchy for quick runs")
+		accesses = flag.Int("accesses", 0, "trace length per core (0 = default)")
+		seed     = flag.Uint64("seed", 1, "trace seed")
+		trials   = flag.Int("mc-trials", 0, "Monte-Carlo trials for fig4 (0 = default)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, k := range experiments.Order() {
+			fmt.Println(k)
+		}
+		return
+	}
+
+	opts := experiments.DefaultRunOpts()
+	if *scaled {
+		opts = experiments.QuickRunOpts()
+	}
+	if *accesses > 0 {
+		opts.AccessesPerCore = *accesses
+	}
+	if *seed != 0 {
+		opts.Seed = *seed
+	}
+	if *trials > 0 {
+		opts.MCTrials = *trials
+	}
+
+	all := experiments.All(opts)
+	var keys []string
+	if *run == "" {
+		keys = experiments.Order()
+	} else {
+		for _, k := range strings.Split(*run, ",") {
+			k = strings.TrimSpace(strings.ToLower(k))
+			if _, ok := all[k]; !ok {
+				fmt.Fprintf(os.Stderr, "hifi-experiments: unknown experiment %q (use -list)\n", k)
+				os.Exit(2)
+			}
+			keys = append(keys, k)
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "hifi-experiments: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	for i, k := range keys {
+		tab := all[k]()
+		switch {
+		case *outDir != "":
+			path := filepath.Join(*outDir, k+".csv")
+			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "hifi-experiments: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("wrote %s\n", path)
+		case *csv:
+			fmt.Print(tab.CSV())
+		default:
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(tab.String())
+		}
+	}
+}

@@ -1,0 +1,67 @@
+// Command hifi-mttf is a reliability calculator for racetrack-memory shift
+// operations: MTTF from error rates and intensities, safe shift distances,
+// and the adaptive shift-sequence table (paper Table 3).
+//
+// Usage:
+//
+//	hifi-mttf                        # defaults: Table 3 reproduction
+//	hifi-mttf -rate 1e-19 -intensity 83e6
+//	hifi-mttf -distance 7 -table    # adapter table for a 7-step shift
+//	hifi-mttf -scheme secded -seglen 8 -intensity 50e6
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"racetrack/hifi/internal/errmodel"
+	"racetrack/hifi/internal/mttf"
+	"racetrack/hifi/internal/shiftctrl"
+)
+
+func main() {
+	var (
+		rate      = flag.Float64("rate", 0, "per-stripe per-shift error rate (0 = use device model)")
+		intensity = flag.Float64("intensity", 83e6, "shift intensity, operations/second")
+		stripes   = flag.Int("stripes", 512, "stripes shifting together per operation")
+		targetY   = flag.Float64("target-years", 10, "DUE MTTF target in years")
+		distance  = flag.Int("distance", 7, "shift distance for the sequence table")
+		segLen    = flag.Int("seglen", 8, "segment length (max distance + 1)")
+		table     = flag.Bool("table", false, "print the adaptive sequence table")
+	)
+	flag.Parse()
+
+	target := *targetY * mttf.SecondsPerYear
+	var em errmodel.Model
+
+	if *rate > 0 {
+		m := mttf.FromRate(*rate, *intensity*float64(*stripes))
+		fmt.Printf("per-stripe rate %.3g at %.3g ops/s x %d stripes:\n", *rate, *intensity, *stripes)
+		fmt.Printf("  MTTF = %.3g s = %.3g years (%.0f FIT)\n", m, mttf.Years(m), mttf.ToFIT(m))
+		fmt.Printf("  meets %g-year target: %v\n", *targetY, m >= target)
+		return
+	}
+
+	fmt.Printf("device model (Table 2 rates), %d-stripe groups, %.3g ops/s, %g-year DUE target\n\n",
+		*stripes, *intensity, *targetY)
+
+	fmt.Println("safe distance vs intensity (Table 3a):")
+	for n := 1; n < *segLen; n++ {
+		fmt.Printf("  Dsafe=%d  k2=%.3g  max intensity %.3g ops/s\n",
+			n, em.K2Rate(n), shiftctrl.SafeIntensity(em, n, target, *stripes))
+	}
+	maxRate := mttf.MaxRateFor(target, *intensity*float64(*stripes))
+	d := shiftctrl.SafeDistance(em, maxRate, *segLen-1)
+	fmt.Printf("\nsafe distance at %.3g ops/s: %d steps\n", *intensity, d)
+
+	if *table {
+		p := shiftctrl.NewPlanner(em, shiftctrl.DefaultTiming(), *segLen-1, *segLen-1)
+		a := shiftctrl.NewAdapter(p, 2e9, target, *stripes)
+		fmt.Printf("\nadaptive sequences for a %d-step shift (Table 3b):\n", *distance)
+		fmt.Printf("  %-14s %-24s %s\n", "min interval", "sequence", "latency")
+		for _, row := range a.Table(*distance) {
+			fmt.Printf("  %-14d %-24s %d cycles\n", row.MinInterval,
+				fmt.Sprintf("%v", row.Seq), row.Cycles)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+// Command hifi-sim runs one workload on the simulated memory hierarchy and
+// reports timing, cache, shift, energy, and reliability statistics.
+//
+// Usage:
+//
+//	hifi-sim -workload canneal -tech racetrack -scheme adaptive
+//	hifi-sim -workload streamcluster -tech sram
+//	hifi-sim -workload ferret -tech racetrack -scheme pecco -accesses 500000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"racetrack/hifi/internal/energy"
+	"racetrack/hifi/internal/memsim"
+	"racetrack/hifi/internal/mttf"
+	"racetrack/hifi/internal/shiftctrl"
+	"racetrack/hifi/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "ferret", "PARSEC-like workload name")
+		tech     = flag.String("tech", "racetrack", "LLC technology: sram | stt | racetrack")
+		scheme   = flag.String("scheme", "adaptive", "protection: baseline | sed | secded | pecco | worst | adaptive")
+		accesses = flag.Int("accesses", 200_000, "accesses per core")
+		seed     = flag.Uint64("seed", 1, "trace seed")
+		ideal    = flag.Bool("ideal", false, "remove shift latency (RM-Ideal)")
+	)
+	flag.Parse()
+
+	w, err := trace.ByName(*workload)
+	if err != nil {
+		fail("%v (workloads: canneal dedup facesim ferret fluidanimate freqmine blackscholes bodytrack streamcluster swaptions vips x264)", err)
+	}
+	t, err := parseTech(*tech)
+	if err != nil {
+		fail("%v", err)
+	}
+	s, err := parseScheme(*scheme)
+	if err != nil {
+		fail("%v", err)
+	}
+
+	cfg := memsim.DefaultConfig(t, s)
+	cfg.AccessesPerCore = *accesses
+	cfg.Seed = *seed
+	cfg.Ideal = *ideal
+
+	r, err := memsim.Run(w, cfg)
+	if err != nil {
+		fail("simulation: %v", err)
+	}
+
+	fmt.Printf("workload      %s (%s)\n", r.Workload, class(w))
+	fmt.Printf("system        %s LLC, scheme %s, ideal=%v\n", t, s, *ideal)
+	fmt.Printf("time          %d cycles = %.3f ms @2GHz\n", r.Cycles, r.Seconds*1e3)
+	fmt.Printf("L1            %.2f%% miss (%d accesses)\n", 100*r.L1.MissRate(), r.L1.Hits+r.L1.Misses)
+	fmt.Printf("L2            %.2f%% miss (%d accesses)\n", 100*r.L2.MissRate(), r.L2.Hits+r.L2.Misses)
+	fmt.Printf("L3            %.2f%% miss (%d accesses)\n", 100*r.L3.MissRate(), r.L3.Hits+r.L3.Misses)
+	if t == energy.Racetrack {
+		fmt.Printf("shifts        %d ops, %d steps (avg %.2f), %d cycles\n",
+			r.ShiftOps, r.ShiftSteps, r.AvgShiftDistance, r.ShiftCycles)
+		fmt.Printf("reliability   SDC MTTF %s, DUE MTTF %s\n",
+			human(r.Tracker.SDCMTTF()), human(r.Tracker.DUEMTTF()))
+	}
+	fmt.Printf("energy        dynamic %.3f uJ (LLC %.3f uJ), leakage %.3f mJ, total %.3f mJ\n",
+		r.Energy.DynamicNJ()/1e3, r.Energy.LLCDynamicNJ()/1e3,
+		r.Energy.LeakageJ*1e3, r.Energy.TotalJ()*1e3)
+}
+
+func parseTech(s string) (energy.Tech, error) {
+	switch s {
+	case "sram":
+		return energy.SRAM, nil
+	case "stt", "stt-ram", "sttram":
+		return energy.STTRAM, nil
+	case "racetrack", "rm", "dwm":
+		return energy.Racetrack, nil
+	default:
+		return 0, fmt.Errorf("unknown technology %q", s)
+	}
+}
+
+func parseScheme(s string) (shiftctrl.Scheme, error) {
+	switch s {
+	case "baseline", "none":
+		return shiftctrl.Baseline, nil
+	case "sts":
+		return shiftctrl.STSOnly, nil
+	case "sed":
+		return shiftctrl.SED, nil
+	case "secded", "pecc":
+		return shiftctrl.SECDED, nil
+	case "pecco", "pecc-o":
+		return shiftctrl.PECCO, nil
+	case "worst", "pecc-s-worst":
+		return shiftctrl.PECCSWorst, nil
+	case "adaptive", "pecc-s-adaptive":
+		return shiftctrl.PECCSAdaptive, nil
+	default:
+		return 0, fmt.Errorf("unknown scheme %q", s)
+	}
+}
+
+func class(w trace.Workload) string {
+	if w.CapacitySensitive {
+		return "capacity-sensitive"
+	}
+	return "capacity-insensitive"
+}
+
+func human(seconds float64) string {
+	switch {
+	case seconds >= mttf.SecondsPerYear:
+		return fmt.Sprintf("%.3g years", mttf.Years(seconds))
+	case seconds >= 86400:
+		return fmt.Sprintf("%.3g days", seconds/86400)
+	case seconds >= 1:
+		return fmt.Sprintf("%.3g s", seconds)
+	default:
+		return fmt.Sprintf("%.3g us", seconds*1e6)
+	}
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "hifi-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"testing"
+
+	"racetrack/hifi/internal/energy"
+	"racetrack/hifi/internal/shiftctrl"
+)
+
+func TestParseTech(t *testing.T) {
+	cases := map[string]energy.Tech{
+		"sram": energy.SRAM, "stt": energy.STTRAM, "stt-ram": energy.STTRAM,
+		"sttram": energy.STTRAM, "racetrack": energy.Racetrack,
+		"rm": energy.Racetrack, "dwm": energy.Racetrack,
+	}
+	for in, want := range cases {
+		got, err := parseTech(in)
+		if err != nil || got != want {
+			t.Errorf("parseTech(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseTech("flash"); err == nil {
+		t.Error("parseTech accepted unknown technology")
+	}
+}
+
+func TestParseScheme(t *testing.T) {
+	cases := map[string]shiftctrl.Scheme{
+		"baseline": shiftctrl.Baseline,
+		"none":     shiftctrl.Baseline,
+		"sts":      shiftctrl.STSOnly,
+		"sed":      shiftctrl.SED,
+		"secded":   shiftctrl.SECDED,
+		"pecc":     shiftctrl.SECDED,
+		"pecco":    shiftctrl.PECCO,
+		"worst":    shiftctrl.PECCSWorst,
+		"adaptive": shiftctrl.PECCSAdaptive,
+	}
+	for in, want := range cases {
+		got, err := parseScheme(in)
+		if err != nil || got != want {
+			t.Errorf("parseScheme(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := parseScheme("magic"); err == nil {
+		t.Error("parseScheme accepted unknown scheme")
+	}
+}
+
+func TestHumanDurations(t *testing.T) {
+	cases := map[float64]string{
+		3.156e7 * 69: "69 years",
+		86400 * 2:    "2 days",
+		5:            "5 s",
+		2e-6:         "2 us",
+	}
+	for in, want := range cases {
+		if got := human(in); got != want {
+			t.Errorf("human(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

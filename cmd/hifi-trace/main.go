@@ -1,0 +1,105 @@
+// Command hifi-trace records, inspects, and summarizes workload traces.
+//
+// Usage:
+//
+//	hifi-trace -workload canneal -n 100000 -o canneal.hftr   # record
+//	hifi-trace -i canneal.hftr -stats                         # summarize
+//	hifi-trace -i canneal.hftr -head 20                       # dump records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"racetrack/hifi/internal/trace"
+)
+
+func main() {
+	var (
+		workload = flag.String("workload", "", "workload to record")
+		core     = flag.Int("core", 0, "core whose stream to record")
+		n        = flag.Int("n", 100_000, "records to generate")
+		seed     = flag.Uint64("seed", 1, "trace seed")
+		out      = flag.String("o", "", "output trace file")
+		in       = flag.String("i", "", "input trace file to inspect")
+		head     = flag.Int("head", 0, "dump the first N records")
+		stats    = flag.Bool("stats", false, "print summary statistics")
+	)
+	flag.Parse()
+
+	switch {
+	case *workload != "" && *out != "":
+		record(*workload, *core, *n, *seed, *out)
+	case *in != "":
+		inspect(*in, *head, *stats)
+	default:
+		fmt.Fprintln(os.Stderr, "hifi-trace: use -workload/-o to record or -i to inspect")
+		os.Exit(2)
+	}
+}
+
+func record(name string, core, n int, seed uint64, path string) {
+	w, err := trace.ByName(name)
+	if err != nil {
+		fail("%v", err)
+	}
+	recs := trace.NewGenerator(w, core, seed).Take(n)
+	f, err := os.Create(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	if err := trace.WriteTrace(f, recs); err != nil {
+		fail("write: %v", err)
+	}
+	fi, _ := f.Stat()
+	fmt.Printf("recorded %d accesses of %s (core %d) to %s (%.1f bytes/record)\n",
+		n, name, core, path, float64(fi.Size())/float64(n))
+}
+
+func inspect(path string, head int, stats bool) {
+	f, err := os.Open(path)
+	if err != nil {
+		fail("%v", err)
+	}
+	defer f.Close()
+	recs, err := trace.ReadTrace(f)
+	if err != nil {
+		fail("read: %v", err)
+	}
+	fmt.Printf("%s: %d records\n", path, len(recs))
+	for i := 0; i < head && i < len(recs); i++ {
+		op := "R"
+		if recs[i].Write {
+			op = "W"
+		}
+		fmt.Printf("  %6d  %s %#010x  gap=%d\n", i, op, recs[i].Addr, recs[i].Gap)
+	}
+	if !stats {
+		return
+	}
+	var writes, gaps int
+	lines := map[uint64]int{}
+	var maxAddr uint64
+	for _, r := range recs {
+		if r.Write {
+			writes++
+		}
+		gaps += r.Gap
+		lines[r.Addr]++
+		if r.Addr > maxAddr {
+			maxAddr = r.Addr
+		}
+	}
+	reuse := float64(len(recs)) / float64(len(lines))
+	fmt.Printf("  writes      %.1f%%\n", 100*float64(writes)/float64(len(recs)))
+	fmt.Printf("  mean gap    %.2f cycles\n", float64(gaps)/float64(len(recs)))
+	fmt.Printf("  footprint   %d lines (%.1f MB max addr)\n", len(lines), float64(maxAddr)/(1<<20))
+	fmt.Printf("  reuse       %.2f accesses/line\n", reuse)
+}
+
+func fail(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, "hifi-trace: "+format+"\n", args...)
+	os.Exit(1)
+}

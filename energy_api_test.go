@@ -1,0 +1,61 @@
+package hifi
+
+import (
+	"testing"
+)
+
+func TestEnergyEstimateZeroWhenIdle(t *testing.T) {
+	mem, err := New(4<<10, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mem.Energy()
+	if e.TotalNJ != 0 {
+		t.Errorf("idle memory reports %v nJ", e.TotalNJ)
+	}
+}
+
+func TestEnergyEstimateAccumulates(t *testing.T) {
+	mem, err := New(4<<10, Config{ErrorScale: 1e-9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := make([]byte, 64)
+	mem.WriteLine(0, line)
+	afterWrite := mem.Energy()
+	if afterWrite.AccessNJ <= 0 {
+		t.Error("write consumed no access energy")
+	}
+	// A cross-offset read adds shift energy.
+	mem.ReadLine(7 * 64)
+	afterRead := mem.Energy()
+	if afterRead.TotalNJ <= afterWrite.TotalNJ {
+		t.Error("read did not add energy")
+	}
+	if afterRead.ShiftNJ <= 0 {
+		t.Error("cross-offset access consumed no shift energy")
+	}
+	if afterRead.DetectNJ <= 0 {
+		t.Error("p-ECC check energy missing")
+	}
+	sum := afterRead.AccessNJ + afterRead.ShiftNJ + afterRead.DetectNJ
+	if sum != afterRead.TotalNJ {
+		t.Errorf("components %v don't sum to total %v", sum, afterRead.TotalNJ)
+	}
+}
+
+func TestEnergyShiftScalesWithDistance(t *testing.T) {
+	run := func(offset int64) float64 {
+		mem, err := New(4<<10, Config{ErrorScale: 1e-9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mem.ReadLine(offset * 64)
+		return mem.Energy().ShiftNJ
+	}
+	near := run(1) // 1-step shift
+	far := run(7)  // 7-step shift
+	if far <= near {
+		t.Errorf("7-step shift energy (%v) should exceed 1-step (%v)", far, near)
+	}
+}

@@ -1,0 +1,75 @@
+// llcsim compares LLC technologies on one workload: SRAM, STT-RAM, and
+// racetrack memory with and without position-error protection — the
+// single-workload version of the paper's Fig. 16-18 comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"racetrack/hifi/internal/energy"
+	"racetrack/hifi/internal/memsim"
+	"racetrack/hifi/internal/mttf"
+	"racetrack/hifi/internal/shiftctrl"
+	"racetrack/hifi/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "canneal", "workload name")
+	accesses := flag.Int("accesses", 150_000, "accesses per core")
+	flag.Parse()
+
+	w, err := trace.ByName(*workload)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kind := "capacity-insensitive"
+	if w.CapacitySensitive {
+		kind = "capacity-sensitive"
+	}
+	fmt.Printf("workload %s (%s), working set %d MB\n\n", w.Name, kind, w.WorkingSetB>>20)
+
+	type sys struct {
+		label  string
+		tech   energy.Tech
+		scheme shiftctrl.Scheme
+		ideal  bool
+	}
+	systems := []sys{
+		{"SRAM 4MB", energy.SRAM, shiftctrl.Baseline, false},
+		{"STT-RAM 32MB", energy.STTRAM, shiftctrl.Baseline, false},
+		{"RM 128MB ideal", energy.Racetrack, shiftctrl.Baseline, true},
+		{"RM 128MB unprotected", energy.Racetrack, shiftctrl.Baseline, false},
+		{"RM 128MB p-ECC-O", energy.Racetrack, shiftctrl.PECCO, false},
+		{"RM 128MB p-ECC-S adaptive", energy.Racetrack, shiftctrl.PECCSAdaptive, false},
+	}
+
+	fmt.Printf("%-26s %12s %9s %12s %14s %s\n",
+		"system", "time (ms)", "L3 miss", "energy (mJ)", "DUE MTTF", "notes")
+	var baseCycles uint64
+	for i, s := range systems {
+		cfg := memsim.DefaultConfig(s.tech, s.scheme)
+		cfg.AccessesPerCore = *accesses
+		cfg.Ideal = s.ideal
+		r, err := memsim.Run(w, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			baseCycles = r.Cycles
+		}
+		note := fmt.Sprintf("%.2fx vs SRAM", float64(r.Cycles)/float64(baseCycles))
+		due := "-"
+		if s.tech == energy.Racetrack && !s.ideal {
+			if s.scheme == shiftctrl.Baseline {
+				due = "n/a (silent)"
+			} else {
+				due = fmt.Sprintf("%.3g y", mttf.Years(r.Tracker.DUEMTTF()))
+			}
+		}
+		fmt.Printf("%-26s %12.3f %8.1f%% %12.3f %14s %s\n",
+			s.label, r.Seconds*1e3, 100*r.L3.MissRate(),
+			r.Energy.TotalJ()*1e3, due, note)
+	}
+}

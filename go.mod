@@ -1,0 +1,3 @@
+module racetrack/hifi
+
+go 1.22

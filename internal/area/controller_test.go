@@ -1,0 +1,63 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+func TestControllerAreaMatchesTable5(t *testing.T) {
+	// The gate-level model must land on the paper's synthesized areas
+	// within a few percent.
+	want := map[string]float64{
+		"sts":              1.94,
+		"p-ecc":            54.0,
+		"p-ecc-o":          54.0,
+		"p-ecc-s worst":    54.3,
+		"p-ecc-s adaptive": 109.4,
+	}
+	for kind, w := range want {
+		got := ControllerAreaUM2(kind)
+		if math.Abs(got-w)/w > 0.05 {
+			t.Errorf("%s: %.1f um^2, want %.1f (Table 5)", kind, got, w)
+		}
+	}
+	if ControllerAreaUM2("unknown") != 0 {
+		t.Error("unknown kind should be 0")
+	}
+}
+
+func TestControllerAreaOrdering(t *testing.T) {
+	sts := ControllerAreaUM2("sts")
+	pecc := ControllerAreaUM2("p-ecc")
+	worst := ControllerAreaUM2("p-ecc-s worst")
+	adaptive := ControllerAreaUM2("p-ecc-s adaptive")
+	if !(sts < pecc && pecc < worst && worst < adaptive) {
+		t.Errorf("ordering violated: %v %v %v %v", sts, pecc, worst, adaptive)
+	}
+	// The adaptive table dominates: roughly 2x the worst-case controller.
+	ratio := adaptive / worst
+	if ratio < 1.8 || ratio > 2.3 {
+		t.Errorf("adaptive/worst ratio = %v, want ~2 (Table 5)", ratio)
+	}
+}
+
+func TestGateCountsScale(t *testing.T) {
+	// Stronger codes need wider windows: detection gates grow with m.
+	g1 := PECCDetectGates(1, 3).gateEquivalents()
+	g3 := PECCDetectGates(3, 3).gateEquivalents()
+	if g3 <= g1 {
+		t.Error("detection gates should grow with strength")
+	}
+	// Longer distances need wider adders.
+	d3 := PECCDetectGates(1, 3).gateEquivalents()
+	d6 := PECCDetectGates(1, 6).gateEquivalents()
+	if d6 <= d3 {
+		t.Error("detection gates should grow with distance width")
+	}
+	// The adaptive sequencer grows with the table span.
+	s7 := SequencerGates(true, 7).gateEquivalents()
+	s15 := SequencerGates(true, 15).gateEquivalents()
+	if s15 <= s7 {
+		t.Error("adaptive sequencer should grow with max distance")
+	}
+}

@@ -1,0 +1,116 @@
+// Package becc implements conventional bit-error ECC ("b-ECC" in the paper,
+// §3.2): parity and extended Hamming SECDED over 64-bit words, as used for
+// last-level caches. It exists as the baseline the paper argues against —
+// b-ECC detects unintended changes of bit values, but a position error
+// changes which bits are under the ports without changing any stored value,
+// so b-ECC misses aligned-looking data and cannot identify shift direction
+// for recovery.
+package becc
+
+import "math/bits"
+
+// Parity returns the even-parity bit of a 64-bit word.
+func Parity(word uint64) uint64 {
+	return uint64(bits.OnesCount64(word) & 1)
+}
+
+// CheckParity reports whether the stored parity matches the word.
+func CheckParity(word, parity uint64) bool {
+	return Parity(word) == parity&1
+}
+
+// SECDED(72,64): extended Hamming code with 8 check bits over a 64-bit data
+// word — the classic DRAM/LLC configuration. Check bits 0..6 are Hamming
+// parity groups over the 72-bit codeword positions; bit 7 is overall parity.
+
+// Codeword is a 72-bit SECDED codeword: 64 data bits plus 8 check bits.
+type Codeword struct {
+	Data  uint64
+	Check uint8
+}
+
+// dataPosition maps data bit i (0..63) to its codeword position (1-based
+// Hamming position, skipping the power-of-two check positions).
+var dataPosition [64]uint8
+
+func init() {
+	pos := uint8(1)
+	for i := 0; i < 64; i++ {
+		for pos&(pos-1) == 0 { // skip powers of two (check positions)
+			pos++
+		}
+		dataPosition[i] = pos
+		pos++
+	}
+}
+
+// Encode computes the SECDED codeword for a 64-bit data word.
+func Encode(data uint64) Codeword {
+	var check uint8
+	for i := 0; i < 64; i++ {
+		if data>>uint(i)&1 == 1 {
+			p := dataPosition[i]
+			for b := 0; b < 7; b++ {
+				if p&(1<<uint(b)) != 0 {
+					check ^= 1 << uint(b)
+				}
+			}
+		}
+	}
+	// Overall parity over data and the 7 Hamming check bits.
+	overall := uint8(bits.OnesCount64(data)+bits.OnesCount8(check&0x7f)) & 1
+	check |= overall << 7
+	return Codeword{Data: data, Check: check}
+}
+
+// Verdict classifies a decode.
+type Verdict int
+
+const (
+	// OK means no error detected.
+	OK Verdict = iota
+	// Corrected means a single-bit error was found and fixed.
+	Corrected
+	// DetectedDouble means a double-bit error was detected (uncorrectable).
+	DetectedDouble
+	// Miscorrect is used by tests' oracles when a >2-bit error aliased into
+	// an apparently-correctable syndrome; Decode itself cannot distinguish
+	// it from Corrected.
+	Miscorrect
+)
+
+// Decode checks a possibly corrupted codeword and returns the corrected
+// data (if correctable) and a verdict.
+func Decode(cw Codeword) (uint64, Verdict) {
+	recomputed := Encode(cw.Data)
+	syndrome := (recomputed.Check ^ cw.Check) & 0x7f
+	// The encoder chooses the overall parity bit so the whole 72-bit
+	// codeword has even parity; any odd number of flipped bits makes the
+	// received codeword's total parity odd.
+	parityErr := (bits.OnesCount64(cw.Data)+bits.OnesCount8(cw.Check))&1 == 1
+
+	switch {
+	case syndrome == 0 && !parityErr:
+		return cw.Data, OK
+	case syndrome == 0 && parityErr:
+		// Error in the overall parity bit itself.
+		return cw.Data, Corrected
+	case parityErr:
+		// Odd number of bit errors: assume single, correct it.
+		pos := syndrome
+		if pos&(pos-1) == 0 {
+			// Error in a check bit; data is intact.
+			return cw.Data, Corrected
+		}
+		for i := 0; i < 64; i++ {
+			if dataPosition[i] == pos {
+				return cw.Data ^ 1<<uint(i), Corrected
+			}
+		}
+		// Syndrome points outside the codeword: uncorrectable.
+		return cw.Data, DetectedDouble
+	default:
+		// Even number of errors with nonzero syndrome: double error.
+		return cw.Data, DetectedDouble
+	}
+}

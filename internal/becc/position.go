@@ -1,0 +1,69 @@
+package becc
+
+import (
+	"racetrack/hifi/internal/errmodel"
+	"racetrack/hifi/internal/sim"
+)
+
+// This file models the paper's §3.2 argument: why b-ECC fails against
+// position errors, for both data-mapping cases it discusses.
+
+// BitInterleavedMiss reports whether SECDED b-ECC fails to flag a k-step
+// position error under the bit-interleaved mapping (one bit of the word per
+// stripe, 512 stripes per 64-byte line). When a single stripe over-shifts,
+// the word read out differs from the stored word in exactly one bit
+// position — but only if the misaligned stripe's neighbouring domain holds
+// a different value. If it holds the same value, the error is silent until
+// more stripes drift.
+//
+// The function simulates one word readout: trueData is the stored word,
+// neighbor is the word formed by each stripe's adjacent (k-step-away)
+// domains, and shifted is the bitmask of stripes currently out of step.
+// It returns the word the cache would observe.
+func BitInterleavedReadout(trueData, neighbor, shiftedMask uint64) uint64 {
+	return (trueData &^ shiftedMask) | (neighbor & shiftedMask)
+}
+
+// WholeWordAlias models the other mapping (all bits of a word on one
+// stripe): a +-1-step position error makes b-ECC check *another word's*
+// data against that word's own check bits. If the neighbouring word is
+// itself a valid codeword — which it always is, since every stored word was
+// encoded — the check passes and the error is silent. The function returns
+// the verdict b-ECC reaches: it decodes neighborWord against its own
+// (valid) check bits, which is indistinguishable from a clean read.
+func WholeWordAlias(neighborWord uint64) (uint64, Verdict) {
+	return Decode(Encode(neighborWord))
+}
+
+// RefreshRecovery models the paper's recovery cost argument: once b-ECC
+// detects a position error it cannot determine direction or distance, so
+// the only remedy is to refresh all data in the affected stripes —
+// thousands of extra shift operations during which further position errors
+// strike. For an s-domain stripe refreshed bit by bit, the probability that
+// a second position error corrupts the refresh is
+//
+//	P(fail) = 1 - (1 - p1)^(shifts)
+//
+// where p1 is the per-shift error rate. The paper quotes ~0.17 for an
+// 8-bit stripe; that corresponds to the full 512-stripe line refresh
+// (512 stripes x 8 bits read out with ~ one shift each).
+func RefreshRecovery(em errmodel.Model, stripeDomains, stripes int) (shiftOps int, failProb float64) {
+	shiftOps = stripeDomains * stripes
+	p1 := em.ErrorRate(1)
+	q := 1.0
+	for i := 0; i < shiftOps; i++ {
+		q *= 1 - p1
+	}
+	return shiftOps, 1 - q
+}
+
+// SimulateRefresh Monte-Carlo-samples a refresh and reports whether a
+// second position error struck during it.
+func SimulateRefresh(em errmodel.Model, shiftOps int, r *sim.RNG) bool {
+	for i := 0; i < shiftOps; i++ {
+		if !em.Sample(1, r).Correct() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,173 @@
+// Package cache implements the set-associative cache model used by the
+// system simulator, plus the racetrack-memory LLC organization with the
+// paper's data mapping: each 64-byte line is interleaved over a group of
+// 512 stripes that shift together, each stripe contributing one bit per
+// line across its 64 data domains (8 segments of 8 by default).
+package cache
+
+import "fmt"
+
+// Stats counts cache events.
+type Stats struct {
+	Hits, Misses  uint64
+	Evictions     uint64
+	Writebacks    uint64
+	ReadAccesses  uint64
+	WriteAccesses uint64
+}
+
+// MissRate returns misses / accesses, or 0 when idle.
+func (s Stats) MissRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(total)
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	// age is a per-set LRU counter stamp; larger = more recent.
+	age uint64
+}
+
+// Cache is a blocking set-associative cache with true-LRU replacement.
+type Cache struct {
+	sets, ways int
+	lineBytes  int
+	lines      []line // sets * ways
+	clock      uint64
+	Stats      Stats
+}
+
+// New builds a cache of the given capacity. capacity must be divisible by
+// ways*lineBytes.
+func New(capacityB int64, ways, lineBytes int) *Cache {
+	if capacityB <= 0 || ways <= 0 || lineBytes <= 0 {
+		panic("cache: non-positive geometry")
+	}
+	setBytes := int64(ways * lineBytes)
+	if capacityB%setBytes != 0 {
+		panic(fmt.Sprintf("cache: capacity %d not divisible by way size %d", capacityB, setBytes))
+	}
+	sets := int(capacityB / setBytes)
+	return &Cache{
+		sets:      sets,
+		ways:      ways,
+		lineBytes: lineBytes,
+		lines:     make([]line, sets*ways),
+	}
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return c.sets }
+
+// Ways returns the associativity.
+func (c *Cache) Ways() int { return c.ways }
+
+// LineBytes returns the line size.
+func (c *Cache) LineBytes() int { return c.lineBytes }
+
+// index splits an address into set index and tag.
+func (c *Cache) index(addr uint64) (set int, tag uint64) {
+	lineAddr := addr / uint64(c.lineBytes)
+	return int(lineAddr % uint64(c.sets)), lineAddr / uint64(c.sets)
+}
+
+// Result describes one access.
+type Result struct {
+	Hit bool
+	// Way is the way the line occupies after the access.
+	Way int
+	// Set is the set index.
+	Set int
+	// Evicted reports a valid line was displaced.
+	Evicted bool
+	// Writeback reports the displaced line was dirty.
+	Writeback bool
+	// EvictedAddr reconstructs the displaced line's address.
+	EvictedAddr uint64
+}
+
+// Access looks up addr, allocating on miss (write-allocate, writeback).
+func (c *Cache) Access(addr uint64, write bool) Result {
+	c.clock++
+	set, tag := c.index(addr)
+	base := set * c.ways
+	if write {
+		c.Stats.WriteAccesses++
+	} else {
+		c.Stats.ReadAccesses++
+	}
+	// Hit?
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag {
+			l.age = c.clock
+			if write {
+				l.dirty = true
+			}
+			c.Stats.Hits++
+			return Result{Hit: true, Way: w, Set: set}
+		}
+	}
+	c.Stats.Misses++
+	// Victim: invalid way first, else LRU.
+	victim := 0
+	oldest := ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if !l.valid {
+			victim = w
+			oldest = 0
+			break
+		}
+		if l.age < oldest {
+			oldest = l.age
+			victim = w
+		}
+	}
+	res := Result{Way: victim, Set: set}
+	l := &c.lines[base+victim]
+	if l.valid {
+		res.Evicted = true
+		res.Writeback = l.dirty
+		if res.Writeback {
+			c.Stats.Writebacks++
+		}
+		c.Stats.Evictions++
+		res.EvictedAddr = (l.tag*uint64(c.sets) + uint64(set)) * uint64(c.lineBytes)
+	}
+	*l = line{tag: tag, valid: true, dirty: write, age: c.clock}
+	return res
+}
+
+// Contains reports whether addr is resident (no state change).
+func (c *Cache) Contains(addr uint64) bool {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := c.lines[base+w]
+		if l.valid && l.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Invalidate drops addr if resident, reporting whether it was dirty.
+func (c *Cache) Invalidate(addr uint64) (resident, dirty bool) {
+	set, tag := c.index(addr)
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		l := &c.lines[base+w]
+		if l.valid && l.tag == tag {
+			resident, dirty = true, l.dirty
+			l.valid = false
+			return resident, dirty
+		}
+	}
+	return false, false
+}

@@ -1,0 +1,73 @@
+package errmodel
+
+import (
+	"testing"
+
+	"racetrack/hifi/internal/sim"
+)
+
+func TestTempFactorReference(t *testing.T) {
+	ref := Model{TempC: 25}
+	zero := Model{}
+	for n := 1; n <= 7; n++ {
+		if ref.K1Rate(n) != zero.K1Rate(n) {
+			t.Fatalf("reference temperature changed rates at n=%d", n)
+		}
+	}
+}
+
+func TestTempRatesIncreaseWithHeat(t *testing.T) {
+	cold := Model{TempC: 0.001} // effectively 0C (cooler than reference)
+	ref := Model{}
+	hot := Model{TempC: 85}
+	hotter := Model{TempC: 105}
+	for n := 1; n <= 7; n++ {
+		if !(cold.K1Rate(n) < ref.K1Rate(n)) {
+			t.Errorf("n=%d: cold rate %g not below reference %g", n, cold.K1Rate(n), ref.K1Rate(n))
+		}
+		if !(ref.K1Rate(n) < hot.K1Rate(n) && hot.K1Rate(n) < hotter.K1Rate(n)) {
+			t.Errorf("n=%d: rates not increasing with temperature", n)
+		}
+	}
+}
+
+func TestTempEffectMagnitude(t *testing.T) {
+	// ~order of magnitude per ~50K at the k=1 margin.
+	ref := Model{}
+	hot := Model{TempC: 75}
+	ratio := hot.K1Rate(4) / ref.K1Rate(4)
+	if ratio < 3 || ratio > 100 {
+		t.Errorf("50K rate multiplier = %v, want order-of-magnitude scale", ratio)
+	}
+}
+
+func TestTempRatesStayProbabilities(t *testing.T) {
+	for _, temp := range []float64{-40, 0.001, 25, 85, 125, 400} {
+		m := Model{TempC: temp}
+		for n := 1; n <= 7; n++ {
+			r := m.ErrorRate(n)
+			if r < 0 || r > 1 {
+				t.Fatalf("temp %v n=%d: rate %g out of [0,1]", temp, n, r)
+			}
+		}
+	}
+}
+
+func TestTempSamplingConsistent(t *testing.T) {
+	// The sampler must reflect the temperature-scaled rates.
+	hot := Model{TempC: 85, RateScale: 50}
+	ref := Model{RateScale: 50}
+	r := sim.NewRNG(5)
+	count := func(m Model) int {
+		bad := 0
+		for i := 0; i < 200000; i++ {
+			if !m.Sample(4, r).Correct() {
+				bad++
+			}
+		}
+		return bad
+	}
+	if count(hot) <= count(ref) {
+		t.Error("hot model sampled fewer errors than reference")
+	}
+}

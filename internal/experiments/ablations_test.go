@@ -1,0 +1,202 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationStrength(t *testing.T) {
+	tab := AblationStrength()
+	if len(tab.Rows) != 4 {
+		t.Fatalf("rows = %d, want 4 (m=0..3)", len(tab.Rows))
+	}
+	// Higher strength must strictly reduce the uncorrectable rate and
+	// strictly raise MTTF.
+	prevRate := 1.0
+	prevMTTF := 0.0
+	for _, r := range tab.Rows {
+		rate := parse(t, r[6])
+		m := parse(t, r[7])
+		if rate >= prevRate {
+			t.Errorf("m=%s: rate %g not below previous %g", r[0], rate, prevRate)
+		}
+		if m <= prevMTTF {
+			t.Errorf("m=%s: MTTF %g not above previous %g", r[0], m, prevMTTF)
+		}
+		prevRate, prevMTTF = rate, m
+	}
+	// Strength costs domains and ports monotonically.
+	if parse(t, tab.Rows[3][3]) <= parse(t, tab.Rows[0][3]) {
+		t.Error("code length should grow with strength")
+	}
+	if parse(t, tab.Rows[3][5]) <= parse(t, tab.Rows[0][5]) {
+		t.Error("port count should grow with strength")
+	}
+}
+
+func TestAblationDrive(t *testing.T) {
+	tab := AblationDrive()
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// The paper's 2*J0 operating point should be the best or near-best.
+	var best float64
+	var bestJ string
+	for _, r := range tab.Rows {
+		if c := parse(t, r[1]); c > best {
+			best, bestJ = c, r[0]
+		}
+	}
+	if bestJ != "2" && bestJ != "1.5" && bestJ != "2.5" {
+		t.Errorf("best correct rate at J/J0=%s, want near the 2x operating point", bestJ)
+	}
+	// Low drive leans under-shift; high drive leans over-shift.
+	lo := tab.Rows[0]
+	hi := tab.Rows[len(tab.Rows)-1]
+	if parse(t, lo[2])+parse(t, lo[4]) < parse(t, lo[3]) {
+		t.Error("low drive should under-shoot or strand, not over-shoot")
+	}
+	if parse(t, hi[3]) < parse(t, hi[2]) {
+		t.Error("high drive should over-shoot more than under-shoot")
+	}
+}
+
+func TestAblationMaterial(t *testing.T) {
+	tab := AblationMaterial()
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	in, pma := tab.Rows[0], tab.Rows[1]
+	if !strings.Contains(in[0], "in-plane") {
+		t.Fatalf("first row %q", in[0])
+	}
+	if parse(t, pma[1]) <= parse(t, in[1]) {
+		t.Error("perpendicular should gain density")
+	}
+	if parse(t, pma[3]) <= parse(t, in[3]) {
+		t.Error("perpendicular should pay higher error rate (paper §3.1)")
+	}
+}
+
+func TestAblationBECC(t *testing.T) {
+	tab := AblationBECC()
+	// Failure probability grows with stripe count; 512 stripes land at
+	// the paper's ~0.17.
+	prev := 0.0
+	for _, r := range tab.Rows {
+		p := parse(t, r[2])
+		if p <= prev {
+			t.Errorf("refresh failure not increasing: %v", p)
+		}
+		prev = p
+		if r[0] == "512" && (p < 0.15 || p > 0.19) {
+			t.Errorf("512-stripe refresh failure = %v, want ~0.17", p)
+		}
+	}
+}
+
+func TestAblationSTS(t *testing.T) {
+	tab := AblationSTS()
+	for _, r := range tab.Rows {
+		rawMid := parse(t, r[1])
+		rawTotal := parse(t, r[2])
+		post := parse(t, r[3])
+		if rawMid <= 0 {
+			t.Errorf("distance %s: raw stop-in-middle rate should be positive", r[0])
+		}
+		if post >= rawTotal {
+			t.Errorf("distance %s: STS should reduce the total error rate", r[0])
+		}
+	}
+}
+
+func TestAblationHeadPolicy(t *testing.T) {
+	tab := AblationHeadPolicy()
+	for _, r := range tab.Rows {
+		lazy := parse(t, r[1])
+		eagerTotal := parse(t, r[2])
+		if eagerTotal <= lazy {
+			t.Errorf("segLen %s: eager should move more in total (%v vs %v)", r[0], eagerTotal, lazy)
+		}
+	}
+}
+
+func TestAblationInterleave(t *testing.T) {
+	tab := AblationInterleave()
+	prev := 0.0
+	for _, r := range tab.Rows {
+		rate := parse(t, r[2])
+		if rate <= prev {
+			t.Error("DUE rate should grow with interleave width")
+		}
+		prev = rate
+	}
+}
+
+func TestAblationTemperature(t *testing.T) {
+	tab := AblationTemperature()
+	if len(tab.Rows) != 6 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	prevK1 := 0.0
+	prevSafe := 99
+	for _, r := range tab.Rows {
+		k1 := parse(t, r[1])
+		if k1 <= prevK1 {
+			t.Errorf("temp %s: k1 %g not increasing", r[0], k1)
+		}
+		prevK1 = k1
+		safe := int(parse(t, r[3]))
+		if safe > prevSafe {
+			t.Errorf("temp %s: safe distance %d increased with heat", r[0], safe)
+		}
+		prevSafe = safe
+	}
+	// Room temperature matches the paper's operating point.
+	for _, r := range tab.Rows {
+		if r[0] == "25" && int(parse(t, r[3])) != 3 {
+			t.Errorf("25C safe distance = %s, want 3 (paper §5.2)", r[3])
+		}
+	}
+}
+
+func TestAblationPromoScaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed")
+	}
+	tab := AblationPromo(QuickRunOpts())
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Larger buffers absorb monotonically more shift traffic.
+	prev := 2.0
+	for _, r := range tab.Rows {
+		frac := parse(t, r[2])
+		if frac > prev+1e-9 {
+			t.Errorf("entries %s: shift fraction %v increased", r[0], frac)
+		}
+		prev = frac
+	}
+	// The largest buffer must absorb a visible share.
+	last := parse(t, tab.Rows[len(tab.Rows)-1][2])
+	if last >= 1 {
+		t.Errorf("64-entry buffer absorbed nothing: %v", last)
+	}
+}
+
+func TestAblationFig7Area(t *testing.T) {
+	tab := AblationFig7Area()
+	prev := -1.0
+	for _, r := range tab.Rows {
+		v := parse(t, r[3])
+		if v < prev {
+			t.Error("area should not shrink with strength")
+		}
+		prev = v
+	}
+	// m=1 overhead should be in the Table 5 ballpark (a few percent at
+	// the area model level, 17% at the domain-count level).
+	if over := parse(t, tab.Rows[1][4]); over < 0 || over > 30 {
+		t.Errorf("m=1 area overhead = %v%%", over)
+	}
+}

@@ -1,0 +1,266 @@
+package experiments
+
+import (
+	"fmt"
+
+	"racetrack/hifi/internal/energy"
+	"racetrack/hifi/internal/memsim"
+	"racetrack/hifi/internal/shiftctrl"
+	"racetrack/hifi/internal/trace"
+)
+
+// RunOpts controls the simulation-backed experiments.
+type RunOpts struct {
+	// AccessesPerCore is the trace length; 0 uses the memsim default.
+	AccessesPerCore int
+	// Seed selects the deterministic trace family.
+	Seed uint64
+	// Scaled shrinks the hierarchy and working sets by ScaleShift powers
+	// of two so tests and quick runs finish in seconds while preserving
+	// the capacity relationships (SRAM < STT < RM; working sets between
+	// SRAM and RM capacity).
+	Scaled bool
+	// MCTrials is the Monte-Carlo trial count for Fig 4.
+	MCTrials int
+}
+
+// DefaultRunOpts is the full-size configuration used by the benchmarks.
+func DefaultRunOpts() RunOpts {
+	return RunOpts{AccessesPerCore: 200_000, Seed: 1, MCTrials: 200_000}
+}
+
+// QuickRunOpts is the scaled configuration used by unit tests.
+func QuickRunOpts() RunOpts {
+	return RunOpts{AccessesPerCore: 4_000, Seed: 1, Scaled: true, MCTrials: 20_000}
+}
+
+// Scaled-mode hierarchy: capacities shrink while preserving the Table 4
+// relationships (L1 < L2 < SRAM L3 < STT L3 < RM L3) and the working-set
+// bands (insensitive sets fit every LLC or stream; sensitive sets overflow
+// the SRAM LLC but fit the racetrack LLC).
+const (
+	scaledL1 = 2 << 10
+	scaledL2 = 8 << 10
+	// workload working sets shrink by this many powers of two.
+	wsShift = 7
+)
+
+func scaledL3(t energy.Tech) int64 {
+	switch t {
+	case energy.SRAM:
+		return 32 << 10
+	case energy.STTRAM:
+		return 256 << 10
+	default:
+		return 1 << 20
+	}
+}
+
+// config builds a memsim configuration for the given technology and scheme.
+func (o RunOpts) config(t energy.Tech, s shiftctrl.Scheme) memsim.Config {
+	cfg := memsim.DefaultConfig(t, s)
+	if o.AccessesPerCore > 0 {
+		cfg.AccessesPerCore = o.AccessesPerCore
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+	if o.Scaled {
+		cfg.L1Capacity = scaledL1
+		cfg.L2Capacity = scaledL2
+		cfg.L3Capacity = scaledL3(t)
+	}
+	return cfg
+}
+
+// workloads returns the PARSEC roster, with working sets scaled to the
+// shrunken hierarchy when opts.Scaled is set.
+func (o RunOpts) workloads() []trace.Workload {
+	ws := trace.PARSEC()
+	if !o.Scaled {
+		return ws
+	}
+	for i := range ws {
+		ws[i].WorkingSetB >>= wsShift
+		// Keep every workload above the L2 capacity so the LLC sees
+		// traffic, but insensitive sets stay within the SRAM LLC band.
+		if ws[i].WorkingSetB < 12<<10 {
+			ws[i].WorkingSetB = 12 << 10
+		}
+	}
+	return ws
+}
+
+// runAll simulates every workload under cfg-producing function f and
+// returns results in roster order.
+func (o RunOpts) runAll(t energy.Tech, s shiftctrl.Scheme, ideal bool) []memsim.Result {
+	var out []memsim.Result
+	for _, w := range o.workloads() {
+		cfg := o.config(t, s)
+		cfg.Ideal = ideal
+		r, err := memsim.Run(w, cfg)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: %s: %v", w.Name, err))
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Fig10 regenerates paper Fig. 10: SDC MTTF of the racetrack LLC per
+// workload under no protection, SED p-ECC, and SECDED p-ECC.
+func Fig10(opts RunOpts) Table {
+	t := Table{
+		Title:  "Fig 10: SDC MTTF under different protection (seconds)",
+		Header: []string{"workload", "baseline", "SED p-ECC", "SECDED p-ECC"},
+	}
+	base := opts.runAll(energy.Racetrack, shiftctrl.Baseline, false)
+	sed := opts.runAll(energy.Racetrack, shiftctrl.SED, false)
+	sec := opts.runAll(energy.Racetrack, shiftctrl.SECDED, false)
+	for i := range base {
+		t.AddRow(base[i].Workload,
+			base[i].Tracker.SDCMTTF(),
+			sed[i].Tracker.SDCMTTF(),
+			sec[i].Tracker.SDCMTTF())
+	}
+	return t
+}
+
+// Fig11 regenerates paper Fig. 11: DUE MTTF per workload for SED, SECDED,
+// p-ECC-O, p-ECC-S worst and p-ECC-S adaptive.
+func Fig11(opts RunOpts) Table {
+	t := Table{
+		Title: "Fig 11: DUE MTTF under different protection (seconds)",
+		Header: []string{"workload", "SED", "SECDED", "SECDED p-ECC-O",
+			"p-ECC-S worst", "p-ECC-S adaptive"},
+	}
+	sed := opts.runAll(energy.Racetrack, shiftctrl.SED, false)
+	sec := opts.runAll(energy.Racetrack, shiftctrl.SECDED, false)
+	po := opts.runAll(energy.Racetrack, shiftctrl.PECCO, false)
+	pw := opts.runAll(energy.Racetrack, shiftctrl.PECCSWorst, false)
+	pa := opts.runAll(energy.Racetrack, shiftctrl.PECCSAdaptive, false)
+	for i := range sed {
+		t.AddRow(sed[i].Workload,
+			sed[i].Tracker.DUEMTTF(),
+			sec[i].Tracker.DUEMTTF(),
+			po[i].Tracker.DUEMTTF(),
+			pw[i].Tracker.DUEMTTF(),
+			pa[i].Tracker.DUEMTTF())
+	}
+	return t
+}
+
+// Fig14 regenerates paper Fig. 14: total shift latency per workload,
+// normalized to the unprotected racetrack baseline.
+func Fig14(opts RunOpts) Table {
+	t := Table{
+		Title:  "Fig 14: relative shift latency of racetrack memory",
+		Header: []string{"workload", "baseline", "p-ECC-O", "p-ECC-S adaptive", "p-ECC-S worst"},
+	}
+	base := opts.runAll(energy.Racetrack, shiftctrl.Baseline, false)
+	po := opts.runAll(energy.Racetrack, shiftctrl.PECCO, false)
+	pa := opts.runAll(energy.Racetrack, shiftctrl.PECCSAdaptive, false)
+	pw := opts.runAll(energy.Racetrack, shiftctrl.PECCSWorst, false)
+	for i := range base {
+		b := float64(base[i].ShiftCycles)
+		if b == 0 {
+			b = 1
+		}
+		t.AddRow(base[i].Workload, 1.0,
+			float64(po[i].ShiftCycles)/b,
+			float64(pa[i].ShiftCycles)/b,
+			float64(pw[i].ShiftCycles)/b)
+	}
+	return t
+}
+
+// fig16Schemes lists the system configurations compared by Figs. 16-18.
+type sysConfig struct {
+	label  string
+	tech   energy.Tech
+	scheme shiftctrl.Scheme
+	ideal  bool
+}
+
+func fig16Configs() []sysConfig {
+	return []sysConfig{
+		{"SRAM", energy.SRAM, shiftctrl.Baseline, false},
+		{"STT-RAM", energy.STTRAM, shiftctrl.Baseline, false},
+		{"RM-Ideal", energy.Racetrack, shiftctrl.Baseline, true},
+		{"RM w/o p-ECC", energy.Racetrack, shiftctrl.Baseline, false},
+		{"RM p-ECC-O", energy.Racetrack, shiftctrl.PECCO, false},
+		{"RM p-ECC-S adaptive", energy.Racetrack, shiftctrl.PECCSAdaptive, false},
+		{"RM p-ECC-S worst", energy.Racetrack, shiftctrl.PECCSWorst, false},
+	}
+}
+
+// Fig16 regenerates paper Fig. 16: overall execution time per workload,
+// normalized to SRAM.
+func Fig16(opts RunOpts) Table {
+	return sysComparison(opts, "Fig 16: overall execution time (normalized to SRAM)",
+		func(r memsimResult) float64 { return float64(r.Cycles) })
+}
+
+// Fig17 regenerates paper Fig. 17: LLC dynamic energy per workload,
+// normalized to SRAM.
+func Fig17(opts RunOpts) Table {
+	return sysComparison(opts, "Fig 17: LLC dynamic energy (normalized to SRAM)",
+		func(r memsimResult) float64 { return r.Energy.LLCDynamicNJ() })
+}
+
+// Fig18 regenerates paper Fig. 18: total energy (dynamic + leakage + DRAM)
+// per workload, normalized to SRAM.
+func Fig18(opts RunOpts) Table {
+	return sysComparison(opts, "Fig 18: total energy consumption (normalized to SRAM)",
+		func(r memsimResult) float64 { return r.Energy.TotalJ() })
+}
+
+type memsimResult = memsim.Result
+
+// sysComparison runs all Fig 16 configurations and reports metric values
+// normalized to the SRAM column, with capacity-sensitive workloads first.
+func sysComparison(opts RunOpts, title string, metric func(memsimResult) float64) Table {
+	configs := fig16Configs()
+	t := Table{Title: title}
+	t.Header = append([]string{"workload", "class"}, labels(configs)...)
+	results := make([][]memsimResult, len(configs))
+	for i, c := range configs {
+		results[i] = opts.runAll(c.tech, c.scheme, c.ideal)
+	}
+	roster := opts.workloads()
+	order := append(filterIdx(roster, true), filterIdx(roster, false)...)
+	for _, wi := range order {
+		row := []interface{}{roster[wi].Name, class(roster[wi])}
+		base := metric(results[0][wi])
+		for ci := range configs {
+			row = append(row, metric(results[ci][wi])/base)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func labels(cs []sysConfig) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.label
+	}
+	return out
+}
+
+func class(w trace.Workload) string {
+	if w.CapacitySensitive {
+		return "cap-sensitive"
+	}
+	return "cap-insensitive"
+}
+
+func filterIdx(ws []trace.Workload, sensitive bool) []int {
+	var out []int
+	for i, w := range ws {
+		if w.CapacitySensitive == sensitive {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The simulation-backed experiments run in scaled mode for tests; the
+// benchmarks at the repository root run them at full size.
+
+func TestFig10Scaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	tab := Fig10(QuickRunOpts())
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12 workloads", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		base := parse(t, r[1])
+		sed := parse(t, r[2])
+		sec := parse(t, r[3])
+		// Paper Fig 10: baseline << SED << SECDED SDC MTTF.
+		if !(base < sed && sed < sec) {
+			t.Errorf("%s: SDC MTTF ordering violated: %g, %g, %g", r[0], base, sed, sec)
+		}
+		// Baseline is tiny (paper: 1.33us); ours is scaled but must stay
+		// far below a second.
+		if base > 1 {
+			t.Errorf("%s: baseline SDC MTTF = %g s, want << 1 s", r[0], base)
+		}
+	}
+}
+
+func TestFig11Scaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	tab := Fig11(QuickRunOpts())
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		sed := parse(t, r[1])
+		sec := parse(t, r[2])
+		po := parse(t, r[3])
+		pw := parse(t, r[4])
+		pa := parse(t, r[5])
+		// SED detects every +-1 error: worst DUE MTTF by far.
+		if !(sed < sec) {
+			t.Errorf("%s: SED (%g) should be below SECDED (%g)", r[0], sed, sec)
+		}
+		// p-ECC-O improves on plain SECDED; the worst-case plan never
+		// does worse (it equals SECDED when all observed distances are
+		// already within the safe distance).
+		if po <= sec {
+			t.Errorf("%s: p-ECC-O (%g) should beat SECDED (%g)", r[0], po, sec)
+		}
+		if pw < sec*0.99 {
+			t.Errorf("%s: worst (%g) should be >= SECDED (%g)", r[0], pw, sec)
+		}
+		// Adaptive sits at or above SECDED.
+		if pa < sec {
+			t.Errorf("%s: adaptive (%g) below SECDED (%g)", r[0], pa, sec)
+		}
+	}
+}
+
+func TestFig14Scaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	tab := Fig14(QuickRunOpts())
+	for _, r := range tab.Rows {
+		po := parse(t, r[2])
+		pa := parse(t, r[3])
+		pw := parse(t, r[4])
+		// Paper Fig 14: p-ECC-O ~2x; safe-distance variants much less.
+		if po < 1.15 {
+			t.Errorf("%s: p-ECC-O relative latency = %v, want > 1.15", r[0], po)
+		}
+		if pa > po+1e-9 {
+			t.Errorf("%s: adaptive (%v) should not exceed p-ECC-O (%v)", r[0], pa, po)
+		}
+		if pw > po+1e-9 {
+			t.Errorf("%s: worst (%v) should not exceed p-ECC-O (%v)", r[0], pw, po)
+		}
+		if pa < 1-0.05 || pw < 1-0.05 {
+			t.Errorf("%s: protected latency below baseline: pa=%v pw=%v", r[0], pa, pw)
+		}
+	}
+}
+
+func TestFig16Scaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	tab := Fig16(QuickRunOpts())
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	colIdx := map[string]int{}
+	for i, h := range tab.Header {
+		colIdx[h] = i
+	}
+	for _, r := range tab.Rows {
+		sram := parse(t, r[colIdx["SRAM"]])
+		if sram != 1 {
+			t.Errorf("%s: SRAM column should be 1", r[0])
+		}
+		rmIdeal := parse(t, r[colIdx["RM-Ideal"]])
+		rmBase := parse(t, r[colIdx["RM w/o p-ECC"]])
+		rmAdapt := parse(t, r[colIdx["RM p-ECC-S adaptive"]])
+		if r[1] == "cap-sensitive" {
+			// Racetrack's capacity must win on sensitive workloads.
+			if rmIdeal >= 1 {
+				t.Errorf("%s: RM-Ideal (%v) should beat SRAM", r[0], rmIdeal)
+			}
+		}
+		// Shift latency costs something: ideal <= real.
+		if rmIdeal > rmBase+1e-9 {
+			t.Errorf("%s: ideal (%v) slower than real (%v)", r[0], rmIdeal, rmBase)
+		}
+		// Protection overhead is small: adaptive within a few percent of
+		// unprotected RM (paper: 0.2%; scaled sim allows more noise).
+		if rmAdapt > rmBase*1.10 {
+			t.Errorf("%s: adaptive %v >> unprotected %v", r[0], rmAdapt, rmBase)
+		}
+	}
+}
+
+func TestFig17Scaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	tab := Fig17(QuickRunOpts())
+	colIdx := map[string]int{}
+	for i, h := range tab.Header {
+		colIdx[h] = i
+	}
+	for _, r := range tab.Rows {
+		po := parse(t, r[colIdx["RM p-ECC-O"]])
+		base := parse(t, r[colIdx["RM w/o p-ECC"]])
+		adapt := parse(t, r[colIdx["RM p-ECC-S adaptive"]])
+		// Paper Fig 17: p-ECC-O consumes notably more dynamic energy than
+		// unprotected RM; adaptive sits between.
+		if po <= base {
+			t.Errorf("%s: p-ECC-O energy (%v) should exceed unprotected (%v)", r[0], po, base)
+		}
+		// Interleaving noise on the shared LLC allows ~1% slack.
+		if adapt < base*0.99 || adapt > po*1.01 {
+			t.Errorf("%s: adaptive energy (%v) outside [base %v, p-ECC-O %v]", r[0], adapt, base, po)
+		}
+	}
+}
+
+func TestFig18Scaled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	tab := Fig18(QuickRunOpts())
+	colIdx := map[string]int{}
+	for i, h := range tab.Header {
+		colIdx[h] = i
+	}
+	for _, r := range tab.Rows {
+		// Total energy: SRAM's leakage dominates; STT and RM win
+		// (paper: ~53% reduction). In the scaled system the direction
+		// must hold for capacity-sensitive workloads (fewer DRAM trips).
+		if r[1] != "cap-sensitive" {
+			continue
+		}
+		stt := parse(t, r[colIdx["STT-RAM"]])
+		adapt := parse(t, r[colIdx["RM p-ECC-S adaptive"]])
+		if stt >= 1.2 {
+			t.Errorf("%s: STT total energy (%v) should not blow past SRAM", r[0], stt)
+		}
+		if adapt >= 1.2 {
+			t.Errorf("%s: RM adaptive total energy (%v) should not blow past SRAM", r[0], adapt)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package memsim
+
+import (
+	"testing"
+
+	"racetrack/hifi/internal/energy"
+	"racetrack/hifi/internal/shiftctrl"
+)
+
+func TestEagerHeadMovesMore(t *testing.T) {
+	w := smallWorkload("ferret", 128<<10)
+	lazyCfg := smallConfig(energy.Racetrack, shiftctrl.SECDED)
+	lazy, err := Run(w, lazyCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eagerCfg := smallConfig(energy.Racetrack, shiftctrl.SECDED)
+	eagerCfg.EagerHead = true
+	eager, err := Run(w, eagerCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Eager returns double total movement (there and back).
+	if eager.ShiftSteps <= lazy.ShiftSteps {
+		t.Errorf("eager steps %d should exceed lazy %d", eager.ShiftSteps, lazy.ShiftSteps)
+	}
+	// And therefore more energy and higher expected DUE exposure.
+	if eager.Energy.ShiftNJ <= lazy.Energy.ShiftNJ {
+		t.Error("eager should pay more shift energy")
+	}
+	if eager.Tracker.ExpectedDUE() <= lazy.Tracker.ExpectedDUE() {
+		t.Error("eager should have more reliability exposure")
+	}
+}
+
+func TestEagerHeadKeepsHeadsAtZero(t *testing.T) {
+	// With the eager policy every access starts from offset 0, so every
+	// shifting access moves exactly its target offset. The average
+	// distance must therefore match the mean target offset, which for
+	// way-major mapping exceeds the lazy policy's locality-driven mean.
+	w := smallWorkload("ferret", 128<<10)
+	cfg := smallConfig(energy.Racetrack, shiftctrl.SECDED)
+	cfg.EagerHead = true
+	r, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ShiftOps == 0 {
+		t.Fatal("no shifts")
+	}
+	// Return shifts and access shifts are symmetric: total steps even.
+	if r.ShiftSteps%2 != 0 {
+		t.Errorf("eager total steps %d should be even (every move is mirrored)", r.ShiftSteps)
+	}
+}

@@ -1,0 +1,546 @@
+// Package memsim is the trace-driven multi-core memory-hierarchy simulator
+// standing in for the paper's gem5 setup (Table 4): four in-order 2 GHz
+// cores with private L1s, one L2 per core pair, and a shared L3 whose
+// technology (SRAM / STT-RAM / racetrack) and racetrack protection scheme
+// are configurable. It reports execution time, per-level cache statistics,
+// shift behaviour, dynamic and leakage energy, and expected SDC/DUE counts
+// for MTTF computation.
+package memsim
+
+import (
+	"fmt"
+
+	"racetrack/hifi/internal/cache"
+	"racetrack/hifi/internal/energy"
+	"racetrack/hifi/internal/errmodel"
+	"racetrack/hifi/internal/mttf"
+	"racetrack/hifi/internal/shiftctrl"
+	"racetrack/hifi/internal/trace"
+)
+
+// Config selects the simulated system.
+type Config struct {
+	Cores    int
+	ClockHz  float64
+	Tech     energy.Tech
+	Scheme   shiftctrl.Scheme // racetrack protection (ignored for SRAM/STT)
+	Ideal    bool             // racetrack with shift latency removed (RM-Ideal)
+	Geometry cache.RTMGeometry
+	// AccessesPerCore is the trace length driven through each core.
+	AccessesPerCore int
+	Seed            uint64
+	// TargetDUE is the safe-distance reliability target (seconds).
+	TargetDUE float64
+	// Capacity overrides for scaled-down testing; zero means Table 4.
+	L1Capacity, L2Capacity, L3Capacity int64
+	// Associativity (Table 4 defaults when zero).
+	L1Ways, L2Ways, L3Ways int
+	// Sources optionally replaces the synthetic generators with recorded
+	// access streams (see trace.Replayer), one per core. When set it must
+	// have Cores entries.
+	Sources []Source
+	// EagerHead returns every stripe group's head to offset 0 after each
+	// access (off the critical path), instead of leaving it where the
+	// access put it (lazy, the default). Eager pays extra movement and
+	// error exposure but makes the next access's distance predictable —
+	// the head-management trade-off studied by prior racetrack work the
+	// paper builds on.
+	EagerHead bool
+	// PromoEntries configures a shift-aware promotion buffer of that many
+	// 64-byte entries in front of the racetrack data array (the STAG-style
+	// structure of [43]); 0 disables it. Hits in the buffer skip the
+	// alignment shift entirely.
+	PromoEntries int
+	// Mix optionally assigns a different workload to each core
+	// (multiprogrammed mode); when set it must have Cores entries and the
+	// workload passed to Run is used only for labeling. Each program gets
+	// a disjoint address-space slice so the shared LLC sees true
+	// multiprogram contention.
+	Mix []trace.Workload
+}
+
+// Source is any per-core access stream: the synthetic trace.Generator and
+// the recorded trace.Replayer both satisfy it.
+type Source interface {
+	Next() trace.Access
+}
+
+// offsetSource relocates a stream into its own address-space slice for
+// multiprogrammed runs.
+type offsetSource struct {
+	inner Source
+	base  uint64
+}
+
+// Next implements Source.
+func (o *offsetSource) Next() trace.Access {
+	a := o.inner.Next()
+	a.Addr += o.base
+	return a
+}
+
+// DefaultConfig returns the paper's Table 4 system for the given LLC
+// technology and scheme.
+func DefaultConfig(t energy.Tech, s shiftctrl.Scheme) Config {
+	return Config{
+		Cores:           4,
+		ClockHz:         2e9,
+		Tech:            t,
+		Scheme:          s,
+		Geometry:        cache.DefaultRTM(),
+		AccessesPerCore: 200_000,
+		Seed:            1,
+		TargetDUE:       10 * mttf.SecondsPerYear,
+	}
+}
+
+func (c *Config) fillDefaults() {
+	if c.Cores == 0 {
+		c.Cores = 4
+	}
+	if c.ClockHz == 0 {
+		c.ClockHz = 2e9
+	}
+	if c.L1Capacity == 0 {
+		c.L1Capacity = energy.L1().CapacityB / 2 // data side of the split L1
+	}
+	if c.L2Capacity == 0 {
+		c.L2Capacity = energy.L2().CapacityB
+	}
+	if c.L3Capacity == 0 {
+		c.L3Capacity = energy.L3(c.Tech).CapacityB
+	}
+	if c.L1Ways == 0 {
+		c.L1Ways = 2
+	}
+	if c.L2Ways == 0 {
+		c.L2Ways = 4
+	}
+	if c.L3Ways == 0 {
+		c.L3Ways = 16
+	}
+	if c.Geometry.StripesPerGroup == 0 {
+		c.Geometry = cache.DefaultRTM()
+	}
+	if c.TargetDUE == 0 {
+		c.TargetDUE = 10 * mttf.SecondsPerYear
+	}
+	if c.AccessesPerCore == 0 {
+		c.AccessesPerCore = 200_000
+	}
+}
+
+// Result reports one simulation run.
+type Result struct {
+	Workload string
+	Config   Config
+
+	Cycles  uint64
+	Seconds float64
+
+	L1 cache.Stats // aggregated over cores
+	L2 cache.Stats // aggregated over L2s
+	L3 cache.Stats
+
+	ShiftOps         uint64
+	ShiftSteps       uint64
+	ShiftCycles      uint64
+	AvgShiftDistance float64
+
+	Energy  energy.Account
+	Tracker mttf.Tracker
+}
+
+// IPCProxy returns accesses per cycle as a crude throughput proxy.
+func (r Result) IPCProxy() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	total := float64(r.L1.Hits + r.L1.Misses)
+	return total / float64(r.Cycles)
+}
+
+// Run simulates one workload on the configured system.
+func Run(w trace.Workload, cfg Config) (Result, error) {
+	cfg.fillDefaults()
+	if cfg.Cores < 1 {
+		return Result{}, fmt.Errorf("memsim: need at least one core")
+	}
+	s := newSystem(w, cfg)
+	s.run()
+	return s.result(), nil
+}
+
+// system holds the live simulation state.
+type system struct {
+	cfg    Config
+	w      trace.Workload
+	gens   []Source
+	cycles []uint64 // per-core current cycle
+	left   []int    // accesses remaining per core
+
+	l1 []*cache.Cache
+	l2 []*cache.Cache
+	l3 *cache.Cache
+
+	rtm     *cache.RTMArray
+	promo   *promoBuffer
+	planner *shiftctrl.Planner
+	adapter *shiftctrl.Adapter
+	timing  shiftctrl.Timing
+	em      errmodel.Model
+	shiftE  energy.ShiftCosts
+
+	lastShiftCycle uint64 // LLC-timeline cycle of the previous L3 shift
+	shiftCycles    uint64
+	// l3FreeAt serializes each LLC bank: the earliest cycle the next
+	// access to that bank may start. Occupancy equals the access latency,
+	// so the LLC's peak intensity is banks * clock / occupancy.
+	l3FreeAt []uint64
+	// memFreeAt models DRAM channel bandwidth: one 64B line per 10
+	// cycles at 2 GHz matches the Table 4 dual-channel 12.8 GB/s.
+	memFreeAt uint64
+
+	acct    energy.Account
+	tracker mttf.Tracker
+
+	costsL1, costsL2, costsL3, costsMem energy.CacheCosts
+}
+
+func newSystem(w trace.Workload, cfg Config) *system {
+	s := &system{cfg: cfg, w: w}
+	s.gens = make([]Source, cfg.Cores)
+	s.cycles = make([]uint64, cfg.Cores)
+	s.left = make([]int, cfg.Cores)
+	s.l1 = make([]*cache.Cache, cfg.Cores)
+	for i := range s.gens {
+		switch {
+		case cfg.Sources != nil:
+			s.gens[i] = cfg.Sources[i]
+		case cfg.Mix != nil:
+			// Multiprogrammed: each core runs its own program in a
+			// disjoint address-space slice.
+			s.gens[i] = &offsetSource{
+				inner: trace.NewGenerator(cfg.Mix[i], 0, cfg.Seed+uint64(i)),
+				base:  uint64(i) << 36, // 64 GB apart
+			}
+		default:
+			s.gens[i] = trace.NewGenerator(w, i, cfg.Seed)
+		}
+		s.left[i] = cfg.AccessesPerCore
+		s.l1[i] = cache.New(cfg.L1Capacity, cfg.L1Ways, trace.LineBytes)
+	}
+	nl2 := (cfg.Cores + 1) / 2
+	s.l2 = make([]*cache.Cache, nl2)
+	for i := range s.l2 {
+		s.l2[i] = cache.New(cfg.L2Capacity, cfg.L2Ways, trace.LineBytes)
+	}
+	s.l3 = cache.New(cfg.L3Capacity, cfg.L3Ways, trace.LineBytes)
+	s.l3FreeAt = make([]uint64, l3Banks)
+
+	s.costsL1 = energy.L1()
+	s.costsL2 = energy.L2()
+	s.costsL3 = energy.L3(cfg.Tech)
+	s.costsMem = energy.DRAM()
+
+	if cfg.Tech == energy.Racetrack {
+		s.rtm = cache.NewRTMArray(cfg.Geometry, cfg.L3Capacity)
+		s.timing = shiftctrl.DefaultTiming()
+		s.em = errmodel.Model{}
+		maxDist := cfg.Geometry.SegLen - 1
+		if maxDist < 1 {
+			maxDist = 1
+		}
+		s.planner = shiftctrl.NewPlanner(s.em, s.timing, maxDist, maxDist)
+		s.adapter = shiftctrl.NewAdapter(s.planner, cfg.ClockHz, cfg.TargetDUE,
+			cfg.Geometry.StripesPerGroup)
+		s.shiftE = energy.DefaultShift()
+		s.promo = newPromoBuffer(cfg.PromoEntries)
+	}
+	return s
+}
+
+// run drives all cores to completion in global time order.
+func (s *system) run() {
+	for {
+		core := -1
+		var min uint64 = ^uint64(0)
+		for i := range s.cycles {
+			if s.left[i] > 0 && s.cycles[i] < min {
+				min = s.cycles[i]
+				core = i
+			}
+		}
+		if core < 0 {
+			break
+		}
+		s.step(core)
+	}
+}
+
+// step executes one access on the chosen core.
+func (s *system) step(core int) {
+	a := s.gens[core].Next()
+	s.left[core]--
+	s.cycles[core] += uint64(a.Gap)
+
+	lat := s.accessL1(core, a.Addr, a.Write)
+	s.cycles[core] += uint64(lat)
+}
+
+// accessL1 runs the full hierarchy for one reference and returns latency in
+// cycles.
+func (s *system) accessL1(core int, addr uint64, write bool) int {
+	l1 := s.l1[core]
+	res := l1.Access(addr, write)
+	lat := s.costsL1.ReadCycles
+	s.acct.L1NJ += s.costsL1.ReadNJ
+	if res.Hit {
+		return lat
+	}
+	// L1 miss: dirty victim writes back to L2.
+	l2 := s.l2[core/2]
+	if res.Writeback {
+		l2.Access(res.EvictedAddr, true)
+		s.acct.L2NJ += s.costsL2.WriteNJ
+	}
+	lat += s.accessL2(core, l2, addr, write, s.cycles[core]+uint64(lat))
+	return lat
+}
+
+func (s *system) accessL2(core int, l2 *cache.Cache, addr uint64, write bool, now uint64) int {
+	res := l2.Access(addr, write)
+	lat := s.costsL2.ReadCycles
+	s.acct.L2NJ += s.costsL2.ReadNJ
+	if res.Hit {
+		return lat
+	}
+	if res.Writeback {
+		s.accessL3(core, res.EvictedAddr, true, now+uint64(lat))
+		// Writeback latency is off the critical path; energy and port
+		// occupancy are counted in accessL3.
+	}
+	lat += s.accessL3(core, addr, write, now+uint64(lat))
+	return lat
+}
+
+// l3Banks is the LLC banking degree: four independently-ported banks.
+const l3Banks = 4
+
+// dramOccupancy is the DRAM channel occupancy per 64-byte line: 10 cycles
+// at 2 GHz is the Table 4 dual-channel 12.8 GB/s.
+const dramOccupancy = 10
+
+// accessL3 performs an L3 access including racetrack shifting and per-bank
+// queueing, returning its latency contribution.
+func (s *system) accessL3(core int, addr uint64, write bool, now uint64) int {
+	res := s.l3.Access(addr, write)
+	lat := 0
+	// Wait for the addressed bank.
+	bank := res.Set % l3Banks
+	start := now
+	if s.l3FreeAt[bank] > start {
+		lat += int(s.l3FreeAt[bank] - start)
+		start = s.l3FreeAt[bank]
+	}
+	service := s.costsL3.ReadCycles
+	if write {
+		service = s.costsL3.WriteCycles
+		s.acct.L3NJ += s.costsL3.WriteNJ
+	} else {
+		s.acct.L3NJ += s.costsL3.ReadNJ
+	}
+	if s.rtm != nil {
+		if s.promo != nil && s.promo.lookup(addr, write) {
+			// Promotion-buffer hit: served at array speed, no shift.
+		} else {
+			service += s.shiftFor(start, res.Set, res.Way)
+			if s.promo != nil {
+				if old, dirty := s.promo.insert(addr, write, res.Set, res.Way); dirty {
+					// Flush the displaced dirty line back into the array:
+					// the controller aligns to the old line, writes, and
+					// restores the head — a round-trip off the critical
+					// path that pays energy and reliability exposure but
+					// leaves head state unchanged.
+					s.flushShift(old.set, old.way)
+				}
+			}
+		}
+	}
+	lat += service
+	s.l3FreeAt[bank] = start + uint64(service)
+	if res.Hit {
+		return lat
+	}
+	if res.Evicted && s.promo != nil {
+		s.promo.invalidate(res.EvictedAddr)
+	}
+	if res.Writeback {
+		s.acct.DRAMNJ += s.costsMem.WriteNJ
+	}
+	// Fill from DRAM: latency plus channel bandwidth occupancy.
+	s.acct.DRAMNJ += s.costsMem.ReadNJ
+	memStart := start + uint64(service)
+	if s.memFreeAt > memStart {
+		lat += int(s.memFreeAt - memStart)
+		memStart = s.memFreeAt
+	}
+	s.memFreeAt = memStart + dramOccupancy
+	lat += s.costsMem.ReadCycles
+	return lat
+}
+
+// shiftFor plans and accounts the shift needed to align the accessed line;
+// start is the access's position on the LLC timeline.
+func (s *system) shiftFor(start uint64, set, way int) int {
+	group, dist, dir := s.rtm.AccessDistance(set, way, s.cfg.L3Ways)
+	if dist == 0 {
+		s.rtm.MoveHead(group, 0, dir, 0)
+		return 0
+	}
+	var interval uint64
+	if start > s.lastShiftCycle {
+		interval = start - s.lastShiftCycle
+	}
+	s.lastShiftCycle = start
+
+	seq := s.planSequence(dist, interval)
+	cycles := 0
+	owrite := s.cfg.Scheme == shiftctrl.PECCO
+	for _, n := range seq {
+		oc := s.opCycles(n)
+		cycles += oc
+		sdc, due := s.cfg.Scheme.FailureRates(s.em, n)
+		g := float64(s.cfg.Geometry.StripesPerGroup)
+		s.tracker.AddShift(sdc*g, due*g)
+	}
+	s.acct.ShiftNJ += s.shiftE.SeqNJ(seq, owrite)
+	s.rtm.MoveHead(group, dist, dir, len(seq))
+	s.shiftCycles += uint64(cycles)
+	if s.cfg.EagerHead {
+		s.returnHead(group)
+	}
+	if s.cfg.Ideal {
+		return 0
+	}
+	return cycles
+}
+
+// returnHead eagerly shifts the group's head back to offset 0 after an
+// access. The return shift happens off the critical path (no latency
+// charged to the access) but pays full energy and reliability exposure.
+func (s *system) returnHead(group int) {
+	h := s.rtm.Head(group)
+	if h == 0 {
+		return
+	}
+	seq := s.planSequence(h, 0) // back-to-back: conservative interval
+	owrite := s.cfg.Scheme == shiftctrl.PECCO
+	for _, n := range seq {
+		sdc, due := s.cfg.Scheme.FailureRates(s.em, n)
+		g := float64(s.cfg.Geometry.StripesPerGroup)
+		s.tracker.AddShift(sdc*g, due*g)
+	}
+	s.acct.ShiftNJ += s.shiftE.SeqNJ(seq, owrite)
+	s.rtm.MoveHead(group, h, -1, len(seq))
+}
+
+// flushShift accounts the off-path writeback round-trip of a promotion-
+// buffer eviction: a shift to the evicted line's offset and back, paying
+// energy and reliability exposure without changing the live head state or
+// the critical path.
+func (s *system) flushShift(set, way int) {
+	group, dist, _ := s.rtm.AccessDistance(set, way, s.cfg.L3Ways)
+	if dist == 0 {
+		return
+	}
+	owrite := s.cfg.Scheme == shiftctrl.PECCO
+	for trip := 0; trip < 2; trip++ { // there and back
+		seq := s.planSequence(dist, 0) // back-to-back: conservative plan
+		for _, n := range seq {
+			sdc, due := s.cfg.Scheme.FailureRates(s.em, n)
+			g := float64(s.cfg.Geometry.StripesPerGroup)
+			s.tracker.AddShift(sdc*g, due*g)
+		}
+		s.acct.ShiftNJ += s.shiftE.SeqNJ(seq, owrite)
+	}
+	_ = group
+}
+
+// planSequence splits a distance into operations per the active scheme.
+func (s *system) planSequence(dist int, interval uint64) []int {
+	switch s.cfg.Scheme {
+	case shiftctrl.PECCO:
+		seq := make([]int, dist)
+		for i := range seq {
+			seq[i] = 1
+		}
+		return seq
+	case shiftctrl.PECCSWorst:
+		return shiftctrl.WorstCaseSequence(s.planner, dist,
+			s.maxIntensity(), s.cfg.TargetDUE, s.cfg.Geometry.StripesPerGroup)
+	case shiftctrl.PECCSAdaptive:
+		return s.adapter.SequenceFor(dist, interval)
+	default:
+		return []int{dist}
+	}
+}
+
+// maxIntensity is the conservative worst-case access intensity: one access
+// per bank occupancy across all banks (the single-bank version is the
+// paper's §5.2 83M/s figure for the 128MB LLC).
+func (s *system) maxIntensity() float64 {
+	return l3Banks * s.cfg.ClockHz / float64(s.costsL3.ReadCycles)
+}
+
+// opCycles returns one operation's latency under the active scheme.
+func (s *system) opCycles(n int) int {
+	if s.cfg.Scheme == shiftctrl.Baseline || s.cfg.Scheme == shiftctrl.STSOnly {
+		return s.timing.STS.Cycles(n) // no p-ECC check cycle
+	}
+	return s.timing.OpCycles(n)
+}
+
+// result finalizes statistics.
+func (s *system) result() Result {
+	var maxCycles uint64
+	for _, c := range s.cycles {
+		if c > maxCycles {
+			maxCycles = c
+		}
+	}
+	seconds := float64(maxCycles) / s.cfg.ClockHz
+	s.tracker.AddTime(seconds)
+
+	// Leakage over the run.
+	s.acct.AddLeakage(s.costsL1.LeakageW*float64(s.cfg.Cores), seconds)
+	s.acct.AddLeakage(s.costsL2.LeakageW*float64(len(s.l2)), seconds)
+	s.acct.AddLeakage(s.costsL3.LeakageW, seconds)
+
+	r := Result{
+		Workload: s.w.Name,
+		Config:   s.cfg,
+		Cycles:   maxCycles,
+		Seconds:  seconds,
+		L3:       s.l3.Stats,
+		Energy:   s.acct,
+		Tracker:  s.tracker,
+	}
+	for _, c := range s.l1 {
+		r.L1.Hits += c.Stats.Hits
+		r.L1.Misses += c.Stats.Misses
+		r.L1.Writebacks += c.Stats.Writebacks
+	}
+	for _, c := range s.l2 {
+		r.L2.Hits += c.Stats.Hits
+		r.L2.Misses += c.Stats.Misses
+		r.L2.Writebacks += c.Stats.Writebacks
+	}
+	if s.rtm != nil {
+		r.ShiftOps = s.rtm.ShiftOps
+		r.ShiftSteps = s.rtm.ShiftSteps
+		r.ShiftCycles = s.shiftCycles
+		r.AvgShiftDistance = s.rtm.AvgShiftDistance()
+	}
+	return r
+}

@@ -1,0 +1,71 @@
+package memsim
+
+import (
+	"testing"
+
+	"racetrack/hifi/internal/energy"
+	"racetrack/hifi/internal/shiftctrl"
+	"racetrack/hifi/internal/trace"
+)
+
+func TestMixRunsDifferentProgramsPerCore(t *testing.T) {
+	cfg := smallConfig(energy.Racetrack, shiftctrl.PECCSAdaptive)
+	cfg.Cores = 4
+	cfg.Mix = []trace.Workload{
+		smallWorkload("canneal", 128<<10),
+		smallWorkload("vips", 16<<10),
+		smallWorkload("swaptions", 16<<10),
+		smallWorkload("streamcluster", 64<<10),
+	}
+	r, err := Run(cfg.Mix[0], cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.L1.Hits+r.L1.Misses != uint64(4*cfg.AccessesPerCore) {
+		t.Errorf("access count %d", r.L1.Hits+r.L1.Misses)
+	}
+	if r.ShiftOps == 0 {
+		t.Error("no shifts in multiprogram run")
+	}
+}
+
+func TestMixAddressSpacesDisjoint(t *testing.T) {
+	// Two cores running the *same* program in mix mode must not share
+	// cache lines: LLC misses should roughly double versus the shared
+	// (multithreaded) configuration where cores share a working set.
+	shared := smallConfig(energy.SRAM, shiftctrl.Baseline)
+	shared.Cores = 2
+	w := smallWorkload("vips", 16<<10)
+	rs, err := Run(w, shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := smallConfig(energy.SRAM, shiftctrl.Baseline)
+	mixed.Cores = 2
+	mixed.Mix = []trace.Workload{w, w}
+	rm, err := Run(w, mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rm.L3.Misses <= rs.L3.Misses {
+		t.Errorf("disjoint programs should miss more: mixed %d vs shared %d",
+			rm.L3.Misses, rs.L3.Misses)
+	}
+}
+
+func TestOffsetSource(t *testing.T) {
+	w := smallWorkload("vips", 16<<10)
+	inner := trace.NewGenerator(w, 0, 1)
+	ref := trace.NewGenerator(w, 0, 1)
+	src := &offsetSource{inner: inner, base: 1 << 36}
+	for i := 0; i < 100; i++ {
+		got := src.Next()
+		want := ref.Next()
+		if got.Addr != want.Addr+1<<36 {
+			t.Fatalf("offset not applied at %d", i)
+		}
+		if got.Write != want.Write || got.Gap != want.Gap {
+			t.Fatalf("non-address fields altered at %d", i)
+		}
+	}
+}

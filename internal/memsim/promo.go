@@ -1,0 +1,95 @@
+package memsim
+
+// promoBuffer is a small fully-associative SRAM buffer in front of the
+// racetrack LLC data array, modeled after the shift-aware promotion buffer
+// of the STAG architecture the paper cites ([43]): lines that hit in the
+// buffer are served at SRAM speed without any shift, absorbing the shift
+// traffic of hot lines. Lines are promoted on access; dirty lines are
+// flushed back into the racetrack array on eviction, paying the alignment
+// shift then (off the critical path).
+type promoBuffer struct {
+	entries []promoEntry
+	// Hits and Evictions count buffer behaviour; DirtyFlushes counts
+	// evictions that required a racetrack writeback shift.
+	Hits        uint64
+	Misses      uint64
+	DirtyFlush  uint64
+	insertClock uint64
+}
+
+type promoEntry struct {
+	addr  uint64
+	valid bool
+	dirty bool
+	used  uint64
+	// set/way remember the array slot so the flush shift can be planned.
+	set, way int
+}
+
+// newPromoBuffer returns a buffer with n entries; n <= 0 returns nil (no
+// buffer configured).
+func newPromoBuffer(n int) *promoBuffer {
+	if n <= 0 {
+		return nil
+	}
+	return &promoBuffer{entries: make([]promoEntry, n)}
+}
+
+// lookup reports whether addr is resident, updating recency and dirtiness.
+func (p *promoBuffer) lookup(addr uint64, write bool) bool {
+	p.insertClock++
+	for i := range p.entries {
+		e := &p.entries[i]
+		if e.valid && e.addr == addr {
+			e.used = p.insertClock
+			if write {
+				e.dirty = true
+			}
+			p.Hits++
+			return true
+		}
+	}
+	p.Misses++
+	return false
+}
+
+// insert promotes addr, returning the evicted entry if it was dirty (the
+// caller owes a writeback shift to its array slot).
+func (p *promoBuffer) insert(addr uint64, write bool, set, way int) (flush promoEntry, dirty bool) {
+	p.insertClock++
+	victim := 0
+	oldest := ^uint64(0)
+	for i := range p.entries {
+		e := &p.entries[i]
+		if !e.valid {
+			victim = i
+			oldest = 0
+			break
+		}
+		if e.used < oldest {
+			oldest = e.used
+			victim = i
+		}
+	}
+	old := p.entries[victim]
+	p.entries[victim] = promoEntry{
+		addr: addr, valid: true, dirty: write, used: p.insertClock,
+		set: set, way: way,
+	}
+	if old.valid && old.dirty {
+		p.DirtyFlush++
+		return old, true
+	}
+	return promoEntry{}, false
+}
+
+// invalidate drops addr if resident (the L3 line was evicted or
+// invalidated under it).
+func (p *promoBuffer) invalidate(addr uint64) {
+	for i := range p.entries {
+		if p.entries[i].valid && p.entries[i].addr == addr {
+			p.entries[i].valid = false
+			return
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package memsim
+
+import (
+	"testing"
+
+	"racetrack/hifi/internal/energy"
+	"racetrack/hifi/internal/shiftctrl"
+)
+
+func TestPromoBufferUnit(t *testing.T) {
+	p := newPromoBuffer(2)
+	if p.lookup(0x40, false) {
+		t.Fatal("cold lookup hit")
+	}
+	p.insert(0x40, false, 0, 0)
+	if !p.lookup(0x40, false) {
+		t.Fatal("inserted line missed")
+	}
+	// Fill and evict LRU.
+	p.insert(0x80, true, 0, 1)
+	p.lookup(0x80, false) // make 0x40 the LRU
+	p.lookup(0x80, false)
+	old, dirty := p.insert(0xC0, false, 0, 2)
+	_ = old
+	if dirty {
+		t.Fatal("clean eviction reported dirty")
+	}
+	if p.lookup(0x40, false) {
+		t.Fatal("LRU line survived eviction")
+	}
+	if !p.lookup(0x80, false) {
+		t.Fatal("MRU line evicted")
+	}
+}
+
+func TestPromoBufferDirtyFlush(t *testing.T) {
+	p := newPromoBuffer(1)
+	p.insert(0x40, true, 0, 0) // dirty
+	old, dirty := p.insert(0x80, false, 0, 1)
+	if !dirty || old.addr != 0x40 {
+		t.Fatalf("dirty eviction not reported: %+v %v", old, dirty)
+	}
+	if p.DirtyFlush != 1 {
+		t.Errorf("DirtyFlush = %d", p.DirtyFlush)
+	}
+}
+
+func TestPromoBufferInvalidate(t *testing.T) {
+	p := newPromoBuffer(2)
+	p.insert(0x40, false, 0, 0)
+	p.invalidate(0x40)
+	if p.lookup(0x40, false) {
+		t.Fatal("invalidated line hit")
+	}
+	p.invalidate(0x999) // absent: no-op
+}
+
+func TestPromoBufferNil(t *testing.T) {
+	if newPromoBuffer(0) != nil {
+		t.Fatal("zero entries should disable the buffer")
+	}
+}
+
+func TestPromoBufferReducesShifts(t *testing.T) {
+	// With a promotion buffer, hot lines stop paying alignment shifts.
+	w := smallWorkload("vips", 64<<10) // skewed reuse
+	base := smallConfig(energy.Racetrack, shiftctrl.PECCSAdaptive)
+	without, err := Run(w, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withBuf := smallConfig(energy.Racetrack, shiftctrl.PECCSAdaptive)
+	withBuf.PromoEntries = 32
+	with, err := Run(w, withBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.ShiftOps >= without.ShiftOps {
+		t.Errorf("promotion buffer did not reduce shifts: %d vs %d",
+			with.ShiftOps, without.ShiftOps)
+	}
+	// And execution time should not get worse.
+	if float64(with.Cycles) > float64(without.Cycles)*1.02 {
+		t.Errorf("promotion buffer slowed execution: %d vs %d cycles",
+			with.Cycles, without.Cycles)
+	}
+}
+
+func TestPromoBufferIgnoredForSRAM(t *testing.T) {
+	w := smallWorkload("vips", 64<<10)
+	cfg := smallConfig(energy.SRAM, shiftctrl.Baseline)
+	cfg.PromoEntries = 32
+	r, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ShiftOps != 0 {
+		t.Error("SRAM with promo buffer recorded shifts")
+	}
+}

@@ -1,0 +1,69 @@
+package memsim
+
+import (
+	"bytes"
+	"testing"
+
+	"racetrack/hifi/internal/energy"
+	"racetrack/hifi/internal/shiftctrl"
+	"racetrack/hifi/internal/trace"
+)
+
+func TestReplayMatchesLiveGeneration(t *testing.T) {
+	// Recording a workload's streams and replaying them must reproduce
+	// the simulation bit-exactly.
+	w := smallWorkload("vips", 64<<10)
+	cfg := smallConfig(energy.Racetrack, shiftctrl.SECDED)
+	cfg.Cores = 2
+	live, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Record the same streams through the serializer.
+	var sources []Source
+	for core := 0; core < cfg.Cores; core++ {
+		recs := trace.NewGenerator(w, core, cfg.Seed).Take(cfg.AccessesPerCore)
+		var buf bytes.Buffer
+		if err := trace.WriteTrace(&buf, recs); err != nil {
+			t.Fatal(err)
+		}
+		back, err := trace.ReadTrace(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sources = append(sources, trace.NewReplayer(back))
+	}
+	cfg.Sources = sources
+	replayed, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if live.Cycles != replayed.Cycles {
+		t.Errorf("cycles differ: live %d vs replay %d", live.Cycles, replayed.Cycles)
+	}
+	if live.ShiftSteps != replayed.ShiftSteps {
+		t.Errorf("shift steps differ: %d vs %d", live.ShiftSteps, replayed.ShiftSteps)
+	}
+	if live.L3.Misses != replayed.L3.Misses {
+		t.Errorf("L3 misses differ: %d vs %d", live.L3.Misses, replayed.L3.Misses)
+	}
+}
+
+func TestReplayWrapsShortTrace(t *testing.T) {
+	// A trace shorter than AccessesPerCore loops; the run completes.
+	w := smallWorkload("vips", 64<<10)
+	cfg := smallConfig(energy.SRAM, shiftctrl.Baseline)
+	cfg.Cores = 1
+	cfg.AccessesPerCore = 5000
+	recs := trace.NewGenerator(w, 0, 1).Take(100)
+	cfg.Sources = []Source{trace.NewReplayer(recs)}
+	r, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.L1.Hits+r.L1.Misses != 5000 {
+		t.Errorf("accesses = %d, want 5000", r.L1.Hits+r.L1.Misses)
+	}
+}

@@ -1,0 +1,133 @@
+// Package mttf provides the reliability arithmetic used throughout the
+// evaluation (paper §2.2, §6.2): conversions between FIT and mean time to
+// failure, MTTF from per-shift error rates and shift intensity, and an
+// expected-failure tracker for trace-driven simulation.
+//
+// Failure classes follow the paper: silent data corruption (SDC) for
+// undetected errors and detected unrecoverable errors (DUE) for detected
+// ones that cannot be corrected. The reference reliability goal is IBM's
+// Power4 target: 1000-year SDC MTTF and 10-year DUE MTTF.
+package mttf
+
+import "math"
+
+// SecondsPerYear uses the Julian year, the convention in reliability
+// literature.
+const SecondsPerYear = 365.25 * 24 * 3600
+
+// HoursPerBillion is the FIT normalization: failures per 1e9 device-hours.
+const fitHours = 1e9
+
+// FromFIT converts a FIT rate to MTTF in seconds.
+func FromFIT(fit float64) float64 {
+	if fit <= 0 {
+		return math.Inf(1)
+	}
+	return fitHours / fit * 3600
+}
+
+// ToFIT converts an MTTF in seconds to a FIT rate.
+func ToFIT(seconds float64) float64 {
+	if seconds <= 0 {
+		return math.Inf(1)
+	}
+	return fitHours / (seconds / 3600)
+}
+
+// FromRate returns the MTTF in seconds given a per-event failure
+// probability and an event intensity (events per second). Events here are
+// typically shift operations on a stripe group.
+func FromRate(perEvent, eventsPerSec float64) float64 {
+	r := perEvent * eventsPerSec
+	if r <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / r
+}
+
+// MaxRateFor returns the largest per-event failure probability compatible
+// with an MTTF target (seconds) at the given event intensity. This is the
+// safe-distance criterion of §5.2.
+func MaxRateFor(targetSeconds, eventsPerSec float64) float64 {
+	if targetSeconds <= 0 || eventsPerSec <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / (targetSeconds * eventsPerSec)
+}
+
+// Targets is a pair of reliability goals, in seconds.
+type Targets struct {
+	SDC float64
+	DUE float64
+}
+
+// IBMTargets returns the Power4-class goals the paper adopts: 1000-year SDC
+// and 10-year DUE MTTF.
+func IBMTargets() Targets {
+	return Targets{SDC: 1000 * SecondsPerYear, DUE: 10 * SecondsPerYear}
+}
+
+// Meets reports whether the measured MTTFs satisfy the targets.
+func (t Targets) Meets(sdcSeconds, dueSeconds float64) bool {
+	return sdcSeconds >= t.SDC && dueSeconds >= t.DUE
+}
+
+// Years converts seconds to years for reporting.
+func Years(seconds float64) float64 { return seconds / SecondsPerYear }
+
+// Tracker accumulates expected failure counts over simulated time. Because
+// protected error rates (1e-19 and below) are unobservable by direct
+// sampling, the simulator adds the analytic per-operation failure
+// probability for every shift it executes; MTTF is simulated time divided
+// by expected failures. This mirrors the paper's methodology ("given error
+// rates for different shift operations, we track run-time errors that may
+// happen during simulation").
+type Tracker struct {
+	expectedSDC float64
+	expectedDUE float64
+	seconds     float64
+}
+
+// AddShift records one shift operation with the given per-operation SDC and
+// DUE probabilities.
+func (t *Tracker) AddShift(sdcProb, dueProb float64) {
+	t.expectedSDC += sdcProb
+	t.expectedDUE += dueProb
+}
+
+// AddTime advances simulated wall-clock time.
+func (t *Tracker) AddTime(seconds float64) { t.seconds += seconds }
+
+// Seconds returns the accumulated simulated time.
+func (t *Tracker) Seconds() float64 { return t.seconds }
+
+// ExpectedSDC returns the accumulated expected SDC count.
+func (t *Tracker) ExpectedSDC() float64 { return t.expectedSDC }
+
+// ExpectedDUE returns the accumulated expected DUE count.
+func (t *Tracker) ExpectedDUE() float64 { return t.expectedDUE }
+
+// SDCMTTF returns the SDC mean time to failure implied by the accumulated
+// counts, +Inf if no failures are expected.
+func (t *Tracker) SDCMTTF() float64 {
+	if t.expectedSDC <= 0 {
+		return math.Inf(1)
+	}
+	return t.seconds / t.expectedSDC
+}
+
+// DUEMTTF returns the DUE mean time to failure.
+func (t *Tracker) DUEMTTF() float64 {
+	if t.expectedDUE <= 0 {
+		return math.Inf(1)
+	}
+	return t.seconds / t.expectedDUE
+}
+
+// Merge adds another tracker's counts and time into t (for aggregating
+// per-core or per-workload trackers).
+func (t *Tracker) Merge(o Tracker) {
+	t.expectedSDC += o.expectedSDC
+	t.expectedDUE += o.expectedDUE
+	t.seconds += o.seconds
+}

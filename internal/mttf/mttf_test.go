@@ -1,0 +1,136 @@
+package mttf
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFITConversions(t *testing.T) {
+	// Paper §2.2: 11,415 FIT is equivalent to 10-year MTTF.
+	tenYears := 10 * SecondsPerYear
+	fit := ToFIT(tenYears)
+	if math.Abs(fit-11415)/11415 > 0.01 {
+		t.Errorf("ToFIT(10y) = %v, want ~11415", fit)
+	}
+	back := FromFIT(fit)
+	if math.Abs(back-tenYears)/tenYears > 1e-9 {
+		t.Errorf("round trip: %v vs %v", back, tenYears)
+	}
+}
+
+func TestFITEdgeCases(t *testing.T) {
+	if !math.IsInf(FromFIT(0), 1) {
+		t.Error("FromFIT(0) should be +Inf")
+	}
+	if !math.IsInf(ToFIT(0), 1) {
+		t.Error("ToFIT(0) should be +Inf")
+	}
+}
+
+func TestFromRate(t *testing.T) {
+	// Paper Fig 1 anchor: at per-stripe rate 1e-19 and the LLC's
+	// 83M accesses/s over 512-stripe groups, MTTF ~ 10 years.
+	got := FromRate(1e-19, 83e6*512)
+	years := Years(got)
+	if years < 5 || years > 15 {
+		t.Errorf("MTTF at 1e-19 = %.1f years, want ~10 (paper Fig 1)", years)
+	}
+	if !math.IsInf(FromRate(0, 1e6), 1) {
+		t.Error("zero rate should give infinite MTTF")
+	}
+}
+
+func TestBaselineMTTFMatchesPaper(t *testing.T) {
+	// Paper: the unprotected baseline MTTF is 1.33 us. The raw per-shift
+	// error rate at the average shift distance (~4 steps, rate ~2e-3 with
+	// stop-in-middle included) over 512 stripes at 83M/s accesses gives
+	// microseconds — verify the order of magnitude.
+	rate := 1.9e-3 // raw 4-step total error rate, pre-STS
+	got := FromRate(rate, 83e6*512*0.0093)
+	// (0.0093: fraction of accesses that actually shift varies by workload;
+	// here we just confirm the microsecond scale is reachable.)
+	if got > 1e-3 || got < 1e-8 {
+		t.Errorf("baseline MTTF = %g s, want microsecond scale", got)
+	}
+}
+
+func TestMaxRateForInvertsFromRate(t *testing.T) {
+	f := func(a, b uint32) bool {
+		target := float64(a%1000+1) * SecondsPerYear
+		intensity := float64(b%1000+1) * 1e6
+		rate := MaxRateFor(target, intensity)
+		mttf := FromRate(rate, intensity)
+		return math.Abs(mttf-target)/target < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTargets(t *testing.T) {
+	g := IBMTargets()
+	if Years(g.SDC) != 1000 || Years(g.DUE) != 10 {
+		t.Errorf("targets = %v years SDC, %v years DUE", Years(g.SDC), Years(g.DUE))
+	}
+	if !g.Meets(2000*SecondsPerYear, 69*SecondsPerYear) {
+		t.Error("paper's result (SDC>1000y, DUE=69y) should meet the targets")
+	}
+	if g.Meets(999*SecondsPerYear, 100*SecondsPerYear) {
+		t.Error("SDC below target should fail")
+	}
+	if g.Meets(2000*SecondsPerYear, 9*SecondsPerYear) {
+		t.Error("DUE below target should fail")
+	}
+}
+
+func TestTrackerBasics(t *testing.T) {
+	var tr Tracker
+	if !math.IsInf(tr.SDCMTTF(), 1) || !math.IsInf(tr.DUEMTTF(), 1) {
+		t.Error("empty tracker should report infinite MTTF")
+	}
+	tr.AddTime(100)
+	tr.AddShift(0.25, 0.5)
+	tr.AddShift(0.25, 0.5)
+	if tr.ExpectedSDC() != 0.5 || tr.ExpectedDUE() != 1.0 {
+		t.Errorf("expected counts: %v SDC, %v DUE", tr.ExpectedSDC(), tr.ExpectedDUE())
+	}
+	if got := tr.SDCMTTF(); got != 200 {
+		t.Errorf("SDC MTTF = %v, want 200", got)
+	}
+	if got := tr.DUEMTTF(); got != 100 {
+		t.Errorf("DUE MTTF = %v, want 100", got)
+	}
+}
+
+func TestTrackerMerge(t *testing.T) {
+	var a, b Tracker
+	a.AddTime(10)
+	a.AddShift(1, 0)
+	b.AddTime(30)
+	b.AddShift(1, 2)
+	a.Merge(b)
+	if a.Seconds() != 40 || a.ExpectedSDC() != 2 || a.ExpectedDUE() != 2 {
+		t.Errorf("merge result: %v s, %v SDC, %v DUE", a.Seconds(), a.ExpectedSDC(), a.ExpectedDUE())
+	}
+}
+
+func TestYears(t *testing.T) {
+	if got := Years(SecondsPerYear * 69); math.Abs(got-69) > 1e-9 {
+		t.Errorf("Years = %v", got)
+	}
+}
+
+func TestQuickFromRatePositive(t *testing.T) {
+	f := func(r, i float64) bool {
+		if math.IsNaN(r) || math.IsNaN(i) || r < 0 || i < 0 {
+			return true
+		}
+		m := FromRate(r, i)
+		// m == 0 is correct when rate*intensity overflows to +Inf.
+		return m >= 0 || math.IsInf(m, 1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,95 @@
+package pecc
+
+import (
+	"testing"
+
+	"racetrack/hifi/internal/sim"
+	"racetrack/hifi/internal/stripe"
+)
+
+// The paper treats transient bit errors and position errors as orthogonal
+// (§1: the cassette analogy — head-sensing noise vs tape-speed flutter).
+// These tests characterize what a transient bit flip in a p-ECC code
+// domain does to the position decoder: the possible outcomes are a decode
+// failure (Indeterminate -> DUE, safe) or an alias onto a neighbouring
+// phase (a bounded miscorrection of at most m steps). A flip can never
+// cause an unbounded silent drift, which is why p-ECC composes with
+// conventional bit-ECC rather than replacing it.
+
+func TestBitFlipInWindowOutcomes(t *testing.T) {
+	for m := 1; m <= 3; m++ {
+		c := MustNew(m, 8)
+		w := c.Window()
+		indeterminate, alias := 0, 0
+		for believed := 0; believed < 8; believed++ {
+			for bit := 0; bit < w; bit++ {
+				win := c.ExpectedWindow(believed)
+				// Flip one read bit (transient sensing error).
+				if win[bit] == stripe.One {
+					win[bit] = stripe.Zero
+				} else {
+					win[bit] = stripe.One
+				}
+				res := c.Decode(believed, win)
+				switch {
+				case res.Indeterminate:
+					indeterminate++
+				case res.Detected && res.Correctable:
+					// Aliased onto another phase: bounded miscorrection.
+					if res.Offset < -m || res.Offset > m {
+						t.Fatalf("m=%d: alias offset %d out of band", m, res.Offset)
+					}
+					alias++
+				case res.Detected:
+					alias++ // detected-uncorrectable: safe
+				default:
+					t.Fatalf("m=%d believed=%d bit=%d: flip was silent", m, believed, bit)
+				}
+			}
+		}
+		// For m=1 every 2-bit pattern is a valid phase window, so flips
+		// always alias; wider windows (m >= 2) have invalid patterns
+		// that decode as Indeterminate (safe DUE).
+		if m >= 2 && indeterminate == 0 {
+			t.Errorf("m=%d: no flips decoded as Indeterminate", m)
+		}
+		if m == 1 && indeterminate != 0 {
+			t.Errorf("m=1: unexpectedly indeterminate (all 2-bit windows are valid)")
+		}
+		t.Logf("m=%d: %d indeterminate (DUE), %d bounded aliases", m, indeterminate, alias)
+	}
+}
+
+func TestBitFlipNeverSilent(t *testing.T) {
+	// Exhaustive: a single flipped window bit is never read as a clean
+	// zero-offset decode — the cyclic windows at distance-1 Hamming
+	// distance never include the expected window itself.
+	for m := 1; m <= 4; m++ {
+		c := MustNew(m, 16)
+		for phase := 0; phase < c.Period(); phase++ {
+			for bit := 0; bit < c.Window(); bit++ {
+				win := c.ExpectedWindow(phase)
+				win[bit] ^= 1 // Zero<->One
+				if res := c.Decode(phase, win); !res.Detected {
+					t.Fatalf("m=%d phase=%d bit=%d: silent flip", m, phase, bit)
+				}
+			}
+		}
+	}
+}
+
+func TestBitFlipUnderInjection(t *testing.T) {
+	// Randomized: flips across random phases/bits always produce a
+	// detected outcome.
+	r := sim.NewRNG(77)
+	for trial := 0; trial < 20000; trial++ {
+		m := 1 + r.Intn(3)
+		c := MustNew(m, 8)
+		phase := r.Intn(c.Period())
+		win := c.ExpectedWindow(phase)
+		win[r.Intn(len(win))] ^= 1
+		if res := c.Decode(phase, win); !res.Detected {
+			t.Fatalf("trial %d: silent flip (m=%d phase=%d)", trial, m, phase)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package pecc
+
+import (
+	"fmt"
+
+	"racetrack/hifi/internal/errmodel"
+	"racetrack/hifi/internal/sim"
+	"racetrack/hifi/internal/stripe"
+)
+
+// InitStats reports the outcome of a program-and-test initialization run.
+type InitStats struct {
+	Rounds      int    // verification round-trips performed
+	Restarts    int    // times the process restarted after a detected fault
+	ShiftOps    uint64 // total 1-step shift operations issued
+	Cycles      uint64 // total latency in controller cycles
+	WriteOps    uint64 // code bits written
+	Initialized bool   // whether the code was verified in place
+}
+
+// InitConfig configures the §4.3 "program-and-test" p-ECC initialization.
+type InitConfig struct {
+	// Rounds is the number of full verify round-trips (Step-4). One round
+	// already drives the residual error probability below ~1e-100 for the
+	// default stripe (paper §4.3); more rounds shrink it further.
+	Rounds int
+	// MaxRestarts bounds how many times the process may restart after a
+	// detected fault before giving up.
+	MaxRestarts int
+	// StepCycles is the latency of one 1-step shift (3 cycles with STS at
+	// 2 GHz) and TestCycles of one port readout comparison.
+	StepCycles, TestCycles uint64
+}
+
+// DefaultInitConfig matches the paper's description.
+func DefaultInitConfig() InitConfig {
+	return InitConfig{Rounds: 1, MaxRestarts: 8, StepCycles: 3, TestCycles: 1}
+}
+
+// Initialize programs the code pattern into the p-ECC region of st
+// (described by lay) and verifies it with the iterative program-and-test
+// procedure of §4.3:
+//
+//	Step-1: code bits are written in from the leftmost port, one bit per
+//	        1-step shift (shift-and-write).
+//	Step-2: the bits are shifted step by step to the right end, every port
+//	        along the way checking for unexpected values.
+//	Step-3: the bits are shifted back to the left end with the same checks.
+//	Step-4: steps 2-3 repeat for cfg.Rounds rounds.
+//
+// Position errors during initialization are drawn from em (1-step rates);
+// any detected mismatch restarts the whole process. The stripe's p-ECC
+// region holds the verified pattern on success.
+func Initialize(c Code, st *stripe.Stripe, lay stripe.Layout, em errmodel.Model, cfg InitConfig, r *sim.RNG) (InitStats, error) {
+	if lay.PECCLen < c.Length() {
+		return InitStats{}, fmt.Errorf("pecc: layout p-ECC region %d too short for code %d", lay.PECCLen, c.Length())
+	}
+	var stats InitStats
+
+	for restart := 0; ; restart++ {
+		if restart > cfg.MaxRestarts {
+			return stats, fmt.Errorf("pecc: initialization exceeded %d restarts", cfg.MaxRestarts)
+		}
+		if restart > 0 {
+			stats.Restarts++
+		}
+		if initializeOnce(c, st, lay, em, cfg, r, &stats) {
+			stats.Initialized = true
+			return stats, nil
+		}
+	}
+}
+
+// initializeOnce performs one full program-and-test pass; it reports success.
+func initializeOnce(c Code, st *stripe.Stripe, lay stripe.Layout, em errmodel.Model, cfg InitConfig, r *sim.RNG, stats *InitStats) bool {
+	pat := c.Pattern()
+	// The model writes the verified pattern directly into the region and
+	// then walks it right and left, injecting 1-step position errors; a
+	// surviving walk proves the pattern landed correctly. A detected error
+	// during the walk aborts the pass. Drift accumulates in trueOff;
+	// checks compare the region content against the pattern at believed
+	// positions, so any net drift is caught at the first check that sees
+	// a mismatched bit.
+	region := make([]stripe.Bit, lay.PECCLen)
+	for i := range region {
+		region[i] = stripe.Unknown
+	}
+	copy(region, pat)
+	writeRegion(st, lay, region)
+	stats.WriteOps += uint64(len(pat))
+	stats.ShiftOps += uint64(len(pat)) // one shift per written bit
+	stats.Cycles += uint64(len(pat)) * cfg.StepCycles
+
+	span := lay.PECCLen - c.Length() // headroom for the verification walk
+	for round := 0; round < cfg.Rounds; round++ {
+		stats.Rounds++
+		// Walk right then left across the headroom, checking each step.
+		if !walk(c, st, lay, em, cfg, r, stats, span, true) {
+			return false
+		}
+		if !walk(c, st, lay, em, cfg, r, stats, span, false) {
+			return false
+		}
+	}
+	return true
+}
+
+// walk shifts the code pattern span steps in one direction, one step per
+// operation, verifying the full region after every step. It reports whether
+// the walk completed without detecting a fault.
+func walk(c Code, st *stripe.Stripe, lay stripe.Layout, em errmodel.Model, cfg InitConfig, r *sim.RNG, stats *InitStats, span int, right bool) bool {
+	for step := 0; step < span; step++ {
+		stats.ShiftOps++
+		stats.Cycles += cfg.StepCycles + cfg.TestCycles
+		o := em.Sample(1, r)
+		dist := 1 + o.StepOffset
+		if dist < 0 {
+			dist = 0
+		}
+		lo := lay.PECCSlot(0)
+		if right {
+			shiftWindow(st, lay, lo, dist, true)
+		} else {
+			shiftWindow(st, lay, lo, dist, false)
+		}
+		if o.StopInMiddle {
+			st.SetMisaligned(true)
+		}
+		// Verify: compare region content against the pattern at the
+		// believed displacement.
+		believed := step + 1
+		if !right {
+			believed = span - step - 1
+		}
+		if !verifyAt(c, st, lay, believed) {
+			st.SetMisaligned(false)
+			return false
+		}
+	}
+	return true
+}
+
+// shiftWindow shifts only the p-ECC region content (the data region is not
+// yet in service during initialization, so whole-stripe movement is
+// equivalent; we move the region to keep the oracle simple).
+func shiftWindow(st *stripe.Stripe, lay stripe.Layout, lo, dist int, right bool) {
+	if dist == 0 {
+		return
+	}
+	region := make([]stripe.Bit, lay.PECCLen)
+	for i := range region {
+		region[i] = st.Peek(lo + i)
+	}
+	if right {
+		copy(region[dist:], region[:len(region)-dist])
+		for i := 0; i < dist; i++ {
+			region[i] = stripe.Unknown
+		}
+	} else {
+		copy(region[:len(region)-dist], region[dist:])
+		for i := len(region) - dist; i < len(region); i++ {
+			region[i] = stripe.Unknown
+		}
+	}
+	writeRegion(st, lay, region)
+}
+
+func writeRegion(st *stripe.Stripe, lay stripe.Layout, region []stripe.Bit) {
+	lo := lay.PECCSlot(0)
+	snap := st.Snapshot()
+	copy(snap[lo:lo+len(region)], region)
+	st.LoadSlots(snap)
+}
+
+// verifyAt checks that the code pattern sits at displacement off within the
+// p-ECC region. A misaligned stripe always fails verification (ports read
+// Unknown).
+func verifyAt(c Code, st *stripe.Stripe, lay stripe.Layout, off int) bool {
+	if st.Misaligned() {
+		return false
+	}
+	lo := lay.PECCSlot(0)
+	for i := 0; i < c.Length(); i++ {
+		if st.Peek(lo+off+i) != c.Bit(i) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExpectedInitCycles estimates the §4.3 initialization latency for a stripe
+// with the given layout under the default configuration, without running
+// it: writes + 2*rounds*span walk steps.
+func ExpectedInitCycles(c Code, lay stripe.Layout, cfg InitConfig) uint64 {
+	span := lay.PECCLen - c.Length()
+	if span < 0 {
+		span = 0
+	}
+	write := uint64(c.Length()) * cfg.StepCycles
+	walk := uint64(2*cfg.Rounds*span) * (cfg.StepCycles + cfg.TestCycles)
+	return write + walk
+}

@@ -1,0 +1,125 @@
+package pecc
+
+import (
+	"testing"
+
+	"racetrack/hifi/internal/errmodel"
+	"racetrack/hifi/internal/sim"
+	"racetrack/hifi/internal/stripe"
+)
+
+func initLayout(c Code) stripe.Layout {
+	return stripe.Layout{
+		DataLen:    64,
+		SegLen:     c.SegLen(),
+		GuardLeft:  2,
+		GuardRight: 2,
+		PECCLen:    c.Length() + 6, // headroom for the verification walk
+		PECCPorts:  c.Window(),
+	}
+}
+
+func TestInitializeCleanDevice(t *testing.T) {
+	c := SECDED(8)
+	lay := initLayout(c)
+	st := stripe.New(lay.TotalSlots())
+	stats, err := Initialize(c, st, lay, errmodel.Model{}, DefaultInitConfig(), sim.NewRNG(1))
+	if err != nil {
+		t.Fatalf("Initialize: %v", err)
+	}
+	if !stats.Initialized {
+		t.Fatal("not initialized")
+	}
+	if stats.Restarts != 0 {
+		t.Errorf("clean device restarted %d times", stats.Restarts)
+	}
+	if stats.Cycles == 0 || stats.ShiftOps == 0 {
+		t.Error("no work recorded")
+	}
+	// After the walk the pattern must sit at displacement 0.
+	lo := lay.PECCSlot(0)
+	for i := 0; i < c.Length(); i++ {
+		if st.Peek(lo+i) != c.Bit(i) {
+			t.Fatalf("code bit %d = %v after init, want %v", i, st.Peek(lo+i), c.Bit(i))
+		}
+	}
+}
+
+func TestInitializeRegionTooShort(t *testing.T) {
+	c := SECDED(8)
+	lay := initLayout(c)
+	lay.PECCLen = c.Length() - 1
+	lay.PECCPorts = 0
+	st := stripe.New(lay.TotalSlots())
+	if _, err := Initialize(c, st, lay, errmodel.Model{}, DefaultInitConfig(), sim.NewRNG(1)); err == nil {
+		t.Fatal("accepted undersized p-ECC region")
+	}
+}
+
+func TestInitializeRecoversFromErrors(t *testing.T) {
+	// With heavily inflated 1-step error rates the process must restart
+	// at least once across many trials and still converge.
+	c := SECDED(8)
+	lay := initLayout(c)
+	em := errmodel.Model{RateScale: 2000} // 1-step rate ~0.09
+	restarts := 0
+	r := sim.NewRNG(2)
+	for trial := 0; trial < 50; trial++ {
+		st := stripe.New(lay.TotalSlots())
+		stats, err := Initialize(c, st, lay, em, DefaultInitConfig(), r)
+		if err != nil {
+			continue // exhausting restarts is acceptable at this rate
+		}
+		restarts += stats.Restarts
+		if !stats.Initialized {
+			t.Fatal("returned nil error without initializing")
+		}
+	}
+	if restarts == 0 {
+		t.Error("inflated error rate never caused a restart in 50 trials")
+	}
+}
+
+func TestInitializeGivesUpEventually(t *testing.T) {
+	c := SECDED(8)
+	lay := initLayout(c)
+	// Guarantee failure: every shift errs.
+	em := errmodel.Model{RateScale: 1e9}
+	st := stripe.New(lay.TotalSlots())
+	cfg := DefaultInitConfig()
+	cfg.MaxRestarts = 3
+	if _, err := Initialize(c, st, lay, em, cfg, sim.NewRNG(3)); err == nil {
+		t.Fatal("Initialize should fail when every shift errs")
+	}
+}
+
+func TestExpectedInitCycles(t *testing.T) {
+	c := SECDED(8)
+	lay := initLayout(c)
+	cfg := DefaultInitConfig()
+	want := ExpectedInitCycles(c, lay, cfg)
+	st := stripe.New(lay.TotalSlots())
+	stats, err := Initialize(c, st, lay, errmodel.Model{}, cfg, sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Cycles != want {
+		t.Errorf("clean-run cycles %d != ExpectedInitCycles %d", stats.Cycles, want)
+	}
+}
+
+func TestInitLatencyPaperScale(t *testing.T) {
+	// Paper §4.3: for a 64-domain, 8-port stripe the expected latency is
+	// ~1200 cycles. Our protocol walks the p-ECC headroom rather than the
+	// full stripe, so we check the same order of magnitude with a full
+	// data-span walk configuration.
+	c := SECDED(8)
+	lay := initLayout(c)
+	lay.PECCLen = c.Length() + 64 // walk the span of the data region
+	cfg := DefaultInitConfig()
+	cfg.Rounds = 4
+	got := ExpectedInitCycles(c, lay, cfg)
+	if got < 300 || got > 5000 {
+		t.Errorf("init cycles = %d, want order of the paper's ~1200", got)
+	}
+}

@@ -1,0 +1,58 @@
+package pecc
+
+// OCode is the p-ECC-O variant (§4.2.4): instead of a dedicated code region,
+// the cyclic code is kept in the overhead regions at both ends of the
+// stripe, maintained by a "shift-and-write" write port at each end.
+//
+// Functionally the decode logic is identical to Code (the same cyclic
+// phase comparison), so OCode embeds it. The architectural differences that
+// drive the paper's trade-off are captured by the methods below:
+//
+//   - shifts are limited to one step per operation (the overhead-region
+//     code bit must be written as each step completes), which roughly
+//     doubles total shift latency (Fig. 14) and raises dynamic energy
+//     (Fig. 17);
+//   - the extra-domain cost is 2(m+1) per end, independent of Lseg, which
+//     beats the original p-ECC's Lseg-dependent code region for long
+//     segments (Fig. 13);
+//   - because every operation moves a single step, the per-operation
+//     uncorrectable rate is the 1-step rate, giving p-ECC-O the highest
+//     MTTF of all variants (Fig. 12).
+type OCode struct {
+	Code
+}
+
+// NewO returns a p-ECC-O of strength m for a stripe with segment length
+// segLen.
+func NewO(m, segLen int) (OCode, error) {
+	c, err := New(m, segLen)
+	return OCode{c}, err
+}
+
+// MustNewO is NewO but panics on error.
+func MustNewO(m, segLen int) OCode {
+	o, err := NewO(m, segLen)
+	if err != nil {
+		panic(err)
+	}
+	return o
+}
+
+// MaxShiftPerOp returns the longest distance a single shift operation may
+// cover under p-ECC-O: always 1 (shift-and-write is bit-by-bit).
+func (OCode) MaxShiftPerOp() int { return 1 }
+
+// ExtraDomainsPerEnd returns the overhead-region domains dedicated to the
+// code at each stripe end: 2(m+1).
+func (o OCode) ExtraDomainsPerEnd() int { return 2 * (o.m + 1) }
+
+// ExtraDomains returns the total extra domains: both ends plus the same 2m
+// data guard domains as the original p-ECC.
+func (o OCode) ExtraDomains() int { return 2*o.ExtraDomainsPerEnd() + o.GuardDomains() }
+
+// PortsPerEnd returns the access ports added at each end: m+1 read ports
+// for the code window plus the shift-and-write port.
+func (o OCode) PortsPerEnd() int { return o.m + 2 }
+
+// WritePorts returns the number of write-capable ports added (one per end).
+func (OCode) WritePorts() int { return 2 }

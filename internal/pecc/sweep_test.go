@@ -1,0 +1,113 @@
+package pecc
+
+import (
+	"testing"
+
+	"racetrack/hifi/internal/stripe"
+)
+
+// Exhaustive sweeps over the full supported design space: every strength m
+// and segment length combination must decode every reachable (believed,
+// error) pair correctly. These are the properties the architecture's
+// correctness rests on.
+
+func TestSweepAllStrengthsAllSegLens(t *testing.T) {
+	for segLen := 2; segLen <= 64; segLen *= 2 {
+		for m := 0; m < segLen-1 && m <= 6; m++ {
+			c, err := New(m, segLen)
+			if err != nil {
+				t.Fatalf("New(%d,%d): %v", m, segLen, err)
+			}
+			// Geometry invariants.
+			if c.Window() != m+1 || c.Period() != 2*(m+1) {
+				t.Fatalf("m=%d: window/period wrong", m)
+			}
+			if c.Length() < c.Window() {
+				t.Fatalf("m=%d Lseg=%d: code shorter than window", m, segLen)
+			}
+			// Every believed offset in the access range, every error in
+			// the correctable band.
+			for believed := 0; believed < segLen; believed++ {
+				for e := -(m + 1); e <= m+1; e++ {
+					res := c.Decode(believed, c.ExpectedWindow(believed+e))
+					switch {
+					case e == 0:
+						if res.Detected {
+							t.Fatalf("m=%d Lseg=%d b=%d: false positive", m, segLen, believed)
+						}
+					case abs(e) <= m:
+						if !res.Correctable || res.Offset != e {
+							t.Fatalf("m=%d Lseg=%d b=%d e=%+d: got %+v", m, segLen, believed, e, res)
+						}
+					default: // |e| == m+1
+						if !res.Detected || res.Correctable {
+							t.Fatalf("m=%d Lseg=%d b=%d e=%+d: got %+v", m, segLen, believed, e, res)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestSweepCodeLengthMonotone(t *testing.T) {
+	// Stronger codes and longer segments both need more code domains.
+	prev := 0
+	for m := 0; m <= 5; m++ {
+		c := MustNew(m, 16)
+		if c.Length() <= prev {
+			t.Fatalf("m=%d: length %d not increasing", m, c.Length())
+		}
+		prev = c.Length()
+	}
+	prev = 0
+	for segLen := 4; segLen <= 64; segLen *= 2 {
+		c := MustNew(1, segLen)
+		if c.Length() <= prev {
+			t.Fatalf("Lseg=%d: length %d not increasing", segLen, c.Length())
+		}
+		prev = c.Length()
+	}
+	// p-ECC-O extra domains are segment-length independent.
+	a := MustNewO(1, 4).ExtraDomains()
+	b := MustNewO(1, 64).ExtraDomains()
+	if a != b {
+		t.Errorf("p-ECC-O extra domains depend on Lseg: %d vs %d", a, b)
+	}
+}
+
+func TestSweepWindowsAlwaysBinary(t *testing.T) {
+	// The generated pattern never contains Unknown.
+	for m := 0; m <= 5; m++ {
+		c := MustNew(m, 16)
+		for _, b := range c.Pattern() {
+			if b != stripe.Zero && b != stripe.One {
+				t.Fatalf("m=%d: non-binary pattern bit", m)
+			}
+		}
+	}
+}
+
+func TestSweepAliasBoundary(t *testing.T) {
+	// Errors of magnitude exactly one period alias to silence for every
+	// strength: the fundamental limit of cyclic position codes.
+	for m := 0; m <= 4; m++ {
+		c := MustNew(m, 32)
+		p := c.Period()
+		res := c.Decode(3, c.ExpectedWindow(3+p))
+		if res.Detected {
+			t.Errorf("m=%d: full-period error detected (should alias)", m)
+		}
+		res = c.Decode(3, c.ExpectedWindow(3-p))
+		if res.Detected {
+			t.Errorf("m=%d: negative full-period error detected", m)
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

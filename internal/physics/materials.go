@@ -1,0 +1,65 @@
+package physics
+
+// Material presets. The paper's quantitative model targets in-plane
+// magnetized permalloy nanowires (Table 1); its §3.1 notes that
+// perpendicular-anisotropy (PMA) material shrinks the domains — raising
+// density — but increases the position error rate at the same time. The
+// presets below capture those trade-offs so the error model and the
+// density/area studies can be re-run for either device.
+
+// Material identifies a nanowire technology option.
+type Material int
+
+const (
+	// InPlane is the Table 1 permalloy device the paper evaluates.
+	InPlane Material = iota
+	// Perpendicular is a PMA device: ~2x shorter domains and pinning
+	// regions (higher density), stronger anisotropy, but proportionally
+	// tighter timing margins, which raises the raw position error rate.
+	Perpendicular
+)
+
+// String implements fmt.Stringer.
+func (m Material) String() string {
+	switch m {
+	case InPlane:
+		return "in-plane"
+	case Perpendicular:
+		return "perpendicular"
+	default:
+		return "unknown-material"
+	}
+}
+
+// ForMaterial returns the device parameters for the chosen material.
+// InPlane returns Default(). Perpendicular halves the geometric pitch
+// (domain wall width, pinning width, flat width) and raises the anisotropy
+// field; the same absolute process variation over smaller features doubles
+// the relative variation, which is what drives the higher error rate.
+func ForMaterial(m Material) Params {
+	p := Default()
+	if m != Perpendicular {
+		return p
+	}
+	p.DomainWallWidth /= 2
+	p.PinWidth /= 2
+	p.FlatWidth /= 2
+	p.AnisotropyHK *= 4 // PMA: strong out-of-plane anisotropy
+	// Absolute lithographic variation is unchanged while features halve:
+	// relative sigmas double.
+	p.SigmaDelta *= 2
+	p.SigmaV *= 2
+	p.SigmaD *= 2
+	p.SigmaL *= 2
+	// Smaller pitch at the same wall velocity: per-step time halves, so
+	// the calibrated pinning time constant scales with the pitch.
+	p.PinTimeConstant /= 2
+	return p
+}
+
+// DensityGain returns the storage-density advantage of a material relative
+// to the in-plane baseline (domains per unit length).
+func DensityGain(m Material) float64 {
+	base := Default().StepPitch()
+	return base / ForMaterial(m).StepPitch()
+}

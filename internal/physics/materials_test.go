@@ -1,0 +1,76 @@
+package physics
+
+import (
+	"testing"
+
+	"racetrack/hifi/internal/sim"
+)
+
+func TestMaterialString(t *testing.T) {
+	if InPlane.String() != "in-plane" || Perpendicular.String() != "perpendicular" {
+		t.Error("material names wrong")
+	}
+	if Material(9).String() != "unknown-material" {
+		t.Error("unknown material name")
+	}
+}
+
+func TestForMaterialInPlaneIsDefault(t *testing.T) {
+	if ForMaterial(InPlane) != Default() {
+		t.Error("in-plane should be the Table 1 device")
+	}
+}
+
+func TestPerpendicularValidates(t *testing.T) {
+	if err := ForMaterial(Perpendicular).Validate(); err != nil {
+		t.Fatalf("perpendicular params invalid: %v", err)
+	}
+}
+
+func TestPerpendicularDensityGain(t *testing.T) {
+	// Paper §3.1: perpendicular material reduces domain size — about 2x
+	// density with the halved pitch.
+	gain := DensityGain(Perpendicular)
+	if gain < 1.9 || gain > 2.1 {
+		t.Errorf("density gain = %v, want ~2", gain)
+	}
+	if DensityGain(InPlane) != 1 {
+		t.Error("in-plane density gain should be 1")
+	}
+}
+
+func TestPerpendicularHigherErrorRate(t *testing.T) {
+	// Paper §3.1: "using perpendicular material can reduce the size of
+	// domain but may increase error rate at the same time."
+	inPlane := ForMaterial(InPlane)
+	pma := ForMaterial(Perpendicular)
+	rate := func(p Params, seed uint64) float64 {
+		r := sim.NewRNG(seed)
+		bad := 0
+		const trials = 40000
+		for i := 0; i < trials; i++ {
+			if !SampleShift(p, 4, r).Correct() {
+				bad++
+			}
+		}
+		return float64(bad) / trials
+	}
+	rIn := rate(inPlane, 1)
+	rPMA := rate(pma, 1)
+	if rPMA <= rIn {
+		t.Errorf("perpendicular error rate %v should exceed in-plane %v", rPMA, rIn)
+	}
+}
+
+func TestPerpendicularStillShifts(t *testing.T) {
+	// The PMA device must remain functional: sub-threshold behaviour and
+	// finite step times.
+	p := ForMaterial(Perpendicular)
+	if p.SubThreshold(p.ShiftCurrentJ) {
+		t.Error("full drive should stay above threshold")
+	}
+	st := p.StepTime(p.ShiftCurrentJ)
+	if st <= 0 || st > 1e-9 {
+		t.Errorf("step time %v out of plausible range", st)
+	}
+}

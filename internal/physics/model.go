@@ -1,0 +1,82 @@
+package physics
+
+import "math"
+
+// Wall is the collective-coordinate state of one domain wall: its position q
+// along the stripe (m) and tilt angle psi (rad).
+type Wall struct {
+	Q   float64
+	Psi float64
+}
+
+// Derivatives returns (dq/dt, dpsi/dt) for the 1-D domain-wall equation of
+// motion (paper Eq. 1) with zero applied transverse and lengthwise fields
+// (H_T = H_A = 0, the practical operating condition):
+//
+//	(1+alpha^2) dq/dt  =  (1/2) gamma Delta H_K sin(2 psi)
+//	                      - alpha gamma Delta V q / (M_s d)
+//	                      + (1 + alpha beta) u
+//	(1+alpha^2) dpsi/dt = -(1/2) alpha gamma H_K sin(2 psi)
+//	                      - gamma V q / (M_s d)
+//	                      - ((beta - alpha)/Delta) u
+//
+// The -V q/(M_s d) terms model the restoring force of a pinning notch
+// centered at q = 0; pass pinned=false to drop them (free flat region).
+func (p Params) Derivatives(w Wall, u float64, pinned bool) (dq, dpsi float64) {
+	inv := 1 / (1 + p.GilbertAlpha*p.GilbertAlpha)
+	sin2 := math.Sin(2 * w.Psi)
+	var pin float64
+	if pinned {
+		pin = p.PinPotentialV * w.Q / (p.SaturationMs * p.PinWidth) * pinScale
+	}
+	dq = inv * (0.5*p.GammaGyro*p.DomainWallWidth*p.AnisotropyHK*sin2 -
+		p.GilbertAlpha*p.GammaGyro*p.DomainWallWidth*pin +
+		(1+p.GilbertAlpha*p.NonAdiabaticBeta)*u)
+	dpsi = inv * (-0.5*p.GilbertAlpha*p.GammaGyro*p.AnisotropyHK*sin2 -
+		p.GammaGyro*pin -
+		(p.NonAdiabaticBeta-p.GilbertAlpha)/p.DomainWallWidth*u)
+	return dq, dpsi
+}
+
+// pinScale converts the normalized pinning depth V into an effective field
+// amplitude. The restoring channel alpha*gamma*Delta*P(q) must outrun the
+// drive term (1+alpha*beta)*u below threshold: with P(d) = V*pinScale/Ms,
+// the escape threshold sits at u_th = alpha*gamma*Delta*P(d) ~ 180 m/s —
+// between the sub-threshold STS drive u(0.8*J0) = 160 m/s (held) and the
+// threshold drive u(J0) = 200 m/s (released), consistent with Eq. 2.
+const pinScale = 5.4e12
+
+// Step advances the wall by dt seconds under drive velocity u using a
+// fourth-order Runge-Kutta step.
+func (p Params) Step(w Wall, u, dt float64, pinned bool) Wall {
+	k1q, k1p := p.Derivatives(w, u, pinned)
+	k2q, k2p := p.Derivatives(Wall{w.Q + 0.5*dt*k1q, w.Psi + 0.5*dt*k1p}, u, pinned)
+	k3q, k3p := p.Derivatives(Wall{w.Q + 0.5*dt*k2q, w.Psi + 0.5*dt*k2p}, u, pinned)
+	k4q, k4p := p.Derivatives(Wall{w.Q + dt*k3q, w.Psi + dt*k3p}, u, pinned)
+	return Wall{
+		Q:   w.Q + dt/6*(k1q+2*k2q+2*k3q+k4q),
+		Psi: w.Psi + dt/6*(k1p+2*k2p+2*k3p+k4p),
+	}
+}
+
+// Integrate advances the wall for total seconds in fixed sub-steps of dt and
+// returns the final state.
+func (p Params) Integrate(w Wall, u, total, dt float64, pinned bool) Wall {
+	steps := int(total / dt)
+	for i := 0; i < steps; i++ {
+		w = p.Step(w, u, dt, pinned)
+	}
+	if rem := total - float64(steps)*dt; rem > 0 {
+		w = p.Step(w, u, rem, pinned)
+	}
+	return w
+}
+
+// TerminalVelocity returns the asymptotic wall velocity in a flat region for
+// drive velocity u, in the steady (below Walker breakdown) regime:
+// v = (beta/alpha) u when psi locks. For the paper's operating regime with
+// beta < alpha the effective closed-form drift used by the timing layer is
+// (2*alpha - beta)/alpha * u; see FlatTime.
+func (p Params) TerminalVelocity(u float64) float64 {
+	return (2*p.GilbertAlpha - p.NonAdiabaticBeta) / p.GilbertAlpha * u
+}

@@ -1,0 +1,165 @@
+package physics
+
+import (
+	"math"
+
+	"racetrack/hifi/internal/sim"
+)
+
+// Outcome describes where the domain walls of a stripe ended up after one
+// shift pulse, relative to the intended target position.
+//
+// StepOffset is in whole steps: 0 means the walls reached the intended notch
+// neighborhood, +1 means over-shifted by one step, -1 under-shifted, etc.
+// InNotch reports whether the walls settled inside a notch region; when
+// false the shift suffered a stop-in-middle error and reads are
+// indeterminate (paper Fig. 3c).
+type Outcome struct {
+	StepOffset int
+	InNotch    bool
+}
+
+// Correct reports whether the shift fully succeeded.
+func (o Outcome) Correct() bool { return o.StepOffset == 0 && o.InNotch }
+
+// OutOfStep reports whether the shift completed into a notch but at the
+// wrong step (paper Fig. 3d).
+func (o Outcome) OutOfStep() bool { return o.InNotch && o.StepOffset != 0 }
+
+// StopInMiddle reports whether the walls stopped between notches.
+func (o Outcome) StopInMiddle() bool { return !o.InNotch }
+
+// SampleShift simulates one n-step shift pulse with process and
+// environmental variation and returns the resulting outcome.
+//
+// The controller programs the stage-1 pulse for the nominal n-step duration;
+// the wall's actual progress accumulates per-region traversal times drawn
+// from the varied parameters (Eq. 2 closed forms). When the pulse ends the
+// wall is either inside a notch region (aligned, possibly at the wrong
+// step) or inside a flat region (stop-in-middle).
+func SampleShift(p Params, n int, r *sim.RNG) Outcome {
+	if n <= 0 {
+		return Outcome{StepOffset: 0, InNotch: true}
+	}
+	// Nominal pulse schedule with a half-notch margin (see ShiftPulseWidth).
+	pulse := float64(n)*p.StepTime(p.ShiftCurrentJ) +
+		0.5*p.NotchTime(p.U(p.ShiftCurrentJ))
+	elapsed := 0.0
+	steps := 0
+	// Walk region by region until the pulse budget is exhausted. Each
+	// region's traversal time is drawn with fresh variation (different
+	// notches, plus environmental drift within the pulse).
+	for {
+		v := p.Variant(r)
+		u := v.U(v.ShiftCurrentJ)
+		tn := v.NotchTime(u)
+		if math.IsInf(tn, 1) {
+			// Drive fell below threshold for this notch: wall never
+			// escapes; it stays pinned where it is.
+			return Outcome{StepOffset: steps - n, InNotch: true}
+		}
+		if elapsed+tn >= pulse {
+			// Pulse ended while the wall was escaping this notch. At
+			// drive well above the 2*J0 operating point, a wall deep
+			// into its escape carries enough momentum to leave the notch
+			// anyway ("blow-through") and strand in the following flat
+			// region — the over-shift mechanism behind the paper's
+			// warning that too-large J raises over-shifted error rates.
+			progress := (pulse - elapsed) / tn
+			ratio := v.ShiftCurrentJ / v.ThresholdJ0
+			if ratio > 2 && progress > 0.3 {
+				pBlow := (ratio - 2) / ratio * progress
+				if r.Float64() < pBlow {
+					return Outcome{StepOffset: steps - n, InNotch: false}
+				}
+			}
+			return Outcome{StepOffset: steps - n, InNotch: true}
+		}
+		elapsed += tn
+		tf := v.FlatTime(u)
+		if elapsed+tf >= pulse {
+			// Pulse ended mid-flat: where in the flat region the wall is
+			// determines whether momentum carries it into the next notch.
+			frac := (pulse - elapsed) / tf
+			// Walls very close to the next notch still settle into it
+			// (the pinning attraction has finite range ~ d/2 around the
+			// notch), otherwise the wall stops in the middle.
+			capture := v.PinWidth / 2 / v.FlatWidth
+			if frac >= 1-capture {
+				return Outcome{StepOffset: steps + 1 - n, InNotch: true}
+			}
+			if frac <= capture && steps > 0 {
+				return Outcome{StepOffset: steps - n, InNotch: true}
+			}
+			return Outcome{StepOffset: steps - n, InNotch: false}
+		}
+		elapsed += tf
+		steps++
+		if steps > n+8 {
+			// Runaway (drive far above nominal): report gross over-shift.
+			return Outcome{StepOffset: steps - n, InNotch: true}
+		}
+	}
+}
+
+// ErrorPDF estimates the probability distribution of shift outcomes for an
+// n-step shift from samples Monte-Carlo trials. The returned map keys are
+// outcome classes as used in the paper's Fig. 4: integer step offsets for
+// out-of-step/aligned outcomes, and half-open interval labels for
+// stop-in-middle outcomes (the wall stopped between offset k and k+1 is
+// keyed as k with InNotch=false).
+type PDFBin struct {
+	StepOffset int
+	InNotch    bool
+}
+
+// ErrorPDF runs trials Monte-Carlo samples of an n-step shift and returns
+// outcome frequencies keyed by bin.
+func ErrorPDF(p Params, n int, trials int, r *sim.RNG) map[PDFBin]float64 {
+	counts := make(map[PDFBin]int)
+	for i := 0; i < trials; i++ {
+		o := SampleShift(p, n, r)
+		counts[PDFBin{o.StepOffset, o.InNotch}]++
+	}
+	pdf := make(map[PDFBin]float64, len(counts))
+	for k, c := range counts {
+		pdf[k] = float64(c) / float64(trials)
+	}
+	return pdf
+}
+
+// TailRate estimates, analytically, the probability that the accumulated
+// timing deviation of an n-step shift exceeds k steps in either direction
+// (out-of-step error of magnitude >= k), using a Gaussian accumulation model
+// of the per-step traversal-time jitter with tail probabilities computed in
+// log space (rates like 1e-21 are far beyond Monte-Carlo reach; the paper
+// likewise reports fitted values).
+//
+// The returned value is log10 of the rate.
+func TailRateLog10(p Params, n, k int, r *sim.RNG) float64 {
+	mean, sd := stepTimeMoments(p, r)
+	if sd == 0 {
+		return math.Inf(-1)
+	}
+	// The pulse is scheduled for n nominal steps; an error of k steps
+	// requires the accumulated time of n steps to deviate by ~k step times.
+	z := float64(k) * mean / (sd * math.Sqrt(float64(n)))
+	// Two-sided.
+	return sim.LogNormalTailApprox(z) + math.Log10(2)
+}
+
+// stepTimeMoments estimates the per-step traversal-time mean and standard
+// deviation under parameter variation by sampling.
+func stepTimeMoments(p Params, r *sim.RNG) (mean, sd float64) {
+	var s sim.Summary
+	for i := 0; i < 4096; i++ {
+		v := p.Variant(r)
+		u := v.U(v.ShiftCurrentJ)
+		t := v.NotchTime(u) + v.FlatTime(u)
+		if math.IsInf(t, 1) {
+			continue
+		}
+		s.Add(t)
+	}
+	return s.Mean(), s.StdDev()
+}

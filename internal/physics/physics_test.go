@@ -1,0 +1,267 @@
+package physics
+
+import (
+	"math"
+	"testing"
+
+	"racetrack/hifi/internal/sim"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default params invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadParams(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Params)
+	}{
+		{"zero wall width", func(p *Params) { p.DomainWallWidth = 0 }},
+		{"zero pin width", func(p *Params) { p.PinWidth = 0 }},
+		{"negative flat", func(p *Params) { p.FlatWidth = -1 }},
+		{"zero current", func(p *Params) { p.ShiftCurrentJ = 0 }},
+		{"zero threshold", func(p *Params) { p.ThresholdJ0 = 0 }},
+		{"damping regime", func(p *Params) { p.NonAdiabaticBeta = 0.1 }},
+		{"zero velocity", func(p *Params) { p.VelocityPerJ = 0 }},
+		{"zero tau", func(p *Params) { p.PinTimeConstant = 0 }},
+	}
+	for _, c := range cases {
+		p := Default()
+		c.mut(&p)
+		if p.Validate() == nil {
+			t.Errorf("%s: Validate accepted invalid params", c.name)
+		}
+	}
+}
+
+func TestFlatTimeCalibration(t *testing.T) {
+	p := Default()
+	got := p.FlatTime(p.U(p.ShiftCurrentJ))
+	if math.Abs(got-0.25e-9) > 0.01e-9 {
+		t.Errorf("T_flat at 2*J0 = %.3g s, want 0.25 ns", got)
+	}
+}
+
+func TestNotchTimeCalibration(t *testing.T) {
+	p := Default()
+	got := p.NotchTime(p.U(p.ShiftCurrentJ))
+	if math.Abs(got-0.15e-9) > 0.01e-9 {
+		t.Errorf("T_notch at 2*J0 = %.3g s, want ~0.15 ns", got)
+	}
+}
+
+func TestStepTimeIsPaperHeadline(t *testing.T) {
+	// Paper: stage-1 latency is ~0.4 ns per step at the Table 1 point.
+	p := Default()
+	got := p.StepTime(p.ShiftCurrentJ)
+	if math.Abs(got-0.4e-9) > 0.02e-9 {
+		t.Errorf("step time = %.3g s, want ~0.4 ns", got)
+	}
+}
+
+func TestThresholdBehaviour(t *testing.T) {
+	p := Default()
+	if !p.SubThreshold(p.ThresholdJ0 * 0.99) {
+		t.Error("drive just below J0 should be sub-threshold")
+	}
+	if p.SubThreshold(p.ShiftCurrentJ) {
+		t.Error("full drive should be above threshold")
+	}
+	if !math.IsInf(p.NotchTime(p.U(p.ThresholdJ0*0.5)), 1) {
+		t.Error("notch escape time at half threshold should be +Inf")
+	}
+}
+
+func TestNotchTimeDivergesNearThreshold(t *testing.T) {
+	// T_notch grows without bound as J -> J0 from above: the paper's
+	// rationale for why driving near threshold is too slow.
+	p := Default()
+	t1 := p.NotchTime(p.U(p.ThresholdJ0 * 1.01))
+	t2 := p.NotchTime(p.U(p.ThresholdJ0 * 1.5))
+	t3 := p.NotchTime(p.U(p.ShiftCurrentJ))
+	if !(t1 > t2 && t2 > t3) {
+		t.Errorf("notch time not decreasing with drive: %g, %g, %g", t1, t2, t3)
+	}
+}
+
+func TestShiftPulseWidthAffine(t *testing.T) {
+	// Pulse width is N*step + constant margin: the per-step increment must
+	// be constant and equal to the nominal step time.
+	w1 := ShiftPulseWidth(1)
+	w2 := ShiftPulseWidth(2)
+	w7 := ShiftPulseWidth(7)
+	step := Default().StepTime(Default().ShiftCurrentJ)
+	if math.Abs((w2-w1)-step) > 1e-15 {
+		t.Errorf("per-step increment = %g, want %g", w2-w1, step)
+	}
+	if math.Abs((w7-w1)-6*step) > 1e-15 {
+		t.Errorf("w7-w1 = %g, want %g", w7-w1, 6*step)
+	}
+	if w1 <= step {
+		t.Errorf("w1 = %g should exceed one step time (margin)", w1)
+	}
+}
+
+func TestVariantStaysNearMean(t *testing.T) {
+	p := Default()
+	r := sim.NewRNG(1)
+	var s sim.Summary
+	for i := 0; i < 20000; i++ {
+		v := p.Variant(r)
+		s.Add(v.PinWidth)
+		if v.PinWidth <= 0 || v.FlatWidth <= 0 {
+			t.Fatal("variant produced non-positive geometry")
+		}
+	}
+	if math.Abs(s.Mean()-p.PinWidth)/p.PinWidth > 0.01 {
+		t.Errorf("variant pin width mean %g, want ~%g", s.Mean(), p.PinWidth)
+	}
+	rel := s.StdDev() / p.PinWidth
+	if math.Abs(rel-p.SigmaD) > 0.005 {
+		t.Errorf("variant pin width sigma %g, want ~%g", rel, p.SigmaD)
+	}
+}
+
+func TestWallMovesWithDrive(t *testing.T) {
+	p := Default()
+	u := p.U(p.ShiftCurrentJ)
+	w := p.Integrate(Wall{}, u, 1e-9, 1e-13, false)
+	if w.Q <= 0 {
+		t.Errorf("wall did not advance under positive drive: q=%g", w.Q)
+	}
+	// Should have crossed at least one flat region in 1 ns at ~600 m/s
+	// effective velocity.
+	if w.Q < 100e-9 {
+		t.Errorf("wall advanced only %g m in 1 ns", w.Q)
+	}
+}
+
+func TestWallStationaryWithoutDrive(t *testing.T) {
+	p := Default()
+	w := p.Integrate(Wall{}, 0, 1e-9, 1e-13, false)
+	if math.Abs(w.Q) > 1e-12 {
+		t.Errorf("wall moved without drive: q=%g", w.Q)
+	}
+}
+
+func TestPinningRestoresSmallDisplacement(t *testing.T) {
+	// A wall displaced slightly inside a notch with no drive relaxes back
+	// toward the notch center (q = 0).
+	p := Default()
+	w0 := Wall{Q: 2e-9}
+	w := p.Integrate(w0, 0, 5e-9, 1e-13, true)
+	if math.Abs(w.Q) >= math.Abs(w0.Q) {
+		t.Errorf("pinning did not restore: |q| %g -> %g", w0.Q, math.Abs(w.Q))
+	}
+}
+
+func TestRK4MatchesSmallStepEuler(t *testing.T) {
+	// Sanity: RK4 with coarse steps should agree with Euler at tiny steps.
+	p := Default()
+	u := p.U(p.ShiftCurrentJ)
+	rk := p.Integrate(Wall{}, u, 0.1e-9, 1e-12, false)
+	// Euler with very fine steps.
+	w := Wall{}
+	dt := 1e-15
+	for i := 0; i < int(0.1e-9/dt); i++ {
+		dq, dp := p.Derivatives(w, u, false)
+		w.Q += dq * dt
+		w.Psi += dp * dt
+	}
+	if math.Abs(rk.Q-w.Q) > 1e-3*math.Abs(w.Q)+1e-15 {
+		t.Errorf("RK4 q=%g vs Euler q=%g", rk.Q, w.Q)
+	}
+}
+
+func TestSampleShiftZeroSteps(t *testing.T) {
+	r := sim.NewRNG(2)
+	o := SampleShift(Default(), 0, r)
+	if !o.Correct() {
+		t.Errorf("0-step shift should be trivially correct, got %+v", o)
+	}
+}
+
+func TestSampleShiftMostlyCorrect(t *testing.T) {
+	p := Default()
+	r := sim.NewRNG(3)
+	correct := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if SampleShift(p, 1, r).Correct() {
+			correct++
+		}
+	}
+	frac := float64(correct) / trials
+	if frac < 0.995 {
+		t.Errorf("1-step shift correct fraction = %v, want > 0.995", frac)
+	}
+	if frac == 1 {
+		t.Log("no errors observed in 20k trials (rate may be below resolution); acceptable")
+	}
+}
+
+func TestErrorRateGrowsWithDistance(t *testing.T) {
+	// Paper observation 1: error rates increase with shift distance.
+	p := Default()
+	// Inflate variation so the Monte-Carlo resolves rates quickly.
+	p.SigmaU = 0.05
+	r := sim.NewRNG(4)
+	rate := func(n int) float64 {
+		bad := 0
+		const trials = 30000
+		for i := 0; i < trials; i++ {
+			if !SampleShift(p, n, r).Correct() {
+				bad++
+			}
+		}
+		return float64(bad) / trials
+	}
+	r1, r7 := rate(1), rate(7)
+	if r7 <= r1 {
+		t.Errorf("error rate did not grow with distance: r1=%v r7=%v", r1, r7)
+	}
+}
+
+func TestErrorPDFNormalized(t *testing.T) {
+	p := Default()
+	p.SigmaU = 0.05
+	r := sim.NewRNG(5)
+	pdf := ErrorPDF(p, 4, 5000, r)
+	total := 0.0
+	for _, v := range pdf {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("PDF sums to %v", total)
+	}
+	if pdf[PDFBin{0, true}] < 0.5 {
+		t.Errorf("correct outcome not dominant: %v", pdf[PDFBin{0, true}])
+	}
+}
+
+func TestTailRateLog10Properties(t *testing.T) {
+	p := Default()
+	r := sim.NewRNG(6)
+	l1 := TailRateLog10(p, 1, 1, r.Split())
+	l17 := TailRateLog10(p, 7, 1, r.Split())
+	l2 := TailRateLog10(p, 1, 2, r.Split())
+	if l17 <= l1 {
+		t.Errorf("k=1 tail should grow with distance: n=1 %v, n=7 %v", l1, l17)
+	}
+	if l2 >= l1 {
+		t.Errorf("k=2 tail should be far below k=1: k1=%v k2=%v", l1, l2)
+	}
+	if math.IsNaN(l1) || math.IsInf(l1, 1) {
+		t.Errorf("tail rate not finite: %v", l1)
+	}
+}
+
+func TestTerminalVelocityPositive(t *testing.T) {
+	p := Default()
+	v := p.TerminalVelocity(p.U(p.ShiftCurrentJ))
+	if v <= 0 {
+		t.Errorf("terminal velocity = %v", v)
+	}
+}

@@ -1,0 +1,86 @@
+package physics
+
+import (
+	"math"
+	"testing"
+)
+
+// escapesNotch integrates the full equation of motion (Eq. 1) for a wall
+// starting at a notch center under drive density j and reports whether it
+// escapes the pinning region (|q| > d) within the time budget.
+func escapesNotch(p Params, j, budget float64) bool {
+	u := p.U(j)
+	w := Wall{}
+	dt := 1e-13
+	steps := int(budget / dt)
+	for i := 0; i < steps; i++ {
+		w = p.Step(w, u, dt, true)
+		if math.Abs(w.Q) > p.PinWidth {
+			return true
+		}
+	}
+	return false
+}
+
+func TestODEExhibitsPinningThreshold(t *testing.T) {
+	// The architecture-level model (Eq. 2 closed forms, STS stage-2)
+	// rests on a drive threshold: below J0 a pinned wall stays pinned,
+	// at the 2*J0 operating point it escapes quickly. The integrated
+	// Eq. 1 dynamics must reproduce that qualitative behaviour.
+	p := Default()
+	const budget = 5e-9 // generous: 12x the nominal step time
+
+	if escapesNotch(p, 0.2*p.ThresholdJ0, budget) {
+		t.Error("wall escaped at 0.2*J0: pinning too weak for STS stage-2")
+	}
+	if !escapesNotch(p, p.ShiftCurrentJ, budget) {
+		t.Error("wall failed to escape at the 2*J0 operating point")
+	}
+	// Higher drive escapes at least as fast (monotonicity).
+	if !escapesNotch(p, 1.5*p.ShiftCurrentJ, budget) {
+		t.Error("wall failed to escape at 3*J0")
+	}
+}
+
+func TestODEEscapeTimeOrdering(t *testing.T) {
+	// Escape should take longer at lower (supra-threshold) drive — the
+	// ODE analogue of NotchTime's divergence near J0.
+	p := Default()
+	escapeTime := func(j float64) float64 {
+		u := p.U(j)
+		w := Wall{}
+		dt := 1e-13
+		for i := 0; i < 200000; i++ {
+			w = p.Step(w, u, dt, true)
+			if math.Abs(w.Q) > p.PinWidth {
+				return float64(i) * dt
+			}
+		}
+		return math.Inf(1)
+	}
+	fast := escapeTime(1.5 * p.ShiftCurrentJ)
+	slow := escapeTime(p.ShiftCurrentJ)
+	if math.IsInf(slow, 1) {
+		t.Fatal("no escape at operating drive")
+	}
+	if fast >= slow {
+		t.Errorf("escape at 3*J0 (%g s) not faster than at 2*J0 (%g s)", fast, slow)
+	}
+}
+
+func TestODESubThresholdFlatMotion(t *testing.T) {
+	// STS stage-2 depends on sub-threshold drive moving walls through
+	// FLAT regions while notches hold: the free-region equation must
+	// still advance the wall at 0.8*J0.
+	p := Default()
+	j := 0.8 * p.ThresholdJ0
+	u := p.U(j)
+	w := p.Integrate(Wall{}, u, 1e-9, 1e-13, false)
+	if w.Q <= 0 {
+		t.Errorf("sub-threshold drive did not move a free wall: q=%g", w.Q)
+	}
+	// And the same drive must NOT free a pinned wall.
+	if escapesNotch(p, j, 5e-9) {
+		t.Error("sub-threshold drive freed a pinned wall: STS stage-2 would over-shift")
+	}
+}

@@ -1,0 +1,59 @@
+package shiftctrl
+
+// TapeController is the interface shared by the protected-tape
+// implementations: the standard p-ECC Tape (dedicated code region,
+// multi-step shifts) and the p-ECC-O OTape (overhead-region codes,
+// step-by-step shift-and-write). The hifi facade drives stripe groups
+// through this interface so the protection scheme selects the mechanism.
+type TapeController interface {
+	// Align brings in-segment offset target under the data ports. seqFor
+	// chooses how distances split into operations; implementations that
+	// mandate their own granularity (p-ECC-O) may ignore it.
+	Align(target int, seqFor func(dist int) []int) error
+	// BelievedOffset is the controller's position belief.
+	BelievedOffset() int
+	// TrueOffset is the oracle position (tests and fault accounting).
+	TrueOffset() int
+	// Aligned reports belief == reality (oracle).
+	Aligned() bool
+	// Counters returns cumulative statistics.
+	Counters() Counters
+}
+
+// Counters is the statistics snapshot shared by tape implementations.
+type Counters struct {
+	Ops         uint64
+	Cycles      uint64
+	Corrections uint64
+	DUEs        uint64
+	SilentBad   uint64
+}
+
+// Align implements TapeController for Tape.
+func (t *Tape) Align(target int, seqFor func(int) []int) error {
+	return t.AlignTo(target, seqFor)
+}
+
+// Counters implements TapeController for Tape.
+func (t *Tape) Counters() Counters {
+	return Counters{Ops: t.Ops, Cycles: t.Cycles, Corrections: t.Corrections,
+		DUEs: t.DUEs, SilentBad: t.SilentBad}
+}
+
+// Align implements TapeController for OTape; the sequence planner is
+// ignored because p-ECC-O mandates 1-step operations.
+func (t *OTape) Align(target int, _ func(int) []int) error {
+	return t.AlignTo(target)
+}
+
+// Counters implements TapeController for OTape.
+func (t *OTape) Counters() Counters {
+	return Counters{Ops: t.Ops, Cycles: t.Cycles, Corrections: t.Corrections,
+		DUEs: t.DUEs, SilentBad: t.SilentBad}
+}
+
+// Interface conformance checks.
+var (
+	_ TapeController = (*Tape)(nil)
+	_ TapeController = (*OTape)(nil)
+)

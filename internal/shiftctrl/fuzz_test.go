@@ -1,0 +1,131 @@
+package shiftctrl
+
+// Randomized invariant tests: drive the protected tapes with long random
+// operation sequences at a range of error intensities and check that the
+// bookkeeping invariants hold at every step.
+
+import (
+	"testing"
+
+	"racetrack/hifi/internal/errmodel"
+	"racetrack/hifi/internal/pecc"
+	"racetrack/hifi/internal/sim"
+)
+
+// checkTapeInvariants asserts the properties that must hold after any
+// operation on any tape.
+func checkTapeInvariants(t *testing.T, tc TapeController, step int) {
+	t.Helper()
+	c := tc.Counters()
+	b := tc.BelievedOffset()
+	if b < 0 || b > 7 {
+		t.Fatalf("step %d: believed offset %d escaped the segment", step, b)
+	}
+	// Oracle: an unflagged mismatch means an accounting hole. Either the
+	// tape is aligned, or one of the failure counters recorded why not.
+	if !tc.Aligned() && c.DUEs == 0 && c.SilentBad == 0 {
+		t.Fatalf("step %d: misaligned (true %d, believed %d) with no DUE/silent record",
+			step, tc.TrueOffset(), b)
+	}
+	if c.Cycles < c.Ops {
+		t.Fatalf("step %d: cycles %d < ops %d", step, c.Cycles, c.Ops)
+	}
+}
+
+func fuzzOneTape(t *testing.T, mk func(em errmodel.Model, seed uint64) TapeController, scale float64, seed uint64) {
+	em := errmodel.Model{RateScale: scale}
+	tc := mk(em, seed)
+	r := sim.NewRNG(seed ^ 0xFACE)
+	for i := 0; i < 4000; i++ {
+		target := r.Intn(8)
+		if err := tc.Align(target, nil); err != nil {
+			t.Fatalf("step %d: %v", i, err)
+		}
+		if tc.BelievedOffset() != target {
+			t.Fatalf("step %d: believed %d after aligning to %d", i, tc.BelievedOffset(), target)
+		}
+		checkTapeInvariants(t, tc, i)
+	}
+}
+
+func TestFuzzTapeAcrossIntensities(t *testing.T) {
+	mk := func(em errmodel.Model, seed uint64) TapeController {
+		return NewTape(pecc.SECDED(8), 64, em, DefaultTiming(), sim.NewRNG(seed))
+	}
+	for _, scale := range []float64{1e-9, 1, 100, 2000, 1e5} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			fuzzOneTape(t, mk, scale, seed)
+		}
+	}
+}
+
+func TestFuzzOTapeAcrossIntensities(t *testing.T) {
+	mk := func(em errmodel.Model, seed uint64) TapeController {
+		return NewOTape(pecc.MustNewO(1, 8), 64, em, DefaultTiming(), sim.NewRNG(seed))
+	}
+	for _, scale := range []float64{1e-9, 1, 100, 2000, 1e5} {
+		for seed := uint64(1); seed <= 3; seed++ {
+			fuzzOneTape(t, mk, scale, seed)
+		}
+	}
+}
+
+func TestFuzzTapeWithPlans(t *testing.T) {
+	// Same fuzz but routing every move through the safe-distance planner
+	// at a tight budget (forces multi-op sequences).
+	em := errmodel.Model{RateScale: 500}
+	p := NewPlanner(em, DefaultTiming(), 7, 7)
+	tp := NewTape(pecc.SECDED(8), 64, em, DefaultTiming(), sim.NewRNG(9))
+	seqFor := func(d int) []int {
+		seq, _ := p.Plan(d, 1e-18)
+		return seq
+	}
+	r := sim.NewRNG(10)
+	for i := 0; i < 3000; i++ {
+		if err := tp.Align(r.Intn(8), seqFor); err != nil {
+			t.Fatal(err)
+		}
+		checkTapeInvariants(t, tp, i)
+	}
+	if tp.Corrections == 0 {
+		t.Error("expected corrections under 500x rates")
+	}
+}
+
+func TestFuzzTapeDetectMode(t *testing.T) {
+	em := errmodel.Model{RateScale: 1000}
+	tp := NewTape(pecc.SECDED(8), 64, em, DefaultTiming(), sim.NewRNG(11))
+	tp.Mode = CheckDetect
+	r := sim.NewRNG(12)
+	for i := 0; i < 3000; i++ {
+		if err := tp.Align(r.Intn(8), nil); err != nil {
+			t.Fatal(err)
+		}
+		checkTapeInvariants(t, tp, i)
+	}
+	if tp.DUEs == 0 {
+		t.Error("detect-only mode at 1000x rates recorded no DUEs")
+	}
+	if tp.Corrections != 0 {
+		t.Error("detect-only mode corrected")
+	}
+}
+
+func TestFuzzHigherStrengthTapes(t *testing.T) {
+	// m=2 and m=3 codes must survive the same fuzz.
+	for _, m := range []int{2, 3} {
+		tp := NewTape(pecc.MustNew(m, 8), 64, errmodel.Model{RateScale: 1000},
+			DefaultTiming(), sim.NewRNG(uint64(m)))
+		r := sim.NewRNG(uint64(m) * 7)
+		for i := 0; i < 2000; i++ {
+			if err := tp.Align(r.Intn(8), nil); err != nil {
+				t.Fatal(err)
+			}
+			checkTapeInvariants(t, tp, i)
+		}
+		// Stronger codes correct more and leak less.
+		if tp.Corrections == 0 {
+			t.Errorf("m=%d: no corrections", m)
+		}
+	}
+}

@@ -1,0 +1,342 @@
+package shiftctrl
+
+import (
+	"fmt"
+
+	"racetrack/hifi/internal/errmodel"
+	"racetrack/hifi/internal/pecc"
+	"racetrack/hifi/internal/sim"
+	"racetrack/hifi/internal/stripe"
+)
+
+// OTape is the functional model of a p-ECC-O protected stripe (§4.2.4,
+// Fig. 8): instead of a dedicated code region with its own ports, the
+// cyclic code lives in the overhead regions at BOTH ends of the stripe and
+// is maintained by a shift-and-write port at each end.
+//
+// Operation: every shift moves exactly one step. When the tape moves left
+// (offset increases), the right-end read ports check the code bits arriving
+// there, and the left-end write port simultaneously writes the next code
+// bit into the vacated slot — so a valid code is always present in the
+// region the tape will later be checked against when it moves back right.
+// The same holds mirrored for right moves.
+//
+// Layout of the underlying stripe:
+//
+//	[ left code region | data | right code region ]
+//
+// with each code region sized 2(m+1) + excursion slack.
+type OTape struct {
+	st   *stripe.Stripe
+	code pecc.OCode
+	em   errmodel.Model
+	tim  Timing
+	rng  *sim.RNG
+
+	segLen   int
+	dataLen  int
+	regionL  int // slots in each end region
+	believed int
+	trueOff  int
+
+	// Statistics, matching Tape's fields.
+	Ops         uint64
+	Cycles      uint64
+	Writes      uint64 // shift-and-write operations
+	Corrections uint64
+	DUEs        uint64
+	SilentBad   uint64
+
+	// Mode mirrors Tape.Mode semantics.
+	Mode CheckMode
+}
+
+// NewOTape builds a p-ECC-O protected stripe with dataLen data domains.
+func NewOTape(code pecc.OCode, dataLen int, em errmodel.Model, tim Timing, rng *sim.RNG) *OTape {
+	segLen := code.SegLen()
+	if dataLen%segLen != 0 {
+		panic(fmt.Sprintf("shiftctrl: dataLen %d not divisible by segLen %d", dataLen, segLen))
+	}
+	// Each end region: the 2(m+1) code domains plus the full access
+	// excursion (Lseg-1) plus error slack (m+1).
+	regionL := code.ExtraDomainsPerEnd() + segLen - 1 + code.M() + 1
+	t := &OTape{
+		st:      stripe.New(2*regionL + dataLen),
+		code:    code,
+		em:      em,
+		tim:     tim,
+		rng:     rng,
+		segLen:  segLen,
+		dataLen: dataLen,
+		regionL: regionL,
+	}
+	// Zero the data domains and program both end codes for offset 0.
+	snap := t.st.Snapshot()
+	for i := 0; i < dataLen; i++ {
+		snap[regionL+i] = stripe.Zero
+	}
+	t.st.LoadSlots(snap)
+	t.programCodes()
+	return t
+}
+
+// dataSlot returns the physical slot of data domain i at home position.
+func (t *OTape) dataSlot(i int) int { return t.regionL + i }
+
+// portSlot returns the slot of the data port for segment p.
+func (t *OTape) portSlot(p int) int { return t.regionL + p*t.segLen }
+
+// rightWindowSlot returns the slot of right-end code read port j. The
+// right-end window sits just past the data region's home end, offset by
+// the worst-case under-shift margin so it stays within the region.
+func (t *OTape) rightWindowSlot(j int) int {
+	return t.regionL + t.dataLen + t.code.M() + 1 + j
+}
+
+// leftWindowSlot returns the slot a mirrored left-end window would use.
+// It exists for the dual-window experiments and the renderer; decode uses
+// only the right window (see decode for why it is sufficient).
+func (t *OTape) leftWindowSlot(j int) int {
+	// Mirrored: the window's last slot sits M+1 before the data region,
+	// matching the right window's first slot M+1 past it.
+	return t.regionL - (t.code.M() + 1) - t.code.Window() + j
+}
+
+// programCodes writes the cyclic pattern into both end regions such that
+// the windows decode offset 0 at home position. Bit value at slot s follows
+// the global phase (s - base) so every window read at offset o yields phase
+// base+o consistently.
+func (t *OTape) programCodes() {
+	snap := t.st.Snapshot()
+	for s := 0; s < t.regionL; s++ {
+		snap[s] = t.codeBitAtSlot(s, 0)
+	}
+	for s := t.regionL + t.dataLen; s < t.st.Len(); s++ {
+		snap[s] = t.codeBitAtSlot(s, 0)
+	}
+	t.st.LoadSlots(snap)
+}
+
+// codeBitAtSlot returns the code bit that belongs at physical slot s when
+// the tape displacement is off: the pattern is anchored to the tape, so the
+// value at a fixed slot advances with displacement.
+func (t *OTape) codeBitAtSlot(s, off int) stripe.Bit {
+	return t.code.Bit(s + off)
+}
+
+// BelievedOffset returns the controller's position belief.
+func (t *OTape) BelievedOffset() int { return t.believed }
+
+// TrueOffset returns the oracle position.
+func (t *OTape) TrueOffset() int { return t.trueOff }
+
+// Aligned reports belief == reality (oracle).
+func (t *OTape) Aligned() bool { return t.believed == t.trueOff && !t.st.Misaligned() }
+
+// AlignTo shifts step by step (p-ECC-O's mandated granularity) until the
+// believed offset reaches target, checking and correcting after each step.
+func (t *OTape) AlignTo(target int) error {
+	if target < 0 || target >= t.segLen {
+		return fmt.Errorf("shiftctrl: target offset %d outside segment [0,%d)", target, t.segLen)
+	}
+	for t.believed != target {
+		dir := +1
+		if target < t.believed {
+			dir = -1
+		}
+		t.stepOnce(dir)
+	}
+	return nil
+}
+
+// stepOnce performs one 1-step shift-and-write with error injection, then
+// the check/correct loop.
+func (t *OTape) stepOnce(dir int) {
+	t.applyRaw(dir)
+	t.believed += dir
+	t.checkAndCorrect()
+}
+
+// applyRaw moves the tape one intended step in direction dir (with sampled
+// position error) and performs the shift-and-write of the incoming code
+// bit.
+func (t *OTape) applyRaw(dir int) {
+	o := t.em.Sample(1, t.rng)
+	actual := 1 + o.StepOffset
+	if actual < 0 {
+		actual = 0
+	}
+	t.Ops++
+	t.Writes++
+	t.Cycles += uint64(t.tim.OpCycles(1))
+	// The write port injects the code bit for the *believed* next
+	// displacement; if the tape actually moved a different distance the
+	// written bit lands one slot off — which the opposite window's check
+	// then exposes, exactly like hardware.
+	next := t.believed + dir
+	if dir > 0 {
+		fill := make([]stripe.Bit, actual)
+		for i := range fill {
+			// Only the first (intended) bit is driven by the controller;
+			// any extra movement drags unknown magnetization in.
+			if i == 0 {
+				fill[i] = t.codeBitAtSlot(t.st.Len()-1, next)
+			} else {
+				fill[i] = stripe.Unknown
+			}
+		}
+		t.st.ShiftLeft(actual, fill)
+		t.trueOff += actual
+	} else {
+		fill := make([]stripe.Bit, actual)
+		for i := range fill {
+			if i == 0 {
+				fill[i] = t.codeBitAtSlot(0, next)
+			} else {
+				fill[i] = stripe.Unknown
+			}
+		}
+		t.st.ShiftRight(actual, fill)
+		t.trueOff -= actual
+	}
+	t.st.SetMisaligned(o.StopInMiddle)
+}
+
+// checkAndCorrect decodes the active end's window and reacts per Mode.
+func (t *OTape) checkAndCorrect() {
+	if t.Mode == CheckNone {
+		if t.believed != t.trueOff || t.st.Misaligned() {
+			t.SilentBad++
+		}
+		return
+	}
+	for round := 0; round < maxCorrectionRounds; round++ {
+		res := t.decode()
+		switch {
+		case !res.Detected:
+			if t.believed != t.trueOff {
+				t.SilentBad++
+			}
+			return
+		case res.Correctable && t.Mode == CheckDetect:
+			t.DUEs++
+			t.recoverDUE()
+			return
+		case res.Correctable:
+			t.Corrections++
+			t.correct(res.Offset)
+		default:
+			t.DUEs++
+			t.recoverDUE()
+			return
+		}
+	}
+	t.DUEs++
+	t.recoverDUE()
+}
+
+// decode reads the right-end code window. The paper's Fig. 8 alternates
+// between the two end regions by direction; in this slot model a single
+// window near the data/right-region boundary is provably always valid:
+// the code bits written by shift-and-write slide coherently with the tape
+// (into the last data home slots during left excursions and back out
+// during right ones), so the window content equals the global cyclic
+// pattern at the tape's true displacement in both directions. A window at
+// the far left end would instead be stale for the first m+1 steps after a
+// direction change — the left region's role here is purely to absorb the
+// data excursion, which is also why ExtraDomainsPerEnd sizes both ends.
+func (t *OTape) decode() pecc.Result {
+	w := make([]stripe.Bit, t.code.Window())
+	for j := range w {
+		if t.st.Misaligned() {
+			w[j] = stripe.Unknown
+			continue
+		}
+		w[j] = t.st.Read(t.rightWindowSlot(j))
+	}
+	base := t.rightWindowSlot(0)
+	return t.code.Decode(base+t.believed, w)
+}
+
+// correct shifts back by the detected offset, one step at a time, with
+// fresh error injection per step (corrections can themselves fail).
+func (t *OTape) correct(offset int) {
+	dir := -1
+	n := offset
+	if offset < 0 {
+		dir = +1
+		n = -offset
+	}
+	for i := 0; i < n; i++ {
+		o := t.em.Sample(1, t.rng)
+		actual := 1 + o.StepOffset
+		if actual < 0 {
+			actual = 0
+		}
+		t.Ops++
+		t.Cycles += uint64(t.tim.OpCycles(1))
+		var fill []stripe.Bit
+		if dir > 0 {
+			if actual >= 1 {
+				fill = []stripe.Bit{t.codeBitAtSlot(t.st.Len()-1, t.believed)}
+			}
+			t.st.ShiftLeft(actual, fill)
+			t.trueOff += actual
+		} else {
+			if actual >= 1 {
+				fill = []stripe.Bit{t.codeBitAtSlot(0, t.believed)}
+			}
+			t.st.ShiftRight(actual, fill)
+			t.trueOff -= actual
+		}
+		t.st.SetMisaligned(o.StopInMiddle)
+	}
+}
+
+// recoverDUE realigns and re-programs both codes (maintenance operation).
+func (t *OTape) recoverDUE() {
+	t.st.SetMisaligned(false)
+	if delta := t.trueOff - t.believed; delta > 0 {
+		t.st.ShiftRight(delta, nil)
+	} else if delta < 0 {
+		t.st.ShiftLeft(-delta, nil)
+	}
+	t.trueOff = t.believed
+	snap := t.st.Snapshot()
+	for s := 0; s < t.regionL; s++ {
+		snap[s] = t.codeBitAtSlot(s+t.believed, 0)
+	}
+	for s := t.regionL + t.dataLen; s < t.st.Len(); s++ {
+		snap[s] = t.codeBitAtSlot(s+t.believed, 0)
+	}
+	t.st.LoadSlots(snap)
+}
+
+// ReadData returns the value of data domain i, which must be aligned.
+func (t *OTape) ReadData(i int) (stripe.Bit, error) {
+	if i%t.segLen != t.believed {
+		return stripe.Unknown, fmt.Errorf("shiftctrl: domain %d not aligned", i)
+	}
+	return t.st.Read(t.portSlot(i / t.segLen)), nil
+}
+
+// WriteData stores v into data domain i, which must be aligned.
+func (t *OTape) WriteData(i int, v stripe.Bit) error {
+	if i%t.segLen != t.believed {
+		return fmt.Errorf("shiftctrl: domain %d not aligned for write", i)
+	}
+	if t.st.Misaligned() {
+		return fmt.Errorf("shiftctrl: stripe misaligned")
+	}
+	t.st.Write(t.portSlot(i/t.segLen), v)
+	return nil
+}
+
+// PeekData returns the oracle value of data domain i.
+func (t *OTape) PeekData(i int) stripe.Bit {
+	slot := t.dataSlot(i) - t.trueOff
+	if slot < 0 || slot >= t.st.Len() {
+		return stripe.Unknown
+	}
+	return t.st.Peek(slot)
+}

@@ -1,0 +1,225 @@
+package shiftctrl
+
+import (
+	"testing"
+
+	"racetrack/hifi/internal/errmodel"
+	"racetrack/hifi/internal/pecc"
+	"racetrack/hifi/internal/sim"
+	"racetrack/hifi/internal/stripe"
+)
+
+func newTestOTape(scale float64, seed uint64) *OTape {
+	return NewOTape(pecc.MustNewO(1, 8), 64, errmodel.Model{RateScale: scale},
+		DefaultTiming(), sim.NewRNG(seed))
+}
+
+func TestOTapeCleanRoundTrip(t *testing.T) {
+	tp := newTestOTape(1e-9, 1)
+	if err := tp.AlignTo(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.WriteData(19, stripe.One); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AlignTo(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AlignTo(3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tp.ReadData(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != stripe.One {
+		t.Errorf("read back %v", got)
+	}
+	if !tp.Aligned() {
+		t.Error("clean OTape should be aligned")
+	}
+	if tp.DUEs != 0 || tp.Corrections != 0 {
+		t.Errorf("clean run: DUEs=%d corr=%d", tp.DUEs, tp.Corrections)
+	}
+}
+
+func TestOTapeStepGranularity(t *testing.T) {
+	tp := newTestOTape(1e-9, 2)
+	tp.AlignTo(7)
+	// 7 steps must take 7 operations, each with a shift-and-write.
+	if tp.Ops != 7 || tp.Writes != 7 {
+		t.Errorf("ops=%d writes=%d, want 7/7", tp.Ops, tp.Writes)
+	}
+	wantCycles := uint64(7 * DefaultTiming().OpCycles(1))
+	if tp.Cycles != wantCycles {
+		t.Errorf("cycles=%d, want %d", tp.Cycles, wantCycles)
+	}
+}
+
+func TestOTapeRejectsBadTarget(t *testing.T) {
+	tp := newTestOTape(1e-9, 3)
+	if err := tp.AlignTo(8); err == nil {
+		t.Error("offset 8 accepted")
+	}
+	if err := tp.AlignTo(-1); err == nil {
+		t.Error("offset -1 accepted")
+	}
+}
+
+func TestOTapeUnalignedAccessRejected(t *testing.T) {
+	tp := newTestOTape(1e-9, 4)
+	if _, err := tp.ReadData(19); err == nil {
+		t.Error("unaligned read accepted")
+	}
+	if err := tp.WriteData(19, stripe.One); err == nil {
+		t.Error("unaligned write accepted")
+	}
+}
+
+func TestOTapeCorrectsInjectedErrors(t *testing.T) {
+	tp := NewOTape(pecc.MustNewO(1, 8), 64, errmodel.Model{RateScale: 300},
+		DefaultTiming(), sim.NewRNG(5))
+	r := sim.NewRNG(6)
+	tp.AlignTo(0)
+	for seg := 0; seg < 8; seg++ {
+		if err := tp.WriteData(seg*8, stripe.FromBool(seg%2 == 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		if err := tp.AlignTo(r.Intn(8)); err != nil {
+			t.Fatal(err)
+		}
+		if !tp.Aligned() && tp.SilentBad == 0 {
+			t.Fatalf("iteration %d: silent misalignment unaccounted", i)
+		}
+	}
+	if tp.Corrections == 0 {
+		t.Error("no corrections at 300x rates")
+	}
+	tp.AlignTo(0)
+	if tp.DUEs == 0 && tp.SilentBad == 0 {
+		for seg := 0; seg < 8; seg++ {
+			got, err := tp.ReadData(seg * 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != stripe.FromBool(seg%2 == 0) {
+				t.Errorf("segment %d corrupted: %v", seg, got)
+			}
+		}
+	}
+}
+
+func TestOTapeCodeMaintainedAcrossExcursions(t *testing.T) {
+	// After many full excursions, the shift-and-write must keep the code
+	// decodable (no silent decay of the overhead regions).
+	tp := newTestOTape(1e-9, 7)
+	for round := 0; round < 50; round++ {
+		tp.AlignTo(7)
+		tp.AlignTo(0)
+	}
+	if tp.DUEs != 0 {
+		t.Errorf("clean excursions produced %d DUEs", tp.DUEs)
+	}
+	if !tp.Aligned() {
+		t.Error("OTape lost alignment")
+	}
+	// Final decode must be clean.
+	if res := tp.decode(); res.Detected {
+		t.Errorf("code no longer decodes cleanly: %+v", res)
+	}
+}
+
+func TestOTapeUnprotectedMode(t *testing.T) {
+	tp := newTestOTape(2000, 8)
+	tp.Mode = CheckNone
+	for i := 0; i < 2000 && tp.SilentBad == 0; i++ {
+		tp.AlignTo(i % 8)
+	}
+	if tp.SilentBad == 0 {
+		t.Error("CheckNone mode never recorded silent misalignment at 2000x rates")
+	}
+	if tp.Corrections != 0 || tp.DUEs != 0 {
+		t.Error("CheckNone mode must not correct or detect")
+	}
+}
+
+func TestOTapeDetectOnlyMode(t *testing.T) {
+	tp := newTestOTape(500, 9)
+	tp.Mode = CheckDetect
+	for i := 0; i < 3000 && tp.DUEs == 0; i++ {
+		tp.AlignTo(i % 8)
+	}
+	if tp.DUEs == 0 {
+		t.Error("detect-only mode never reported a DUE at 500x rates")
+	}
+	if tp.Corrections != 0 {
+		t.Error("detect-only mode must not correct")
+	}
+	if !tp.Aligned() {
+		t.Error("DUE recovery should realign")
+	}
+}
+
+func TestOTapeHigherStrength(t *testing.T) {
+	// m=2 p-ECC-O: corrects +-2 step errors.
+	tp := NewOTape(pecc.MustNewO(2, 8), 64, errmodel.Model{RateScale: 300},
+		DefaultTiming(), sim.NewRNG(10))
+	for i := 0; i < 2000; i++ {
+		tp.AlignTo(i % 8)
+	}
+	if tp.SilentBad != 0 {
+		t.Errorf("m=2 OTape silently misaligned %d times", tp.SilentBad)
+	}
+}
+
+func TestOTapePanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("dataLen not divisible by segLen did not panic")
+		}
+	}()
+	NewOTape(pecc.MustNewO(1, 8), 63, errmodel.Model{}, DefaultTiming(), sim.NewRNG(1))
+}
+
+func TestOTapePeekOracle(t *testing.T) {
+	tp := newTestOTape(1e-9, 11)
+	tp.AlignTo(0)
+	tp.WriteData(0, stripe.One)
+	if tp.PeekData(0) != stripe.One {
+		t.Error("PeekData disagrees with write")
+	}
+	tp.AlignTo(5)
+	if tp.PeekData(0) != stripe.One {
+		t.Error("PeekData lost track after shifting")
+	}
+}
+
+func TestOTapeWindowGeometry(t *testing.T) {
+	tp := newTestOTape(1e-9, 30)
+	// The mirrored left window sits inside the left region with the same
+	// margin the right window keeps, and both windows are code.Window()
+	// consecutive slots.
+	w := tp.code.Window()
+	if tp.leftWindowSlot(w-1) >= tp.regionL {
+		t.Error("left window leaks into the data region")
+	}
+	if tp.leftWindowSlot(0) < 0 {
+		t.Error("left window before the stripe start")
+	}
+	for j := 1; j < w; j++ {
+		if tp.leftWindowSlot(j) != tp.leftWindowSlot(j-1)+1 {
+			t.Error("left window not consecutive")
+		}
+		if tp.rightWindowSlot(j) != tp.rightWindowSlot(j-1)+1 {
+			t.Error("right window not consecutive")
+		}
+	}
+	// Mirror symmetry: distances to the respective data boundaries match.
+	leftGap := tp.regionL - 1 - tp.leftWindowSlot(w-1)
+	rightGap := tp.rightWindowSlot(0) - (tp.regionL + tp.dataLen)
+	if leftGap != rightGap {
+		t.Errorf("window margins asymmetric: %d vs %d", leftGap, rightGap)
+	}
+}

@@ -1,0 +1,112 @@
+package shiftctrl
+
+// Brute-force cross-check of the Pareto planner: for small distances,
+// enumerate every composition of the distance into steps and verify that
+// Plan returns the true minimum-latency sequence under each rate budget
+// (Algorithm 1's specification).
+
+import (
+	"math"
+	"testing"
+
+	"racetrack/hifi/internal/errmodel"
+)
+
+// compositions enumerates all ordered decompositions of d into steps of at
+// most maxStep, invoking f on each. Order doesn't change cost, but
+// enumerating ordered compositions is simpler and covers all multisets.
+func compositions(d, maxStep int, prefix []int, f func([]int)) {
+	if d == 0 {
+		f(prefix)
+		return
+	}
+	for s := 1; s <= maxStep && s <= d; s++ {
+		compositions(d-s, maxStep, append(prefix, s), f)
+	}
+}
+
+func TestPlannerMatchesBruteForce(t *testing.T) {
+	em := errmodel.Model{}
+	tm := DefaultTiming()
+	p := NewPlanner(em, tm, 10, 7)
+
+	budgets := []float64{1, 1e-14, 1e-18, 5e-20, 2.5e-20, 1.4e-20, 1e-20, 3e-21}
+	for d := 1; d <= 10; d++ {
+		for _, budget := range budgets {
+			// Brute force: min latency among sequences meeting the budget,
+			// then min rate among those.
+			bestLat := math.MaxInt32
+			bestRate := math.Inf(1)
+			feasible := false
+			compositions(d, 7, nil, func(seq []int) {
+				rate := SeqUncorrectableRate(em, seq)
+				if rate > budget {
+					return
+				}
+				feasible = true
+				lat := tm.SeqCycles(seq)
+				if lat < bestLat || (lat == bestLat && rate < bestRate) {
+					bestLat = lat
+					bestRate = rate
+				}
+			})
+
+			seq, err := p.Plan(d, budget)
+			gotLat := tm.SeqCycles(seq)
+			gotRate := SeqUncorrectableRate(em, seq)
+
+			if !feasible {
+				// Planner must fall back to all-1s with an error.
+				if err == nil {
+					t.Errorf("d=%d budget=%g: no feasible sequence but planner returned %v without error",
+						d, budget, seq)
+				}
+				continue
+			}
+			if err != nil {
+				t.Errorf("d=%d budget=%g: planner error %v but brute force found %d cycles",
+					d, budget, err, bestLat)
+				continue
+			}
+			if gotLat != bestLat {
+				t.Errorf("d=%d budget=%g: planner %v (%d cy) vs brute-force optimum %d cy",
+					d, budget, seq, gotLat, bestLat)
+			}
+			if gotRate > budget {
+				t.Errorf("d=%d budget=%g: planner sequence %v violates budget (rate %g)",
+					d, budget, seq, gotRate)
+			}
+		}
+	}
+}
+
+func TestPlannerFrontierIsPareto(t *testing.T) {
+	em := errmodel.Model{}
+	p := NewPlanner(em, DefaultTiming(), 9, 7)
+	for d := 1; d <= 9; d++ {
+		cycles, rates := p.Frontier(d)
+		for i := 1; i < len(cycles); i++ {
+			if cycles[i] <= cycles[i-1] {
+				t.Errorf("d=%d: frontier cycles not increasing at %d", d, i)
+			}
+			if rates[i] >= rates[i-1] {
+				t.Errorf("d=%d: frontier rates not decreasing at %d", d, i)
+			}
+		}
+		// Every frontier sequence reconstructs to matching totals.
+		for i := range cycles {
+			seq := p.Sequence(d, i)
+			total := 0
+			for _, s := range seq {
+				total += s
+			}
+			if total != d {
+				t.Errorf("d=%d row %d: sequence %v sums to %d", d, i, seq, total)
+			}
+			if got := DefaultTiming().SeqCycles(seq); got != cycles[i] {
+				t.Errorf("d=%d row %d: sequence %v costs %d, frontier says %d",
+					d, i, seq, got, cycles[i])
+			}
+		}
+	}
+}

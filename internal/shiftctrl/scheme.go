@@ -1,0 +1,102 @@
+// Package shiftctrl implements the position-error-aware shift architecture
+// (paper §5): the protection schemes compared in the evaluation, the
+// safe-distance rule, the optimal shift-sequence selection of Algorithm 1,
+// the adaptive run-time intensity adapter, and a functional fault-injecting
+// tape controller for end-to-end protection of a single stripe.
+package shiftctrl
+
+import "racetrack/hifi/internal/errmodel"
+
+// Scheme is one of the protection configurations evaluated in the paper.
+type Scheme int
+
+const (
+	// Baseline is the unprotected racetrack memory: no STS, no p-ECC.
+	// Every position error is silent.
+	Baseline Scheme = iota
+	// STSOnly applies sub-threshold shift without any p-ECC: stop-in-middle
+	// errors are eliminated, but out-of-step errors stay silent.
+	STSOnly
+	// SED is STS plus the single-step-error-detecting p-ECC (§4.2.1):
+	// odd step errors are detected (DUE) but nothing is corrected.
+	SED
+	// SECDED is STS plus the single-correct/double-detect p-ECC (§4.2.2).
+	SECDED
+	// PECCO is STS plus SECDED p-ECC-O (§4.2.4): codes live in the
+	// overhead region and every operation moves exactly one step.
+	PECCO
+	// PECCSWorst is SECDED p-ECC plus the safe-distance constraint
+	// computed from the worst-case access intensity (§5.2).
+	PECCSWorst
+	// PECCSAdaptive is SECDED p-ECC plus the run-time adaptive safe
+	// distance (§5.3).
+	PECCSAdaptive
+)
+
+// String implements fmt.Stringer.
+func (s Scheme) String() string {
+	switch s {
+	case Baseline:
+		return "baseline"
+	case STSOnly:
+		return "sts-only"
+	case SED:
+		return "sed-pecc"
+	case SECDED:
+		return "secded-pecc"
+	case PECCO:
+		return "secded-pecc-o"
+	case PECCSWorst:
+		return "secded-pecc-s-worst"
+	case PECCSAdaptive:
+		return "secded-pecc-s-adaptive"
+	default:
+		return "unknown-scheme"
+	}
+}
+
+// UsesSTS reports whether the scheme applies sub-threshold shift.
+func (s Scheme) UsesSTS() bool { return s != Baseline }
+
+// UsesSafeDistance reports whether the scheme constrains shift distance by
+// the safe-distance rule.
+func (s Scheme) UsesSafeDistance() bool {
+	return s == PECCSWorst || s == PECCSAdaptive
+}
+
+// StepLimited reports whether every shift operation is limited to one step
+// (p-ECC-O's shift-and-write).
+func (s Scheme) StepLimited() bool { return s == PECCO }
+
+// FailureRates returns the per-operation probabilities of silent data
+// corruption and detected-unrecoverable error for a single shift operation
+// of distance n under scheme s, given the device error model.
+//
+// Classification per the p-ECC semantics (§4.2):
+//
+//	baseline:  no detection at all — every position error is an SDC.
+//	sts-only:  stop-in-middle gone; all out-of-step errors are SDCs.
+//	SED:       odd-magnitude errors flip the parity-like code → detected
+//	           (DUE, since direction is unknown); even-magnitude errors
+//	           leave it unchanged → silent (SDC).
+//	SECDED:    +-1 corrected (no failure); +-2 detected → DUE; +-3 aliases
+//	           to -+1 in the period-4 cycle → miscorrected → SDC.
+//	p-ECC-O / p-ECC-S: same SECDED classification (distance handling is
+//	           done by the sequence planner, not here).
+func (s Scheme) FailureRates(em errmodel.Model, n int) (sdc, due float64) {
+	if n <= 0 {
+		return 0, 0
+	}
+	switch s {
+	case Baseline:
+		raw := em
+		raw.DisableSTS = true
+		return raw.ErrorRate(n), 0
+	case STSOnly:
+		return em.K1Rate(n) + em.K2Rate(n) + em.K3PlusRate(n), 0
+	case SED:
+		return em.K2Rate(n), em.K1Rate(n) + em.K3PlusRate(n)
+	default: // SECDED family
+		return em.K3PlusRate(n), em.K2Rate(n)
+	}
+}

@@ -1,0 +1,204 @@
+package shiftctrl
+
+import (
+	"testing"
+
+	"racetrack/hifi/internal/errmodel"
+	"racetrack/hifi/internal/pecc"
+	"racetrack/hifi/internal/sim"
+	"racetrack/hifi/internal/stripe"
+)
+
+func newTestTape(rateScale float64, seed uint64) *Tape {
+	return NewTape(pecc.SECDED(8), 64, errmodel.Model{RateScale: rateScale},
+		DefaultTiming(), sim.NewRNG(seed))
+}
+
+func TestLayoutForSizing(t *testing.T) {
+	c := pecc.SECDED(8)
+	lay := LayoutFor(c, 64)
+	if err := lay.Validate(); err != nil {
+		t.Fatalf("layout invalid: %v", err)
+	}
+	if lay.GuardLeft != 9 { // Lseg-1 + m+1 = 7+2
+		t.Errorf("GuardLeft = %d, want 9", lay.GuardLeft)
+	}
+	if lay.GuardRight != 2 {
+		t.Errorf("GuardRight = %d, want 2", lay.GuardRight)
+	}
+	if lay.PECCLen != c.Length()+2 {
+		t.Errorf("PECCLen = %d, want code+slack %d", lay.PECCLen, c.Length()+2)
+	}
+}
+
+func TestTapeCleanAccessSequence(t *testing.T) {
+	tp := newTestTape(0, 1) // RateScale 0 means factor 1 — use explicit 1e-9 for clean
+	tp = NewTape(pecc.SECDED(8), 64, errmodel.Model{RateScale: 1e-9}, DefaultTiming(), sim.NewRNG(1))
+	// Write a recognizable pattern into domain 19 (segment 2, offset 3).
+	if err := tp.AlignTo(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.WriteData(19, stripe.One); err != nil {
+		t.Fatal(err)
+	}
+	// Move away and back.
+	if err := tp.AlignTo(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AlignTo(3, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := tp.ReadData(19)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != stripe.One {
+		t.Errorf("read back %v, want One", got)
+	}
+	if !tp.Aligned() {
+		t.Error("tape should be aligned after clean operations")
+	}
+	if tp.DUEs != 0 || tp.Corrections != 0 {
+		t.Errorf("clean run recorded DUEs=%d corrections=%d", tp.DUEs, tp.Corrections)
+	}
+}
+
+func TestTapeRejectsBadTargets(t *testing.T) {
+	tp := newTestTape(1e-9, 2)
+	if err := tp.AlignTo(8, nil); err == nil {
+		t.Error("offset beyond segment accepted")
+	}
+	if err := tp.AlignTo(-1, nil); err == nil {
+		t.Error("negative offset accepted")
+	}
+}
+
+func TestTapeUnalignedReadRejected(t *testing.T) {
+	tp := newTestTape(1e-9, 3)
+	// Believed offset 0; domain 19 needs offset 3.
+	if _, err := tp.ReadData(19); err == nil {
+		t.Error("unaligned read accepted")
+	}
+	if err := tp.WriteData(19, stripe.One); err == nil {
+		t.Error("unaligned write accepted")
+	}
+}
+
+func TestTapeCorrectsInjectedErrors(t *testing.T) {
+	// Inflate the +-1 rate to make corrections frequent, and verify that
+	// after many random accesses the tape remains aligned and data
+	// written is read back correctly.
+	tp := NewTape(pecc.SECDED(8), 64, errmodel.Model{RateScale: 300},
+		DefaultTiming(), sim.NewRNG(4))
+	r := sim.NewRNG(5)
+	// Write known values at offset 0 of each segment first.
+	if err := tp.AlignTo(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	for seg := 0; seg < 8; seg++ {
+		if err := tp.WriteData(seg*8, stripe.FromBool(seg%2 == 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		target := r.Intn(8)
+		if err := tp.AlignTo(target, nil); err != nil {
+			t.Fatal(err)
+		}
+		if !tp.Aligned() && tp.SilentBad == 0 {
+			t.Fatalf("iteration %d: tape silently misaligned without oracle count", i)
+		}
+	}
+	if tp.Corrections == 0 {
+		t.Error("inflated error rate produced no corrections")
+	}
+	// Return to offset 0 and verify data survived (modulo DUEs, which
+	// invalidate; at k2 rates scaled by 300 DUEs are still ~1e-18).
+	if err := tp.AlignTo(0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if tp.DUEs == 0 && tp.SilentBad == 0 {
+		for seg := 0; seg < 8; seg++ {
+			got, err := tp.ReadData(seg * 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != stripe.FromBool(seg%2 == 0) {
+				t.Errorf("segment %d data corrupted: %v", seg, got)
+			}
+		}
+	}
+}
+
+func TestTapeDetectsDoubleStepAsDUE(t *testing.T) {
+	// Force many +-2 errors: k2 scaled enormously. Use a model where k2
+	// dominates by scaling and distance 7.
+	em := errmodel.Model{RateScale: 1e14} // k2(7)=7.57e-15*1e14 ≈ 0.757
+	tp := NewTape(pecc.SECDED(8), 64, em, DefaultTiming(), sim.NewRNG(6))
+	for i := 0; i < 50; i++ {
+		target := 7 - tp.BelievedOffset()%8
+		if target < 0 || target > 7 {
+			target = 7
+		}
+		if err := tp.AlignTo(target, nil); err != nil {
+			t.Fatal(err)
+		}
+		tp.AlignTo(0, nil)
+	}
+	if tp.DUEs == 0 {
+		t.Error("massively inflated k2 rate produced no DUEs")
+	}
+	// After recovery the tape must be aligned again.
+	if !tp.Aligned() {
+		t.Error("tape not realigned after DUE recovery")
+	}
+}
+
+func TestTapeWithPlannedSequences(t *testing.T) {
+	// Drive the tape through the planner: distances split into safe steps.
+	em := errmodel.Model{RateScale: 100}
+	p := NewPlanner(em, DefaultTiming(), 7, 7)
+	tp := NewTape(pecc.SECDED(8), 64, em, DefaultTiming(), sim.NewRNG(7))
+	seqFor := func(d int) []int {
+		seq, _ := p.Plan(d, 1e-16) // forces small steps at this scale
+		return seq
+	}
+	r := sim.NewRNG(8)
+	for i := 0; i < 500; i++ {
+		if err := tp.AlignTo(r.Intn(8), seqFor); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tp.Ops < 500 {
+		t.Errorf("expected more ops than accesses with split sequences: %d", tp.Ops)
+	}
+}
+
+func TestTapeStatisticsAccumulate(t *testing.T) {
+	tp := newTestTape(1e-9, 9)
+	tp.AlignTo(7, nil)
+	if tp.Ops != 1 {
+		t.Errorf("Ops = %d, want 1", tp.Ops)
+	}
+	if tp.Cycles != uint64(DefaultTiming().OpCycles(7)) {
+		t.Errorf("Cycles = %d, want %d", tp.Cycles, DefaultTiming().OpCycles(7))
+	}
+	tp.AlignTo(0, nil)
+	if tp.Ops != 2 {
+		t.Errorf("Ops = %d, want 2", tp.Ops)
+	}
+}
+
+func TestTapePeekOracle(t *testing.T) {
+	tp := newTestTape(1e-9, 10)
+	tp.AlignTo(0, nil)
+	tp.WriteData(0, stripe.One)
+	if tp.PeekData(0) != stripe.One {
+		t.Error("PeekData disagrees with write")
+	}
+	tp.AlignTo(5, nil)
+	// Peek still sees the value wherever the tape moved it.
+	if tp.PeekData(0) != stripe.One {
+		t.Error("PeekData lost track after shifting")
+	}
+}

@@ -1,0 +1,181 @@
+// Package sim provides deterministic random number generation, probability
+// distributions, and summary statistics shared by the simulator packages.
+//
+// All randomness in the repository flows through sim.RNG so that every
+// experiment is reproducible from a single seed.
+package sim
+
+import "math"
+
+// RNG is a deterministic pseudo-random generator based on xoshiro256**,
+// seeded through splitmix64. The zero value is not valid; use NewRNG.
+type RNG struct {
+	s [4]uint64
+	// cached second normal variate from the Box-Muller transform
+	haveGauss bool
+	gauss     float64
+}
+
+// NewRNG returns a generator seeded from seed. Two generators constructed
+// with the same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	// splitmix64 expansion of the seed into four state words.
+	x := seed
+	for i := range r.s {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split derives an independent generator from the current one. The derived
+// stream is stable: it depends only on the parent's state at the call site.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd1b54a32d192ed03)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniformly distributed value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniformly distributed integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniformly distributed integer in [0, n). It panics if n == 0.
+func (r *RNG) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("sim: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// Bool returns true with probability p.
+func (r *RNG) Bool(p float64) bool {
+	return r.Float64() < p
+}
+
+// NormFloat64 returns a standard normal variate (mean 0, stddev 1) using the
+// Box-Muller transform.
+func (r *RNG) NormFloat64() float64 {
+	if r.haveGauss {
+		r.haveGauss = false
+		return r.gauss
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	f := math.Sqrt(-2 * math.Log(s) / s)
+	r.gauss = v * f
+	r.haveGauss = true
+	return u * f
+}
+
+// Normal returns a normal variate with the given mean and standard deviation.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.NormFloat64()
+}
+
+// TruncNormal returns a normal variate truncated to [mean-k*stddev,
+// mean+k*stddev] by resampling. It models bounded process variation.
+func (r *RNG) TruncNormal(mean, stddev, k float64) float64 {
+	if stddev == 0 {
+		return mean
+	}
+	for {
+		x := r.NormFloat64()
+		if math.Abs(x) <= k {
+			return mean + stddev*x
+		}
+	}
+}
+
+// Exponential returns an exponential variate with the given rate (lambda).
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("sim: Exponential with non-positive rate")
+	}
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Geometric returns the number of Bernoulli(p) failures before the first
+// success. p must be in (0, 1].
+func (r *RNG) Geometric(p float64) int {
+	if p <= 0 || p > 1 {
+		panic("sim: Geometric with p outside (0,1]")
+	}
+	if p == 1 {
+		return 0
+	}
+	return int(math.Floor(math.Log(1-r.Float64()) / math.Log(1-p)))
+}
+
+// Zipf returns a value in [0, n) following an approximately Zipfian
+// distribution with exponent s > 0: value 0 is the most probable. It uses
+// inverse-CDF sampling of the continuous density x^-s on [1, n+1], which is
+// accurate enough for workload trace generation.
+func (r *RNG) Zipf(n int, s float64) int {
+	if n <= 0 {
+		panic("sim: Zipf with non-positive n")
+	}
+	if n == 1 {
+		return 0
+	}
+	u := r.Float64()
+	hi := float64(n + 1)
+	var x float64
+	if s == 1 {
+		x = math.Exp(u * math.Log(hi))
+	} else {
+		x = math.Pow(u*(math.Pow(hi, 1-s)-1)+1, 1/(1-s))
+	}
+	k := int(x) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= n {
+		k = n - 1
+	}
+	return k
+}
+
+// Perm fills dst with a random permutation of [0, len(dst)).
+func (r *RNG) Perm(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	for i := len(dst) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}

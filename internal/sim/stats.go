@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary accumulates streaming summary statistics (Welford's algorithm).
+// The zero value is ready to use.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates one observation.
+func (s *Summary) Add(x float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = x, x
+	} else {
+		if x < s.min {
+			s.min = x
+		}
+		if x > s.max {
+			s.max = x
+		}
+	}
+	delta := x - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (x - s.mean)
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the sample mean, or 0 when empty.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Variance returns the unbiased sample variance, or 0 with fewer than two
+// observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// Min returns the smallest observation, or 0 when empty.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the largest observation, or 0 when empty.
+func (s *Summary) Max() float64 { return s.max }
+
+// CI95 returns the half-width of a 95% normal-approximation confidence
+// interval for the mean.
+func (s *Summary) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// String formats the summary for logs.
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.6g sd=%.6g min=%.6g max=%.6g",
+		s.n, s.Mean(), s.StdDev(), s.min, s.max)
+}
+
+// Histogram is a fixed-bin histogram over [Lo, Hi). Out-of-range samples are
+// counted in Under/Over.
+type Histogram struct {
+	Lo, Hi float64
+	Bins   []uint64
+	Under  uint64
+	Over   uint64
+	total  uint64
+}
+
+// NewHistogram creates a histogram with nbins equal-width bins over [lo, hi).
+func NewHistogram(lo, hi float64, nbins int) *Histogram {
+	if nbins <= 0 || hi <= lo {
+		panic("sim: invalid histogram bounds")
+	}
+	return &Histogram{Lo: lo, Hi: hi, Bins: make([]uint64, nbins)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	switch {
+	case x < h.Lo:
+		h.Under++
+	case x >= h.Hi:
+		h.Over++
+	default:
+		i := int((x - h.Lo) / (h.Hi - h.Lo) * float64(len(h.Bins)))
+		if i == len(h.Bins) { // guard against floating-point edge
+			i--
+		}
+		h.Bins[i]++
+	}
+}
+
+// Total returns the number of samples added, including out-of-range ones.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Density returns the probability density of bin i (fraction of all samples
+// divided by bin width).
+func (h *Histogram) Density(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	width := (h.Hi - h.Lo) / float64(len(h.Bins))
+	return float64(h.Bins[i]) / float64(h.total) / width
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	width := (h.Hi - h.Lo) / float64(len(h.Bins))
+	return h.Lo + (float64(i)+0.5)*width
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of sorted data xs.
+// It panics on empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		panic("sim: Quantile of empty slice")
+	}
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// GeoMean returns the geometric mean of xs; all values must be positive.
+func GeoMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			panic("sim: GeoMean with non-positive value")
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// NormalCDF returns the standard normal cumulative distribution function.
+func NormalCDF(x float64) float64 {
+	return 0.5 * math.Erfc(-x/math.Sqrt2)
+}
+
+// NormalTail returns P(X > x) for a standard normal X, numerically stable for
+// large x (uses erfc directly, valid down to ~1e-300).
+func NormalTail(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// LogNormalTailApprox returns log10 of the standard normal upper-tail
+// probability, usable far beyond floating-point underflow via the asymptotic
+// expansion phi(x)/x * (1 - 1/x^2 + 3/x^4).
+func LogNormalTailApprox(x float64) float64 {
+	if x < 10 {
+		t := NormalTail(x)
+		if t > 0 {
+			return math.Log10(t)
+		}
+	}
+	// log10( phi(x)/x ) with phi the standard normal pdf.
+	ln := -x*x/2 - math.Log(x) - 0.5*math.Log(2*math.Pi)
+	corr := math.Log1p(-1/(x*x) + 3/(x*x*x*x))
+	return (ln + corr) / math.Ln10
+}

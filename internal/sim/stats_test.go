@@ -1,0 +1,301 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRNGDifferentSeeds(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d identical draws of 100", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	a := NewRNG(7)
+	c := a.Split()
+	// The split stream should not replay the parent stream.
+	av := make([]uint64, 50)
+	for i := range av {
+		av[i] = a.Uint64()
+	}
+	matches := 0
+	for i := 0; i < 50; i++ {
+		v := c.Uint64()
+		for _, x := range av {
+			if v == x {
+				matches++
+			}
+		}
+	}
+	if matches > 1 {
+		t.Fatalf("split stream overlaps parent: %d matches", matches)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRNG(11)
+	var s Summary
+	for i := 0; i < 200000; i++ {
+		s.Add(r.NormFloat64())
+	}
+	if math.Abs(s.Mean()) > 0.02 {
+		t.Errorf("normal mean = %v, want ~0", s.Mean())
+	}
+	if math.Abs(s.StdDev()-1) > 0.02 {
+		t.Errorf("normal stddev = %v, want ~1", s.StdDev())
+	}
+}
+
+func TestTruncNormalBounds(t *testing.T) {
+	r := NewRNG(5)
+	for i := 0; i < 50000; i++ {
+		x := r.TruncNormal(10, 2, 3)
+		if x < 4 || x > 16 {
+			t.Fatalf("TruncNormal out of +-3 sigma: %v", x)
+		}
+	}
+}
+
+func TestTruncNormalZeroStddev(t *testing.T) {
+	r := NewRNG(5)
+	if x := r.TruncNormal(3.5, 0, 3); x != 3.5 {
+		t.Fatalf("TruncNormal with zero stddev = %v, want 3.5", x)
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := NewRNG(9)
+	p := 0.25
+	var s Summary
+	for i := 0; i < 100000; i++ {
+		s.Add(float64(r.Geometric(p)))
+	}
+	want := (1 - p) / p // mean of geometric counting failures
+	if math.Abs(s.Mean()-want) > 0.1 {
+		t.Errorf("geometric mean = %v, want ~%v", s.Mean(), want)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := NewRNG(13)
+	counts := make([]int, 10)
+	for i := 0; i < 100000; i++ {
+		counts[r.Zipf(10, 1.2)]++
+	}
+	if counts[0] <= counts[9] {
+		t.Errorf("Zipf not skewed: first=%d last=%d", counts[0], counts[9])
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("Zipf bin %d never drawn", i)
+		}
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	r := NewRNG(17)
+	for i := 0; i < 10000; i++ {
+		k := r.Zipf(7, 0.8)
+		if k < 0 || k >= 7 {
+			t.Fatalf("Zipf out of range: %d", k)
+		}
+	}
+}
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{1, 2, 3, 4, 5} {
+		s.Add(x)
+	}
+	if s.N() != 5 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 3 {
+		t.Errorf("Mean = %v", s.Mean())
+	}
+	if math.Abs(s.Variance()-2.5) > 1e-12 {
+		t.Errorf("Variance = %v, want 2.5", s.Variance())
+	}
+	if s.Min() != 1 || s.Max() != 5 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.CI95() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 10)
+	for i := 0; i < 10; i++ {
+		h.Add(float64(i) + 0.5)
+	}
+	h.Add(-1)
+	h.Add(11)
+	if h.Under != 1 || h.Over != 1 {
+		t.Errorf("under/over = %d/%d", h.Under, h.Over)
+	}
+	for i, b := range h.Bins {
+		if b != 1 {
+			t.Errorf("bin %d = %d, want 1", i, b)
+		}
+	}
+	if h.Total() != 12 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramDensityIntegratesToCoverage(t *testing.T) {
+	h := NewHistogram(0, 1, 20)
+	r := NewRNG(23)
+	for i := 0; i < 100000; i++ {
+		h.Add(r.Float64())
+	}
+	width := 1.0 / 20
+	integral := 0.0
+	for i := range h.Bins {
+		integral += h.Density(i) * width
+	}
+	if math.Abs(integral-1) > 1e-9 {
+		t.Errorf("density integral = %v, want 1", integral)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Errorf("q1 = %v", q)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Errorf("q0.5 = %v", q)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	got := GeoMean([]float64{1, 100})
+	if math.Abs(got-10) > 1e-9 {
+		t.Errorf("GeoMean = %v, want 10", got)
+	}
+}
+
+func TestNormalCDFSymmetry(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 30 {
+			return true
+		}
+		return math.Abs(NormalCDF(x)+NormalCDF(-x)-1) < 1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalTailValues(t *testing.T) {
+	// Known value: P(X > 1.96) ~ 0.025
+	if got := NormalTail(1.96); math.Abs(got-0.025) > 1e-3 {
+		t.Errorf("NormalTail(1.96) = %v", got)
+	}
+}
+
+func TestLogNormalTailApproxContinuity(t *testing.T) {
+	// The asymptotic branch should agree with erfc where both are valid.
+	for _, x := range []float64{10, 12, 15, 20} {
+		exact := math.Log10(0.5 * math.Erfc(x/math.Sqrt2))
+		approx := LogNormalTailApprox(x)
+		if math.Abs(exact-approx) > 0.05 {
+			t.Errorf("x=%v: exact %v vs approx %v", x, exact, approx)
+		}
+	}
+	// Far tail must keep decreasing and stay finite.
+	prev := LogNormalTailApprox(10)
+	for x := 20.0; x <= 100; x += 10 {
+		v := LogNormalTailApprox(x)
+		if math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("tail approx not finite at %v", x)
+		}
+		if v >= prev {
+			t.Fatalf("tail approx not decreasing at %v", x)
+		}
+		prev = v
+	}
+}
+
+func TestPerm(t *testing.T) {
+	r := NewRNG(31)
+	p := make([]int, 16)
+	r.Perm(p)
+	seen := make(map[int]bool)
+	for _, v := range p {
+		if v < 0 || v >= 16 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestQuickSummaryMeanWithinBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		var s Summary
+		ok := true
+		any := false
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e15 {
+				continue
+			}
+			s.Add(x)
+			any = true
+		}
+		if any {
+			ok = s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+		}
+		return ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

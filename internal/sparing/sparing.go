@@ -1,0 +1,197 @@
+// Package sparing implements manufacturing test and stripe sparing for
+// racetrack arrays. The paper's §4.1 notes that stripes whose notches were
+// not etched correctly — whose domain walls run away or stick — "can be
+// disabled during chip testing"; this package is that mechanism: a
+// built-in self test (BIST) that exercises every stripe's shift behaviour
+// through the p-ECC initialization protocol, a remapping table that
+// substitutes spare stripes for failed ones, and yield accounting.
+package sparing
+
+import (
+	"fmt"
+
+	"racetrack/hifi/internal/errmodel"
+	"racetrack/hifi/internal/pecc"
+	"racetrack/hifi/internal/sim"
+	"racetrack/hifi/internal/stripe"
+)
+
+// DefectModel describes manufacturing defects beyond parametric variation:
+// a fraction of stripes have a mis-etched notch that makes shifts
+// unreliable by a large factor.
+type DefectModel struct {
+	// DefectProb is the probability that a stripe is defective.
+	DefectProb float64
+	// DefectRateScale multiplies the defective stripe's position error
+	// rates (mis-etched notches pin poorly).
+	DefectRateScale float64
+}
+
+// DefaultDefects reflects a mature process: 0.5% defective stripes, four
+// orders of magnitude worse shift behaviour when defective.
+func DefaultDefects() DefectModel {
+	return DefectModel{DefectProb: 0.005, DefectRateScale: 1e4}
+}
+
+// Array is a bank of primary and spare stripes with a remap table.
+type Array struct {
+	code    pecc.Code
+	lay     stripe.Layout
+	primary int
+	spares  int
+	// remap[i] is the physical stripe serving logical stripe i.
+	remap []int
+	// failed marks physical stripes disabled by BIST.
+	failed []bool
+	// defective is the oracle defect map (set at fabrication).
+	defective []bool
+}
+
+// NewArray fabricates an array of primary+spares stripes under the defect
+// model.
+func NewArray(code pecc.Code, dataLen, primary, spares int, dm DefectModel, r *sim.RNG) *Array {
+	if primary <= 0 || spares < 0 {
+		panic("sparing: non-positive geometry")
+	}
+	total := primary + spares
+	a := &Array{
+		code:      code,
+		primary:   primary,
+		spares:    spares,
+		remap:     make([]int, primary),
+		failed:    make([]bool, total),
+		defective: make([]bool, total),
+	}
+	a.lay = stripe.Layout{
+		DataLen: dataLen, SegLen: code.SegLen(),
+		GuardLeft: 2, GuardRight: 2,
+		PECCLen: code.Length() + 6, PECCPorts: code.Window(),
+	}
+	for i := range a.remap {
+		a.remap[i] = i
+	}
+	for i := range a.defective {
+		a.defective[i] = r.Bool(dm.DefectProb)
+	}
+	return a
+}
+
+// TestReport summarizes a BIST pass.
+type TestReport struct {
+	Tested     int
+	Failed     int
+	Remapped   int
+	SparesLeft int
+	// Escapes counts defective stripes that slipped past the test
+	// (oracle; the BIST cannot see this number).
+	Escapes int
+	// Usable reports whether every logical stripe maps to a passing
+	// physical stripe.
+	Usable bool
+}
+
+// RunBIST executes the §4.3 program-and-test initialization on every
+// physical stripe as the manufacturing screen; stripes that cannot
+// initialize are disabled and logical stripes remapped onto spares.
+//
+// rounds controls test thoroughness (initialization verify rounds); more
+// rounds catch weaker defects at more test time.
+func (a *Array) RunBIST(dm DefectModel, rounds int, r *sim.RNG) TestReport {
+	cfg := pecc.DefaultInitConfig()
+	cfg.Rounds = rounds
+	cfg.MaxRestarts = 2 // manufacturing screen: little patience
+	rep := TestReport{Tested: a.primary + a.spares}
+
+	for phys := 0; phys < a.primary+a.spares; phys++ {
+		em := errmodel.Model{}
+		if a.defective[phys] {
+			em.RateScale = dm.DefectRateScale
+		}
+		st := stripe.New(a.lay.TotalSlots())
+		stats, err := pecc.Initialize(a.code, st, a.lay, em, cfg, r.Split())
+		if err != nil || !stats.Initialized {
+			a.failed[phys] = true
+			rep.Failed++
+		} else if a.defective[phys] {
+			rep.Escapes++
+		}
+	}
+
+	// Remap failed primaries onto passing spares.
+	spare := a.primary
+	for i := 0; i < a.primary; i++ {
+		if !a.failed[a.remap[i]] {
+			continue
+		}
+		for spare < a.primary+a.spares && a.failed[spare] {
+			spare++
+		}
+		if spare == a.primary+a.spares {
+			break // out of spares
+		}
+		a.remap[i] = spare
+		spare++
+		rep.Remapped++
+	}
+	rep.SparesLeft = 0
+	for s := spare; s < a.primary+a.spares; s++ {
+		if !a.failed[s] {
+			rep.SparesLeft++
+		}
+	}
+	rep.Usable = true
+	for i := 0; i < a.primary; i++ {
+		if a.failed[a.remap[i]] {
+			rep.Usable = false
+			break
+		}
+	}
+	return rep
+}
+
+// Physical returns the physical stripe serving logical stripe i.
+func (a *Array) Physical(i int) (int, error) {
+	if i < 0 || i >= a.primary {
+		return 0, fmt.Errorf("sparing: logical stripe %d out of range", i)
+	}
+	return a.remap[i], nil
+}
+
+// Yield estimates, analytically, the probability that an array with the
+// given spare count is fully usable: at most `spares` of the primary+spare
+// stripes fail. detection is the per-defect detection probability of the
+// screen; failures follow the defect probability times detection.
+func Yield(primary, spares int, dm DefectModel, detection float64) float64 {
+	p := dm.DefectProb * detection
+	n := primary + spares
+	// P(failures <= spares) under Binomial(n, p); n*p is small, so the
+	// direct sum is stable.
+	prob := 0.0
+	term := 1.0
+	for k := 0; k <= n; k++ {
+		if k > 0 {
+			term *= float64(n-k+1) / float64(k) * p / (1 - p)
+		}
+		if k == 0 {
+			term = pow1p(1-p, n)
+		}
+		if k <= spares {
+			prob += term
+		} else {
+			break
+		}
+	}
+	if prob > 1 {
+		prob = 1
+	}
+	return prob
+}
+
+// pow1p computes x^n without math.Pow for clarity in the hot-free path.
+func pow1p(x float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= x
+	}
+	return out
+}

@@ -1,0 +1,134 @@
+package sparing
+
+import (
+	"math"
+	"testing"
+
+	"racetrack/hifi/internal/pecc"
+	"racetrack/hifi/internal/sim"
+)
+
+func TestCleanArrayPassesBIST(t *testing.T) {
+	dm := DefectModel{DefectProb: 0, DefectRateScale: 1}
+	a := NewArray(pecc.SECDED(8), 64, 32, 4, dm, sim.NewRNG(1))
+	rep := a.RunBIST(dm, 1, sim.NewRNG(2))
+	if rep.Failed != 0 || rep.Remapped != 0 {
+		t.Errorf("clean array: %+v", rep)
+	}
+	if !rep.Usable || rep.SparesLeft != 4 {
+		t.Errorf("clean array not fully usable: %+v", rep)
+	}
+	// Identity mapping preserved.
+	for i := 0; i < 32; i++ {
+		if p, _ := a.Physical(i); p != i {
+			t.Fatalf("logical %d remapped to %d without failures", i, p)
+		}
+	}
+}
+
+func TestDefectiveStripesRemapped(t *testing.T) {
+	// Heavy defects: the screen must catch most and remap onto spares.
+	dm := DefectModel{DefectProb: 0.15, DefectRateScale: 1e5}
+	a := NewArray(pecc.SECDED(8), 64, 32, 12, dm, sim.NewRNG(3))
+	rep := a.RunBIST(dm, 2, sim.NewRNG(4))
+	if rep.Failed == 0 {
+		t.Fatal("15% defect rate produced no BIST failures")
+	}
+	if rep.Remapped == 0 {
+		t.Error("failures but no remapping")
+	}
+	// Every usable logical stripe must map to a passing physical stripe.
+	if rep.Usable {
+		for i := 0; i < 32; i++ {
+			p, err := a.Physical(i)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.failed[p] {
+				t.Fatalf("logical %d maps to failed stripe %d", i, p)
+			}
+		}
+	}
+}
+
+func TestPhysicalRange(t *testing.T) {
+	dm := DefaultDefects()
+	a := NewArray(pecc.SECDED(8), 64, 8, 2, dm, sim.NewRNG(5))
+	if _, err := a.Physical(-1); err == nil {
+		t.Error("negative logical index accepted")
+	}
+	if _, err := a.Physical(8); err == nil {
+		t.Error("out-of-range logical index accepted")
+	}
+}
+
+func TestArrayPanicsOnBadGeometry(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero primary did not panic")
+		}
+	}()
+	NewArray(pecc.SECDED(8), 64, 0, 2, DefaultDefects(), sim.NewRNG(1))
+}
+
+func TestYieldMonotoneInSpares(t *testing.T) {
+	dm := DefaultDefects()
+	prev := 0.0
+	for spares := 0; spares <= 8; spares++ {
+		y := Yield(512, spares, dm, 0.99)
+		if y < prev {
+			t.Errorf("yield decreased at %d spares: %v", spares, y)
+		}
+		if y < 0 || y > 1 {
+			t.Fatalf("yield %v out of range", y)
+		}
+		prev = y
+	}
+	// With 512 primaries at 0.5% defects (~2.6 expected failures), a few
+	// spares lift yield substantially.
+	y0 := Yield(512, 0, dm, 0.99)
+	y8 := Yield(512, 8, dm, 0.99)
+	if y0 > 0.2 {
+		t.Errorf("zero-spare yield %v implausibly high", y0)
+	}
+	if y8 < 0.95 {
+		t.Errorf("8-spare yield %v, want > 0.95", y8)
+	}
+}
+
+func TestYieldDetectionMatters(t *testing.T) {
+	dm := DefaultDefects()
+	full := Yield(512, 4, dm, 1.0)
+	half := Yield(512, 4, dm, 0.5)
+	// Lower detection means fewer *detected* failures, so the screen
+	// "passes" more arrays — but those arrays ship with escapes. The
+	// yield formula reports screen-pass probability, which rises.
+	if half < full {
+		t.Errorf("screen-pass rate should rise with missed detections: %v vs %v", half, full)
+	}
+}
+
+func TestBISTEscapesTracked(t *testing.T) {
+	// A weak screen (1 round) against mild defects should let some
+	// defective stripes escape across many trials; the oracle counts them.
+	dm := DefectModel{DefectProb: 0.2, DefectRateScale: 50}
+	escapes := 0
+	for seed := uint64(0); seed < 10; seed++ {
+		a := NewArray(pecc.SECDED(8), 64, 16, 4, dm, sim.NewRNG(seed))
+		rep := a.RunBIST(dm, 1, sim.NewRNG(seed+100))
+		escapes += rep.Escapes
+	}
+	if escapes == 0 {
+		t.Skip("no escapes at this defect strength; screen caught everything")
+	}
+	// Escapes exist but are a minority of defects.
+	t.Logf("escapes across trials: %d", escapes)
+}
+
+func TestYieldSumsNearOne(t *testing.T) {
+	// With enough spares the pass probability approaches 1.
+	dm := DefaultDefects()
+	if y := Yield(64, 64, dm, 1.0); math.Abs(y-1) > 1e-6 {
+		t.Errorf("yield with spares==primaries = %v", y)
+	}
+}

@@ -1,0 +1,111 @@
+package stripe
+
+import "fmt"
+
+// Layout describes how a protected racetrack stripe is organized into
+// regions and where its access ports sit (paper Fig. 2c, Fig. 6).
+//
+// Slot map, left to right:
+//
+//	[ left guard+overhead | data domains | right guard+overhead | p-ECC code ]
+//
+// Data ports are uniformly distributed: port p is aligned with data domain
+// p*SegLen when the stripe is at its home position. Shifting the tape right
+// by o steps brings data domain p*SegLen+o under port p, for o in
+// [0, SegLen-1]. The guard/overhead slots absorb position errors of up to
+// GuardLeft/GuardRight steps without destroying data.
+type Layout struct {
+	DataLen    int // number of data domains (e.g. 64)
+	SegLen     int // domains per read/write port (Lseg)
+	GuardLeft  int // guard+overhead slots left of the data region
+	GuardRight int // guard+overhead slots right of the data region
+	PECCLen    int // p-ECC code slots appended at the right end (0 if none)
+	PECCPorts  int // read ports over the p-ECC region (0 if none)
+}
+
+// NumSegments returns the number of data access ports.
+func (l Layout) NumSegments() int { return l.DataLen / l.SegLen }
+
+// MaxShift returns the longest intended single-access shift distance:
+// SegLen-1 steps (from one end of a segment to the other).
+func (l Layout) MaxShift() int { return l.SegLen - 1 }
+
+// TotalSlots returns the stripe length in slots.
+func (l Layout) TotalSlots() int {
+	return l.GuardLeft + l.DataLen + l.GuardRight + l.PECCLen
+}
+
+// Validate checks structural consistency.
+func (l Layout) Validate() error {
+	switch {
+	case l.DataLen <= 0:
+		return fmt.Errorf("stripe: DataLen %d must be positive", l.DataLen)
+	case l.SegLen <= 0 || l.DataLen%l.SegLen != 0:
+		return fmt.Errorf("stripe: SegLen %d must divide DataLen %d", l.SegLen, l.DataLen)
+	case l.GuardLeft < 0 || l.GuardRight < 0 || l.PECCLen < 0 || l.PECCPorts < 0:
+		return fmt.Errorf("stripe: negative region size")
+	case l.PECCPorts > l.PECCLen:
+		return fmt.Errorf("stripe: more p-ECC ports (%d) than code slots (%d)", l.PECCPorts, l.PECCLen)
+	}
+	return nil
+}
+
+// DataSlot returns the physical slot of data domain i at the home position.
+func (l Layout) DataSlot(i int) int {
+	if i < 0 || i >= l.DataLen {
+		panic(fmt.Sprintf("stripe: data index %d out of range", i))
+	}
+	return l.GuardLeft + i
+}
+
+// PortSlot returns the physical slot under data port p. Ports sit over the
+// home position of the first domain of each segment.
+func (l Layout) PortSlot(p int) int {
+	if p < 0 || p >= l.NumSegments() {
+		panic(fmt.Sprintf("stripe: port %d out of range", p))
+	}
+	return l.GuardLeft + p*l.SegLen
+}
+
+// PECCSlot returns the physical slot of p-ECC code bit i at home position.
+func (l Layout) PECCSlot(i int) int {
+	if i < 0 || i >= l.PECCLen {
+		panic(fmt.Sprintf("stripe: p-ECC index %d out of range", i))
+	}
+	return l.GuardLeft + l.DataLen + l.GuardRight + i
+}
+
+// PECCPortSlot returns the physical slot under p-ECC read port j. The
+// PECCPorts ports read consecutive code bits; they are placed so that the
+// port window stays inside the code region across the full legal offset
+// range [-(GuardLeft), SegLen-1+GuardRight].
+//
+// Port j sits over code bit GuardLeft + j at home position: after the
+// largest legal left displacement the window has j >= 0 margin, and after
+// the largest right displacement (SegLen-1 plus error absorbed by
+// GuardRight) the window needs GuardLeft + PECCPorts - 1 + SegLen - 1 +
+// GuardRight < PECCLen, which Validate-time sizing in package pecc
+// guarantees.
+func (l Layout) PECCPortSlot(j int) int {
+	if j < 0 || j >= l.PECCPorts {
+		panic(fmt.Sprintf("stripe: p-ECC port %d out of range", j))
+	}
+	return l.GuardLeft + l.DataLen + l.GuardRight + l.GuardLeft + j
+}
+
+// SegmentOf returns the port index whose segment contains data domain i.
+func (l Layout) SegmentOf(i int) int {
+	if i < 0 || i >= l.DataLen {
+		panic(fmt.Sprintf("stripe: data index %d out of range", i))
+	}
+	return i / l.SegLen
+}
+
+// OffsetOf returns the in-segment offset of data domain i: the tape offset
+// at which domain i is aligned under its segment's port.
+func (l Layout) OffsetOf(i int) int {
+	if i < 0 || i >= l.DataLen {
+		panic(fmt.Sprintf("stripe: data index %d out of range", i))
+	}
+	return i % l.SegLen
+}

@@ -1,0 +1,45 @@
+package stripe
+
+import "strings"
+
+// Render returns a two-line ASCII picture of the stripe under the given
+// layout: the top line shows region boundaries and port positions, the
+// bottom line the slot values. Intended for examples, debugging, and
+// teaching — a quick way to see where the tape actually is.
+//
+//	ports:  |G.........P.......P.......|G.|C..CC.|
+//	slots:  ??0110100101110010110010?? ?? 0110011
+func Render(s *Stripe, lay Layout) string {
+	n := lay.TotalSlots()
+	marks := make([]byte, n)
+	for i := range marks {
+		marks[i] = '.'
+	}
+	for i := 0; i < lay.GuardLeft; i++ {
+		marks[i] = 'g'
+	}
+	for i := 0; i < lay.GuardRight; i++ {
+		marks[lay.GuardLeft+lay.DataLen+i] = 'g'
+	}
+	for i := 0; i < lay.PECCLen; i++ {
+		marks[lay.PECCSlot(i)] = 'c'
+	}
+	for p := 0; p < lay.NumSegments(); p++ {
+		marks[lay.PortSlot(p)] = 'P'
+	}
+	for j := 0; j < lay.PECCPorts; j++ {
+		marks[lay.PECCPortSlot(j)] = 'R'
+	}
+
+	var top, bot strings.Builder
+	top.WriteString("marks: ")
+	bot.WriteString("slots: ")
+	for i := 0; i < n; i++ {
+		top.WriteByte(marks[i])
+		bot.WriteString(s.Peek(i).String())
+	}
+	if s.Misaligned() {
+		bot.WriteString("   [MISALIGNED]")
+	}
+	return top.String() + "\n" + bot.String()
+}

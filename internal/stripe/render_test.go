@@ -1,0 +1,57 @@
+package stripe
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderShape(t *testing.T) {
+	lay := Layout{DataLen: 16, SegLen: 4, GuardLeft: 2, GuardRight: 2, PECCLen: 9, PECCPorts: 2}
+	if err := lay.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	s := New(lay.TotalSlots())
+	out := Render(s, lay)
+	lines := strings.Split(out, "\n")
+	if len(lines) != 2 {
+		t.Fatalf("render has %d lines", len(lines))
+	}
+	marks, slots := lines[0], lines[1]
+	if !strings.HasPrefix(marks, "marks: ") || !strings.HasPrefix(slots, "slots: ") {
+		t.Fatal("prefixes missing")
+	}
+	body := marks[len("marks: "):]
+	if len(body) != lay.TotalSlots() {
+		t.Fatalf("marks body %d chars, want %d", len(body), lay.TotalSlots())
+	}
+	// Ports appear at the right count.
+	if got := strings.Count(body, "P"); got != lay.NumSegments() {
+		t.Errorf("%d data ports rendered, want %d", got, lay.NumSegments())
+	}
+	if got := strings.Count(body, "R"); got != lay.PECCPorts {
+		t.Errorf("%d p-ECC ports rendered, want %d", got, lay.PECCPorts)
+	}
+	// Fresh stripe: all slots unknown.
+	if !strings.Contains(slots, "?") {
+		t.Error("fresh stripe should render unknowns")
+	}
+}
+
+func TestRenderMisaligned(t *testing.T) {
+	lay := Layout{DataLen: 8, SegLen: 4, GuardLeft: 1, GuardRight: 1}
+	s := New(lay.TotalSlots())
+	s.SetMisaligned(true)
+	if !strings.Contains(Render(s, lay), "MISALIGNED") {
+		t.Error("misalignment not flagged")
+	}
+}
+
+func TestRenderValues(t *testing.T) {
+	lay := Layout{DataLen: 4, SegLen: 2, GuardLeft: 0, GuardRight: 0}
+	s := New(lay.TotalSlots())
+	s.LoadSlots([]Bit{One, Zero, One, One})
+	out := Render(s, lay)
+	if !strings.Contains(out, "1011") {
+		t.Errorf("values not rendered:\n%s", out)
+	}
+}

@@ -1,0 +1,190 @@
+// Package stripe models a racetrack-memory stripe at the architecture level
+// (paper §2.1, Fig. 2): a tape of magnetic domains pinned at notch positions,
+// moved past fixed access ports by shift operations.
+//
+// The stripe is represented by its physical slots. A shift moves domain
+// values through the slots; values pushed past either end of the stripe are
+// physically destroyed (this is why guard domains and the overhead region
+// exist). The package models exactly the physical substrate; the controller
+// logic that decides shift distances, injects position errors, and runs
+// p-ECC protection lives in internal/shiftctrl and internal/pecc.
+package stripe
+
+import "fmt"
+
+// Bit is a tri-state domain value. Unknown models the indeterminate readout
+// of a misaligned (stop-in-middle) stripe and the uninitialized content of
+// overhead-region domains.
+type Bit byte
+
+const (
+	Zero Bit = iota
+	One
+	Unknown
+)
+
+// String implements fmt.Stringer.
+func (b Bit) String() string {
+	switch b {
+	case Zero:
+		return "0"
+	case One:
+		return "1"
+	default:
+		return "?"
+	}
+}
+
+// FromBool converts a bool to a Bit.
+func FromBool(v bool) Bit {
+	if v {
+		return One
+	}
+	return Zero
+}
+
+// Stripe is one racetrack nanowire. The zero value is unusable; construct
+// with New.
+type Stripe struct {
+	slots []Bit
+	// misaligned records a stop-in-middle condition: domain walls are
+	// pinned between notches and every port reads an indeterminate value
+	// until a corrective shift completes.
+	misaligned bool
+	// shifts counts completed shift operations (for statistics).
+	shifts uint64
+	// moved counts total steps moved, in either direction.
+	moved uint64
+}
+
+// New returns a stripe with n physical slots, all initialized to Unknown
+// (freshly fabricated domains have arbitrary magnetization).
+func New(n int) *Stripe {
+	if n <= 0 {
+		panic("stripe: non-positive slot count")
+	}
+	s := &Stripe{slots: make([]Bit, n)}
+	for i := range s.slots {
+		s.slots[i] = Unknown
+	}
+	return s
+}
+
+// Len returns the number of physical slots.
+func (s *Stripe) Len() int { return len(s.slots) }
+
+// Misaligned reports whether the stripe is in a stop-in-middle state.
+func (s *Stripe) Misaligned() bool { return s.misaligned }
+
+// SetMisaligned marks or clears the stop-in-middle condition.
+func (s *Stripe) SetMisaligned(v bool) { s.misaligned = v }
+
+// Shifts returns the number of shift operations performed.
+func (s *Stripe) Shifts() uint64 { return s.shifts }
+
+// StepsMoved returns the total steps moved across all shifts.
+func (s *Stripe) StepsMoved() uint64 { return s.moved }
+
+// Read returns the value visible at physical slot i. While the stripe is
+// misaligned every read returns Unknown, matching the indeterminate sensing
+// of a domain wall stopped between notches.
+func (s *Stripe) Read(i int) Bit {
+	s.checkSlot(i)
+	if s.misaligned {
+		return Unknown
+	}
+	return s.slots[i]
+}
+
+// Peek returns the value at slot i ignoring misalignment. It is an oracle
+// for tests and fault-injection bookkeeping, not an operation hardware can
+// perform.
+func (s *Stripe) Peek(i int) Bit {
+	s.checkSlot(i)
+	return s.slots[i]
+}
+
+// Write stores v at physical slot i (the aligned domain under a read/write
+// port). Writing requires alignment; writing a misaligned stripe panics, as
+// the architecture never issues writes while a shift is outstanding.
+func (s *Stripe) Write(i int, v Bit) {
+	s.checkSlot(i)
+	if s.misaligned {
+		panic("stripe: write while misaligned")
+	}
+	s.slots[i] = v
+}
+
+func (s *Stripe) checkSlot(i int) {
+	if i < 0 || i >= len(s.slots) {
+		panic(fmt.Sprintf("stripe: slot %d out of range [0,%d)", i, len(s.slots)))
+	}
+}
+
+// ShiftRight moves every domain value k slots toward higher indices. Values
+// pushed past the last slot are destroyed. Vacated slots at the low end take
+// fill[i] if provided (the shift-based write mechanism supplies reference
+// domain values there), otherwise Unknown. k must be >= 0.
+func (s *Stripe) ShiftRight(k int, fill []Bit) {
+	s.shift(k, fill, true)
+}
+
+// ShiftLeft moves every domain value k slots toward lower indices, with the
+// symmetric fill applied at the high end.
+func (s *Stripe) ShiftLeft(k int, fill []Bit) {
+	s.shift(k, fill, false)
+}
+
+func (s *Stripe) shift(k int, fill []Bit, right bool) {
+	if k < 0 {
+		panic("stripe: negative shift distance")
+	}
+	if len(fill) > k {
+		panic("stripe: fill longer than shift distance")
+	}
+	n := len(s.slots)
+	if k > 0 {
+		s.shifts++
+		s.moved += uint64(k)
+	}
+	if k >= n {
+		// Entire contents destroyed.
+		for i := range s.slots {
+			s.slots[i] = Unknown
+		}
+		k = n
+	} else if right {
+		copy(s.slots[k:], s.slots[:n-k])
+	} else {
+		copy(s.slots[:n-k], s.slots[k:])
+	}
+	// Fill vacated slots.
+	for i := 0; i < k && i < n; i++ {
+		v := Unknown
+		if i < len(fill) {
+			v = fill[i]
+		}
+		if right {
+			// fill[0] enters first and ends up deepest.
+			s.slots[k-1-i] = v
+		} else {
+			s.slots[n-k+i] = v
+		}
+	}
+}
+
+// Snapshot returns a copy of all slot values (oracle for tests).
+func (s *Stripe) Snapshot() []Bit {
+	out := make([]Bit, len(s.slots))
+	copy(out, s.slots)
+	return out
+}
+
+// LoadSlots overwrites all slots from vals; len(vals) must equal Len. It
+// models test-equipment initialization, not a normal memory operation.
+func (s *Stripe) LoadSlots(vals []Bit) {
+	if len(vals) != len(s.slots) {
+		panic("stripe: LoadSlots length mismatch")
+	}
+	copy(s.slots, vals)
+}

@@ -1,0 +1,322 @@
+package stripe
+
+import (
+	"testing"
+	"testing/quick"
+
+	"racetrack/hifi/internal/sim"
+)
+
+func loadPattern(s *Stripe, start int, bits ...Bit) {
+	snap := s.Snapshot()
+	copy(snap[start:], bits)
+	s.LoadSlots(snap)
+}
+
+func TestNewAllUnknown(t *testing.T) {
+	s := New(8)
+	for i := 0; i < 8; i++ {
+		if s.Read(i) != Unknown {
+			t.Fatalf("slot %d = %v, want Unknown", i, s.Read(i))
+		}
+	}
+}
+
+func TestNewPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := New(4)
+	s.Write(2, One)
+	if got := s.Read(2); got != One {
+		t.Errorf("Read(2) = %v, want One", got)
+	}
+	s.Write(2, Zero)
+	if got := s.Read(2); got != Zero {
+		t.Errorf("Read(2) = %v, want Zero", got)
+	}
+}
+
+func TestShiftRightMovesValues(t *testing.T) {
+	s := New(6)
+	loadPattern(s, 0, One, Zero, Zero, Zero, Zero, Zero)
+	s.ShiftRight(2, nil)
+	if s.Read(2) != One {
+		t.Errorf("value did not move right: %v", s.Snapshot())
+	}
+	if s.Read(0) != Unknown || s.Read(1) != Unknown {
+		t.Errorf("vacated slots not Unknown: %v", s.Snapshot())
+	}
+}
+
+func TestShiftLeftMovesValues(t *testing.T) {
+	s := New(6)
+	loadPattern(s, 5, One)
+	s.ShiftLeft(3, nil)
+	if s.Read(2) != One {
+		t.Errorf("value did not move left: %v", s.Snapshot())
+	}
+	if s.Read(5) != Unknown {
+		t.Errorf("vacated slot not Unknown: %v", s.Snapshot())
+	}
+}
+
+func TestShiftDestroysAtEdge(t *testing.T) {
+	s := New(4)
+	loadPattern(s, 3, One)
+	s.ShiftRight(1, nil)
+	for i := 0; i < 4; i++ {
+		if s.Read(i) == One {
+			t.Fatalf("value at slot %d survived falling off the end", i)
+		}
+	}
+}
+
+func TestShiftFill(t *testing.T) {
+	s := New(5)
+	s.ShiftRight(2, []Bit{One, Zero})
+	// fill[0] enters first and is pushed deepest (slot 1), fill[1] at slot 0.
+	if s.Read(1) != One || s.Read(0) != Zero {
+		t.Errorf("fill order wrong: %v", s.Snapshot())
+	}
+	s2 := New(5)
+	s2.ShiftLeft(2, []Bit{One, Zero})
+	if s2.Read(3) != One || s2.Read(4) != Zero {
+		t.Errorf("left fill order wrong: %v", s2.Snapshot())
+	}
+}
+
+func TestShiftFillTooLongPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-long fill did not panic")
+		}
+	}()
+	New(5).ShiftRight(1, []Bit{One, Zero})
+}
+
+func TestShiftWholeStripe(t *testing.T) {
+	s := New(3)
+	loadPattern(s, 0, One, One, One)
+	s.ShiftRight(5, nil)
+	for i := 0; i < 3; i++ {
+		if s.Read(i) != Unknown {
+			t.Errorf("slot %d survived a full-length shift", i)
+		}
+	}
+}
+
+func TestShiftNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative shift did not panic")
+		}
+	}()
+	New(4).ShiftRight(-1, nil)
+}
+
+func TestMisalignedReads(t *testing.T) {
+	s := New(4)
+	s.Write(1, One)
+	s.SetMisaligned(true)
+	if s.Read(1) != Unknown {
+		t.Error("misaligned stripe should read Unknown")
+	}
+	if s.Peek(1) != One {
+		t.Error("Peek should bypass misalignment")
+	}
+	s.SetMisaligned(false)
+	if s.Read(1) != One {
+		t.Error("realigned stripe should read stored value")
+	}
+}
+
+func TestWriteWhileMisalignedPanics(t *testing.T) {
+	s := New(4)
+	s.SetMisaligned(true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("write while misaligned did not panic")
+		}
+	}()
+	s.Write(0, One)
+}
+
+func TestShiftCounters(t *testing.T) {
+	s := New(8)
+	s.ShiftRight(3, nil)
+	s.ShiftLeft(2, nil)
+	s.ShiftRight(0, nil)
+	if s.Shifts() != 2 {
+		t.Errorf("Shifts = %d, want 2 (zero-distance shifts don't count)", s.Shifts())
+	}
+	if s.StepsMoved() != 5 {
+		t.Errorf("StepsMoved = %d, want 5", s.StepsMoved())
+	}
+}
+
+func TestQuickShiftRoundTrip(t *testing.T) {
+	// Shifting right then left by the same distance restores interior
+	// values (those that never reached an edge).
+	r := sim.NewRNG(1)
+	f := func(kRaw uint8) bool {
+		k := int(kRaw % 8)
+		s := New(32)
+		vals := make([]Bit, 32)
+		for i := range vals {
+			vals[i] = Bit(r.Intn(2))
+		}
+		s.LoadSlots(vals)
+		s.ShiftRight(k, nil)
+		s.ShiftLeft(k, nil)
+		for i := 0; i < 32-k; i++ {
+			if s.Read(i) != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickShiftPreservesInteriorOrder(t *testing.T) {
+	r := sim.NewRNG(2)
+	f := func(kRaw uint8) bool {
+		k := int(kRaw % 6)
+		s := New(24)
+		vals := make([]Bit, 24)
+		for i := range vals {
+			vals[i] = Bit(r.Intn(2))
+		}
+		s.LoadSlots(vals)
+		s.ShiftRight(k, nil)
+		for i := 0; i+k < 24; i++ {
+			if s.Peek(i+k) != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitString(t *testing.T) {
+	if Zero.String() != "0" || One.String() != "1" || Unknown.String() != "?" {
+		t.Error("Bit.String values wrong")
+	}
+	if FromBool(true) != One || FromBool(false) != Zero {
+		t.Error("FromBool wrong")
+	}
+}
+
+func defaultLayout() Layout {
+	return Layout{DataLen: 64, SegLen: 8, GuardLeft: 2, GuardRight: 2, PECCLen: 13, PECCPorts: 2}
+}
+
+func TestLayoutValidate(t *testing.T) {
+	if err := defaultLayout().Validate(); err != nil {
+		t.Fatalf("default layout invalid: %v", err)
+	}
+	bad := []Layout{
+		{DataLen: 0, SegLen: 1},
+		{DataLen: 64, SegLen: 7}, // doesn't divide
+		{DataLen: 64, SegLen: 8, GuardLeft: -1},
+		{DataLen: 64, SegLen: 8, PECCLen: 1, PECCPorts: 2},
+	}
+	for i, l := range bad {
+		if l.Validate() == nil {
+			t.Errorf("case %d: Validate accepted invalid layout %+v", i, l)
+		}
+	}
+}
+
+func TestLayoutGeometry(t *testing.T) {
+	l := defaultLayout()
+	if l.NumSegments() != 8 {
+		t.Errorf("NumSegments = %d", l.NumSegments())
+	}
+	if l.MaxShift() != 7 {
+		t.Errorf("MaxShift = %d", l.MaxShift())
+	}
+	if l.TotalSlots() != 2+64+2+13 {
+		t.Errorf("TotalSlots = %d", l.TotalSlots())
+	}
+	if l.DataSlot(0) != 2 || l.DataSlot(63) != 65 {
+		t.Error("DataSlot mapping wrong")
+	}
+	if l.PortSlot(0) != 2 || l.PortSlot(7) != 2+56 {
+		t.Error("PortSlot mapping wrong")
+	}
+	if l.PECCSlot(0) != 68 {
+		t.Errorf("PECCSlot(0) = %d", l.PECCSlot(0))
+	}
+	if l.PECCPortSlot(0) != 68+2 || l.PECCPortSlot(1) != 68+3 {
+		t.Errorf("PECCPortSlot = %d,%d", l.PECCPortSlot(0), l.PECCPortSlot(1))
+	}
+}
+
+func TestLayoutSegmentMath(t *testing.T) {
+	l := defaultLayout()
+	for i := 0; i < l.DataLen; i++ {
+		seg, off := l.SegmentOf(i), l.OffsetOf(i)
+		if seg*l.SegLen+off != i {
+			t.Fatalf("segment math broken at %d: seg=%d off=%d", i, seg, off)
+		}
+		if off < 0 || off >= l.SegLen {
+			t.Fatalf("offset out of range at %d", i)
+		}
+	}
+}
+
+func TestLayoutAlignment(t *testing.T) {
+	// Shifting the tape right by OffsetOf(i) steps brings domain i under
+	// its port: the domain's home slot plus the offset equals the port
+	// slot plus the offset... verified via physical simulation.
+	l := defaultLayout()
+	s := New(l.TotalSlots())
+	// Mark data domain 19 (segment 2, offset 3).
+	vals := s.Snapshot()
+	for i := range vals {
+		vals[i] = Zero
+	}
+	vals[l.DataSlot(19)] = One
+	s.LoadSlots(vals)
+	// To read domain 19 at port 2 the tape must move LEFT by 3 (domain
+	// moves from home slot 21 to port slot 18).
+	off := l.OffsetOf(19)
+	s.ShiftLeft(off, nil)
+	if got := s.Read(l.PortSlot(l.SegmentOf(19))); got != One {
+		t.Errorf("domain 19 not visible at its port after aligning: %v", got)
+	}
+}
+
+func TestLayoutPanics(t *testing.T) {
+	l := defaultLayout()
+	for name, f := range map[string]func(){
+		"DataSlot":     func() { l.DataSlot(64) },
+		"PortSlot":     func() { l.PortSlot(8) },
+		"PECCSlot":     func() { l.PECCSlot(13) },
+		"PECCPortSlot": func() { l.PECCPortSlot(2) },
+		"SegmentOf":    func() { l.SegmentOf(-1) },
+		"OffsetOf":     func() { l.OffsetOf(64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s out-of-range did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,117 @@
+package sts
+
+import (
+	"math"
+	"testing"
+
+	"racetrack/hifi/internal/errmodel"
+	"racetrack/hifi/internal/physics"
+)
+
+func TestCyclesMatchPaper(t *testing.T) {
+	// Paper §4.1: latency is ceil(0.4N/0.5)+2 cycles at 2 GHz — 3 cycles
+	// for a 1-step shift, 8 cycles for a 7-step shift.
+	c := DefaultConfig()
+	want := map[int]int{1: 3, 2: 4, 3: 5, 4: 6, 5: 6, 6: 7, 7: 8}
+	for n, w := range want {
+		if got := c.Cycles(n); got != w {
+			t.Errorf("Cycles(%d) = %d, want %d", n, got, w)
+		}
+	}
+}
+
+func TestCyclesFormula(t *testing.T) {
+	c := DefaultConfig()
+	for n := 1; n <= 64; n++ {
+		want := int(math.Ceil(0.8*float64(n))) + 2
+		if got := c.Cycles(n); got != want {
+			t.Errorf("Cycles(%d) = %d, want ceil(0.8*%d)+2 = %d", n, got, n, want)
+		}
+	}
+}
+
+func TestCyclesZeroAndNegative(t *testing.T) {
+	c := DefaultConfig()
+	if c.Cycles(0) != 0 || c.Cycles(-5) != 0 {
+		t.Error("non-positive distances should cost zero cycles")
+	}
+}
+
+func TestSecondsConsistent(t *testing.T) {
+	c := DefaultConfig()
+	if got, want := c.Seconds(4), float64(c.Cycles(4))/2e9; got != want {
+		t.Errorf("Seconds(4) = %g, want %g", got, want)
+	}
+}
+
+func TestAmortization(t *testing.T) {
+	// Paper's rule of thumb: one long shift beats the equivalent sequence
+	// of short ones because stage-2 overhead is paid once.
+	c := DefaultConfig()
+	if c.Cycles(7) >= 7*c.Cycles(1) {
+		t.Errorf("7-step shift (%d cy) should beat 7x 1-step (%d cy)",
+			c.Cycles(7), 7*c.Cycles(1))
+	}
+}
+
+func TestConvertPositive(t *testing.T) {
+	c := DefaultConfig()
+	// Stranded between intended position and the next step: becomes +1.
+	got := c.Convert(errmodel.Outcome{StopInMiddle: true, StepOffset: 0})
+	if got.StopInMiddle || got.StepOffset != 1 {
+		t.Errorf("positive STS convert = %+v, want out-of-step +1", got)
+	}
+	// Stranded one step short: (-1,0) becomes 0 — a clean shift.
+	got = c.Convert(errmodel.Outcome{StopInMiddle: true, StepOffset: -1})
+	if got.StopInMiddle || got.StepOffset != 0 {
+		t.Errorf("positive STS convert of (-1,0) = %+v, want 0", got)
+	}
+}
+
+func TestConvertNegative(t *testing.T) {
+	c := DefaultConfig()
+	c.Negative = true
+	got := c.Convert(errmodel.Outcome{StopInMiddle: true, StepOffset: 0})
+	if got.StopInMiddle || got.StepOffset != 0 {
+		t.Errorf("negative STS convert = %+v, want 0", got)
+	}
+}
+
+func TestConvertPassThrough(t *testing.T) {
+	c := DefaultConfig()
+	for _, o := range []errmodel.Outcome{{}, {StepOffset: 1}, {StepOffset: -2}} {
+		if got := c.Convert(o); got != o {
+			t.Errorf("Convert(%+v) = %+v, want unchanged", o, got)
+		}
+	}
+}
+
+func TestStageCurrents(t *testing.T) {
+	s1, s2 := StageCurrents()
+	p := physics.Default()
+	if s1 != p.ShiftCurrentJ {
+		t.Errorf("stage1 = %g, want full drive %g", s1, p.ShiftCurrentJ)
+	}
+	if s2 >= p.ThresholdJ0 {
+		t.Errorf("stage2 = %g must be sub-threshold (< %g)", s2, p.ThresholdJ0)
+	}
+	if !p.SubThreshold(s2) {
+		t.Error("stage2 density not sub-threshold per the physics model")
+	}
+}
+
+func TestStage2PulseSufficient(t *testing.T) {
+	// The 1 ns stage-2 pulse must exceed the worst-case flat traversal
+	// time at the sub-threshold drive (paper: 0.8 ns suffices, 1 ns with
+	// margin).
+	p := physics.Default()
+	_, s2 := StageCurrents()
+	tf := p.FlatTime(p.U(s2))
+	cfg := DefaultConfig()
+	if tf > cfg.Stage2Width {
+		t.Errorf("flat traversal at sub-threshold (%g s) exceeds stage-2 width (%g s)", tf, cfg.Stage2Width)
+	}
+	if tf < 0.3e-9 {
+		t.Errorf("flat traversal %g s implausibly fast at sub-threshold", tf)
+	}
+}

@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"testing"
+)
+
+func TestPARSECRoster(t *testing.T) {
+	ws := PARSEC()
+	if len(ws) != 12 {
+		t.Fatalf("workload count = %d, want 12", len(ws))
+	}
+	sensitive := 0
+	names := map[string]bool{}
+	for _, w := range ws {
+		if names[w.Name] {
+			t.Errorf("duplicate workload %q", w.Name)
+		}
+		names[w.Name] = true
+		if w.CapacitySensitive {
+			sensitive++
+			// Capacity-sensitive working sets must exceed the 4MB SRAM
+			// LLC and fit in the 128MB racetrack LLC.
+			if w.WorkingSetB <= 4<<20 || w.WorkingSetB > 128<<20 {
+				t.Errorf("%s: working set %d out of capacity-sensitive band", w.Name, w.WorkingSetB)
+			}
+		} else if w.WorkingSetB > 32<<20 {
+			t.Errorf("%s: insensitive workload with %d working set", w.Name, w.WorkingSetB)
+		}
+	}
+	if sensitive != 6 {
+		t.Errorf("capacity-sensitive count = %d, want 6", sensitive)
+	}
+}
+
+func TestByName(t *testing.T) {
+	w, err := ByName("canneal")
+	if err != nil || w.Name != "canneal" {
+		t.Fatalf("ByName(canneal): %v, %v", w, err)
+	}
+	if !w.CapacitySensitive {
+		t.Error("canneal should be capacity sensitive")
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown workload accepted")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	w, _ := ByName("ferret")
+	a := NewGenerator(w, 0, 42).Take(1000)
+	b := NewGenerator(w, 0, 42).Take(1000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d", i)
+		}
+	}
+}
+
+func TestGeneratorCoresDiffer(t *testing.T) {
+	w, _ := ByName("ferret")
+	a := NewGenerator(w, 0, 42).Take(100)
+	b := NewGenerator(w, 1, 42).Take(100)
+	same := 0
+	for i := range a {
+		if a[i].Addr == b[i].Addr {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Errorf("cores produced %d/100 identical addresses", same)
+	}
+}
+
+func TestAddressesLineAlignedAndBounded(t *testing.T) {
+	for _, w := range PARSEC() {
+		g := NewGenerator(w, 0, 7)
+		for i := 0; i < 5000; i++ {
+			a := g.Next()
+			if a.Addr%LineBytes != 0 {
+				t.Fatalf("%s: unaligned address %#x", w.Name, a.Addr)
+			}
+			if a.Addr >= uint64(w.WorkingSetB) {
+				t.Fatalf("%s: address %#x beyond working set %#x", w.Name, a.Addr, w.WorkingSetB)
+			}
+			if a.Gap < 0 {
+				t.Fatalf("%s: negative gap", w.Name)
+			}
+		}
+	}
+}
+
+func TestWriteFractionRealized(t *testing.T) {
+	w, _ := ByName("fluidanimate") // WriteFrac 0.40
+	g := NewGenerator(w, 0, 11)
+	writes := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < 0.36 || frac > 0.44 {
+		t.Errorf("write fraction = %v, want ~0.40", frac)
+	}
+}
+
+func TestLocalityRealized(t *testing.T) {
+	// A skewed workload must reuse a small set of lines heavily.
+	w, _ := ByName("swaptions")
+	g := NewGenerator(w, 0, 13)
+	counts := map[uint64]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Next().Addr]++
+	}
+	// Top line should be accessed far more than the mean.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	mean := float64(n) / float64(len(counts))
+	if float64(max) < 5*mean {
+		t.Errorf("insufficient skew: max %d vs mean %.1f", max, mean)
+	}
+}
+
+func TestStreamingRealized(t *testing.T) {
+	// streamcluster (StreamFrac 0.85) must show strong spatial locality:
+	// most consecutive accesses either dwell on the same line or step to
+	// the next one.
+	w, _ := ByName("streamcluster")
+	g := NewGenerator(w, 0, 17)
+	prev := g.Next().Addr
+	local := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		a := g.Next()
+		if a.Addr == prev || a.Addr == prev+LineBytes {
+			local++
+		}
+		prev = a.Addr
+	}
+	if float64(local)/n < 0.6 {
+		t.Errorf("spatially local fraction = %v, want > 0.6", float64(local)/n)
+	}
+	// Dwell means repeated touches of the same line must occur.
+	g2 := NewGenerator(w, 0, 18)
+	prev = g2.Next().Addr
+	same := 0
+	for i := 0; i < n; i++ {
+		a := g2.Next()
+		if a.Addr == prev {
+			same++
+		}
+		prev = a.Addr
+	}
+	if same == 0 {
+		t.Error("streaming never dwells on a line")
+	}
+}
+
+func TestGapMeanRealized(t *testing.T) {
+	w, _ := ByName("bodytrack") // GapMean 14, no phase bursts
+	g := NewGenerator(w, 0, 19)
+	total := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		total += g.Next().Gap
+	}
+	mean := float64(total) / n
+	if mean < 10 || mean > 18 {
+		t.Errorf("gap mean = %v, want ~14", mean)
+	}
+}
+
+func TestPhaseBurstsRealized(t *testing.T) {
+	// blackscholes has PhasePeriod 10000 with 300k-cycle mean bursts:
+	// exactly one access per period carries a very large gap.
+	w, _ := ByName("blackscholes")
+	g := NewGenerator(w, 0, 21)
+	bursts := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if g.Next().Gap > 50_000 {
+			bursts++
+		}
+	}
+	want := n / w.PhasePeriod
+	if bursts < want-2 || bursts > want+2 {
+		t.Errorf("bursts = %d, want ~%d", bursts, want)
+	}
+}
+
+func TestPhaseFreeWorkloadHasNoBursts(t *testing.T) {
+	w, _ := ByName("ferret")
+	g := NewGenerator(w, 0, 23)
+	for i := 0; i < 50000; i++ {
+		if g.Next().Gap > 10_000 {
+			t.Fatal("phase-free workload produced a burst gap")
+		}
+	}
+}
+
+func TestGeneratorPanicsOnTinyWorkingSet(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("tiny working set did not panic")
+		}
+	}()
+	NewGenerator(Workload{Name: "x", WorkingSetB: 1}, 0, 1)
+}
+
+func TestScatterBijectiveEnough(t *testing.T) {
+	// scatter must not collapse many lines onto few targets.
+	n := int64(4096)
+	seen := map[int64]int{}
+	for i := int64(0); i < n; i++ {
+		seen[scatter(i, n)]++
+	}
+	collisions := 0
+	for _, c := range seen {
+		if c > 1 {
+			collisions += c - 1
+		}
+	}
+	if float64(collisions)/float64(n) > 0.5 {
+		t.Errorf("scatter collapsed %d/%d lines", collisions, n)
+	}
+}

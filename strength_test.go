@@ -1,0 +1,71 @@
+package hifi
+
+import (
+	"testing"
+
+	"racetrack/hifi/internal/errmodel"
+	"racetrack/hifi/internal/pecc"
+	"racetrack/hifi/internal/shiftctrl"
+	"racetrack/hifi/internal/sim"
+)
+
+func TestStrengthValidation(t *testing.T) {
+	if _, err := New(16<<10, Config{Strength: 7}); err == nil {
+		t.Error("strength 7 with SegLen 8 accepted (need m < Lseg-1)")
+	}
+	if _, err := New(16<<10, Config{Strength: -1}); err == nil {
+		t.Error("negative strength accepted")
+	}
+	if _, err := New(16<<10, Config{Strength: 2}); err != nil {
+		t.Errorf("strength 2 rejected: %v", err)
+	}
+}
+
+func TestStrengthBaselineIgnoresIt(t *testing.T) {
+	// Unprotected schemes accept any strength value (it's ignored).
+	if _, err := New(16<<10, Config{Scheme: SchemeBaseline, Strength: 99}); err != nil {
+		t.Errorf("baseline with out-of-range strength rejected: %v", err)
+	}
+}
+
+func TestStrongerCodeCorrectsDeeperDrift(t *testing.T) {
+	// Deterministic fault injection: a +2-step drift is a DUE for the
+	// m=1 (SECDED) code but is corrected outright by m=2.
+	em := errmodel.Model{RateScale: 1e-12} // corrections themselves stay clean
+	tm := shiftctrl.DefaultTiming()
+
+	m1 := shiftctrl.NewTape(pecc.MustNew(1, 8), 64, em, tm, sim.NewRNG(1))
+	m1.InjectDrift(2)
+	m1.CheckNow()
+	if m1.DUEs != 1 {
+		t.Errorf("m=1 with +2 drift: DUEs=%d, want 1 (detect, cannot correct)", m1.DUEs)
+	}
+	if m1.Corrections != 0 {
+		t.Errorf("m=1 corrected a +2 drift")
+	}
+	if !m1.Aligned() {
+		t.Error("m=1 should be realigned by DUE recovery")
+	}
+
+	m2 := shiftctrl.NewTape(pecc.MustNew(2, 8), 64, em, tm, sim.NewRNG(1))
+	m2.InjectDrift(2)
+	m2.CheckNow()
+	if m2.DUEs != 0 {
+		t.Errorf("m=2 with +2 drift: DUEs=%d, want 0", m2.DUEs)
+	}
+	if m2.Corrections != 1 {
+		t.Errorf("m=2 corrections=%d, want 1", m2.Corrections)
+	}
+	if !m2.Aligned() {
+		t.Error("m=2 should be aligned after correction")
+	}
+
+	// And a -3 drift is DUE for m=2 but corrected by m=3.
+	m3 := shiftctrl.NewTape(pecc.MustNew(3, 8), 64, em, tm, sim.NewRNG(1))
+	m3.InjectDrift(-3)
+	m3.CheckNow()
+	if m3.Corrections != 1 || m3.DUEs != 0 || !m3.Aligned() {
+		t.Errorf("m=3 with -3 drift: corr=%d DUEs=%d aligned=%v",
+			m3.Corrections, m3.DUEs, m3.Aligned())
+	}
+}
