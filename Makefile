@@ -1,0 +1,51 @@
+# Verification tiers and convenience targets. Plain `make` runs tier-1.
+#
+#   make tier1           build + unit tests (the seed gate)
+#   make ci              tier-1 plus vet and the race detector
+#   make bench           full benchmark sweep
+#   make bench-snapshot  one full-size instrumented run -> BENCH_<rev>.json
+#   make report          render the evaluation report (scaled)
+
+GO ?= go
+REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+
+.PHONY: all tier1 ci vet race test build bench bench-snapshot report fmt clean
+
+all: tier1
+
+tier1: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+ci: build vet race
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench . -benchtime=1x -run '^$$' .
+
+# bench-snapshot runs one full-size workload with telemetry attached and
+# archives the metrics snapshot for the performance trajectory. The .prom
+# twin is written alongside and removed; the JSON is the artifact.
+bench-snapshot:
+	$(GO) run ./cmd/hifi-sim -workload ferret -accesses 200000 \
+		-metrics-out BENCH_$(REV) -progress 0 -q
+	@rm -f BENCH_$(REV).prom
+	@echo wrote BENCH_$(REV).json
+
+report:
+	$(GO) run ./cmd/hifi-report -scaled -o report.md
+
+fmt:
+	gofmt -w .
+
+clean:
+	rm -f report.md BENCH_*.json BENCH_*.prom

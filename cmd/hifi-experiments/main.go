@@ -8,16 +8,26 @@
 //	hifi-experiments -run fig11      # one experiment
 //	hifi-experiments -scaled         # scaled-down hierarchy (seconds, not minutes)
 //	hifi-experiments -csv -run fig16 # machine-readable output
+//
+// Observability (see docs/observability.md):
+//
+//	hifi-experiments -run fig14 -metrics-out fig14  # fig14.json + fig14.prom
+//	hifi-experiments -pprof localhost:6060 -v
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"racetrack/hifi/internal/experiments"
+	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/log"
 )
 
 func main() {
@@ -30,14 +40,34 @@ func main() {
 		accesses = flag.Int("accesses", 0, "trace length per core (0 = default)")
 		seed     = flag.Uint64("seed", 1, "trace seed")
 		trials   = flag.Int("mc-trials", 0, "Monte-Carlo trials for fig4 (0 = default)")
+
+		metricsOut = flag.String("metrics-out", "", "write aggregated metrics snapshots to <base>.json and <base>.prom")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		verbose    = flag.Bool("v", false, "debug logging (overrides HIFI_LOG)")
+		quiet      = flag.Bool("q", false, "errors only (overrides HIFI_LOG)")
 	)
 	flag.Parse()
+	switch {
+	case *quiet:
+		log.SetLevel(log.Error)
+	case *verbose:
+		log.SetLevel(log.Debug)
+	}
 
 	if *list {
 		for _, k := range experiments.Order() {
 			fmt.Println(k)
 		}
 		return
+	}
+
+	if *pprofAddr != "" {
+		go func() {
+			log.Infof("pprof listening on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Errorf("pprof server: %v", err)
+			}
+		}()
 	}
 
 	opts := experiments.DefaultRunOpts()
@@ -52,6 +82,9 @@ func main() {
 	}
 	if *trials > 0 {
 		opts.MCTrials = *trials
+	}
+	if *metricsOut != "" {
+		opts.Metrics = telemetry.NewRegistry()
 	}
 
 	all := experiments.All(opts)
@@ -76,7 +109,10 @@ func main() {
 		}
 	}
 	for i, k := range keys {
+		log.Infof("running %s (%d/%d)", k, i+1, len(keys))
+		start := time.Now()
 		tab := all[k]()
+		log.Infof("finished %s in %v", k, time.Since(start).Round(time.Millisecond))
 		switch {
 		case *outDir != "":
 			path := filepath.Join(*outDir, k+".csv")
@@ -84,7 +120,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "hifi-experiments: %v\n", err)
 				os.Exit(1)
 			}
-			fmt.Printf("wrote %s\n", path)
+			log.Infof("wrote %s", path)
 		case *csv:
 			fmt.Print(tab.CSV())
 		default:
@@ -93,5 +129,14 @@ func main() {
 			}
 			fmt.Print(tab.String())
 		}
+	}
+
+	if *metricsOut != "" {
+		jsonPath, promPath, err := opts.Metrics.Snapshot().WriteFiles(*metricsOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hifi-experiments: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		log.Infof("wrote metrics to %s and %s", jsonPath, promPath)
 	}
 }

@@ -6,17 +6,29 @@
 //	hifi-sim -workload canneal -tech racetrack -scheme adaptive
 //	hifi-sim -workload streamcluster -tech sram
 //	hifi-sim -workload ferret -tech racetrack -scheme pecco -accesses 500000
+//
+// Observability (see docs/observability.md):
+//
+//	hifi-sim -workload ferret -metrics-out run      # run.json + run.prom
+//	hifi-sim -workload ferret -trace-out run.trace.json
+//	hifi-sim -workload ferret -pprof localhost:6060 -progress 2s
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"sync"
+	"time"
 
 	"racetrack/hifi/internal/energy"
 	"racetrack/hifi/internal/memsim"
 	"racetrack/hifi/internal/mttf"
 	"racetrack/hifi/internal/shiftctrl"
+	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/log"
 	"racetrack/hifi/internal/trace"
 )
 
@@ -28,8 +40,17 @@ func main() {
 		accesses = flag.Int("accesses", 200_000, "accesses per core")
 		seed     = flag.Uint64("seed", 1, "trace seed")
 		ideal    = flag.Bool("ideal", false, "remove shift latency (RM-Ideal)")
+
+		metricsOut = flag.String("metrics-out", "", "write metrics snapshots to <base>.json and <base>.prom")
+		traceOut   = flag.String("trace-out", "", "write shift-event trace (JSON) to this file")
+		traceCap   = flag.Int("trace-cap", 1<<16, "events retained in the trace ring buffer")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		progress   = flag.Duration("progress", 5*time.Second, "progress-line interval (0 disables)")
+		verbose    = flag.Bool("v", false, "debug logging (overrides HIFI_LOG)")
+		quiet      = flag.Bool("q", false, "errors only (overrides HIFI_LOG)")
 	)
 	flag.Parse()
+	setLogLevel(*verbose, *quiet)
 
 	w, err := trace.ByName(*workload)
 	if err != nil {
@@ -44,15 +65,27 @@ func main() {
 		fail("%v", err)
 	}
 
+	serveProfiler(*pprofAddr)
+
+	reg := telemetry.NewRegistry()
 	cfg := memsim.DefaultConfig(t, s)
 	cfg.AccessesPerCore = *accesses
 	cfg.Seed = *seed
 	cfg.Ideal = *ideal
+	cfg.Metrics = reg
+	if *traceOut != "" {
+		cfg.Tracer = telemetry.NewTracer(*traceCap)
+	}
 
+	stopProgress := watchProgress(reg, *progress)
+	start := time.Now()
 	r, err := memsim.Run(w, cfg)
+	stopProgress()
 	if err != nil {
 		fail("simulation: %v", err)
 	}
+	log.Debugf("simulated %d accesses in %v", cfg.AccessesPerCore*cfg.Cores,
+		time.Since(start).Round(time.Millisecond))
 
 	fmt.Printf("workload      %s (%s)\n", r.Workload, class(w))
 	fmt.Printf("system        %s LLC, scheme %s, ideal=%v\n", t, s, *ideal)
@@ -69,6 +102,100 @@ func main() {
 	fmt.Printf("energy        dynamic %.3f uJ (LLC %.3f uJ), leakage %.3f mJ, total %.3f mJ\n",
 		r.Energy.DynamicNJ()/1e3, r.Energy.LLCDynamicNJ()/1e3,
 		r.Energy.LeakageJ*1e3, r.Energy.TotalJ()*1e3)
+
+	if *metricsOut != "" {
+		jsonPath, promPath, err := reg.Snapshot().WriteFiles(*metricsOut)
+		if err != nil {
+			fail("metrics: %v", err)
+		}
+		log.Infof("wrote metrics to %s and %s", jsonPath, promPath)
+	}
+	if *traceOut != "" {
+		if err := writeTrace(cfg.Tracer, *traceOut); err != nil {
+			fail("trace: %v", err)
+		}
+		log.Infof("wrote %d trace events to %s (%d dropped)",
+			cfg.Tracer.Len(), *traceOut, cfg.Tracer.Dropped())
+	}
+}
+
+// setLogLevel applies the -v/-q flags on top of the HIFI_LOG default.
+func setLogLevel(verbose, quiet bool) {
+	switch {
+	case quiet:
+		log.SetLevel(log.Error)
+	case verbose:
+		log.SetLevel(log.Debug)
+	}
+}
+
+// serveProfiler exposes net/http/pprof when an address is given.
+func serveProfiler(addr string) {
+	if addr == "" {
+		return
+	}
+	go func() {
+		log.Infof("pprof listening on http://%s/debug/pprof/", addr)
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			log.Errorf("pprof server: %v", err)
+		}
+	}()
+}
+
+// watchProgress emits a periodic progress line (events/sec, ETA) from
+// the run-progress gauges, which the simulator updates while in flight.
+// The returned function stops the watcher.
+func watchProgress(reg *telemetry.Registry, every time.Duration) func() {
+	if every <= 0 {
+		return func() {}
+	}
+	done := reg.Gauge(telemetry.MetricSimAccessesDone, "")
+	total := reg.Gauge(telemetry.MetricSimAccessesTotal, "")
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		last, lastAt := 0.0, time.Now()
+		for {
+			select {
+			case <-stop:
+				return
+			case now := <-tick.C:
+				d, t := done.Value(), total.Value()
+				rate := (d - last) / now.Sub(lastAt).Seconds()
+				last, lastAt = d, now
+				eta := "?"
+				if rate > 0 && t > d {
+					eta = time.Duration(float64(time.Second) * (t - d) / rate).Round(time.Second).String()
+				}
+				pct := 0.0
+				if t > 0 {
+					pct = 100 * d / t
+				}
+				log.Infof("progress %.0f/%.0f accesses (%.1f%%), %.0f acc/s, ETA %s", d, t, pct, rate, eta)
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		wg.Wait()
+	}
+}
+
+// writeTrace dumps the tracer ring buffer as JSON.
+func writeTrace(tr *telemetry.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func parseTech(s string) (energy.Tech, error) {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"racetrack/hifi/internal/telemetry/log"
 	"racetrack/hifi/internal/trace"
 )
 
@@ -25,8 +26,12 @@ func main() {
 		in       = flag.String("i", "", "input trace file to inspect")
 		head     = flag.Int("head", 0, "dump the first N records")
 		stats    = flag.Bool("stats", false, "print summary statistics")
+		verbose  = flag.Bool("v", false, "debug logging (overrides HIFI_LOG)")
 	)
 	flag.Parse()
+	if *verbose {
+		log.SetLevel(log.Debug)
+	}
 
 	switch {
 	case *workload != "" && *out != "":
@@ -49,12 +54,20 @@ func record(name string, core, n int, seed uint64, path string) {
 	if err != nil {
 		fail("%v", err)
 	}
-	defer f.Close()
 	if err := trace.WriteTrace(f, recs); err != nil {
+		f.Close()
 		fail("write: %v", err)
 	}
-	fi, _ := f.Stat()
-	fmt.Printf("recorded %d accesses of %s (core %d) to %s (%.1f bytes/record)\n",
+	// Close before reporting: a short write surfaces here, and the size
+	// on disk is final.
+	if err := f.Close(); err != nil {
+		fail("close: %v", err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		fail("stat: %v", err)
+	}
+	log.Infof("recorded %d accesses of %s (core %d) to %s (%.1f bytes/record)",
 		n, name, core, path, float64(fi.Size())/float64(n))
 }
 
@@ -63,11 +76,14 @@ func inspect(path string, head int, stats bool) {
 	if err != nil {
 		fail("%v", err)
 	}
-	defer f.Close()
 	recs, err := trace.ReadTrace(f)
+	if cerr := f.Close(); err == nil && cerr != nil {
+		err = cerr
+	}
 	if err != nil {
 		fail("read: %v", err)
 	}
+	log.Debugf("loaded %d records from %s", len(recs), path)
 	fmt.Printf("%s: %d records\n", path, len(recs))
 	for i := 0; i < head && i < len(recs); i++ {
 		op := "R"

@@ -1,6 +1,10 @@
 package cache
 
-import "fmt"
+import (
+	"fmt"
+
+	"racetrack/hifi/internal/telemetry"
+)
 
 // RTMGeometry describes the racetrack organization behind an LLC data
 // array, following the paper's default mapping: a 64-byte line occupies one
@@ -56,6 +60,20 @@ type RTMArray struct {
 	ShiftSteps uint64
 	// ZeroShiftAccesses counts accesses that needed no movement.
 	ZeroShiftAccesses uint64
+
+	// Telemetry handles; nil (the default) costs one branch per event.
+	mOps, mSteps, mZero *telemetry.Counter
+	mDistance           *telemetry.Histogram
+}
+
+// Instrument attaches shift counters and the fixed-layout distance
+// histogram from reg. A nil registry detaches.
+func (a *RTMArray) Instrument(reg *telemetry.Registry) {
+	a.mOps = reg.Counter(telemetry.MetricShiftOps, "shift operations issued")
+	a.mSteps = reg.Counter(telemetry.MetricShiftSteps, "total shift distance in steps")
+	a.mZero = reg.Counter(telemetry.MetricShiftZero, "accesses needing no head movement")
+	a.mDistance = reg.Histogram(telemetry.MetricShiftDistance,
+		"per-access shift distance in steps", telemetry.ShiftDistanceBuckets())
 }
 
 // NewRTMArray sizes the head-position state for an LLC of capacityB bytes.
@@ -121,6 +139,7 @@ func (a *RTMArray) AccessDistance(set, way, ways int) (group, dist, dir int) {
 func (a *RTMArray) MoveHead(group, dist, dir, ops int) {
 	if dist == 0 {
 		a.ZeroShiftAccesses++
+		a.mZero.Inc()
 		return
 	}
 	h := int(a.heads[group]) + dir*dist
@@ -130,6 +149,9 @@ func (a *RTMArray) MoveHead(group, dist, dir, ops int) {
 	a.heads[group] = int8(h)
 	a.ShiftOps += uint64(ops)
 	a.ShiftSteps += uint64(dist)
+	a.mOps.Add(float64(ops))
+	a.mSteps.Add(float64(dist))
+	a.mDistance.Observe(float64(dist))
 }
 
 // Head returns the current offset of a group (tests).

@@ -2,10 +2,13 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"racetrack/hifi/internal/energy"
 	"racetrack/hifi/internal/memsim"
 	"racetrack/hifi/internal/shiftctrl"
+	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/log"
 	"racetrack/hifi/internal/trace"
 )
 
@@ -22,6 +25,10 @@ type RunOpts struct {
 	Scaled bool
 	// MCTrials is the Monte-Carlo trial count for Fig 4.
 	MCTrials int
+	// Metrics optionally aggregates telemetry across every simulation an
+	// experiment runs (shift counts, LLC traffic, expected failures);
+	// see docs/observability.md. Nil disables instrumentation.
+	Metrics *telemetry.Registry
 }
 
 // DefaultRunOpts is the full-size configuration used by the benchmarks.
@@ -70,6 +77,7 @@ func (o RunOpts) config(t energy.Tech, s shiftctrl.Scheme) memsim.Config {
 		cfg.L2Capacity = scaledL2
 		cfg.L3Capacity = scaledL3(t)
 	}
+	cfg.Metrics = o.Metrics
 	return cfg
 }
 
@@ -98,9 +106,17 @@ func (o RunOpts) runAll(t energy.Tech, s shiftctrl.Scheme, ideal bool) []memsim.
 	for _, w := range o.workloads() {
 		cfg := o.config(t, s)
 		cfg.Ideal = ideal
+		start := time.Now()
 		r, err := memsim.Run(w, cfg)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %s: %v", w.Name, err))
+		}
+		if log.Enabled(log.Debug) {
+			accesses := cfg.AccessesPerCore * cfg.Cores
+			el := time.Since(start)
+			log.Debugf("ran %s on %v/%v ideal=%v: %d accesses in %v (%.0f acc/s)",
+				w.Name, t, s, ideal, accesses, el.Round(time.Millisecond),
+				float64(accesses)/el.Seconds())
 		}
 		out = append(out, r)
 	}

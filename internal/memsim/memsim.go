@@ -15,6 +15,7 @@ import (
 	"racetrack/hifi/internal/errmodel"
 	"racetrack/hifi/internal/mttf"
 	"racetrack/hifi/internal/shiftctrl"
+	"racetrack/hifi/internal/telemetry"
 	"racetrack/hifi/internal/trace"
 )
 
@@ -57,6 +58,14 @@ type Config struct {
 	// a disjoint address-space slice so the shared LLC sees true
 	// multiprogram contention.
 	Mix []trace.Workload
+	// Metrics optionally receives named event series from every level of
+	// the simulated hierarchy (see docs/observability.md). The registry
+	// is safe to snapshot from another goroutine while the run is in
+	// flight. Nil disables instrumentation at one branch per event.
+	Metrics *telemetry.Registry
+	// Tracer optionally receives shift/eviction events on the LLC
+	// timeline. Nil disables tracing.
+	Tracer *telemetry.Tracer
 }
 
 // Source is any per-core access stream: the synthetic trace.Generator and
@@ -205,6 +214,60 @@ type system struct {
 	tracker mttf.Tracker
 
 	costsL1, costsL2, costsL3, costsMem energy.CacheCosts
+
+	tel    simTelemetry
+	tracer *telemetry.Tracer
+}
+
+// simTelemetry caches the metric handles the simulator updates on its
+// hot path, resolved once at construction so per-event cost is an
+// atomic add. The zero value (all handles nil) is the disabled state:
+// every update is then a single branch.
+type simTelemetry struct {
+	shiftCycles *telemetry.Counter
+	opSteps     *telemetry.Histogram
+	opLatency   *telemetry.Histogram
+	checks      *telemetry.Counter
+	expCorr     *telemetry.Counter
+	expSDC      *telemetry.Counter
+	expDUE      *telemetry.Counter
+
+	promoHits    *telemetry.Counter
+	promoMisses  *telemetry.Counter
+	promoFlushes *telemetry.Counter
+
+	dramFills      *telemetry.Counter
+	dramWritebacks *telemetry.Counter
+
+	accessesDone  *telemetry.Gauge
+	accessesTotal *telemetry.Gauge
+}
+
+func newSimTelemetry(reg *telemetry.Registry) simTelemetry {
+	if reg == nil {
+		return simTelemetry{}
+	}
+	return simTelemetry{
+		shiftCycles: reg.Counter(telemetry.MetricShiftCycles, "cycles spent in LLC shift operations"),
+		opSteps: reg.Histogram(telemetry.MetricShiftOpInterval,
+			"steps per planned shift operation", telemetry.ShiftDistanceBuckets()),
+		opLatency: reg.Histogram(telemetry.MetricShiftOpLatency,
+			"latency per shift operation in cycles", telemetry.LatencyCycleBuckets()),
+		checks:  reg.Counter(telemetry.MetricPECCChecks, "p-ECC position verifies performed"),
+		expCorr: reg.Counter(telemetry.MetricExpectedCorrections, "expected p-ECC corrections (analytic)"),
+		expSDC:  reg.Counter(telemetry.MetricExpectedSDC, "expected silent data corruptions (analytic)"),
+		expDUE:  reg.Counter(telemetry.MetricExpectedDUE, "expected detected-unrecoverable errors (analytic)"),
+
+		promoHits:    reg.Counter(telemetry.MetricPromoHits, "promotion-buffer hits"),
+		promoMisses:  reg.Counter(telemetry.MetricPromoMisses, "promotion-buffer misses"),
+		promoFlushes: reg.Counter(telemetry.MetricPromoFlushes, "promotion-buffer dirty flush round-trips"),
+
+		dramFills:      reg.Counter(telemetry.MetricDRAMFills, "lines filled from DRAM"),
+		dramWritebacks: reg.Counter(telemetry.MetricDRAMWritebacks, "dirty lines written back to DRAM"),
+
+		accessesDone:  reg.Gauge(telemetry.MetricSimAccessesDone, "core accesses simulated so far"),
+		accessesTotal: reg.Gauge(telemetry.MetricSimAccessesTotal, "core accesses this run will simulate"),
+	}
 }
 
 func newSystem(w trace.Workload, cfg Config) *system {
@@ -257,6 +320,22 @@ func newSystem(w trace.Workload, cfg Config) *system {
 		s.shiftE = energy.DefaultShift()
 		s.promo = newPromoBuffer(cfg.PromoEntries)
 	}
+	s.tel = newSimTelemetry(cfg.Metrics)
+	s.tracer = cfg.Tracer
+	if cfg.Metrics != nil {
+		for _, c := range s.l1 {
+			c.Instrument(cfg.Metrics, "l1")
+		}
+		for _, c := range s.l2 {
+			c.Instrument(cfg.Metrics, "l2")
+		}
+		s.l3.Instrument(cfg.Metrics, "l3")
+		if s.rtm != nil {
+			s.rtm.Instrument(cfg.Metrics)
+			s.adapter.Instrument(cfg.Metrics)
+		}
+		s.tel.accessesTotal.Set(float64(cfg.AccessesPerCore * cfg.Cores))
+	}
 	return s
 }
 
@@ -286,6 +365,7 @@ func (s *system) step(core int) {
 
 	lat := s.accessL1(core, a.Addr, a.Write)
 	s.cycles[core] += uint64(lat)
+	s.tel.accessesDone.Add(1)
 }
 
 // accessL1 runs the full hierarchy for one reference and returns latency in
@@ -353,7 +433,11 @@ func (s *system) accessL3(core int, addr uint64, write bool, now uint64) int {
 	if s.rtm != nil {
 		if s.promo != nil && s.promo.lookup(addr, write) {
 			// Promotion-buffer hit: served at array speed, no shift.
+			s.tel.promoHits.Inc()
 		} else {
+			if s.promo != nil {
+				s.tel.promoMisses.Inc()
+			}
 			service += s.shiftFor(start, res.Set, res.Way)
 			if s.promo != nil {
 				if old, dirty := s.promo.insert(addr, write, res.Set, res.Way); dirty {
@@ -372,14 +456,23 @@ func (s *system) accessL3(core int, addr uint64, write bool, now uint64) int {
 	if res.Hit {
 		return lat
 	}
-	if res.Evicted && s.promo != nil {
-		s.promo.invalidate(res.EvictedAddr)
+	if res.Evicted {
+		dirty := int64(0)
+		if res.Writeback {
+			dirty = 1
+		}
+		s.tracer.Emit(telemetry.EventEviction, start, int64(res.Set), int64(res.Way), dirty)
+		if s.promo != nil {
+			s.promo.invalidate(res.EvictedAddr)
+		}
 	}
 	if res.Writeback {
 		s.acct.DRAMNJ += s.costsMem.WriteNJ
+		s.tel.dramWritebacks.Inc()
 	}
 	// Fill from DRAM: latency plus channel bandwidth occupancy.
 	s.acct.DRAMNJ += s.costsMem.ReadNJ
+	s.tel.dramFills.Inc()
 	memStart := start + uint64(service)
 	if s.memFreeAt > memStart {
 		lat += int(s.memFreeAt - memStart)
@@ -410,13 +503,14 @@ func (s *system) shiftFor(start uint64, set, way int) int {
 	for _, n := range seq {
 		oc := s.opCycles(n)
 		cycles += oc
-		sdc, due := s.cfg.Scheme.FailureRates(s.em, n)
-		g := float64(s.cfg.Geometry.StripesPerGroup)
-		s.tracker.AddShift(sdc*g, due*g)
+		s.tel.opLatency.Observe(float64(oc))
 	}
+	s.trackSeq(seq)
 	s.acct.ShiftNJ += s.shiftE.SeqNJ(seq, owrite)
+	s.tracer.Emit(telemetry.EventShift, start, int64(group), int64(dir*dist), int64(len(seq)))
 	s.rtm.MoveHead(group, dist, dir, len(seq))
 	s.shiftCycles += uint64(cycles)
+	s.tel.shiftCycles.Add(float64(cycles))
 	if s.cfg.EagerHead {
 		s.returnHead(group)
 	}
@@ -424,6 +518,31 @@ func (s *system) shiftFor(start uint64, set, way int) int {
 		return 0
 	}
 	return cycles
+}
+
+// trackSeq accounts one planned sequence's reliability exposure: the
+// MTTF tracker and, when instrumented, the per-operation verify and
+// expected-failure series. The SECDED-family schemes run one p-ECC
+// check per operation and transparently correct +-1 errors, so the
+// expected-correction series integrates the k=1 rate over operations
+// (the analytic counterpart of Tape.Corrections).
+func (s *system) trackSeq(seq []int) {
+	g := float64(s.cfg.Geometry.StripesPerGroup)
+	checked := s.cfg.Scheme != shiftctrl.Baseline && s.cfg.Scheme != shiftctrl.STSOnly
+	corrects := checked && s.cfg.Scheme != shiftctrl.SED
+	for _, n := range seq {
+		sdc, due := s.cfg.Scheme.FailureRates(s.em, n)
+		s.tracker.AddShift(sdc*g, due*g)
+		s.tel.opSteps.Observe(float64(n))
+		s.tel.expSDC.Add(sdc * g)
+		s.tel.expDUE.Add(due * g)
+		if checked {
+			s.tel.checks.Inc()
+		}
+		if corrects {
+			s.tel.expCorr.Add(s.em.K1Rate(n) * g)
+		}
+	}
 }
 
 // returnHead eagerly shifts the group's head back to offset 0 after an
@@ -436,11 +555,7 @@ func (s *system) returnHead(group int) {
 	}
 	seq := s.planSequence(h, 0) // back-to-back: conservative interval
 	owrite := s.cfg.Scheme == shiftctrl.PECCO
-	for _, n := range seq {
-		sdc, due := s.cfg.Scheme.FailureRates(s.em, n)
-		g := float64(s.cfg.Geometry.StripesPerGroup)
-		s.tracker.AddShift(sdc*g, due*g)
-	}
+	s.trackSeq(seq)
 	s.acct.ShiftNJ += s.shiftE.SeqNJ(seq, owrite)
 	s.rtm.MoveHead(group, h, -1, len(seq))
 }
@@ -457,13 +572,11 @@ func (s *system) flushShift(set, way int) {
 	owrite := s.cfg.Scheme == shiftctrl.PECCO
 	for trip := 0; trip < 2; trip++ { // there and back
 		seq := s.planSequence(dist, 0) // back-to-back: conservative plan
-		for _, n := range seq {
-			sdc, due := s.cfg.Scheme.FailureRates(s.em, n)
-			g := float64(s.cfg.Geometry.StripesPerGroup)
-			s.tracker.AddShift(sdc*g, due*g)
-		}
+		s.trackSeq(seq)
 		s.acct.ShiftNJ += s.shiftE.SeqNJ(seq, owrite)
 	}
+	s.tel.promoFlushes.Inc()
+	s.tracer.Emit(telemetry.EventPromoFlush, s.lastShiftCycle, int64(set), int64(way), 0)
 	_ = group
 }
 

@@ -7,6 +7,7 @@ import (
 	"racetrack/hifi/internal/errmodel"
 	"racetrack/hifi/internal/mttf"
 	"racetrack/hifi/internal/sts"
+	"racetrack/hifi/internal/telemetry"
 )
 
 // Timing bundles the latency model for planned shift operations.
@@ -257,6 +258,15 @@ type Adapter struct {
 	// table[d] is sorted by MinInterval descending: the first entry whose
 	// MinInterval <= interval is the fastest safe sequence.
 	table [][]AdaptEntry
+	// stalls counts lookups where even the slowest row's MinInterval
+	// exceeded the observed interval (the architecture would stall).
+	stalls *telemetry.Counter
+}
+
+// Instrument attaches the stall counter from reg; nil detaches.
+func (a *Adapter) Instrument(reg *telemetry.Registry) {
+	a.stalls = reg.Counter(telemetry.MetricAdapterStalls,
+		"adapter lookups where even the all-1-step row needed a longer interval")
 }
 
 // AdaptEntry is one row of the adapter table (paper Table 3b).
@@ -311,6 +321,7 @@ func (a *Adapter) SequenceFor(d int, intervalCycles uint64) []int {
 			return e.Seq
 		}
 	}
+	a.stalls.Inc()
 	return rows[len(rows)-1].Seq
 }
 

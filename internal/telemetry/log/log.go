@@ -1,0 +1,130 @@
+// Package log is the stack's small leveled logger. All diagnostic and
+// progress output from the CLIs and the experiment driver goes through
+// it (primary results keep using stdout directly: tables and reports are
+// the programs' output, not diagnostics).
+//
+// The level comes from, in increasing precedence: the built-in default
+// (info), the HIFI_LOG environment variable (error|info|debug|trace, or
+// quiet/off), and an explicit SetLevel call (the CLIs' -v / -q flags).
+package log
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Level orders message severities; messages at or below the active
+// level are emitted.
+type Level int32
+
+// Levels, quietest first.
+const (
+	// Quiet suppresses everything, errors included.
+	Quiet Level = iota
+	// Error emits failures only.
+	Error
+	// Info is the default: progress and one-line run summaries.
+	Info
+	// Debug adds per-step diagnostics (per-workload runs, file sizes).
+	Debug
+	// Trace adds the firehose (per-event diagnostics).
+	Trace
+)
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	switch l {
+	case Quiet:
+		return "quiet"
+	case Error:
+		return "error"
+	case Info:
+		return "info"
+	case Debug:
+		return "debug"
+	case Trace:
+		return "trace"
+	default:
+		return fmt.Sprintf("level(%d)", int32(l))
+	}
+}
+
+// ParseLevel maps a level name (or verbosity digit) to a Level.
+func ParseLevel(s string) (Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "quiet", "off", "none":
+		return Quiet, nil
+	case "error", "0":
+		return Error, nil
+	case "info", "1", "":
+		return Info, nil
+	case "debug", "2", "verbose":
+		return Debug, nil
+	case "trace", "3":
+		return Trace, nil
+	default:
+		return Info, fmt.Errorf("log: unknown level %q (quiet|error|info|debug|trace)", s)
+	}
+}
+
+var (
+	level atomic.Int32
+
+	mu  sync.Mutex
+	out io.Writer = os.Stderr
+	// now is stubbed in tests for deterministic timestamps.
+	now = time.Now
+)
+
+func init() {
+	level.Store(int32(Info))
+	if env := os.Getenv("HIFI_LOG"); env != "" {
+		if l, err := ParseLevel(env); err == nil {
+			level.Store(int32(l))
+		}
+	}
+}
+
+// SetLevel overrides the active level (flags beat HIFI_LOG).
+func SetLevel(l Level) { level.Store(int32(l)) }
+
+// GetLevel returns the active level.
+func GetLevel() Level { return Level(level.Load()) }
+
+// Enabled reports whether messages at l would be emitted, for callers
+// that want to skip building expensive arguments.
+func Enabled(l Level) bool { return l <= GetLevel() }
+
+// SetOutput redirects log output (tests); default is os.Stderr.
+func SetOutput(w io.Writer) {
+	mu.Lock()
+	defer mu.Unlock()
+	out = w
+}
+
+func emit(l Level, format string, args ...interface{}) {
+	if !Enabled(l) {
+		return
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	fmt.Fprintf(out, "%s %-5s %s\n",
+		now().Format("15:04:05.000"), l, fmt.Sprintf(format, args...))
+}
+
+// Errorf logs at Error level.
+func Errorf(format string, args ...interface{}) { emit(Error, format, args...) }
+
+// Infof logs at Info level.
+func Infof(format string, args ...interface{}) { emit(Info, format, args...) }
+
+// Debugf logs at Debug level.
+func Debugf(format string, args ...interface{}) { emit(Debug, format, args...) }
+
+// Tracef logs at Trace level.
+func Tracef(format string, args ...interface{}) { emit(Trace, format, args...) }

@@ -1,0 +1,134 @@
+package log
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withTestSetup redirects output to a buffer, pins the clock and level,
+// and restores everything afterwards. Tests in this file share package
+// state, so they must not run in parallel.
+func withTestSetup(t *testing.T, l Level) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	prevLevel := GetLevel()
+	SetOutput(&buf)
+	SetLevel(l)
+	mu.Lock()
+	prevNow := now
+	now = func() time.Time { return time.Date(2026, 1, 2, 3, 4, 5, 678e6, time.UTC) }
+	mu.Unlock()
+	t.Cleanup(func() {
+		SetOutput(os.Stderr)
+		SetLevel(prevLevel)
+		mu.Lock()
+		now = prevNow
+		mu.Unlock()
+	})
+	return &buf
+}
+
+func TestParseLevel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Level
+		ok   bool
+	}{
+		{"quiet", Quiet, true},
+		{"off", Quiet, true},
+		{"error", Error, true},
+		{"0", Error, true},
+		{"info", Info, true},
+		{"", Info, true},
+		{"INFO", Info, true},
+		{" debug ", Debug, true},
+		{"verbose", Debug, true},
+		{"trace", Trace, true},
+		{"3", Trace, true},
+		{"bogus", Info, false},
+	}
+	for _, c := range cases {
+		got, err := ParseLevel(c.in)
+		if got != c.want || (err == nil) != c.ok {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
+		}
+	}
+}
+
+func TestLevelFiltering(t *testing.T) {
+	buf := withTestSetup(t, Info)
+	Errorf("e")
+	Infof("i")
+	Debugf("d")
+	Tracef("t")
+	out := buf.String()
+	if !strings.Contains(out, " e\n") || !strings.Contains(out, " i\n") {
+		t.Errorf("error/info suppressed at Info level:\n%s", out)
+	}
+	if strings.Contains(out, " d\n") || strings.Contains(out, " t\n") {
+		t.Errorf("debug/trace leaked at Info level:\n%s", out)
+	}
+}
+
+func TestQuietSuppressesErrors(t *testing.T) {
+	buf := withTestSetup(t, Quiet)
+	Errorf("boom")
+	if buf.Len() != 0 {
+		t.Errorf("Quiet must suppress everything, got %q", buf.String())
+	}
+}
+
+func TestMessageFormat(t *testing.T) {
+	buf := withTestSetup(t, Debug)
+	Debugf("ran %s in %d ms", "fig14", 42)
+	want := "03:04:05.678 debug ran fig14 in 42 ms\n"
+	if got := buf.String(); got != want {
+		t.Errorf("got %q, want %q", got, want)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	withTestSetup(t, Info)
+	if !Enabled(Error) || !Enabled(Info) {
+		t.Error("Error/Info must be enabled at Info level")
+	}
+	if Enabled(Debug) || Enabled(Trace) {
+		t.Error("Debug/Trace must be disabled at Info level")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	for l, want := range map[Level]string{
+		Quiet: "quiet", Error: "error", Info: "info",
+		Debug: "debug", Trace: "trace", Level(9): "level(9)",
+	} {
+		if got := l.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", l, got, want)
+		}
+	}
+}
+
+// TestConcurrentLogging is the -race proof for the logger: level flips
+// and emission from many goroutines.
+func TestConcurrentLogging(t *testing.T) {
+	withTestSetup(t, Info)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				Infof("worker %d line %d", w, i)
+				if i%50 == 0 {
+					SetLevel(Level(i/50) % 5)
+					SetLevel(Info)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

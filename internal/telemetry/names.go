@@ -1,0 +1,51 @@
+package telemetry
+
+// Canonical series names shared by the instrumented packages and the
+// exporter consumers. Instrumentation must register through these
+// constants so docs/observability.md stays the single naming authority.
+const (
+	// Cache hierarchy (labelled with level="l1"|"l2"|"l3").
+	MetricCacheHits       = "hifi_cache_hits_total"
+	MetricCacheMisses     = "hifi_cache_misses_total"
+	MetricCacheEvictions  = "hifi_cache_evictions_total"
+	MetricCacheWritebacks = "hifi_cache_writebacks_total"
+
+	// Racetrack array shift behaviour.
+	MetricShiftOps        = "hifi_shift_ops_total"
+	MetricShiftSteps      = "hifi_shift_steps_total"
+	MetricShiftCycles     = "hifi_shift_cycles_total"
+	MetricShiftZero       = "hifi_shift_zero_accesses_total"
+	MetricShiftDistance   = "hifi_shift_distance_steps"
+	MetricShiftOpLatency  = "hifi_shift_op_cycles"
+	MetricShiftOpInterval = "hifi_shift_op_interval_steps"
+
+	// Protection stack: p-ECC verifies, corrections, conversions, and
+	// the analytic expected-failure accumulators driving MTTF.
+	MetricPECCChecks          = "hifi_pecc_checks_total"
+	MetricPECCDetected        = "hifi_pecc_detected_total"
+	MetricPECCCorrections     = "hifi_pecc_corrections_total"
+	MetricPECCDUEs            = "hifi_pecc_dues_total"
+	MetricPECCIndeterminate   = "hifi_pecc_indeterminate_total"
+	MetricSTSConversions      = "hifi_sts_conversions_total"
+	MetricErrInjected         = "hifi_errors_injected_total"
+	MetricErrMagnitude        = "hifi_error_magnitude_steps"
+	MetricExpectedCorrections = "hifi_expected_corrections_total"
+	MetricExpectedSDC         = "hifi_expected_sdc_total"
+	MetricExpectedDUE         = "hifi_expected_due_total"
+
+	// Shift architecture (planner / adapter).
+	MetricAdapterStalls = "hifi_adapter_stall_sequences_total"
+
+	// Promotion buffer.
+	MetricPromoHits    = "hifi_promo_hits_total"
+	MetricPromoMisses  = "hifi_promo_misses_total"
+	MetricPromoFlushes = "hifi_promo_flushes_total"
+
+	// DRAM behind the LLC.
+	MetricDRAMFills      = "hifi_dram_fills_total"
+	MetricDRAMWritebacks = "hifi_dram_writebacks_total"
+
+	// Run progress (gauges, readable while a run is in flight).
+	MetricSimAccessesDone  = "hifi_sim_accesses_done"
+	MetricSimAccessesTotal = "hifi_sim_accesses_total"
+)

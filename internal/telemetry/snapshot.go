@@ -1,0 +1,208 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Snapshot is a consistent point-in-time copy of a registry. Series are
+// sorted by name so two snapshots of the same state export identical
+// bytes (determinism is load-bearing: golden tests and run-to-run diffs
+// depend on it).
+type Snapshot struct {
+	Counters   []SeriesValue   `json:"counters"`
+	Gauges     []SeriesValue   `json:"gauges"`
+	Histograms []HistogramData `json:"histograms"`
+}
+
+// SeriesValue is one scalar series.
+type SeriesValue struct {
+	Name  string  `json:"name"`
+	Help  string  `json:"help,omitempty"`
+	Value float64 `json:"value"`
+}
+
+// HistogramData is one distribution series.
+type HistogramData struct {
+	Name   string    `json:"name"`
+	Help   string    `json:"help,omitempty"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"` // len(Bounds)+1, last is +Inf
+	Sum    float64   `json:"sum"`
+	Count  uint64    `json:"count"`
+}
+
+// Snapshot copies the registry's current values. A nil registry yields
+// an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, k := range sortedKeys(r.counters) {
+		c := r.counters[k]
+		s.Counters = append(s.Counters, SeriesValue{Name: k, Help: c.help, Value: c.Value()})
+	}
+	for _, k := range sortedKeys(r.gauges) {
+		g := r.gauges[k]
+		s.Gauges = append(s.Gauges, SeriesValue{Name: k, Help: g.help, Value: g.Value()})
+	}
+	for _, k := range sortedKeys(r.histograms) {
+		h := r.histograms[k]
+		d := HistogramData{Name: k, Help: h.help, Sum: h.Sum(), Count: h.Count()}
+		d.Bounds = append(d.Bounds, h.bounds...)
+		for i := range h.counts {
+			d.Counts = append(d.Counts, h.counts[i].Load())
+		}
+		s.Histograms = append(s.Histograms, d)
+	}
+	return s
+}
+
+// Lookup returns the value of the named scalar series in the snapshot,
+// reporting whether it exists (counters first, then gauges).
+func (s Snapshot) Lookup(name string) (float64, bool) {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value, true
+		}
+	}
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value, true
+		}
+	}
+	return 0, false
+}
+
+// WriteJSON emits the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WritePrometheus emits the snapshot in the Prometheus text exposition
+// format (one HELP/TYPE block per metric name, cumulative _bucket series
+// for histograms).
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	var b strings.Builder
+	lastBase := ""
+	header := func(base, help, typ string) {
+		if base == lastBase {
+			return
+		}
+		lastBase = base
+		if help != "" {
+			fmt.Fprintf(&b, "# HELP %s %s\n", base, help)
+		}
+		fmt.Fprintf(&b, "# TYPE %s %s\n", base, typ)
+	}
+	for _, c := range s.Counters {
+		base, _ := splitName(c.Name)
+		header(base, c.Help, "counter")
+		fmt.Fprintf(&b, "%s %s\n", c.Name, formatValue(c.Value))
+	}
+	lastBase = ""
+	for _, g := range s.Gauges {
+		base, _ := splitName(g.Name)
+		header(base, g.Help, "gauge")
+		fmt.Fprintf(&b, "%s %s\n", g.Name, formatValue(g.Value))
+	}
+	lastBase = ""
+	for _, h := range s.Histograms {
+		base, labels := splitName(h.Name)
+		header(base, h.Help, "histogram")
+		cum := uint64(0)
+		for i, n := range h.Counts {
+			cum += n
+			le := "+Inf"
+			if i < len(h.Bounds) {
+				le = formatValue(h.Bounds[i])
+			}
+			fmt.Fprintf(&b, "%s_bucket{%sle=%q} %d\n", base, labelPrefix(labels), le, cum)
+		}
+		fmt.Fprintf(&b, "%s_sum%s %s\n", base, labelSuffix(labels), formatValue(h.Sum))
+		fmt.Fprintf(&b, "%s_count%s %d\n", base, labelSuffix(labels), h.Count)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// labelPrefix renders an existing label body for merging with the le
+// label: `a="b"` -> `a="b",`.
+func labelPrefix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return labels + ","
+}
+
+// labelSuffix renders an existing label body standalone: `a="b"` ->
+// `{a="b"}`.
+func labelSuffix(labels string) string {
+	if labels == "" {
+		return ""
+	}
+	return "{" + labels + "}"
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// integers without an exponent, everything else in shortest form.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteFiles writes the snapshot next to path in both formats:
+// "<path>.json" and "<path>.prom" (an existing .json/.prom/.txt
+// extension on path is trimmed first). It returns the two paths written.
+func (s Snapshot) WriteFiles(path string) (jsonPath, promPath string, err error) {
+	base := path
+	switch ext := filepath.Ext(path); ext {
+	case ".json", ".prom", ".txt":
+		base = strings.TrimSuffix(path, ext)
+	}
+	jsonPath, promPath = base+".json", base+".prom"
+	jf, err := os.Create(jsonPath)
+	if err != nil {
+		return "", "", err
+	}
+	if err := s.WriteJSON(jf); err != nil {
+		jf.Close()
+		return "", "", err
+	}
+	if err := jf.Close(); err != nil {
+		return "", "", err
+	}
+	pf, err := os.Create(promPath)
+	if err != nil {
+		return "", "", err
+	}
+	if err := s.WritePrometheus(pf); err != nil {
+		pf.Close()
+		return "", "", err
+	}
+	if err := pf.Close(); err != nil {
+		return "", "", err
+	}
+	return jsonPath, promPath, nil
+}
+
+// Sort orders all series by name; snapshots produced by
+// Registry.Snapshot are already sorted, this is for hand-built ones.
+func (s *Snapshot) Sort() {
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	sort.Slice(s.Histograms, func(i, j int) bool { return s.Histograms[i].Name < s.Histograms[j].Name })
+}

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite exporter golden files")
+
+// goldenRegistry builds a small fixed registry covering every export
+// shape: plain and labelled counters, a gauge, fractional values, and a
+// histogram with label merging.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("hifi_shift_ops_total", "shift operations issued").Add(42)
+	r.Counter(Label("hifi_cache_hits_total", "level", "l1"), "cache hits by level").Add(7)
+	r.Counter(Label("hifi_cache_hits_total", "level", "l3"), "cache hits by level").Add(3)
+	r.Counter("hifi_expected_corrections_total", "expected corrections").Add(1.5)
+	r.Gauge("hifi_sim_accesses_done", "accesses simulated so far").Set(1000)
+	h := r.Histogram("hifi_shift_distance_steps", "distance per shift op", []float64{1, 2, 4})
+	for _, v := range []float64{1, 1, 2, 3, 5} {
+		h.Observe(v)
+	}
+	hl := r.Histogram(Label("hifi_op_cycles", "op", "read"), "cycles per op", []float64{8, 16})
+	hl.Observe(10)
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run go test ./internal/telemetry -update to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestExporterGoldenPrometheus(t *testing.T) {
+	var b bytes.Buffer
+	if err := goldenRegistry().Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot.prom", b.Bytes())
+}
+
+func TestExporterGoldenJSON(t *testing.T) {
+	var b bytes.Buffer
+	if err := goldenRegistry().Snapshot().WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "snapshot.json", b.Bytes())
+}
+
+// TestSnapshotDeterminism: identical registry state must export
+// identical bytes regardless of registration or update order.
+func TestSnapshotDeterminism(t *testing.T) {
+	a := NewRegistry()
+	a.Counter("x", "").Add(1)
+	a.Counter("a", "").Add(2)
+	a.Gauge("m", "").Set(3)
+	a.Histogram("h", "", []float64{1}).Observe(0.5)
+
+	b := NewRegistry()
+	b.Histogram("h", "", []float64{1}).Observe(0.5)
+	b.Gauge("m", "").Set(3)
+	b.Counter("a", "").Add(2)
+	b.Counter("x", "").Add(1)
+
+	var ba, bb bytes.Buffer
+	if err := a.Snapshot().WritePrometheus(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot().WritePrometheus(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Errorf("export depends on registration order:\n%s\nvs\n%s", ba.String(), bb.String())
+	}
+	var ja, jb bytes.Buffer
+	if err := a.Snapshot().WriteJSON(&ja); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Snapshot().WriteJSON(&jb); err != nil {
+		t.Fatal(err)
+	}
+	if ja.String() != jb.String() {
+		t.Error("JSON export depends on registration order")
+	}
+}
+
+func TestPrometheusHistogramCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("d", "", []float64{1, 2})
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(9)
+	var b bytes.Buffer
+	if err := r.Snapshot().WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, line := range []string{
+		`d_bucket{le="1"} 1`,
+		`d_bucket{le="2"} 2`,
+		`d_bucket{le="+Inf"} 3`,
+		`d_sum 12`,
+		`d_count 3`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("missing %q in:\n%s", line, out)
+		}
+	}
+}
+
+func TestFormatValue(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{42, "42"},
+		{-3, "-3"},
+		{1.5, "1.5"},
+		{1e20, "1e+20"},
+		{3078.50496, "3078.50496"},
+	}
+	for _, c := range cases {
+		if got := formatValue(c.in); got != c.want {
+			t.Errorf("formatValue(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "run.json") // extension must be trimmed
+	jp, pp, err := goldenRegistry().Snapshot().WriteFiles(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jp != filepath.Join(dir, "run.json") || pp != filepath.Join(dir, "run.prom") {
+		t.Fatalf("paths = %q, %q", jp, pp)
+	}
+	j, err := os.ReadFile(jp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := os.ReadFile(pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(j, []byte("hifi_shift_ops_total")) || !bytes.Contains(p, []byte("hifi_shift_ops_total")) {
+		t.Error("written files missing expected series")
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	s := NewRegistry().Snapshot()
+	if _, ok := s.Lookup("nope"); ok {
+		t.Fatal("Lookup on empty snapshot must report absence")
+	}
+}
