@@ -2,14 +2,15 @@
 #
 #   make tier1           build + unit tests (the seed gate)
 #   make ci              tier-1 plus vet and the race detector
-#   make bench           full benchmark sweep
-#   make bench-snapshot  one full-size instrumented run -> BENCH_<rev>.json
+#   make bench           full benchmark sweep (go test -bench)
+#   make bench-snapshot  pinned hifi-bench suite -> BENCH_<rev>.json
+#   make bench-smoke     quick suite + self-compare (CI regression gate dry run)
 #   make report          render the evaluation report (scaled)
 
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all tier1 ci vet race test build bench bench-snapshot report fmt clean
+.PHONY: all tier1 ci vet race test build bench bench-snapshot bench-smoke report fmt clean
 
 all: tier1
 
@@ -32,14 +33,19 @@ race:
 bench:
 	$(GO) test -bench . -benchtime=1x -run '^$$' .
 
-# bench-snapshot runs one full-size workload with telemetry attached and
-# archives the metrics snapshot for the performance trajectory. The .prom
-# twin is written alongside and removed; the JSON is the artifact.
+# bench-snapshot runs the pinned micro+macro suite (hifi-bench) and
+# archives the ns/op + domain-rate snapshot for the performance
+# trajectory. Compare two revisions with:
+#   go run ./cmd/hifi-bench -compare BENCH_old.json BENCH_new.json
 bench-snapshot:
-	$(GO) run ./cmd/hifi-sim -workload ferret -accesses 200000 \
-		-metrics-out BENCH_$(REV) -progress 0 -q
-	@rm -f BENCH_$(REV).prom
-	@echo wrote BENCH_$(REV).json
+	$(GO) run ./cmd/hifi-bench -out BENCH_$(REV).json
+
+# bench-smoke is the CI shape: quick suite, then a self-compare to prove
+# the gate machinery works (always passes; the regression gate proper runs
+# against an archived baseline).
+bench-smoke:
+	$(GO) run ./cmd/hifi-bench -quick -out BENCH_smoke.json
+	$(GO) run ./cmd/hifi-bench -compare BENCH_smoke.json BENCH_smoke.json
 
 report:
 	$(GO) run ./cmd/hifi-report -scaled -o report.md
@@ -48,4 +54,4 @@ fmt:
 	gofmt -w .
 
 clean:
-	rm -f report.md BENCH_*.json BENCH_*.prom
+	rm -f report.md BENCH_*.json BENCH_*.prom *.manifest.json *.spans.json *.folded

@@ -13,6 +13,7 @@ package hifi
 // intentionally avoided — edit benchOpts for full-scale runs.
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -53,7 +54,7 @@ func BenchmarkFig1(b *testing.B) {
 func BenchmarkFig4(b *testing.B) {
 	o := benchOpts()
 	for i := 0; i < b.N; i++ {
-		logTable(b, experiments.Fig4(o.MCTrials, o.Seed))
+		logTable(b, experiments.Fig4(context.Background(), o.MCTrials, o.Seed))
 	}
 }
 

@@ -1,0 +1,281 @@
+// Command hifi-bench runs the pinned benchmark suite and writes a
+// versioned snapshot, or compares two snapshots and fails on regression.
+// The suite covers the hot paths of the reproduction: the RTM shift loop,
+// p-ECC decode, a full memsim replay, and one small experiment sweep —
+// micro and macro, so both a slow decoder and a slow simulator trip the
+// gate.
+//
+// Usage:
+//
+//	hifi-bench                                  # run, write BENCH_<date>.json
+//	hifi-bench -quick -out BENCH_ci.json        # smaller workloads (CI smoke)
+//	hifi-bench -compare BENCH_old.json          # run now, compare, exit 1 on >10% slowdown
+//	hifi-bench -compare BENCH_old.json BENCH_new.json   # compare two files
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+
+	"racetrack/hifi/internal/bench"
+	"racetrack/hifi/internal/cache"
+	"racetrack/hifi/internal/energy"
+	"racetrack/hifi/internal/experiments"
+	"racetrack/hifi/internal/memsim"
+	"racetrack/hifi/internal/pecc"
+	"racetrack/hifi/internal/shiftctrl"
+	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/log"
+	"racetrack/hifi/internal/trace"
+)
+
+func main() {
+	var (
+		out       = flag.String("out", "", "snapshot output path (default BENCH_<date>.json)")
+		quick     = flag.Bool("quick", false, "smaller workloads for CI smoke runs")
+		compare   = flag.Bool("compare", false, "compare mode: hifi-bench -compare OLD [NEW]")
+		threshold = flag.Float64("threshold", bench.DefaultThreshold, "relative ns/op slowdown treated as a regression")
+		verbose   = flag.Bool("v", false, "debug logging (overrides HIFI_LOG)")
+		quiet     = flag.Bool("q", false, "errors only (overrides HIFI_LOG)")
+	)
+	flag.Parse()
+	switch {
+	case *quiet:
+		log.SetLevel(log.Error)
+	case *verbose:
+		log.SetLevel(log.Debug)
+	}
+
+	if *compare {
+		runCompare(flag.Args(), *quick, *threshold)
+		return
+	}
+
+	snap := runSuite(*quick)
+	path := *out
+	if path == "" {
+		path = "BENCH_" + time.Now().UTC().Format("2006-01-02") + ".json"
+	}
+	if err := snap.WriteFile(path); err != nil {
+		log.Fatalf("hifi-bench: %v", err)
+	}
+	log.Infof("wrote %s (%d benchmarks)", path, len(snap.Results))
+	printSnapshot(snap)
+}
+
+// runCompare loads the baseline, obtains the candidate (second file or a
+// fresh run), prints the per-benchmark deltas, and exits 1 if any exceeds
+// the threshold.
+func runCompare(args []string, quick bool, threshold float64) {
+	if len(args) < 1 || len(args) > 2 {
+		log.Errorf("hifi-bench: -compare needs OLD.json [NEW.json]")
+		os.Exit(2)
+	}
+	old, err := bench.ReadFile(args[0])
+	if err != nil {
+		log.Fatalf("hifi-bench: %v", err)
+	}
+	var cur *bench.Snapshot
+	if len(args) == 2 {
+		if cur, err = bench.ReadFile(args[1]); err != nil {
+			log.Fatalf("hifi-bench: %v", err)
+		}
+	} else {
+		cur = runSuite(quick)
+	}
+
+	deltas := bench.Compare(old, cur)
+	fmt.Printf("%-24s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
+	for _, d := range deltas {
+		if d.MissingNew {
+			fmt.Printf("%-24s %14.0f %14s %8s\n", d.Name, d.Old, "missing", "-")
+			continue
+		}
+		fmt.Printf("%-24s %14.0f %14.0f %7.2fx\n", d.Name, d.Old, d.New, d.Ratio)
+	}
+	regs := bench.Regressions(deltas, threshold)
+	if len(regs) > 0 {
+		for _, d := range regs {
+			if d.MissingNew {
+				log.Errorf("hifi-bench: %s missing from new snapshot", d.Name)
+			} else {
+				log.Errorf("hifi-bench: %s regressed %.1f%% (threshold %.0f%%)",
+					d.Name, 100*(d.Ratio-1), 100*threshold)
+			}
+		}
+		os.Exit(1)
+	}
+	log.Infof("no regression beyond %.0f%% across %d benchmarks", 100*threshold, len(deltas))
+}
+
+// runSuite executes the pinned suite and stamps provenance. Workload sizes
+// are fixed per mode so snapshots are comparable run to run.
+func runSuite(quick bool) *bench.Snapshot {
+	man := telemetry.NewManifest("hifi-bench") // reuse its provenance capture
+	snap := &bench.Snapshot{
+		Schema:    bench.SchemaVersion,
+		DateUTC:   time.Now().UTC().Format(time.RFC3339),
+		GitSHA:    man.GitSHA,
+		GoVersion: man.GoVersion,
+		Host:      man.Hostname,
+		Quick:     quick,
+	}
+	for _, b := range []struct {
+		name string
+		run  func(bool) bench.Result
+	}{
+		{"rtm-shift-loop", benchShiftLoop},
+		{"pecc-decode", benchPECCDecode},
+		{"memsim-replay", benchMemsimReplay},
+		{"sweep-small", benchSweep},
+	} {
+		log.Infof("benchmarking %s", b.name)
+		r := b.run(quick)
+		r.Name = b.name
+		log.Debugf("%s: %.0f ns/op, %d allocs/op", r.Name, r.NsPerOp, r.AllocsPerOp)
+		snap.Add(r)
+	}
+	return snap
+}
+
+func printSnapshot(s *bench.Snapshot) {
+	for _, r := range s.Results {
+		fmt.Printf("%-24s %12.0f ns/op %8d B/op %6d allocs/op", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		for k, v := range r.Rates {
+			fmt.Printf("  %s=%.3g", k, v)
+		}
+		fmt.Println()
+	}
+}
+
+// toResult converts a testing result, deriving domain rates from the known
+// per-op work: rates[k] = perOp[k] / seconds-per-op.
+func toResult(r testing.BenchmarkResult, perOp map[string]float64) bench.Result {
+	out := bench.Result{
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+	if out.NsPerOp > 0 && len(perOp) > 0 {
+		out.Rates = make(map[string]float64, len(perOp))
+		for k, v := range perOp {
+			out.Rates[k] = v * 1e9 / out.NsPerOp
+		}
+	}
+	return out
+}
+
+// benchShiftLoop measures the raw head-position bookkeeping: the
+// AccessDistance/MoveHead pair over a strided line pattern.
+func benchShiftLoop(quick bool) bench.Result {
+	const ways = 8
+	geom := cache.DefaultRTM()
+	capacity := int64(1 << 20)
+	// The pattern is deterministic, so count its per-op shift work once.
+	dry := cache.NewRTMArray(geom, capacity)
+	const probe = 1 << 12
+	for i := 0; i < probe; i++ {
+		shiftLoopStep(dry, i, ways)
+	}
+	stepsPerOp := float64(dry.ShiftSteps) / probe
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		arr := cache.NewRTMArray(geom, capacity)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			shiftLoopStep(arr, i, ways)
+		}
+	})
+	return toResult(res, map[string]float64{"shift_steps_per_sec": stepsPerOp})
+}
+
+func shiftLoopStep(arr *cache.RTMArray, i, ways int) {
+	g, d, dir := arr.AccessDistance(i*7%2048, i%ways, ways)
+	arr.MoveHead(g, d, dir, 1)
+}
+
+// benchPECCDecode measures one SECDED p-ECC decode of a window carrying a
+// detectable position error.
+func benchPECCDecode(quick bool) bench.Result {
+	code := pecc.SECDED(8)
+	w := code.ExpectedWindow(3)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if r := code.Decode(2, w); !r.Detected {
+				b.Fatal("expected detection")
+			}
+		}
+	})
+	return toResult(res, map[string]float64{"decodes_per_sec": 1})
+}
+
+// benchConfig is the pinned memsim-replay configuration: racetrack LLC,
+// adaptive p-ECC-S, scaled hierarchy, ferret trace.
+func benchConfig(quick bool) memsim.Config {
+	cfg := memsim.DefaultConfig(energy.Racetrack, shiftctrl.PECCSAdaptive)
+	cfg.L1Capacity = 2 << 10
+	cfg.L2Capacity = 8 << 10
+	cfg.L3Capacity = 1 << 20
+	cfg.AccessesPerCore = 4000
+	if quick {
+		cfg.AccessesPerCore = 1000
+	}
+	cfg.Seed = 1
+	return cfg
+}
+
+// benchMemsimReplay measures one full hierarchy simulation per op, with no
+// registry and no span collector attached — it doubles as the telemetry
+// zero-overhead guard: this path must not pay for observability it did not
+// ask for.
+func benchMemsimReplay(quick bool) bench.Result {
+	cfg := benchConfig(quick)
+	w, err := trace.ByName("ferret")
+	if err != nil {
+		log.Fatalf("hifi-bench: %v", err)
+	}
+	w.WorkingSetB >>= 7
+	if w.WorkingSetB < 12<<10 {
+		w.WorkingSetB = 12 << 10
+	}
+	// One dry run for the deterministic per-op counters.
+	r, err := memsim.Run(w, cfg)
+	if err != nil {
+		log.Fatalf("hifi-bench: %v", err)
+	}
+	accesses := float64(cfg.AccessesPerCore * cfg.Cores)
+	shifts := float64(r.ShiftSteps)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := memsim.Run(w, cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return toResult(res, map[string]float64{
+		"accesses_per_sec":    accesses,
+		"shift_steps_per_sec": shifts,
+	})
+}
+
+// benchSweep measures one small simulation-backed experiment sweep (Fig 14
+// on the scaled hierarchy): the macro path the CLIs actually execute.
+func benchSweep(quick bool) bench.Result {
+	opts := experiments.QuickRunOpts()
+	if quick {
+		opts.AccessesPerCore = 1000
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			experiments.Fig14(opts)
+		}
+	})
+	return toResult(res, nil)
+}

@@ -14,8 +14,10 @@ import (
 	"flag"
 	"fmt"
 
+	"racetrack/hifi/internal/cliutil"
 	"racetrack/hifi/internal/design"
 	"racetrack/hifi/internal/mttf"
+	"racetrack/hifi/internal/telemetry/log"
 )
 
 func main() {
@@ -27,7 +29,9 @@ func main() {
 		intensity = flag.Float64("intensity", 83e6, "sustained shift intensity, ops/s")
 		all       = flag.Bool("all", false, "print every feasible point, not just the Pareto frontier")
 	)
+	obs := cliutil.NewObs("hifi-design")
 	flag.Parse()
+	obs.Start()
 
 	req := design.Requirements{
 		MinDUEYears: *dueYears,
@@ -67,5 +71,8 @@ func main() {
 	}
 	if len(points) == 0 {
 		fmt.Println("  (none — relax the requirements)")
+	}
+	if err := obs.Finish(); err != nil {
+		log.Fatalf("hifi-design: %v", err)
 	}
 }

@@ -11,20 +11,20 @@
 //
 // Observability (see docs/observability.md):
 //
-//	hifi-experiments -run fig14 -metrics-out fig14  # fig14.json + fig14.prom
+//	hifi-experiments -run fig14 -metrics-out fig14  # fig14.json + fig14.prom + fig14.manifest.json
+//	hifi-experiments -run fig16 -spans-out fig16    # fig16.spans.json + fig16.folded (flamegraph)
 //	hifi-experiments -pprof localhost:6060 -v
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strings"
 	"time"
 
+	"racetrack/hifi/internal/cliutil"
 	"racetrack/hifi/internal/experiments"
 	"racetrack/hifi/internal/telemetry"
 	"racetrack/hifi/internal/telemetry/log"
@@ -40,19 +40,9 @@ func main() {
 		accesses = flag.Int("accesses", 0, "trace length per core (0 = default)")
 		seed     = flag.Uint64("seed", 1, "trace seed")
 		trials   = flag.Int("mc-trials", 0, "Monte-Carlo trials for fig4 (0 = default)")
-
-		metricsOut = flag.String("metrics-out", "", "write aggregated metrics snapshots to <base>.json and <base>.prom")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-		verbose    = flag.Bool("v", false, "debug logging (overrides HIFI_LOG)")
-		quiet      = flag.Bool("q", false, "errors only (overrides HIFI_LOG)")
 	)
+	obs := cliutil.NewObs("hifi-experiments")
 	flag.Parse()
-	switch {
-	case *quiet:
-		log.SetLevel(log.Error)
-	case *verbose:
-		log.SetLevel(log.Debug)
-	}
 
 	if *list {
 		for _, k := range experiments.Order() {
@@ -61,14 +51,16 @@ func main() {
 		return
 	}
 
-	if *pprofAddr != "" {
-		go func() {
-			log.Infof("pprof listening on http://%s/debug/pprof/", *pprofAddr)
-			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
-				log.Errorf("pprof server: %v", err)
-			}
-		}()
+	keys, unknown := resolveKeys(*run)
+	if len(unknown) > 0 {
+		// Validate the whole selection before running anything: a typo at
+		// the end of a multi-hour sweep must fail in the first second.
+		log.Errorf("hifi-experiments: unknown experiment(s): %s", strings.Join(unknown, ", "))
+		log.Errorf("hifi-experiments: valid names: %s", strings.Join(experiments.Order(), " "))
+		os.Exit(2)
 	}
+
+	ctx := obs.Start()
 
 	opts := experiments.DefaultRunOpts()
 	if *scaled {
@@ -83,43 +75,34 @@ func main() {
 	if *trials > 0 {
 		opts.MCTrials = *trials
 	}
-	if *metricsOut != "" {
-		opts.Metrics = telemetry.NewRegistry()
-	}
-
-	all := experiments.All(opts)
-	var keys []string
-	if *run == "" {
-		keys = experiments.Order()
-	} else {
-		for _, k := range strings.Split(*run, ",") {
-			k = strings.TrimSpace(strings.ToLower(k))
-			if _, ok := all[k]; !ok {
-				fmt.Fprintf(os.Stderr, "hifi-experiments: unknown experiment %q (use -list)\n", k)
-				os.Exit(2)
-			}
-			keys = append(keys, k)
-		}
-	}
+	opts.Metrics = obs.Reg
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fmt.Fprintf(os.Stderr, "hifi-experiments: %v\n", err)
-			os.Exit(1)
+			log.Fatalf("hifi-experiments: %v", err)
 		}
 	}
 	for i, k := range keys {
 		log.Infof("running %s (%d/%d)", k, i+1, len(keys))
-		start := time.Now()
-		tab := all[k]()
-		log.Infof("finished %s in %v", k, time.Since(start).Round(time.Millisecond))
+		// One span per experiment; the generators are keyed closures that
+		// capture opts by value, so rebuild the index with this
+		// experiment's span context threaded in.
+		kctx, ksp := telemetry.StartSpan(ctx, "experiment:"+k)
+		opts.Ctx = kctx
+		tab := experiments.All(opts)[k]()
+		ksp.End()
+		if el := ksp.Duration(); el > 0 {
+			log.Infof("finished %s in %v", k, el.Round(time.Millisecond))
+		} else {
+			log.Infof("finished %s", k)
+		}
 		switch {
 		case *outDir != "":
 			path := filepath.Join(*outDir, k+".csv")
 			if err := os.WriteFile(path, []byte(tab.CSV()), 0o644); err != nil {
-				fmt.Fprintf(os.Stderr, "hifi-experiments: %v\n", err)
-				os.Exit(1)
+				log.Fatalf("hifi-experiments: %v", err)
 			}
+			obs.AddOutput(path)
 			log.Infof("wrote %s", path)
 		case *csv:
 			fmt.Print(tab.CSV())
@@ -131,12 +114,31 @@ func main() {
 		}
 	}
 
-	if *metricsOut != "" {
-		jsonPath, promPath, err := opts.Metrics.Snapshot().WriteFiles(*metricsOut)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "hifi-experiments: metrics: %v\n", err)
-			os.Exit(1)
-		}
-		log.Infof("wrote metrics to %s and %s", jsonPath, promPath)
+	if err := obs.Finish(); err != nil {
+		log.Fatalf("hifi-experiments: %v", err)
 	}
+}
+
+// resolveKeys expands the -run selection, returning the keys to run in
+// order and every name that does not exist.
+func resolveKeys(run string) (keys, unknown []string) {
+	if run == "" {
+		return experiments.Order(), nil
+	}
+	valid := make(map[string]bool)
+	for _, k := range experiments.Order() {
+		valid[k] = true
+	}
+	for _, k := range strings.Split(run, ",") {
+		k = strings.TrimSpace(strings.ToLower(k))
+		if k == "" {
+			continue
+		}
+		if !valid[k] {
+			unknown = append(unknown, k)
+			continue
+		}
+		keys = append(keys, k)
+	}
+	return keys, unknown
 }

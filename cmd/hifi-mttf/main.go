@@ -14,9 +14,11 @@ import (
 	"flag"
 	"fmt"
 
+	"racetrack/hifi/internal/cliutil"
 	"racetrack/hifi/internal/errmodel"
 	"racetrack/hifi/internal/mttf"
 	"racetrack/hifi/internal/shiftctrl"
+	"racetrack/hifi/internal/telemetry/log"
 )
 
 func main() {
@@ -29,7 +31,10 @@ func main() {
 		segLen    = flag.Int("seglen", 8, "segment length (max distance + 1)")
 		table     = flag.Bool("table", false, "print the adaptive sequence table")
 	)
+	obs := cliutil.NewObs("hifi-mttf")
 	flag.Parse()
+	obs.Start()
+	defer finish(obs)
 
 	target := *targetY * mttf.SecondsPerYear
 	var em errmodel.Model
@@ -63,5 +68,13 @@ func main() {
 			fmt.Printf("  %-14d %-24s %d cycles\n", row.MinInterval,
 				fmt.Sprintf("%v", row.Seq), row.Cycles)
 		}
+	}
+}
+
+// finish flushes the observability artifacts (manifest, metrics, spans)
+// when the shared flags requested any.
+func finish(o *cliutil.Obs) {
+	if err := o.Finish(); err != nil {
+		log.Fatalf("hifi-mttf: %v", err)
 	}
 }

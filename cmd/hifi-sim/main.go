@@ -9,7 +9,8 @@
 //
 // Observability (see docs/observability.md):
 //
-//	hifi-sim -workload ferret -metrics-out run      # run.json + run.prom
+//	hifi-sim -workload ferret -metrics-out run      # run.json + run.prom + run.manifest.json
+//	hifi-sim -workload ferret -spans-out run        # run.spans.json + run.folded
 //	hifi-sim -workload ferret -trace-out run.trace.json
 //	hifi-sim -workload ferret -pprof localhost:6060 -progress 2s
 package main
@@ -17,12 +18,11 @@ package main
 import (
 	"flag"
 	"fmt"
-	"net/http"
-	_ "net/http/pprof"
 	"os"
 	"sync"
 	"time"
 
+	"racetrack/hifi/internal/cliutil"
 	"racetrack/hifi/internal/energy"
 	"racetrack/hifi/internal/memsim"
 	"racetrack/hifi/internal/mttf"
@@ -38,38 +38,36 @@ func main() {
 		tech     = flag.String("tech", "racetrack", "LLC technology: sram | stt | racetrack")
 		scheme   = flag.String("scheme", "adaptive", "protection: baseline | sed | secded | pecco | worst | adaptive")
 		accesses = flag.Int("accesses", 200_000, "accesses per core")
+		warmup   = flag.Int("warmup", 0, "warmup accesses per core excluded from the reported statistics")
 		seed     = flag.Uint64("seed", 1, "trace seed")
 		ideal    = flag.Bool("ideal", false, "remove shift latency (RM-Ideal)")
 
-		metricsOut = flag.String("metrics-out", "", "write metrics snapshots to <base>.json and <base>.prom")
-		traceOut   = flag.String("trace-out", "", "write shift-event trace (JSON) to this file")
-		traceCap   = flag.Int("trace-cap", 1<<16, "events retained in the trace ring buffer")
-		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
-		progress   = flag.Duration("progress", 5*time.Second, "progress-line interval (0 disables)")
-		verbose    = flag.Bool("v", false, "debug logging (overrides HIFI_LOG)")
-		quiet      = flag.Bool("q", false, "errors only (overrides HIFI_LOG)")
+		traceOut = flag.String("trace-out", "", "write shift-event trace (JSON) to this file")
+		traceCap = flag.Int("trace-cap", 1<<16, "events retained in the trace ring buffer")
+		progress = flag.Duration("progress", 5*time.Second, "progress-line interval (0 disables)")
 	)
+	obs := cliutil.NewObs("hifi-sim")
 	flag.Parse()
-	setLogLevel(*verbose, *quiet)
+	obs.EnableMetrics() // the progress line reads the run gauges
+	ctx := obs.Start()
 
 	w, err := trace.ByName(*workload)
 	if err != nil {
-		fail("%v (workloads: canneal dedup facesim ferret fluidanimate freqmine blackscholes bodytrack streamcluster swaptions vips x264)", err)
+		log.Fatalf("hifi-sim: %v (workloads: canneal dedup facesim ferret fluidanimate freqmine blackscholes bodytrack streamcluster swaptions vips x264)", err)
 	}
 	t, err := parseTech(*tech)
 	if err != nil {
-		fail("%v", err)
+		log.Fatalf("hifi-sim: %v", err)
 	}
 	s, err := parseScheme(*scheme)
 	if err != nil {
-		fail("%v", err)
+		log.Fatalf("hifi-sim: %v", err)
 	}
 
-	serveProfiler(*pprofAddr)
-
-	reg := telemetry.NewRegistry()
+	reg := obs.Reg
 	cfg := memsim.DefaultConfig(t, s)
 	cfg.AccessesPerCore = *accesses
+	cfg.WarmupAccessesPerCore = *warmup
 	cfg.Seed = *seed
 	cfg.Ideal = *ideal
 	cfg.Metrics = reg
@@ -79,10 +77,10 @@ func main() {
 
 	stopProgress := watchProgress(reg, *progress)
 	start := time.Now()
-	r, err := memsim.Run(w, cfg)
+	r, err := memsim.RunCtx(ctx, w, cfg)
 	stopProgress()
 	if err != nil {
-		fail("simulation: %v", err)
+		log.Fatalf("hifi-sim: simulation: %v", err)
 	}
 	log.Debugf("simulated %d accesses in %v", cfg.AccessesPerCore*cfg.Cores,
 		time.Since(start).Round(time.Millisecond))
@@ -103,43 +101,17 @@ func main() {
 		r.Energy.DynamicNJ()/1e3, r.Energy.LLCDynamicNJ()/1e3,
 		r.Energy.LeakageJ*1e3, r.Energy.TotalJ()*1e3)
 
-	if *metricsOut != "" {
-		jsonPath, promPath, err := reg.Snapshot().WriteFiles(*metricsOut)
-		if err != nil {
-			fail("metrics: %v", err)
-		}
-		log.Infof("wrote metrics to %s and %s", jsonPath, promPath)
-	}
 	if *traceOut != "" {
 		if err := writeTrace(cfg.Tracer, *traceOut); err != nil {
-			fail("trace: %v", err)
+			log.Fatalf("hifi-sim: trace: %v", err)
 		}
+		obs.AddOutput(*traceOut)
 		log.Infof("wrote %d trace events to %s (%d dropped)",
 			cfg.Tracer.Len(), *traceOut, cfg.Tracer.Dropped())
 	}
-}
-
-// setLogLevel applies the -v/-q flags on top of the HIFI_LOG default.
-func setLogLevel(verbose, quiet bool) {
-	switch {
-	case quiet:
-		log.SetLevel(log.Error)
-	case verbose:
-		log.SetLevel(log.Debug)
+	if err := obs.Finish(); err != nil {
+		log.Fatalf("hifi-sim: %v", err)
 	}
-}
-
-// serveProfiler exposes net/http/pprof when an address is given.
-func serveProfiler(addr string) {
-	if addr == "" {
-		return
-	}
-	go func() {
-		log.Infof("pprof listening on http://%s/debug/pprof/", addr)
-		if err := http.ListenAndServe(addr, nil); err != nil {
-			log.Errorf("pprof server: %v", err)
-		}
-	}()
 }
 
 // watchProgress emits a periodic progress line (events/sec, ETA) from
@@ -250,9 +222,4 @@ func human(seconds float64) string {
 	default:
 		return fmt.Sprintf("%.3g us", seconds*1e6)
 	}
-}
-
-func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "hifi-sim: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"os"
 
+	"racetrack/hifi/internal/cliutil"
 	"racetrack/hifi/internal/telemetry/log"
 	"racetrack/hifi/internal/trace"
 )
@@ -26,46 +27,48 @@ func main() {
 		in       = flag.String("i", "", "input trace file to inspect")
 		head     = flag.Int("head", 0, "dump the first N records")
 		stats    = flag.Bool("stats", false, "print summary statistics")
-		verbose  = flag.Bool("v", false, "debug logging (overrides HIFI_LOG)")
 	)
+	obs := cliutil.NewObs("hifi-trace")
 	flag.Parse()
-	if *verbose {
-		log.SetLevel(log.Debug)
-	}
+	obs.Start()
 
 	switch {
 	case *workload != "" && *out != "":
 		record(*workload, *core, *n, *seed, *out)
+		obs.AddOutput(*out)
 	case *in != "":
 		inspect(*in, *head, *stats)
 	default:
-		fmt.Fprintln(os.Stderr, "hifi-trace: use -workload/-o to record or -i to inspect")
+		log.Errorf("hifi-trace: use -workload/-o to record or -i to inspect")
 		os.Exit(2)
+	}
+	if err := obs.Finish(); err != nil {
+		log.Fatalf("hifi-trace: %v", err)
 	}
 }
 
 func record(name string, core, n int, seed uint64, path string) {
 	w, err := trace.ByName(name)
 	if err != nil {
-		fail("%v", err)
+		log.Fatalf("hifi-trace: %v", err)
 	}
 	recs := trace.NewGenerator(w, core, seed).Take(n)
 	f, err := os.Create(path)
 	if err != nil {
-		fail("%v", err)
+		log.Fatalf("hifi-trace: %v", err)
 	}
 	if err := trace.WriteTrace(f, recs); err != nil {
 		f.Close()
-		fail("write: %v", err)
+		log.Fatalf("hifi-trace: write: %v", err)
 	}
 	// Close before reporting: a short write surfaces here, and the size
 	// on disk is final.
 	if err := f.Close(); err != nil {
-		fail("close: %v", err)
+		log.Fatalf("hifi-trace: close: %v", err)
 	}
 	fi, err := os.Stat(path)
 	if err != nil {
-		fail("stat: %v", err)
+		log.Fatalf("hifi-trace: stat: %v", err)
 	}
 	log.Infof("recorded %d accesses of %s (core %d) to %s (%.1f bytes/record)",
 		n, name, core, path, float64(fi.Size())/float64(n))
@@ -74,14 +77,14 @@ func record(name string, core, n int, seed uint64, path string) {
 func inspect(path string, head int, stats bool) {
 	f, err := os.Open(path)
 	if err != nil {
-		fail("%v", err)
+		log.Fatalf("hifi-trace: %v", err)
 	}
 	recs, err := trace.ReadTrace(f)
 	if cerr := f.Close(); err == nil && cerr != nil {
 		err = cerr
 	}
 	if err != nil {
-		fail("read: %v", err)
+		log.Fatalf("hifi-trace: read: %v", err)
 	}
 	log.Debugf("loaded %d records from %s", len(recs), path)
 	fmt.Printf("%s: %d records\n", path, len(recs))
@@ -113,9 +116,4 @@ func inspect(path string, head int, stats bool) {
 	fmt.Printf("  mean gap    %.2f cycles\n", float64(gaps)/float64(len(recs)))
 	fmt.Printf("  footprint   %d lines (%.1f MB max addr)\n", len(lines), float64(maxAddr)/(1<<20))
 	fmt.Printf("  reuse       %.2f accesses/line\n", reuse)
-}
-
-func fail(format string, args ...interface{}) {
-	fmt.Fprintf(os.Stderr, "hifi-trace: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,136 @@
+// Package bench defines the benchmark snapshot format written by
+// cmd/hifi-bench and the comparison logic that turns two snapshots into a
+// regression verdict. The format is versioned JSON so snapshots can be
+// archived next to reports and diffed across commits; the comparison is a
+// plain relative ns/op gate so CI can fail a pull request that slows a
+// pinned benchmark beyond the threshold.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// SchemaVersion identifies the snapshot layout; bump on breaking change.
+const SchemaVersion = 1
+
+// DefaultThreshold is the relative ns/op slowdown treated as a regression
+// (0.10 = 10% slower than the baseline).
+const DefaultThreshold = 0.10
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Rates holds domain throughputs derived from the deterministic
+	// workload each benchmark replays: shifts_per_sec, accesses_per_sec.
+	Rates map[string]float64 `json:"rates,omitempty"`
+}
+
+// Snapshot is one full run of the pinned suite plus its provenance.
+type Snapshot struct {
+	Schema    int      `json:"schema"`
+	DateUTC   string   `json:"date_utc"`
+	GitSHA    string   `json:"git_sha"`
+	GoVersion string   `json:"go_version"`
+	Host      string   `json:"host"`
+	Quick     bool     `json:"quick,omitempty"`
+	Results   []Result `json:"results"`
+}
+
+// Add appends one result.
+func (s *Snapshot) Add(r Result) { s.Results = append(s.Results, r) }
+
+// WriteFile writes the snapshot as indented JSON.
+func (s *Snapshot) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a snapshot, rejecting unknown schema versions so a stale
+// binary never silently mis-compares a newer file.
+func ReadFile(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	if s.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s: schema %d, want %d", path, s.Schema, SchemaVersion)
+	}
+	return &s, nil
+}
+
+// Delta is one benchmark's old-vs-new comparison.
+type Delta struct {
+	Name string
+	// Old and New are ns/op; Ratio is New/Old (1.0 = unchanged).
+	Old, New, Ratio float64
+	// MissingNew marks a baseline benchmark absent from the new snapshot
+	// (renamed or deleted — surfaced so a regression cannot hide behind a
+	// rename).
+	MissingNew bool
+}
+
+// Regressed reports whether the delta exceeds the slowdown threshold. A
+// missing benchmark is treated as a regression: the gate must be updated
+// deliberately, not dodged.
+func (d Delta) Regressed(threshold float64) bool {
+	if d.MissingNew {
+		return true
+	}
+	return d.Old > 0 && d.Ratio > 1+threshold
+}
+
+// Compare matches benchmarks by name and returns one delta per baseline
+// entry, sorted by name. Benchmarks only present in the new snapshot are
+// ignored (additions are not regressions).
+func Compare(old, cur *Snapshot) []Delta {
+	newByName := make(map[string]Result, len(cur.Results))
+	for _, r := range cur.Results {
+		newByName[r.Name] = r
+	}
+	deltas := make([]Delta, 0, len(old.Results))
+	for _, o := range old.Results {
+		d := Delta{Name: o.Name, Old: o.NsPerOp}
+		if n, ok := newByName[o.Name]; ok {
+			d.New = n.NsPerOp
+			if o.NsPerOp > 0 {
+				d.Ratio = n.NsPerOp / o.NsPerOp
+			}
+		} else {
+			d.MissingNew = true
+		}
+		deltas = append(deltas, d)
+	}
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas
+}
+
+// Regressions filters the deltas that breach the threshold.
+func Regressions(deltas []Delta, threshold float64) []Delta {
+	var out []Delta
+	for _, d := range deltas {
+		if d.Regressed(threshold) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

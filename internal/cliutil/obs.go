@@ -1,0 +1,190 @@
+// Package cliutil is the plumbing shared by every hifi-* binary: the
+// observability flag set (-metrics-out, -spans-out, -manifest-out, -pprof,
+// -v, -q), the wiring from those flags to the telemetry registry, span
+// collector, run manifest, and live status server, and the end-of-run
+// artifact writing. Keeping it in one place means every CLI exposes the
+// same surface and docs/observability.md documents all of them at once.
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/log"
+)
+
+// Obs owns one CLI's observability state from flag registration to the
+// final artifact writes. Zero-cost when no flag is set: the registry and
+// span collector stay nil and the instrumented packages fall back to their
+// nil-safe no-op paths.
+type Obs struct {
+	tool string
+	fs   *flag.FlagSet
+
+	metricsOut  *string
+	spansOut    *string
+	manifestOut *string
+	statusAddr  *string
+	verbose     *bool
+	quiet       *bool
+
+	// Reg aggregates metrics (nil unless requested or forced), Col
+	// collects spans, Man is the run manifest (always present after
+	// Start so /runinfo and crash forensics have provenance).
+	Reg *telemetry.Registry
+	Col *telemetry.SpanCollector
+	Man *telemetry.Manifest
+
+	root *telemetry.Span
+}
+
+// NewObs registers the shared observability flags on the default flag set.
+// Call before flag.Parse; call Start after.
+func NewObs(tool string) *Obs { return AddFlags(flag.CommandLine, tool) }
+
+// AddFlags registers the shared observability flags on fs.
+func AddFlags(fs *flag.FlagSet, tool string) *Obs {
+	o := &Obs{tool: tool, fs: fs}
+	o.metricsOut = fs.String("metrics-out", "",
+		"write aggregated metrics snapshots to <base>.json and <base>.prom")
+	o.spansOut = fs.String("spans-out", "",
+		"write the hierarchical span tree to <base>.spans.json and <base>.folded (flamegraph)")
+	o.manifestOut = fs.String("manifest-out", "",
+		"write the run manifest here (default: <metrics/spans base>.manifest.json)")
+	o.statusAddr = fs.String("pprof", "",
+		"serve /metrics /spans /runinfo /healthz and /debug/pprof on this address (e.g. localhost:6060)")
+	o.verbose = fs.Bool("v", false, "debug logging (overrides HIFI_LOG)")
+	o.quiet = fs.Bool("q", false, "errors only (overrides HIFI_LOG)")
+	return o
+}
+
+// EnableMetrics forces a registry even when -metrics-out is unset, for
+// tools that read gauges while running (hifi-sim's progress line).
+func (o *Obs) EnableMetrics() {
+	if o.Reg == nil {
+		o.Reg = telemetry.NewRegistry()
+	}
+}
+
+// MetricsRequested reports whether the user asked for a metrics snapshot
+// on disk (as opposed to a registry forced by the tool itself).
+func (o *Obs) MetricsRequested() bool { return *o.metricsOut != "" }
+
+// Start applies the log level, builds the telemetry objects the parsed
+// flags call for, starts the status server, captures the resolved
+// configuration into the manifest, and opens the root span. The returned
+// context carries the span collector; thread it through the run.
+func (o *Obs) Start() context.Context {
+	switch {
+	case *o.quiet:
+		log.SetLevel(log.Error)
+	case *o.verbose:
+		log.SetLevel(log.Debug)
+	}
+
+	if *o.metricsOut != "" || *o.statusAddr != "" || *o.manifestOut != "" {
+		o.EnableMetrics()
+	}
+	if *o.spansOut != "" || *o.statusAddr != "" {
+		o.Col = telemetry.NewSpanCollector(o.Reg)
+	}
+
+	o.Man = telemetry.NewManifest(o.tool)
+	cfg := make(map[string]string)
+	o.fs.VisitAll(func(f *flag.Flag) { cfg[f.Name] = f.Value.String() })
+	o.Man.SetConfig(cfg)
+	if f := o.fs.Lookup("seed"); f != nil {
+		if s, err := strconv.ParseUint(f.Value.String(), 10, 64); err == nil {
+			o.Man.SetSeed(s)
+		}
+	}
+
+	if *o.statusAddr != "" {
+		mux := telemetry.NewStatusMux(o.Reg, o.Col, o.Man)
+		go func(addr string) {
+			log.Infof("status listening on http://%s/ (/metrics /spans /runinfo /debug/pprof)", addr)
+			if err := http.ListenAndServe(addr, mux); err != nil {
+				log.Errorf("status server: %v", err)
+			}
+		}(*o.statusAddr)
+	}
+
+	ctx := context.Background()
+	if o.Col != nil {
+		ctx = telemetry.WithCollector(ctx, o.Col)
+	}
+	ctx, o.root = telemetry.StartSpan(ctx, o.tool)
+	return ctx
+}
+
+// manifestPath resolves where the manifest goes: the explicit flag, else
+// next to the metrics (or spans) output, else nowhere.
+func (o *Obs) manifestPath() string {
+	if *o.manifestOut != "" {
+		return *o.manifestOut
+	}
+	base := *o.metricsOut
+	if base == "" {
+		base = *o.spansOut
+	}
+	if base == "" {
+		return ""
+	}
+	for _, ext := range []string{".json", ".prom", ".txt", ".spans", ".folded"} {
+		base = strings.TrimSuffix(base, ext)
+	}
+	return base + ".manifest.json"
+}
+
+// Finish ends the root span and writes every requested artifact: metrics
+// snapshot, span export, and manifest. Returns the first write error; the
+// run's numbers have already been printed by then, so callers typically
+// route it to log.Fatalf.
+func (o *Obs) Finish() error {
+	o.root.End()
+
+	var firstErr error
+	if *o.metricsOut != "" {
+		jsonPath, promPath, err := o.Reg.Snapshot().WriteFiles(*o.metricsOut)
+		if err != nil {
+			firstErr = err
+		} else {
+			o.Man.AddOutput(jsonPath, promPath)
+			log.Infof("wrote metrics to %s and %s", jsonPath, promPath)
+		}
+	}
+	if *o.spansOut != "" && o.Col != nil {
+		jsonPath, foldedPath, err := o.Col.Export().WriteFiles(*o.spansOut)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		} else if err == nil {
+			o.Man.AddOutput(jsonPath, foldedPath)
+			log.Infof("wrote spans to %s and %s", jsonPath, foldedPath)
+		}
+	}
+
+	var snap *telemetry.Snapshot
+	if o.Reg != nil {
+		s := o.Reg.Snapshot()
+		snap = &s
+	}
+	o.Man.Finish(snap)
+	if path := o.manifestPath(); path != "" {
+		if err := o.Man.WriteFile(path); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			log.Infof("wrote manifest to %s", path)
+		}
+	}
+	return firstErr
+}
+
+// AddOutput records extra files the tool wrote (tables, traces, reports)
+// into the manifest.
+func (o *Obs) AddOutput(paths ...string) { o.Man.AddOutput(paths...) }

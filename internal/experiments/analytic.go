@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -62,7 +63,10 @@ func readableDuration(s float64) string {
 // errors for 1-, 4- and 7-step shifts of the raw (pre-STS) device, from
 // Monte-Carlo over the physical timing model plus the analytic Gaussian
 // tail for magnitudes beyond Monte-Carlo reach.
-func Fig4(trials int, seed uint64) Table {
+func Fig4(ctx context.Context, trials int, seed uint64) Table {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if trials <= 0 {
 		trials = 200_000
 	}
@@ -76,7 +80,7 @@ func Fig4(trials int, seed uint64) Table {
 	dists := []int{1, 4, 7}
 	pdfs := make([]map[physics.PDFBin]float64, len(dists))
 	for i, n := range dists {
-		pdfs[i] = physics.ErrorPDF(p, n, trials, r.Split())
+		pdfs[i] = physics.ErrorPDFCtx(ctx, p, n, trials, r.Split())
 	}
 	bins := []struct {
 		label string

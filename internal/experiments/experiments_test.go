@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strconv"
 	"strings"
@@ -71,7 +72,7 @@ func TestFig1Shape(t *testing.T) {
 }
 
 func TestFig4Shape(t *testing.T) {
-	tab := Fig4(20000, 7)
+	tab := Fig4(context.Background(), 20000, 7)
 	if len(tab.Rows) != 8 {
 		t.Fatalf("rows = %d, want 8", len(tab.Rows))
 	}

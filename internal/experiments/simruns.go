@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -29,6 +30,20 @@ type RunOpts struct {
 	// experiment runs (shift counts, LLC traffic, expected failures);
 	// see docs/observability.md. Nil disables instrumentation.
 	Metrics *telemetry.Registry
+	// Ctx carries the span collector (telemetry.WithCollector) so every
+	// simulation an experiment runs is timed as a span under the caller's
+	// tree. Nil means context.Background(), i.e. no span recording. It
+	// lives in the options struct because the Fig*/Table* generators are
+	// keyed closures whose signatures the CLI iterates over.
+	Ctx context.Context
+}
+
+// ctx returns the configured context, defaulting to Background.
+func (o RunOpts) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultRunOpts is the full-size configuration used by the benchmarks.
@@ -99,24 +114,33 @@ func (o RunOpts) workloads() []trace.Workload {
 	return ws
 }
 
-// runAll simulates every workload under cfg-producing function f and
-// returns results in roster order.
+// runAll simulates every workload under the given configuration and
+// returns results in roster order. Each simulation is timed by its
+// memsim span (under a per-configuration span), which also feeds the
+// debug log — there is no separate ad-hoc timing.
 func (o RunOpts) runAll(t energy.Tech, s shiftctrl.Scheme, ideal bool) []memsim.Result {
+	ctx, sp := telemetry.StartSpan(o.ctx(), fmt.Sprintf("runAll:%v/%v", t, s),
+		telemetry.A("ideal", fmt.Sprint(ideal)))
+	defer sp.End()
 	var out []memsim.Result
 	for _, w := range o.workloads() {
 		cfg := o.config(t, s)
 		cfg.Ideal = ideal
-		start := time.Now()
-		r, err := memsim.Run(w, cfg)
+		rctx, rsp := telemetry.StartSpan(ctx, "memsim-run:"+w.Name)
+		r, err := memsim.RunCtx(rctx, w, cfg)
+		rsp.End()
 		if err != nil {
 			panic(fmt.Sprintf("experiments: %s: %v", w.Name, err))
 		}
 		if log.Enabled(log.Debug) {
 			accesses := cfg.AccessesPerCore * cfg.Cores
-			el := time.Since(start)
-			log.Debugf("ran %s on %v/%v ideal=%v: %d accesses in %v (%.0f acc/s)",
-				w.Name, t, s, ideal, accesses, el.Round(time.Millisecond),
-				float64(accesses)/el.Seconds())
+			if el := rsp.Duration(); el > 0 {
+				log.Debugf("ran %s on %v/%v ideal=%v: %d accesses in %v (%.0f acc/s)",
+					w.Name, t, s, ideal, accesses, el.Round(time.Millisecond),
+					float64(accesses)/el.Seconds())
+			} else {
+				log.Debugf("ran %s on %v/%v ideal=%v: %d accesses", w.Name, t, s, ideal, accesses)
+			}
 		}
 		out = append(out, r)
 	}

@@ -120,7 +120,7 @@ func (t Table) CSV() string {
 func All(opts RunOpts) map[string]func() Table {
 	return map[string]func() Table{
 		"fig1":   Fig1,
-		"fig4":   func() Table { return Fig4(opts.MCTrials, opts.Seed) },
+		"fig4":   func() Table { return Fig4(opts.ctx(), opts.MCTrials, opts.Seed) },
 		"table2": Table2,
 		"fig7":   Fig7,
 		"table3": Table3,

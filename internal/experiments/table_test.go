@@ -1,0 +1,69 @@
+package experiments
+
+import "testing"
+
+// goldenTable exercises every formatting path: strings, floats across the
+// fixed/scientific switchover, non-float values, and cells needing CSV
+// quoting.
+func goldenTable() Table {
+	t := Table{
+		Title:  "Golden",
+		Note:   "fixture for rendering",
+		Header: []string{"name", "small", "big", "count"},
+	}
+	t.AddRow("alpha", 0.5, 1.25e7, 3)
+	t.AddRow("beta, quoted", 123.456, 0.0004, 42)
+	t.AddRow("gamma", 0.0, 250.0, -1)
+	return t
+}
+
+// TestTableStringGolden pins the aligned-text rendering byte for byte:
+// column widths from the widest cell, two-space separators, trailing
+// newline per row. Reports and terminal output diff cleanly only if this
+// stays stable.
+func TestTableStringGolden(t *testing.T) {
+	const want = "== Golden ==\n" +
+		"fixture for rendering\n" +
+		"name          small  big       count\n" +
+		"alpha         0.5    1.25e+07  3    \n" +
+		"beta, quoted  123.5  0.0004    42   \n" +
+		"gamma         0      250.0     -1   \n"
+	if got := goldenTable().String(); got != want {
+		t.Errorf("String() drifted from golden:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestTableCSVGolden pins the CSV rendering, including quoting of cells
+// containing commas.
+func TestTableCSVGolden(t *testing.T) {
+	const want = "name,small,big,count\n" +
+		"alpha,0.5,1.25e+07,3\n" +
+		"\"beta, quoted\",123.5,0.0004,42\n" +
+		"gamma,0,250.0,-1\n"
+	if got := goldenTable().CSV(); got != want {
+		t.Errorf("CSV() drifted from golden:\ngot:\n%q\nwant:\n%q", got, want)
+	}
+}
+
+// TestFormatFloatEdges pins the number formatter's regime boundaries.
+func TestFormatFloatEdges(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{0, "0"},
+		{1e6, "1e+06"},        // scientific from 1e6 up
+		{999_999, "999999.0"}, // just below the scientific cutover
+		{0.001, "0.001"},      // fixed down to 1e-3
+		{0.0009, "0.0009"},    // scientific below 1e-3
+		{100, "100.0"},        // one decimal from 100 up
+		{99.9999, "100"},      // %.4g below 100
+		{-0.5, "-0.5"},        // sign preserved
+		{-1234.5, "-1234.5"},  // magnitude, not value, picks the regime
+	}
+	for _, c := range cases {
+		if got := formatFloat(c.in); got != c.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 package memsim
 
 import (
+	"context"
 	"fmt"
 
 	"racetrack/hifi/internal/cache"
@@ -29,7 +30,17 @@ type Config struct {
 	Geometry cache.RTMGeometry
 	// AccessesPerCore is the trace length driven through each core.
 	AccessesPerCore int
-	Seed            uint64
+	// WarmupAccessesPerCore runs that many leading accesses per core as a
+	// cache-warming phase: the hierarchy is exercised normally, then all
+	// Result statistics (cache stats, shift counts, energy, reliability
+	// exposure, cycles) are reset at the phase boundary so the reported
+	// numbers cover only the measured window. Telemetry counters are
+	// monotonic and keep accumulating across both phases; the boundary is
+	// visible there through the hifi_sim_phase gauge, the warmup-access
+	// counter, and the warmup/measure spans. Must be < AccessesPerCore;
+	// 0 (the default) disables the phase.
+	WarmupAccessesPerCore int
+	Seed                  uint64
 	// TargetDUE is the safe-distance reliability target (seconds).
 	TargetDUE float64
 	// Capacity overrides for scaled-down testing; zero means Table 4.
@@ -171,12 +182,31 @@ func (r Result) IPCProxy() float64 {
 
 // Run simulates one workload on the configured system.
 func Run(w trace.Workload, cfg Config) (Result, error) {
+	return RunCtx(context.Background(), w, cfg)
+}
+
+// RunCtx is Run with hierarchical span instrumentation: when ctx carries a
+// telemetry.SpanCollector, the run is recorded as a "memsim:<workload>"
+// span with "setup", "warmup" (if configured), and "measure" children.
+// With no collector in ctx, the span calls reduce to a few context
+// lookups per run — they are nowhere near the per-access hot path.
+func RunCtx(ctx context.Context, w trace.Workload, cfg Config) (Result, error) {
 	cfg.fillDefaults()
 	if cfg.Cores < 1 {
 		return Result{}, fmt.Errorf("memsim: need at least one core")
 	}
-	s := newSystem(w, cfg)
-	s.run()
+	if w := cfg.WarmupAccessesPerCore; w != 0 && (w < 0 || w >= cfg.AccessesPerCore) {
+		return Result{}, fmt.Errorf("memsim: warmup accesses (%d) must be in [0, accesses per core = %d)",
+			w, cfg.AccessesPerCore)
+	}
+	ctx, sp := telemetry.StartSpan(ctx, "memsim:"+w.Name,
+		telemetry.A("tech", fmt.Sprint(cfg.Tech)),
+		telemetry.A("scheme", fmt.Sprint(cfg.Scheme)))
+	defer sp.End()
+	sctx, setup := telemetry.StartSpan(ctx, "setup")
+	s := newSystem(sctx, w, cfg)
+	setup.End()
+	s.run(ctx)
 	return s.result(), nil
 }
 
@@ -202,6 +232,9 @@ type system struct {
 
 	lastShiftCycle uint64 // LLC-timeline cycle of the previous L3 shift
 	shiftCycles    uint64
+	// warmupCycles is the per-run timeline position at the warmup/measure
+	// boundary; Result cycle counts are relative to it.
+	warmupCycles uint64
 	// l3FreeAt serializes each LLC bank: the earliest cycle the next
 	// access to that bank may start. Occupancy equals the access latency,
 	// so the LLC's peak intensity is banks * clock / occupancy.
@@ -241,6 +274,8 @@ type simTelemetry struct {
 
 	accessesDone  *telemetry.Gauge
 	accessesTotal *telemetry.Gauge
+	phase         *telemetry.Gauge
+	warmupDone    *telemetry.Counter
 }
 
 func newSimTelemetry(reg *telemetry.Registry) simTelemetry {
@@ -267,10 +302,12 @@ func newSimTelemetry(reg *telemetry.Registry) simTelemetry {
 
 		accessesDone:  reg.Gauge(telemetry.MetricSimAccessesDone, "core accesses simulated so far"),
 		accessesTotal: reg.Gauge(telemetry.MetricSimAccessesTotal, "core accesses this run will simulate"),
+		phase:         reg.Gauge(telemetry.MetricSimPhase, "0 during cache warmup, 1 while measuring"),
+		warmupDone:    reg.Counter(telemetry.MetricSimWarmupAccesses, "core accesses consumed by warmup phases"),
 	}
 }
 
-func newSystem(w trace.Workload, cfg Config) *system {
+func newSystem(ctx context.Context, w trace.Workload, cfg Config) *system {
 	s := &system{cfg: cfg, w: w}
 	s.gens = make([]Source, cfg.Cores)
 	s.cycles = make([]uint64, cfg.Cores)
@@ -290,7 +327,6 @@ func newSystem(w trace.Workload, cfg Config) *system {
 		default:
 			s.gens[i] = trace.NewGenerator(w, i, cfg.Seed)
 		}
-		s.left[i] = cfg.AccessesPerCore
 		s.l1[i] = cache.New(cfg.L1Capacity, cfg.L1Ways, trace.LineBytes)
 	}
 	nl2 := (cfg.Cores + 1) / 2
@@ -314,9 +350,14 @@ func newSystem(w trace.Workload, cfg Config) *system {
 		if maxDist < 1 {
 			maxDist = 1
 		}
+		// The planner/adapter construction precomputes safe-distance and
+		// sequence tables from the error model — the run's calibration
+		// cost, attributed to its own span.
+		_, cal := telemetry.StartSpan(ctx, "errmodel-calibration")
 		s.planner = shiftctrl.NewPlanner(s.em, s.timing, maxDist, maxDist)
 		s.adapter = shiftctrl.NewAdapter(s.planner, cfg.ClockHz, cfg.TargetDUE,
 			cfg.Geometry.StripesPerGroup)
+		cal.End()
 		s.shiftE = energy.DefaultShift()
 		s.promo = newPromoBuffer(cfg.PromoEntries)
 	}
@@ -339,8 +380,39 @@ func newSystem(w trace.Workload, cfg Config) *system {
 	return s
 }
 
-// run drives all cores to completion in global time order.
-func (s *system) run() {
+// run drives all cores to completion in global time order, as a warmup
+// phase (optional) followed by the measured phase. The boundary resets
+// every Result statistic, so warmup traffic only pre-fills the hierarchy.
+func (s *system) run(ctx context.Context) {
+	warm := s.cfg.WarmupAccessesPerCore
+	if warm > 0 {
+		s.tel.phase.Set(0)
+		_, sp := telemetry.StartSpan(ctx, "warmup",
+			telemetry.AInt("accesses", int64(warm*s.cfg.Cores)))
+		s.setBudget(warm)
+		s.drive()
+		sp.End()
+		s.tel.warmupDone.Add(float64(warm * s.cfg.Cores))
+		s.resetMeasurement()
+	}
+	s.tel.phase.Set(1)
+	_, sp := telemetry.StartSpan(ctx, "measure",
+		telemetry.AInt("accesses", int64((s.cfg.AccessesPerCore-warm)*s.cfg.Cores)))
+	s.setBudget(s.cfg.AccessesPerCore - warm)
+	s.drive()
+	sp.End()
+}
+
+// setBudget gives every core n more accesses to execute.
+func (s *system) setBudget(n int) {
+	for i := range s.left {
+		s.left[i] = n
+	}
+}
+
+// drive executes accesses in global time order until every core's budget
+// is spent.
+func (s *system) drive() {
 	for {
 		core := -1
 		var min uint64 = ^uint64(0)
@@ -355,6 +427,40 @@ func (s *system) run() {
 		}
 		s.step(core)
 	}
+}
+
+// resetMeasurement zeroes every statistic that feeds Result at the
+// warmup/measure boundary. Head positions, promotion-buffer contents,
+// adapter history, and the monotonic telemetry counters deliberately
+// survive: the warmed state is the point of the phase.
+func (s *system) resetMeasurement() {
+	s.warmupCycles = s.maxCycles()
+	for _, c := range s.l1 {
+		c.Stats = cache.Stats{}
+	}
+	for _, c := range s.l2 {
+		c.Stats = cache.Stats{}
+	}
+	s.l3.Stats = cache.Stats{}
+	if s.rtm != nil {
+		s.rtm.ShiftOps = 0
+		s.rtm.ShiftSteps = 0
+		s.rtm.ZeroShiftAccesses = 0
+	}
+	s.shiftCycles = 0
+	s.acct = energy.Account{}
+	s.tracker = mttf.Tracker{}
+}
+
+// maxCycles returns the leading core's timeline position.
+func (s *system) maxCycles() uint64 {
+	var max uint64
+	for _, c := range s.cycles {
+		if c > max {
+			max = c
+		}
+	}
+	return max
 }
 
 // step executes one access on the chosen core.
@@ -614,14 +720,10 @@ func (s *system) opCycles(n int) int {
 	return s.timing.OpCycles(n)
 }
 
-// result finalizes statistics.
+// result finalizes statistics over the measured window (everything after
+// the warmup boundary; the whole run when no warmup was configured).
 func (s *system) result() Result {
-	var maxCycles uint64
-	for _, c := range s.cycles {
-		if c > maxCycles {
-			maxCycles = c
-		}
-	}
+	maxCycles := s.maxCycles() - s.warmupCycles
 	seconds := float64(maxCycles) / s.cfg.ClockHz
 	s.tracker.AddTime(seconds)
 

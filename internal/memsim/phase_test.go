@@ -1,0 +1,156 @@
+package memsim
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"racetrack/hifi/internal/energy"
+	"racetrack/hifi/internal/shiftctrl"
+	"racetrack/hifi/internal/telemetry"
+)
+
+// sumCounters totals every counter series whose name starts with prefix
+// (labelled series share the metric-name prefix).
+func sumCounters(s telemetry.Snapshot, prefix string) float64 {
+	var total float64
+	for _, c := range s.Counters {
+		if strings.HasPrefix(c.Name, prefix) {
+			total += c.Value
+		}
+	}
+	return total
+}
+
+func gaugeValue(t *testing.T, s telemetry.Snapshot, name string) float64 {
+	t.Helper()
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	t.Fatalf("gauge %s not in snapshot", name)
+	return 0
+}
+
+// TestWarmupBoundaryResetsResult asserts the phase boundary semantics:
+// Result covers only the measure window, while the monotonic telemetry
+// counters keep accumulating across both phases.
+func TestWarmupBoundaryResetsResult(t *testing.T) {
+	w := smallWorkload("ferret", 64<<10)
+	cfg := smallConfig(energy.Racetrack, shiftctrl.PECCSAdaptive)
+	cfg.WarmupAccessesPerCore = 2000
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = reg
+
+	r, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := cfg.Cores * (cfg.AccessesPerCore - cfg.WarmupAccessesPerCore)
+	if got := r.L1.Hits + r.L1.Misses; got != uint64(measured) {
+		t.Errorf("Result L1 accesses = %d, want measure window only = %d", got, measured)
+	}
+
+	snap := reg.Snapshot()
+	// Telemetry saw warmup + measure traffic; the Result only the latter.
+	l1Total := sumCounters(snap, telemetry.MetricCacheHits) + sumCounters(snap, telemetry.MetricCacheMisses)
+	allAccesses := float64(cfg.Cores * cfg.AccessesPerCore)
+	if l1Total < allAccesses {
+		t.Errorf("telemetry cache accesses = %.0f, want >= %0.f (both phases)", l1Total, allAccesses)
+	}
+	if got := sumCounters(snap, telemetry.MetricSimWarmupAccesses); got != float64(cfg.Cores*cfg.WarmupAccessesPerCore) {
+		t.Errorf("warmup counter = %.0f, want %d", got, cfg.Cores*cfg.WarmupAccessesPerCore)
+	}
+	if got := gaugeValue(t, snap, telemetry.MetricSimPhase); got != 1 {
+		t.Errorf("phase gauge = %v, want 1 after the run", got)
+	}
+
+	// A warmed cache starts the measure window with a populated hierarchy:
+	// the same measure-length run without warmup must report at least as
+	// many L1 misses (cold start) as the warmed one.
+	cold := cfg
+	cold.WarmupAccessesPerCore = 0
+	cold.AccessesPerCore = cfg.AccessesPerCore - cfg.WarmupAccessesPerCore
+	cold.Metrics = nil
+	rc, err := Run(w, cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rc.L1.Misses < r.L1.Misses {
+		t.Errorf("cold run misses (%d) < warmed run misses (%d): warmup did not pre-fill",
+			rc.L1.Misses, r.L1.Misses)
+	}
+}
+
+// TestWarmupPhaseSpans asserts the warmup/measure boundary shows up in the
+// span tree: both phase spans exist under the run root, and the measure
+// span's metric deltas cover only its own window.
+func TestWarmupPhaseSpans(t *testing.T) {
+	w := smallWorkload("ferret", 64<<10)
+	cfg := smallConfig(energy.Racetrack, shiftctrl.PECCSAdaptive)
+	cfg.WarmupAccessesPerCore = 2000
+	reg := telemetry.NewRegistry()
+	cfg.Metrics = reg
+	col := telemetry.NewSpanCollector(reg)
+	ctx := telemetry.WithCollector(context.Background(), col)
+
+	if _, err := RunCtx(ctx, w, cfg); err != nil {
+		t.Fatal(err)
+	}
+	export := col.Export()
+	byName := map[string]telemetry.SpanRecord{}
+	for _, sp := range export.Spans {
+		byName[sp.Name] = sp
+	}
+	root, ok := byName["memsim:ferret"]
+	if !ok {
+		t.Fatalf("no memsim root span; got %d spans", len(export.Spans))
+	}
+	for _, name := range []string{"setup", "warmup", "measure"} {
+		sp, ok := byName[name]
+		if !ok {
+			t.Fatalf("span %q missing", name)
+		}
+		if sp.Parent != root.ID {
+			t.Errorf("span %q parent = %d, want root %d", name, sp.Parent, root.ID)
+		}
+		if sp.DurNS <= 0 {
+			t.Errorf("span %q has no duration", name)
+		}
+	}
+
+	// Phase spans carry per-span counter deltas; both phases moved the
+	// cache counters, and the two deltas sum to the run's total.
+	delta := func(name, prefix string) float64 {
+		var total float64
+		for _, m := range byName[name].Metrics {
+			if strings.HasPrefix(m.Name, prefix) {
+				total += m.Value
+			}
+		}
+		return total
+	}
+	warm := delta("warmup", telemetry.MetricCacheMisses)
+	meas := delta("measure", telemetry.MetricCacheMisses)
+	if warm <= 0 || meas <= 0 {
+		t.Fatalf("phase spans missing cache-miss deltas: warmup=%v measure=%v", warm, meas)
+	}
+	total := sumCounters(reg.Snapshot(), telemetry.MetricCacheMisses)
+	if got := warm + meas; got > total || got < 0.9*total {
+		t.Errorf("phase deltas %v + %v should cover the run total %v", warm, meas, total)
+	}
+}
+
+func TestWarmupValidation(t *testing.T) {
+	w := smallWorkload("ferret", 64<<10)
+	cfg := smallConfig(energy.Racetrack, shiftctrl.Baseline)
+	cfg.WarmupAccessesPerCore = cfg.AccessesPerCore // not strictly less
+	if _, err := Run(w, cfg); err == nil {
+		t.Fatal("warmup >= accesses accepted")
+	}
+	cfg.WarmupAccessesPerCore = -1
+	if _, err := Run(w, cfg); err == nil {
+		t.Fatal("negative warmup accepted")
+	}
+}

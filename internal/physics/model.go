@@ -1,6 +1,11 @@
 package physics
 
-import "math"
+import (
+	"context"
+	"math"
+
+	"racetrack/hifi/internal/telemetry"
+)
 
 // Wall is the collective-coordinate state of one domain wall: its position q
 // along the stripe (m) and tilt angle psi (rad).
@@ -70,6 +75,17 @@ func (p Params) Integrate(w Wall, u, total, dt float64, pinned bool) Wall {
 		w = p.Step(w, u, rem, pinned)
 	}
 	return w
+}
+
+// IntegrateCtx is Integrate recorded as a "physics-rk4" span (with the
+// sub-step count as an attribute) when ctx carries a span collector. Use
+// it for trajectory-level integrations; the per-step RK4 math stays
+// span-free.
+func (p Params) IntegrateCtx(ctx context.Context, w Wall, u, total, dt float64, pinned bool) Wall {
+	_, sp := telemetry.StartSpan(ctx, "physics-rk4",
+		telemetry.AInt("substeps", int64(total/dt)))
+	defer sp.End()
+	return p.Integrate(w, u, total, dt, pinned)
 }
 
 // TerminalVelocity returns the asymptotic wall velocity in a flat region for

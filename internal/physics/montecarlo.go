@@ -1,9 +1,11 @@
 package physics
 
 import (
+	"context"
 	"math"
 
 	"racetrack/hifi/internal/sim"
+	"racetrack/hifi/internal/telemetry"
 )
 
 // Outcome describes where the domain walls of a stripe ended up after one
@@ -116,6 +118,17 @@ type PDFBin struct {
 // ErrorPDF runs trials Monte-Carlo samples of an n-step shift and returns
 // outcome frequencies keyed by bin.
 func ErrorPDF(p Params, n int, trials int, r *sim.RNG) map[PDFBin]float64 {
+	return ErrorPDFCtx(context.Background(), p, n, trials, r)
+}
+
+// ErrorPDFCtx is ErrorPDF recorded as a span ("physics-errorpdf", with
+// the distance and trial count as attributes) when ctx carries a
+// telemetry.SpanCollector — the Monte-Carlo sweep dominates the analytic
+// experiments' wall time, so it gets its own timing node.
+func ErrorPDFCtx(ctx context.Context, p Params, n int, trials int, r *sim.RNG) map[PDFBin]float64 {
+	_, sp := telemetry.StartSpan(ctx, "physics-errorpdf",
+		telemetry.AInt("steps", int64(n)), telemetry.AInt("trials", int64(trials)))
+	defer sp.End()
 	counts := make(map[PDFBin]int)
 	for i := 0; i < trials; i++ {
 		o := SampleShift(p, n, r)

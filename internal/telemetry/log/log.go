@@ -120,6 +120,17 @@ func emit(l Level, format string, args ...interface{}) {
 // Errorf logs at Error level.
 func Errorf(format string, args ...interface{}) { emit(Error, format, args...) }
 
+// exit is stubbed in tests so Fatalf can be exercised.
+var exit = os.Exit
+
+// Fatalf logs at Error level and exits with status 1. The CLIs use it as
+// their single fatal-error path so -q and HIFI_LOG=quiet govern fatal
+// messages the same way they govern every other diagnostic.
+func Fatalf(format string, args ...interface{}) {
+	emit(Error, format, args...)
+	exit(1)
+}
+
 // Infof logs at Info level.
 func Infof(format string, args ...interface{}) { emit(Info, format, args...) }
 

@@ -1,0 +1,191 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// Manifest records the provenance of one run: what binary ran, from which
+// commit, on what host, under which resolved configuration, for how long,
+// and what it produced. Written alongside every output so any number in
+// the repo's tables is reproducible from its manifest alone.
+type Manifest struct {
+	mu sync.Mutex
+
+	Tool     string    `json:"tool"`
+	Args     []string  `json:"args"`
+	StartUTC time.Time `json:"start_utc"`
+	Status   string    `json:"status"` // "running" until Finish
+
+	GitSHA   string `json:"git_sha"`
+	GitDirty bool   `json:"git_dirty,omitempty"`
+
+	GoVersion  string `json:"go_version"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Hostname   string `json:"hostname"`
+
+	// Config is the fully resolved flag set (defaults included), so the
+	// run is re-creatable without knowing which flags were explicit.
+	Config map[string]string `json:"config,omitempty"`
+	Seed   uint64            `json:"seed,omitempty"`
+
+	WallSeconds  float64 `json:"wall_seconds"`
+	CPUSeconds   float64 `json:"cpu_seconds"`
+	PeakRSSBytes int64   `json:"peak_rss_bytes"`
+
+	// Outputs lists files the run wrote (tables, metrics, traces, spans).
+	Outputs []string `json:"outputs,omitempty"`
+
+	// Metrics is the final registry snapshot, attached by Finish.
+	Metrics *Snapshot `json:"metrics,omitempty"`
+
+	start time.Time // monotonic anchor for WallSeconds
+}
+
+// NewManifest captures the environment for tool and starts the clock.
+func NewManifest(tool string) *Manifest {
+	now := time.Now()
+	m := &Manifest{
+		Tool:       tool,
+		Args:       os.Args[1:],
+		StartUTC:   now.UTC().Truncate(time.Second),
+		Status:     "running",
+		GoVersion:  runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		start:      now,
+	}
+	m.Hostname, _ = os.Hostname()
+	m.GitSHA, m.GitDirty = vcsInfo()
+	return m
+}
+
+// vcsInfo reads the VCS stamp the Go toolchain embeds into binaries built
+// from a checkout ("unknown" when stripped, e.g. go test binaries).
+func vcsInfo() (sha string, dirty bool) {
+	sha = "unknown"
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return sha, false
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			sha = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	return sha, dirty
+}
+
+// SetConfig records the resolved configuration map.
+func (m *Manifest) SetConfig(cfg map[string]string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.Config = cfg
+	m.mu.Unlock()
+}
+
+// SetSeed records the run's trace seed.
+func (m *Manifest) SetSeed(seed uint64) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.Seed = seed
+	m.mu.Unlock()
+}
+
+// AddOutput appends one produced file path.
+func (m *Manifest) AddOutput(paths ...string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.Outputs = append(m.Outputs, paths...)
+	m.mu.Unlock()
+}
+
+// Finish stamps wall time, CPU time, and peak RSS, attaches the final
+// metrics snapshot (may be nil), and marks the run done. Wall/CPU keep
+// updating if called again, so a manifest-so-far can be finished twice.
+func (m *Manifest) Finish(snap *Snapshot) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Status = "done"
+	m.WallSeconds = time.Since(m.start).Seconds()
+	m.CPUSeconds = cpuSeconds()
+	m.PeakRSSBytes = peakRSSBytes()
+	m.Metrics = snap
+}
+
+// WriteJSON emits the manifest as indented JSON. Safe to call from the
+// status endpoint while the run is still mutating the manifest.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	m.mu.Lock()
+	// Shallow-copy the exported fields so marshalling happens outside
+	// the lock-guarded window only via the copy.
+	cp := struct {
+		Tool         string            `json:"tool"`
+		Args         []string          `json:"args"`
+		StartUTC     time.Time         `json:"start_utc"`
+		Status       string            `json:"status"`
+		GitSHA       string            `json:"git_sha"`
+		GitDirty     bool              `json:"git_dirty,omitempty"`
+		GoVersion    string            `json:"go_version"`
+		OS           string            `json:"os"`
+		Arch         string            `json:"arch"`
+		NumCPU       int               `json:"num_cpu"`
+		GOMAXPROCS   int               `json:"gomaxprocs"`
+		Hostname     string            `json:"hostname"`
+		Config       map[string]string `json:"config,omitempty"`
+		Seed         uint64            `json:"seed,omitempty"`
+		WallSeconds  float64           `json:"wall_seconds"`
+		CPUSeconds   float64           `json:"cpu_seconds"`
+		PeakRSSBytes int64             `json:"peak_rss_bytes"`
+		Outputs      []string          `json:"outputs,omitempty"`
+		Metrics      *Snapshot         `json:"metrics,omitempty"`
+	}{m.Tool, m.Args, m.StartUTC, m.Status, m.GitSHA, m.GitDirty,
+		m.GoVersion, m.OS, m.Arch, m.NumCPU, m.GOMAXPROCS, m.Hostname,
+		m.Config, m.Seed, m.WallSeconds, m.CPUSeconds, m.PeakRSSBytes,
+		m.Outputs, m.Metrics}
+	m.mu.Unlock()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(cp)
+}
+
+// WriteFile writes the manifest to path.
+func (m *Manifest) WriteFile(path string) error {
+	return writeTo(path, m.WriteJSON)
+}
+
+// writeTo streams fn into a freshly created file, surfacing write and
+// close errors.
+func writeTo(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

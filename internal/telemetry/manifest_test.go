@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestManifestLifecycle(t *testing.T) {
+	m := NewManifest("hifi-test")
+	if m.Status != "running" {
+		t.Fatalf("fresh manifest status = %q", m.Status)
+	}
+	if m.GoVersion != runtime.Version() || m.NumCPU < 1 || m.GOMAXPROCS < 1 {
+		t.Errorf("environment not captured: %+v", m)
+	}
+	m.SetConfig(map[string]string{"workload": "ferret", "seed": "1"})
+	m.SetSeed(1)
+	m.AddOutput("run.json", "run.prom")
+
+	reg := NewRegistry()
+	reg.Counter("hifi_shift_ops_total", "").Add(42)
+	snap := reg.Snapshot()
+	m.Finish(&snap)
+
+	if m.Status != "done" {
+		t.Errorf("status after Finish = %q", m.Status)
+	}
+	if m.WallSeconds < 0 {
+		t.Errorf("wall seconds = %v", m.WallSeconds)
+	}
+	if runtime.GOOS == "linux" {
+		if m.CPUSeconds <= 0 || m.PeakRSSBytes <= 0 {
+			t.Errorf("rusage not captured: cpu=%v rss=%v", m.CPUSeconds, m.PeakRSSBytes)
+		}
+	}
+
+	var sb strings.Builder
+	if err := m.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]interface{}
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatalf("manifest is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"tool", "git_sha", "go_version", "config",
+		"seed", "wall_seconds", "cpu_seconds", "peak_rss_bytes", "outputs", "metrics"} {
+		if _, ok := back[key]; !ok {
+			t.Errorf("manifest JSON missing %q", key)
+		}
+	}
+	if back["tool"] != "hifi-test" {
+		t.Errorf("tool = %v", back["tool"])
+	}
+}
+
+func TestManifestWriteFile(t *testing.T) {
+	m := NewManifest("hifi-test")
+	m.Finish(nil)
+	path := filepath.Join(t.TempDir(), "run.manifest.json")
+	if err := m.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Manifest
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if back.Tool != "hifi-test" || back.Status != "done" {
+		t.Errorf("round-trip: tool=%q status=%q", back.Tool, back.Status)
+	}
+}

@@ -48,4 +48,10 @@ const (
 	// Run progress (gauges, readable while a run is in flight).
 	MetricSimAccessesDone  = "hifi_sim_accesses_done"
 	MetricSimAccessesTotal = "hifi_sim_accesses_total"
+	// MetricSimPhase is 0 during cache warmup and 1 once measurement
+	// starts (always 1 for runs without a warmup phase).
+	MetricSimPhase = "hifi_sim_phase"
+	// MetricSimWarmupAccesses counts accesses consumed by the warmup
+	// phase (excluded from the Result statistics).
+	MetricSimWarmupAccesses = "hifi_sim_warmup_accesses_total"
 )

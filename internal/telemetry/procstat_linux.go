@@ -1,0 +1,25 @@
+//go:build linux
+
+package telemetry
+
+import "syscall"
+
+// cpuSeconds returns the process's user+system CPU time.
+func cpuSeconds() float64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return float64(ru.Utime.Sec) + float64(ru.Utime.Usec)/1e6 +
+		float64(ru.Stime.Sec) + float64(ru.Stime.Usec)/1e6
+}
+
+// peakRSSBytes returns the process's peak resident set size (ru_maxrss is
+// kilobytes on Linux).
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return ru.Maxrss * 1024
+}

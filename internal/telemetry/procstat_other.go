@@ -1,0 +1,9 @@
+//go:build !linux
+
+package telemetry
+
+// cpuSeconds reports 0 on platforms without rusage support wired up.
+func cpuSeconds() float64 { return 0 }
+
+// peakRSSBytes reports 0 on platforms without rusage support wired up.
+func peakRSSBytes() int64 { return 0 }

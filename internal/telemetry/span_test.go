@@ -1,0 +1,271 @@
+package telemetry
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// stubClock advances a fake clock by step on every reading, giving spans
+// deterministic durations.
+func stubClock(c *SpanCollector, step time.Duration) {
+	t := c.epoch
+	c.clock = func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestStartSpanWithoutCollectorIsNoop(t *testing.T) {
+	ctx, sp := StartSpan(nil, "root", A("k", "v"))
+	if sp != nil {
+		t.Fatalf("expected nil span without collector, got %v", sp)
+	}
+	if ctx == nil {
+		t.Fatal("expected usable context")
+	}
+	// All nil-handle methods must be safe.
+	sp.End()
+	sp.SetAttr("a", "b")
+	if sp.Duration() != 0 || sp.Name() != "" {
+		t.Error("nil span should report zero values")
+	}
+}
+
+func TestSpanNestingAndExport(t *testing.T) {
+	col := NewSpanCollector(nil)
+	stubClock(col, time.Millisecond)
+	ctx := WithCollector(nil, col)
+
+	ctx, root := StartSpan(ctx, "run")
+	cctx, child := StartSpan(ctx, "phase", A("name", "warmup"))
+	_, grand := StartSpan(cctx, "inner")
+	grand.End()
+	child.End()
+	// Sibling under root.
+	_, sib := StartSpan(ctx, "phase", A("name", "measure"))
+	sib.End()
+	root.End()
+
+	e := col.Export()
+	if len(e.Spans) != 4 || len(e.InFlight) != 0 {
+		t.Fatalf("got %d finished, %d in flight; want 4, 0", len(e.Spans), len(e.InFlight))
+	}
+	byName := map[string][]SpanRecord{}
+	for _, r := range e.Spans {
+		byName[r.Name] = append(byName[r.Name], r)
+	}
+	rootRec := byName["run"][0]
+	if rootRec.Parent != 0 {
+		t.Errorf("root parent = %d, want 0", rootRec.Parent)
+	}
+	for _, ph := range byName["phase"] {
+		if ph.Parent != rootRec.ID {
+			t.Errorf("phase parent = %d, want %d", ph.Parent, rootRec.ID)
+		}
+	}
+	if inner := byName["inner"][0]; inner.Parent != byName["phase"][0].ID {
+		t.Errorf("inner parent = %d, want %d", inner.Parent, byName["phase"][0].ID)
+	}
+	for _, r := range e.Spans {
+		if r.DurNS <= 0 {
+			t.Errorf("span %s has non-positive duration %d", r.Name, r.DurNS)
+		}
+	}
+}
+
+func TestSpanChildDurationsNestInsideRoot(t *testing.T) {
+	// Child durations are positive and never exceed the root's: the
+	// invariant behind reading coverage off a span tree.
+	col := NewSpanCollector(nil)
+	stubClock(col, time.Millisecond)
+	ctx := WithCollector(nil, col)
+	ctx, root := StartSpan(ctx, "run")
+	for i := 0; i < 3; i++ {
+		_, sp := StartSpan(ctx, "child")
+		sp.End()
+	}
+	root.End()
+	e := col.Export()
+	var rootNS, childNS int64
+	for _, r := range e.Spans {
+		if r.Name == "run" {
+			rootNS = r.DurNS
+		} else {
+			if r.DurNS <= 0 {
+				t.Errorf("child duration %d", r.DurNS)
+			}
+			childNS += r.DurNS
+		}
+	}
+	if childNS > rootNS {
+		t.Fatalf("children sum %dns exceeds root %dns", childNS, rootNS)
+	}
+}
+
+func TestSpanMetricDeltas(t *testing.T) {
+	reg := NewRegistry()
+	shifts := reg.Counter("test_shifts_total", "")
+	idle := reg.Counter("test_idle_total", "")
+	shifts.Add(5) // pre-span traffic must not appear in the delta
+	idle.Add(1)
+
+	col := NewSpanCollector(reg)
+	ctx := WithCollector(nil, col)
+	_, sp := StartSpan(ctx, "measure")
+	shifts.Add(37)
+	sp.End()
+
+	e := col.Export()
+	if len(e.Spans) != 1 {
+		t.Fatalf("got %d spans", len(e.Spans))
+	}
+	m := e.Spans[0].Metrics
+	if len(m) != 1 || m[0].Name != "test_shifts_total" || m[0].Value != 37 {
+		t.Fatalf("metric deltas = %+v, want test_shifts_total=37 only", m)
+	}
+}
+
+func TestSpanFoldedExport(t *testing.T) {
+	col := NewSpanCollector(nil)
+	stubClock(col, time.Millisecond)
+	ctx := WithCollector(nil, col)
+	ctx, root := StartSpan(ctx, "run")
+	_, a := StartSpan(ctx, "alpha")
+	a.End()
+	_, b := StartSpan(ctx, "beta")
+	b.End()
+	root.End()
+
+	var sb strings.Builder
+	if err := col.Export().WriteFolded(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"run;alpha ", "run;beta ", "run "} {
+		if !strings.Contains(out, want) {
+			t.Errorf("folded output missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic: a second export folds to identical bytes.
+	var sb2 strings.Builder
+	col.Export().WriteFolded(&sb2)
+	if sb2.String() != out {
+		t.Error("folded export not deterministic")
+	}
+}
+
+func TestSpanExportInFlight(t *testing.T) {
+	col := NewSpanCollector(nil)
+	stubClock(col, time.Millisecond)
+	ctx := WithCollector(nil, col)
+	_, root := StartSpan(ctx, "run")
+	e := col.Export()
+	if len(e.InFlight) != 1 || !e.InFlight[0].Running || e.InFlight[0].Name != "run" {
+		t.Fatalf("in-flight export = %+v", e.InFlight)
+	}
+	if e.InFlight[0].DurNS <= 0 {
+		t.Error("in-flight span should report elapsed time")
+	}
+	root.End()
+	root.End() // double End is a no-op
+	if e := col.Export(); len(e.Spans) != 1 || len(e.InFlight) != 0 {
+		t.Fatalf("after End: %d finished, %d in flight", len(e.Spans), len(e.InFlight))
+	}
+}
+
+func TestSpanWriteFiles(t *testing.T) {
+	col := NewSpanCollector(nil)
+	stubClock(col, time.Millisecond)
+	ctx := WithCollector(nil, col)
+	_, sp := StartSpan(ctx, "run")
+	sp.End()
+	base := filepath.Join(t.TempDir(), "out")
+	jp, fp, err := col.Export().WriteFiles(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{jp, fp} {
+		if fi, err := os.Stat(p); err != nil || fi.Size() == 0 {
+			t.Errorf("expected non-empty %s: %v", p, err)
+		}
+	}
+}
+
+func TestSpanConcurrency(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	col := NewSpanCollector(reg)
+	ctx := WithCollector(nil, col)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				sctx, sp := StartSpan(ctx, "worker")
+				_, inner := StartSpan(sctx, "op")
+				c.Inc()
+				inner.End()
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(col.Export().Spans); got != 1600 {
+		t.Fatalf("got %d spans, want 1600", got)
+	}
+}
+
+func TestStatusMuxRoutes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hifi_test_total", "help").Add(3)
+	col := NewSpanCollector(reg)
+	ctx := WithCollector(nil, col)
+	_, sp := StartSpan(ctx, "run")
+	man := NewManifest("test-tool")
+	mux := NewStatusMux(reg, col, man)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		var b strings.Builder
+		buf := make([]byte, 1<<16)
+		for {
+			n, err := resp.Body.Read(buf)
+			b.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return b.String()
+	}
+
+	if got := get("/healthz"); !strings.Contains(got, "ok") {
+		t.Errorf("/healthz = %q", got)
+	}
+	if got := get("/metrics"); !strings.Contains(got, "hifi_test_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", got)
+	}
+	if got := get("/spans"); !strings.Contains(got, `"name": "run"`) {
+		t.Errorf("/spans missing in-flight span:\n%s", got)
+	}
+	if got := get("/runinfo"); !strings.Contains(got, `"tool": "test-tool"`) ||
+		!strings.Contains(got, `"status": "running"`) {
+		t.Errorf("/runinfo = %s", got)
+	}
+	sp.End()
+}

@@ -1,0 +1,48 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewStatusMux builds the live observability surface served on the CLIs'
+// -pprof address:
+//
+//	/healthz      liveness probe ("ok")
+//	/metrics      current registry snapshot, Prometheus text format
+//	/spans        span export: finished spans plus the in-flight tree
+//	/runinfo      the manifest-so-far (config, provenance, progress)
+//	/debug/pprof  the standard net/http/pprof handlers
+//
+// Any of reg, col, man may be nil; the corresponding route then serves an
+// empty document rather than an error, so dashboards can poll uniformly.
+func NewStatusMux(reg *Registry, col *SpanCollector, man *Manifest) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.Snapshot().WritePrometheus(w)
+	})
+	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		col.Export().WriteJSON(w)
+	})
+	mux.HandleFunc("/runinfo", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if man == nil {
+			io.WriteString(w, "{}\n")
+			return
+		}
+		man.WriteJSON(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
