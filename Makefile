@@ -5,12 +5,13 @@
 #   make bench           full benchmark sweep (go test -bench)
 #   make bench-snapshot  pinned hifi-bench suite -> BENCH_<rev>.json
 #   make bench-smoke     quick suite + self-compare (CI regression gate dry run)
+#   make engine-smoke    parallel-sweep determinism + cache-reuse check
 #   make report          render the evaluation report (scaled)
 
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all tier1 ci vet race test build bench bench-snapshot bench-smoke report fmt clean
+.PHONY: all tier1 ci vet race test build bench bench-snapshot bench-smoke engine-smoke report fmt clean
 
 all: tier1
 
@@ -46,6 +47,18 @@ bench-snapshot:
 bench-smoke:
 	$(GO) run ./cmd/hifi-bench -quick -out BENCH_smoke.json
 	$(GO) run ./cmd/hifi-bench -compare BENCH_smoke.json BENCH_smoke.json
+
+# engine-smoke is the local version of CI's engine job: tables must be
+# byte-identical at any -jobs, and a repeated cached sweep must execute
+# nothing (see docs/engine.md).
+engine-smoke:
+	$(GO) run ./cmd/hifi-experiments -run fig10,fig14 -scaled -accesses 1000 -q -jobs 1 > /tmp/hifi-serial.txt
+	$(GO) run ./cmd/hifi-experiments -run fig10,fig14 -scaled -accesses 1000 -q -jobs 8 > /tmp/hifi-parallel.txt
+	diff -u /tmp/hifi-serial.txt /tmp/hifi-parallel.txt
+	rm -rf /tmp/hifi-engine-cache
+	$(GO) run ./cmd/hifi-experiments -run fig14 -scaled -accesses 1000 -jobs 8 -cache-dir /tmp/hifi-engine-cache >/dev/null
+	$(GO) run ./cmd/hifi-experiments -run fig14 -scaled -accesses 1000 -jobs 8 -cache-dir /tmp/hifi-engine-cache 2>&1 >/dev/null \
+		| grep -E 'engine: [0-9]+ jobs, 0 executed, [1-9][0-9]* cache hits'
 
 report:
 	$(GO) run ./cmd/hifi-report -scaled -o report.md

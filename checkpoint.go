@@ -7,6 +7,11 @@ package hifi
 // a power-up from non-volatile storage, where data survives but position
 // state is re-established by p-ECC re-initialization (§4.3) and counters
 // start fresh.
+//
+// This is device-level resume: the unit is one simulated memory's image.
+// Sweep-level resume — which (config, workload) jobs of a multi-
+// experiment sweep already have results — is the separate journal in
+// internal/engine; see docs/engine.md for why the two layers stay apart.
 
 import (
 	"bufio"

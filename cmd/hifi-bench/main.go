@@ -1,9 +1,9 @@
 // Command hifi-bench runs the pinned benchmark suite and writes a
 // versioned snapshot, or compares two snapshots and fails on regression.
 // The suite covers the hot paths of the reproduction: the RTM shift loop,
-// p-ECC decode, a full memsim replay, and one small experiment sweep —
-// micro and macro, so both a slow decoder and a slow simulator trip the
-// gate.
+// p-ECC decode, a full memsim replay, one small experiment sweep, and the
+// parallel experiment engine (serial vs 4-worker vs warm-cache) — micro
+// and macro, so both a slow decoder and a slow simulator trip the gate.
 //
 // Usage:
 //
@@ -23,6 +23,7 @@ import (
 	"racetrack/hifi/internal/bench"
 	"racetrack/hifi/internal/cache"
 	"racetrack/hifi/internal/energy"
+	"racetrack/hifi/internal/engine"
 	"racetrack/hifi/internal/experiments"
 	"racetrack/hifi/internal/memsim"
 	"racetrack/hifi/internal/pecc"
@@ -131,6 +132,7 @@ func runSuite(quick bool) *bench.Snapshot {
 		{"pecc-decode", benchPECCDecode},
 		{"memsim-replay", benchMemsimReplay},
 		{"sweep-small", benchSweep},
+		{"engine-parallel-sweep", benchEngineSweep},
 	} {
 		log.Infof("benchmarking %s", b.name)
 		r := b.run(quick)
@@ -278,4 +280,58 @@ func benchSweep(quick bool) bench.Result {
 		}
 	})
 	return toResult(res, nil)
+}
+
+// benchEngineSweep times the same sweep (Fig 10, 36 simulations) through
+// the experiment engine three ways — serial, 4 workers, and a warm-cache
+// re-run — and records the ratios. One sweep is one op, timed by hand
+// rather than through testing.Benchmark: the comparisons between the
+// three passes are the measurement, and each pass is expensive enough
+// that one iteration is representative. Speedup depends on the host's
+// core count; the snapshot records whatever this host delivers.
+func benchEngineSweep(quick bool) bench.Result {
+	opts := experiments.QuickRunOpts()
+	if quick {
+		opts.AccessesPerCore = 1000
+	}
+	sweep := func(eng *engine.Engine) time.Duration {
+		o := opts
+		o.Eng = eng
+		start := time.Now()
+		experiments.Fig10(o)
+		return time.Since(start)
+	}
+
+	serialT := sweep(engine.New(engine.Options{Workers: 1}))
+	parT := sweep(engine.New(engine.Options{Workers: 4}))
+
+	dir, err := os.MkdirTemp("", "hifi-bench-cache-*")
+	if err != nil {
+		log.Fatalf("hifi-bench: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	openCache := func() *engine.Cache {
+		c, err := engine.OpenCache(dir, "bench")
+		if err != nil {
+			log.Fatalf("hifi-bench: %v", err)
+		}
+		return c
+	}
+	sweep(engine.New(engine.Options{Workers: 4, Cache: openCache()}))
+	warmEng := engine.New(engine.Options{Workers: 4, Cache: openCache()})
+	warmT := sweep(warmEng)
+	st := warmEng.Status()
+
+	rates := map[string]float64{
+		"parallel_speedup_x":   float64(serialT) / float64(parT),
+		"warm_cache_speedup_x": float64(serialT) / float64(warmT),
+	}
+	if st.Jobs > 0 {
+		rates["warm_cache_hit_frac"] = float64(st.CacheHits) / float64(st.Jobs)
+	}
+	return bench.Result{
+		Iterations: 1,
+		NsPerOp:    float64(parT.Nanoseconds()),
+		Rates:      rates,
+	}
 }

@@ -14,6 +14,12 @@
 //	hifi-experiments -run fig14 -metrics-out fig14  # fig14.json + fig14.prom + fig14.manifest.json
 //	hifi-experiments -run fig16 -spans-out fig16    # fig16.spans.json + fig16.folded (flamegraph)
 //	hifi-experiments -pprof localhost:6060 -v
+//
+// Parallel sweeps (see docs/engine.md):
+//
+//	hifi-experiments -jobs 8                        # 8 simulation workers
+//	hifi-experiments -cache-dir .hificache          # content-addressed result reuse
+//	hifi-experiments -cache-dir .hificache -resume  # continue an interrupted sweep
 package main
 
 import (
@@ -42,6 +48,7 @@ func main() {
 		trials   = flag.Int("mc-trials", 0, "Monte-Carlo trials for fig4 (0 = default)")
 	)
 	obs := cliutil.NewObs("hifi-experiments")
+	engFlags := cliutil.NewEngineFlags()
 	flag.Parse()
 
 	if *list {
@@ -61,6 +68,10 @@ func main() {
 	}
 
 	ctx := obs.Start()
+	eng, err := engFlags.Build(obs)
+	if err != nil {
+		log.Fatalf("hifi-experiments: %v", err)
+	}
 
 	opts := experiments.DefaultRunOpts()
 	if *scaled {
@@ -76,6 +87,7 @@ func main() {
 		opts.MCTrials = *trials
 	}
 	opts.Metrics = obs.Reg
+	opts.Eng = eng
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
@@ -114,6 +126,7 @@ func main() {
 		}
 	}
 
+	engFlags.Finish(eng)
 	if err := obs.Finish(); err != nil {
 		log.Fatalf("hifi-experiments: %v", err)
 	}

@@ -13,17 +13,26 @@
 //	hifi-sim -workload ferret -spans-out run        # run.spans.json + run.folded
 //	hifi-sim -workload ferret -trace-out run.trace.json
 //	hifi-sim -workload ferret -pprof localhost:6060 -progress 2s
+//
+// The run executes as one job of the experiment engine (docs/engine.md),
+// so -cache-dir makes an identical re-run instant:
+//
+//	hifi-sim -workload ferret -cache-dir .hificache   # first run simulates
+//	hifi-sim -workload ferret -cache-dir .hificache   # second run is a cache hit
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sync"
 	"time"
 
+	"racetrack/hifi/internal/cache"
 	"racetrack/hifi/internal/cliutil"
 	"racetrack/hifi/internal/energy"
+	"racetrack/hifi/internal/engine"
 	"racetrack/hifi/internal/memsim"
 	"racetrack/hifi/internal/mttf"
 	"racetrack/hifi/internal/shiftctrl"
@@ -31,6 +40,43 @@ import (
 	"racetrack/hifi/internal/telemetry/log"
 	"racetrack/hifi/internal/trace"
 )
+
+// simView is the JSON-stable projection of a memsim.Result carrying
+// every statistic this command prints, so a run served from the engine
+// cache reports exactly what the original execution did.
+type simView struct {
+	Workload    string         `json:"workload"`
+	Cycles      uint64         `json:"cycles"`
+	Seconds     float64        `json:"seconds"`
+	L1          cache.Stats    `json:"l1"`
+	L2          cache.Stats    `json:"l2"`
+	L3          cache.Stats    `json:"l3"`
+	ShiftOps    uint64         `json:"shift_ops"`
+	ShiftSteps  uint64         `json:"shift_steps"`
+	ShiftCycles uint64         `json:"shift_cycles"`
+	AvgShiftDst float64        `json:"avg_shift_distance"`
+	SDCMTTF     engine.Float   `json:"sdc_mttf_s"` // +Inf when no failure mass accrued
+	DUEMTTF     engine.Float   `json:"due_mttf_s"`
+	Energy      energy.Account `json:"energy"`
+}
+
+func toView(r memsim.Result) simView {
+	return simView{
+		Workload:    r.Workload,
+		Cycles:      r.Cycles,
+		Seconds:     r.Seconds,
+		L1:          r.L1,
+		L2:          r.L2,
+		L3:          r.L3,
+		ShiftOps:    r.ShiftOps,
+		ShiftSteps:  r.ShiftSteps,
+		ShiftCycles: r.ShiftCycles,
+		AvgShiftDst: r.AvgShiftDistance,
+		SDCMTTF:     engine.Float(r.Tracker.SDCMTTF()),
+		DUEMTTF:     engine.Float(r.Tracker.DUEMTTF()),
+		Energy:      r.Energy,
+	}
+}
 
 func main() {
 	var (
@@ -47,9 +93,14 @@ func main() {
 		progress = flag.Duration("progress", 5*time.Second, "progress-line interval (0 disables)")
 	)
 	obs := cliutil.NewObs("hifi-sim")
+	engFlags := cliutil.AddEngineFlags(flag.CommandLine)
 	flag.Parse()
 	obs.EnableMetrics() // the progress line reads the run gauges
 	ctx := obs.Start()
+	eng, err := engFlags.Build(obs)
+	if err != nil {
+		log.Fatalf("hifi-sim: %v", err)
+	}
 
 	w, err := trace.ByName(*workload)
 	if err != nil {
@@ -77,10 +128,33 @@ func main() {
 
 	stopProgress := watchProgress(reg, *progress)
 	start := time.Now()
-	r, err := memsim.RunCtx(ctx, w, cfg)
+	// The run is one engine job: with -cache-dir an identical invocation
+	// is served from the content-addressed cache without simulating.
+	job := engine.Job{
+		Key:   cfg.Fingerprint(w),
+		Label: fmt.Sprintf("%v/%v:%s", t, s, w.Name),
+		Fn: func(jctx context.Context) (any, error) {
+			r, err := memsim.RunCtx(jctx, w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return toView(r), nil
+		},
+	}
+	rep, err := eng.Run(ctx, []engine.Job{job})
 	stopProgress()
 	if err != nil {
 		log.Fatalf("hifi-sim: simulation: %v", err)
+	}
+	r, err := engine.Decode[simView](rep.Payloads[0])
+	if err != nil {
+		log.Fatalf("hifi-sim: %v", err)
+	}
+	if rep.CacheHits > 0 {
+		log.Infof("served from result cache")
+		if *traceOut != "" {
+			log.Errorf("hifi-sim: -trace-out with a warm cache records no events; clear -cache-dir to re-simulate")
+		}
 	}
 	log.Debugf("simulated %d accesses in %v", cfg.AccessesPerCore*cfg.Cores,
 		time.Since(start).Round(time.Millisecond))
@@ -93,9 +167,9 @@ func main() {
 	fmt.Printf("L3            %.2f%% miss (%d accesses)\n", 100*r.L3.MissRate(), r.L3.Hits+r.L3.Misses)
 	if t == energy.Racetrack {
 		fmt.Printf("shifts        %d ops, %d steps (avg %.2f), %d cycles\n",
-			r.ShiftOps, r.ShiftSteps, r.AvgShiftDistance, r.ShiftCycles)
+			r.ShiftOps, r.ShiftSteps, r.AvgShiftDst, r.ShiftCycles)
 		fmt.Printf("reliability   SDC MTTF %s, DUE MTTF %s\n",
-			human(r.Tracker.SDCMTTF()), human(r.Tracker.DUEMTTF()))
+			human(float64(r.SDCMTTF)), human(float64(r.DUEMTTF)))
 	}
 	fmt.Printf("energy        dynamic %.3f uJ (LLC %.3f uJ), leakage %.3f mJ, total %.3f mJ\n",
 		r.Energy.DynamicNJ()/1e3, r.Energy.LLCDynamicNJ()/1e3,
@@ -109,6 +183,7 @@ func main() {
 		log.Infof("wrote %d trace events to %s (%d dropped)",
 			cfg.Tracer.Len(), *traceOut, cfg.Tracer.Dropped())
 	}
+	engFlags.Finish(eng)
 	if err := obs.Finish(); err != nil {
 		log.Fatalf("hifi-sim: %v", err)
 	}

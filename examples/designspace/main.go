@@ -2,11 +2,22 @@
 // segment length for 32/64/128-bit stripes) and prints the three-way
 // trade-off between reliability, area, and shift latency for p-ECC-S
 // adaptive versus p-ECC-O — the combined view of the paper's Figs. 12/13/15.
+//
+// It then re-runs the simulation-backed half of the design space (the
+// relative shift latency of Fig 14) through the parallel experiment
+// engine, twice against the same content-addressed cache, to show the
+// sweep machinery the CLIs use: a worker pool sized to the host, and a
+// warm re-run that serves every simulation from the cache.
 package main
 
 import (
 	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"time"
 
+	"racetrack/hifi/internal/engine"
 	"racetrack/hifi/internal/experiments"
 )
 
@@ -40,6 +51,40 @@ func main() {
 	fmt.Println("    constant, so it wins area for Lseg >= 16.")
 	fmt.Println("  - p-ECC-S adaptive keeps latency within a few percent of the")
 	fmt.Println("    unconstrained shift while meeting the 10-year DUE target.")
+
+	// Part two: the simulated corner of the design space, driven by the
+	// parallel experiment engine. Each (scheme, workload) tuple becomes a
+	// cacheable job; the second pass hits the cache for every one of them
+	// and must print the identical table.
+	fmt.Println()
+	fmt.Printf("Simulated shift latency (Fig 14, scaled) via the experiment engine, %d workers:\n", runtime.NumCPU())
+
+	dir, err := os.MkdirTemp("", "designspace-cache-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	sweep := func() (experiments.Table, *engine.Engine, time.Duration) {
+		cache, err := engine.OpenCache(dir, "designspace")
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := experiments.QuickRunOpts()
+		opts.Eng = engine.New(engine.Options{Workers: runtime.NumCPU(), Cache: cache})
+		start := time.Now()
+		tab := experiments.Fig14(opts)
+		return tab, opts.Eng, time.Since(start)
+	}
+
+	cold, coldEng, coldT := sweep()
+	fmt.Println()
+	fmt.Println(cold.String())
+	fmt.Printf("cold: %v  (%s)\n", coldT.Round(time.Millisecond), coldEng.Summary())
+
+	warm, warmEng, warmT := sweep()
+	fmt.Printf("warm: %v  (%s)\n", warmT.Round(time.Millisecond), warmEng.Summary())
+	fmt.Printf("warm table identical to cold: %v\n", warm.String() == cold.String())
 }
 
 func indexByConfig(t experiments.Table) map[string][]string {

@@ -1,0 +1,98 @@
+package cliutil
+
+// Shared flag surface for the parallel experiment engine: every binary
+// that runs sweeps registers -jobs, -cache-dir, and -resume through
+// EngineFlags so the flags, their defaults, and the wiring to the
+// telemetry registry and the /engine status route stay uniform across
+// the CLI fleet. See docs/engine.md.
+
+import (
+	"flag"
+	"fmt"
+	"path/filepath"
+	"runtime"
+
+	"racetrack/hifi/internal/engine"
+	"racetrack/hifi/internal/telemetry/log"
+)
+
+// EngineFlags holds the parsed engine flags for one CLI.
+type EngineFlags struct {
+	jobs     *int
+	cacheDir *string
+	resume   *bool
+	retries  *int
+
+	journal *engine.Journal
+}
+
+// NewEngineFlags registers the engine flags on the default flag set.
+// Call before flag.Parse; call Build after Obs.Start.
+func NewEngineFlags() *EngineFlags { return AddEngineFlags(flag.CommandLine) }
+
+// AddEngineFlags registers the engine flags on fs.
+func AddEngineFlags(fs *flag.FlagSet) *EngineFlags {
+	ef := &EngineFlags{}
+	ef.jobs = fs.Int("jobs", runtime.NumCPU(),
+		"parallel simulation jobs (worker pool size)")
+	ef.cacheDir = fs.String("cache-dir", "",
+		"content-addressed result cache directory (empty disables caching)")
+	ef.resume = fs.Bool("resume", false,
+		"resume an interrupted sweep from the journal in -cache-dir")
+	ef.retries = fs.Int("job-retries", 1,
+		"re-executions of a failed job before the failure is permanent")
+	return ef
+}
+
+// Build assembles the engine the parsed flags describe: worker pool
+// width, result cache, resume journal, metrics from the Obs registry,
+// and — when the Obs status server is up — the /engine route. Call
+// after Obs.Start so the registry and mux exist.
+func (ef *EngineFlags) Build(o *Obs) (*engine.Engine, error) {
+	opts := engine.Options{
+		Workers: *ef.jobs,
+		Retries: *ef.retries,
+		Resume:  *ef.resume,
+	}
+	if o != nil {
+		opts.Metrics = o.Reg
+	}
+	if *ef.resume && *ef.cacheDir == "" {
+		return nil, fmt.Errorf("-resume requires -cache-dir (the journal lives in the cache directory)")
+	}
+	if *ef.cacheDir != "" {
+		cache, err := engine.OpenCache(*ef.cacheDir, "")
+		if err != nil {
+			return nil, err
+		}
+		journal, err := engine.OpenJournal(filepath.Join(*ef.cacheDir, "journal.jsonl"), *ef.resume)
+		if err != nil {
+			return nil, err
+		}
+		opts.Cache = cache
+		opts.Journal = journal
+		ef.journal = journal
+		if *ef.resume {
+			log.Infof("engine: resuming, journal lists %d completed job(s)", journal.Len())
+		}
+	}
+	eng := engine.New(opts)
+	if o != nil && o.Mux != nil {
+		o.Mux.Handle("/engine", eng.StatusHandler())
+	}
+	return eng, nil
+}
+
+// Finish logs the engine's sweep-wide summary line and closes the
+// journal. Safe to call with a nil engine (flags registered, Build
+// never called).
+func (ef *EngineFlags) Finish(eng *engine.Engine) {
+	if eng != nil {
+		log.Infof("%s", eng.Summary())
+	}
+	if ef.journal != nil {
+		if err := ef.journal.Close(); err != nil {
+			log.Errorf("engine: close journal: %v", err)
+		}
+	}
+}

@@ -39,6 +39,12 @@ type Obs struct {
 	Col *telemetry.SpanCollector
 	Man *telemetry.Manifest
 
+	// Mux is the live status mux once Start has launched it (nil without
+	// -pprof). Subsystems built after Start — the experiment engine's
+	// /engine route — register their handlers here; http.ServeMux is
+	// safe for Handle calls while serving.
+	Mux *http.ServeMux
+
 	root *telemetry.Span
 }
 
@@ -104,13 +110,13 @@ func (o *Obs) Start() context.Context {
 	}
 
 	if *o.statusAddr != "" {
-		mux := telemetry.NewStatusMux(o.Reg, o.Col, o.Man)
-		go func(addr string) {
+		o.Mux = telemetry.NewStatusMux(o.Reg, o.Col, o.Man)
+		go func(addr string, mux *http.ServeMux) {
 			log.Infof("status listening on http://%s/ (/metrics /spans /runinfo /debug/pprof)", addr)
 			if err := http.ListenAndServe(addr, mux); err != nil {
 				log.Errorf("status server: %v", err)
 			}
-		}(*o.statusAddr)
+		}(*o.statusAddr, o.Mux)
 	}
 
 	ctx := context.Background()

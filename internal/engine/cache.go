@@ -1,0 +1,126 @@
+package engine
+
+// Content-addressed result cache. Every payload is stored under the
+// SHA-256 of (schema | code version | job key), laid out git-style as
+// <dir>/objects/<hh>/<hash>.json so one directory never holds millions
+// of entries. Writes are atomic (temp file + rename), so a killed sweep
+// can never leave a truncated payload behind for -resume to trust.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync/atomic"
+)
+
+// CacheSchema versions the payload encoding; bump it to invalidate every
+// cached result when the canonical JSON projection changes shape.
+const CacheSchema = 1
+
+// CodeVersion identifies the code that produced a payload. It prefers
+// the VCS revision baked into the build (plus a dirty marker), so a
+// rebuilt binary with changed code misses the old cache; uncommitted dev
+// builds and `go test` binaries fall back to "dev", where the schema
+// constants above are the manual invalidation lever.
+func CodeVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	var rev, dirty string
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				dirty = "+dirty"
+			}
+		}
+	}
+	if rev == "" {
+		return "dev"
+	}
+	return rev + dirty
+}
+
+// HashKey derives the content address of a job: SHA-256 over the cache
+// schema, the code version, and the canonical job key.
+func HashKey(version, jobKey string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "engine/%d|%s|", CacheSchema, version)
+	h.Write([]byte(jobKey))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Cache is an on-disk content-addressed payload store. Methods are safe
+// for concurrent use by the worker pool; concurrent Puts of the same
+// hash are idempotent because equal keys produce equal payloads.
+type Cache struct {
+	dir     string
+	version string
+	seq     atomic.Uint64 // unique temp-file suffixes
+}
+
+// OpenCache opens (creating if needed) a cache rooted at dir. An empty
+// version selects CodeVersion().
+func OpenCache(dir, version string) (*Cache, error) {
+	if version == "" {
+		version = CodeVersion()
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("engine: open cache: %w", err)
+	}
+	return &Cache{dir: dir, version: version}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// Version returns the code version mixed into every hash.
+func (c *Cache) Version() string { return c.version }
+
+func (c *Cache) path(hash string) string {
+	return filepath.Join(c.dir, "objects", hash[:2], hash+".json")
+}
+
+// Get returns the payload stored under hash, if present.
+func (c *Cache) Get(hash string) ([]byte, bool) {
+	b, err := os.ReadFile(c.path(hash))
+	if err != nil {
+		return nil, false
+	}
+	return b, true
+}
+
+// Put stores payload under hash atomically.
+func (c *Cache) Put(hash string, payload []byte) error {
+	path := c.path(hash)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), c.seq.Add(1))
+	if err := os.WriteFile(tmp, payload, 0o644); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Len counts stored payloads (a full directory walk; diagnostics only).
+func (c *Cache) Len() int {
+	n := 0
+	filepath.WalkDir(filepath.Join(c.dir, "objects"), func(path string, d os.DirEntry, err error) error {
+		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+			n++
+		}
+		return nil
+	})
+	return n
+}

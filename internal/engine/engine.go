@@ -1,0 +1,440 @@
+// Package engine is the parallel experiment engine: it turns a sweep of
+// independent deterministic jobs — one per (experiment, config, seed)
+// tuple — into a fault-tolerant schedule over a bounded worker pool.
+//
+// The three pillars, each optional and composable:
+//
+//   - A worker pool (default runtime.NumCPU()) executes jobs with
+//     per-job panic isolation and a bounded retry budget, so one bad
+//     configuration cannot take down a multi-hour sweep.
+//   - A content-addressed on-disk cache (Cache) keyed by a canonical
+//     hash of the resolved job inputs plus the code version, so
+//     re-running a sweep only executes jobs whose inputs changed.
+//   - An append-only journal (Journal) records every completed job, so
+//     an interrupted sweep resumes where it stopped (-resume) instead
+//     of starting over.
+//
+// Determinism is the core contract: job functions must be pure in their
+// Key, and every result — fresh or cached — is canonicalized through the
+// same JSON encoding, so a sweep run with 8 workers, 1 worker, or a warm
+// cache renders byte-identical tables. See docs/engine.md.
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/log"
+)
+
+// Job is one unit of sweep work. Fn must be deterministic with respect
+// to Key: the Key is the canonical identity of every input that affects
+// the result (use KeyJSON to build it), and the cache assumes equal keys
+// mean equal results.
+type Job struct {
+	// Key canonically identifies the job's resolved inputs. It is hashed
+	// together with the code version into the content-addressed cache key.
+	Key string
+	// Label is the short human name used for spans, logs, and the
+	// /engine status route; Key is used when empty.
+	Label string
+	// Fn computes the result. The returned value must marshal to JSON;
+	// the engine canonicalizes every result (fresh or cached) through
+	// that encoding. Panics are recovered and treated as job errors.
+	Fn func(ctx context.Context) (any, error)
+}
+
+// SubSeed deterministically derives a per-job seed from the sweep's base
+// seed and a stable name (a workload, a config label). Jobs that must
+// share a random stream — e.g. scheme comparisons over one trace —
+// should derive from the shared part of their identity only.
+func SubSeed(base uint64, name string) uint64 {
+	// FNV-1a over the name, then a splitmix64 finalizer mixing in base,
+	// so adjacent base seeds yield unrelated streams.
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	z := h + base*0x9e3779b97f4a7c15
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 1 // seed 0 means "use default" to several configs; avoid it
+	}
+	return z
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Workers bounds concurrent job execution; <= 0 means
+	// runtime.NumCPU().
+	Workers int
+	// Cache enables content-addressed result reuse; nil disables it.
+	Cache *Cache
+	// Journal records completed jobs for resumability; nil disables it.
+	Journal *Journal
+	// Resume skips jobs already recorded in the journal whose payloads
+	// are still in the cache.
+	Resume bool
+	// Retries is how many times a failed (error or panic) job is
+	// re-executed before the failure is permanent. Negative means 0.
+	Retries int
+	// Metrics optionally receives the engine counters and pool gauges
+	// named in telemetry/names.go. Nil disables instrumentation.
+	Metrics *telemetry.Registry
+}
+
+// Engine schedules jobs over a worker pool. One engine is typically
+// shared by every batch of a sweep, so its counters accumulate
+// sweep-wide totals (the numbers the final summary and the /engine
+// route report).
+type Engine struct {
+	opts Options
+
+	// Lifetime totals, atomics so Status() can read mid-run.
+	total    atomic.Uint64
+	executed atomic.Uint64
+	hits     atomic.Uint64
+	misses   atomic.Uint64
+	resumed  atomic.Uint64
+	retries  atomic.Uint64
+	failures atomic.Uint64
+
+	queued  atomic.Int64
+	running atomic.Int64
+
+	mu      sync.Mutex
+	inFlite map[int]runningJob // worker slot -> job
+
+	tel engineTelemetry
+}
+
+type runningJob struct {
+	Label string
+	Since time.Time
+}
+
+type engineTelemetry struct {
+	jobs     *telemetry.Counter
+	executed *telemetry.Counter
+	hits     *telemetry.Counter
+	misses   *telemetry.Counter
+	resumed  *telemetry.Counter
+	retries  *telemetry.Counter
+	failures *telemetry.Counter
+	queue    *telemetry.Gauge
+	busy     *telemetry.Gauge
+	jobMS    *telemetry.Histogram
+}
+
+// New builds an engine. The zero Options value is a serial, uncached,
+// unjournaled engine — the drop-in replacement for an inline loop.
+func New(opts Options) *Engine {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.NumCPU()
+	}
+	if opts.Retries < 0 {
+		opts.Retries = 0
+	}
+	e := &Engine{opts: opts, inFlite: map[int]runningJob{}}
+	if reg := opts.Metrics; reg != nil {
+		e.tel = engineTelemetry{
+			jobs:     reg.Counter(telemetry.MetricEngineJobs, "jobs submitted to the engine"),
+			executed: reg.Counter(telemetry.MetricEngineExecuted, "jobs actually executed (cache misses)"),
+			hits:     reg.Counter(telemetry.MetricEngineCacheHits, "jobs served from the result cache"),
+			misses:   reg.Counter(telemetry.MetricEngineCacheMiss, "jobs not found in the result cache"),
+			resumed:  reg.Counter(telemetry.MetricEngineResumed, "jobs skipped via the resume journal"),
+			retries:  reg.Counter(telemetry.MetricEngineRetries, "job re-executions after a panic or error"),
+			failures: reg.Counter(telemetry.MetricEngineFailures, "jobs failed permanently"),
+			queue:    reg.Gauge(telemetry.MetricEngineQueueLen, "jobs waiting for a worker"),
+			busy:     reg.Gauge(telemetry.MetricEngineBusy, "workers currently executing a job"),
+			jobMS: reg.Histogram(telemetry.MetricEngineJobMS,
+				"wall milliseconds per executed job", telemetry.LatencyCycleBuckets()),
+		}
+	}
+	return e
+}
+
+// Workers returns the configured pool width.
+func (e *Engine) Workers() int { return e.opts.Workers }
+
+// Report summarizes one Run call. Payloads holds the canonical JSON
+// result of each job in submission order; decode with Decode/DecodeAll.
+type Report struct {
+	Payloads  [][]byte
+	Executed  int
+	CacheHits int
+	Resumed   int
+	Retried   int
+	Wall      time.Duration
+}
+
+// Run executes every job and returns their canonical payloads in
+// submission order. Jobs are pulled by up to Workers goroutines; a job
+// that panics or errors is retried up to Retries times and a permanent
+// failure cancels the jobs still queued (in-flight jobs finish) and is
+// returned after the pool drains. Run may be called repeatedly on one
+// engine; the cache, journal, and counters carry across calls.
+func (e *Engine) Run(ctx context.Context, jobs []Job) (*Report, error) {
+	start := time.Now()
+	rep := &Report{Payloads: make([][]byte, len(jobs))}
+	if len(jobs) == 0 {
+		return rep, nil
+	}
+	e.total.Add(uint64(len(jobs)))
+	e.tel.jobs.Add(float64(len(jobs)))
+	e.queued.Add(int64(len(jobs)))
+	e.tel.queue.Add(float64(len(jobs)))
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	workers := e.opts.Workers
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	outs := make([]outcome, len(jobs))
+	next := make(chan int)
+	go func() {
+		defer close(next)
+		for i := range jobs {
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for slot := 0; slot < workers; slot++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for i := range next {
+				e.queued.Add(-1)
+				e.tel.queue.Add(-1)
+				payload, o := e.process(ctx, slot, jobs[i])
+				rep.Payloads[i] = payload
+				outs[i] = o
+				if o.err != nil {
+					cancel() // stop feeding queued jobs
+				}
+			}
+		}(slot)
+	}
+	wg.Wait()
+
+	// Whatever is still marked queued was never handed to a worker
+	// (cancelled); settle the gauges.
+	if q := e.queued.Swap(0); q != 0 {
+		e.tel.queue.Add(float64(-q))
+	}
+
+	var firstErr error
+	for i, o := range outs {
+		switch {
+		case o.executed:
+			rep.Executed++
+		case o.hit:
+			rep.CacheHits++
+		}
+		if o.resumed {
+			rep.Resumed++
+		}
+		rep.Retried += o.retried
+		if o.err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("engine: job %q: %w", label(jobs[i]), o.err)
+		}
+	}
+	rep.Wall = time.Since(start)
+	if firstErr == nil && ctx.Err() != nil {
+		firstErr = ctx.Err()
+	}
+	return rep, firstErr
+}
+
+func label(j Job) string {
+	if j.Label != "" {
+		return j.Label
+	}
+	return j.Key
+}
+
+// outcome is one job's bookkeeping: how it was resolved and whether it
+// failed permanently.
+type outcome struct {
+	executed, hit, resumed bool
+	retried                int
+	err                    error
+}
+
+// process resolves one job: resume journal, then cache, then execution
+// with panic isolation and retry. It returns the canonical payload.
+func (e *Engine) process(ctx context.Context, slot int, j Job) (payload []byte, o outcome) {
+	if ctx.Err() != nil {
+		o.err = ctx.Err()
+		return nil, o
+	}
+	hash := HashKey(e.version(), j.Key)
+
+	// Resume: a journaled job whose payload is still cached is done.
+	if e.opts.Resume && e.opts.Journal.Done(hash) && e.opts.Cache != nil {
+		if p, ok := e.opts.Cache.Get(hash); ok {
+			e.resumed.Add(1)
+			e.hits.Add(1)
+			e.tel.resumed.Inc()
+			e.tel.hits.Inc()
+			o.hit, o.resumed = true, true
+			return p, o
+		}
+	}
+	if e.opts.Cache != nil {
+		if p, ok := e.opts.Cache.Get(hash); ok {
+			e.hits.Add(1)
+			e.tel.hits.Inc()
+			e.journal(j, hash, 0, 0)
+			o.hit = true
+			return p, o
+		}
+		e.misses.Add(1)
+		e.tel.misses.Inc()
+	}
+
+	e.running.Add(1)
+	e.tel.busy.Add(1)
+	e.mu.Lock()
+	e.inFlite[slot] = runningJob{Label: label(j), Since: time.Now()}
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.inFlite, slot)
+		e.mu.Unlock()
+		e.running.Add(-1)
+		e.tel.busy.Add(-1)
+	}()
+
+	jctx, sp := telemetry.StartSpan(ctx, "job:"+label(j), telemetry.A("hash", hash[:12]))
+	defer sp.End()
+
+	var lastErr error
+	for attempt := 0; attempt <= e.opts.Retries; attempt++ {
+		if attempt > 0 {
+			e.retries.Add(1)
+			e.tel.retries.Inc()
+			o.retried++
+			log.Infof("engine: retrying %s (attempt %d/%d): %v",
+				label(j), attempt+1, e.opts.Retries+1, lastErr)
+		}
+		started := time.Now()
+		result, err := runIsolated(jctx, j)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		payload, err = json.Marshal(result)
+		if err != nil {
+			// Marshal failures are deterministic; retrying cannot help.
+			lastErr = fmt.Errorf("marshal result: %w", err)
+			break
+		}
+		dur := time.Since(started)
+		e.tel.jobMS.Observe(float64(dur.Milliseconds()))
+		if e.opts.Cache != nil {
+			if err := e.opts.Cache.Put(hash, payload); err != nil {
+				// A cache write failure degrades reuse, not correctness.
+				log.Errorf("engine: cache put %s: %v", label(j), err)
+			}
+		}
+		e.executed.Add(1)
+		e.tel.executed.Inc()
+		e.journal(j, hash, attempt+1, dur)
+		o.executed = true
+		return payload, o
+	}
+	e.failures.Add(1)
+	e.tel.failures.Inc()
+	sp.SetAttr("error", fmt.Sprint(lastErr))
+	o.err = lastErr
+	return nil, o
+}
+
+// journal appends a completion record, tolerating a nil journal.
+func (e *Engine) journal(j Job, hash string, attempts int, dur time.Duration) {
+	if e.opts.Journal == nil {
+		return
+	}
+	if err := e.opts.Journal.Append(Entry{
+		Key:      j.Key,
+		Label:    label(j),
+		Hash:     hash,
+		Attempts: attempts,
+		DurMS:    dur.Milliseconds(),
+	}); err != nil {
+		log.Errorf("engine: journal %s: %v", label(j), err)
+	}
+}
+
+func (e *Engine) version() string {
+	if e.opts.Cache != nil {
+		return e.opts.Cache.Version()
+	}
+	return CodeVersion()
+}
+
+// runIsolated invokes the job function, converting a panic into an
+// error so a bad configuration fails one job, not the whole sweep.
+func runIsolated(ctx context.Context, j Job) (result any, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 4<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			err = fmt.Errorf("panic: %v\n%s", r, buf)
+		}
+	}()
+	return j.Fn(ctx)
+}
+
+// Decode unmarshals one canonical payload.
+func Decode[T any](payload []byte) (T, error) {
+	var v T
+	err := json.Unmarshal(payload, &v)
+	return v, err
+}
+
+// DecodeAll unmarshals every payload of a report in order.
+func DecodeAll[T any](payloads [][]byte) ([]T, error) {
+	out := make([]T, len(payloads))
+	for i, p := range payloads {
+		v, err := Decode[T](p)
+		if err != nil {
+			return nil, fmt.Errorf("engine: payload %d: %w", i, err)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// KeyJSON renders v as the canonical key string for Job.Key: compact
+// JSON with struct fields in declaration order (encoding/json), which
+// is deterministic for a fixed type. Maps are avoided by convention —
+// key structs should use only ordered fields.
+func KeyJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Key structs are plain data; a marshal failure is a programming
+		// error best surfaced immediately.
+		panic(fmt.Sprintf("engine: KeyJSON: %v", err))
+	}
+	return string(b)
+}

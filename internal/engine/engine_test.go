@@ -1,0 +1,364 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+
+	"racetrack/hifi/internal/telemetry"
+)
+
+// testJobs builds n jobs whose Fn records execution counts in execs and
+// returns a deterministic payload derived from the index.
+func testJobs(n int, execs *atomic.Int64) []Job {
+	jobs := make([]Job, n)
+	for i := 0; i < n; i++ {
+		i := i
+		jobs[i] = Job{
+			Key:   fmt.Sprintf("test-job|%d", i),
+			Label: fmt.Sprintf("job%d", i),
+			Fn: func(ctx context.Context) (any, error) {
+				execs.Add(1)
+				return map[string]int{"index": i, "square": i * i}, nil
+			},
+		}
+	}
+	return jobs
+}
+
+func TestRunOrderAndDeterminism(t *testing.T) {
+	var execs atomic.Int64
+	jobs := testJobs(16, &execs)
+
+	serial, err := New(Options{Workers: 1}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := New(Options{Workers: 8}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := execs.Load(); got != 32 {
+		t.Fatalf("executions = %d, want 32", got)
+	}
+	for i := range jobs {
+		if string(serial.Payloads[i]) != string(parallel.Payloads[i]) {
+			t.Errorf("payload %d differs: serial %s parallel %s",
+				i, serial.Payloads[i], parallel.Payloads[i])
+		}
+	}
+	if serial.Executed != 16 || parallel.Executed != 16 {
+		t.Errorf("executed: serial %d parallel %d, want 16/16", serial.Executed, parallel.Executed)
+	}
+	// Payloads decode in submission order regardless of completion order.
+	out, err := DecodeAll[map[string]int](parallel.Payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, m := range out {
+		if m["index"] != i || m["square"] != i*i {
+			t.Errorf("payload %d = %v", i, m)
+		}
+	}
+}
+
+func TestCacheReuse(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir, "v-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execs atomic.Int64
+	jobs := testJobs(8, &execs)
+
+	e1 := New(Options{Workers: 4, Cache: cache})
+	r1, err := e1.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Executed != 8 || r1.CacheHits != 0 {
+		t.Fatalf("cold run: executed %d hits %d, want 8/0", r1.Executed, r1.CacheHits)
+	}
+
+	// A second engine over the same cache dir executes nothing.
+	cache2, err := OpenCache(dir, "v-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2 := New(Options{Workers: 4, Cache: cache2})
+	r2, err := e2.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Executed != 0 || r2.CacheHits != 8 {
+		t.Fatalf("warm run: executed %d hits %d, want 0/8", r2.Executed, r2.CacheHits)
+	}
+	if got := execs.Load(); got != 8 {
+		t.Fatalf("total executions = %d, want 8", got)
+	}
+	for i := range jobs {
+		if string(r1.Payloads[i]) != string(r2.Payloads[i]) {
+			t.Errorf("cached payload %d differs from fresh", i)
+		}
+	}
+
+	// A different code version misses everything.
+	cache3, err := OpenCache(dir, "v-other")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3, err := New(Options{Workers: 2, Cache: cache3}).Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Executed != 8 {
+		t.Fatalf("version-bumped run: executed %d, want 8", r3.Executed)
+	}
+}
+
+func TestPanicIsolationAndRetry(t *testing.T) {
+	var attempts atomic.Int64
+	flaky := Job{
+		Key:   "flaky",
+		Label: "flaky",
+		Fn: func(ctx context.Context) (any, error) {
+			if attempts.Add(1) == 1 {
+				panic("transient explosion")
+			}
+			return "ok", nil
+		},
+	}
+	rep, err := New(Options{Workers: 2, Retries: 1}).Run(context.Background(), []Job{flaky})
+	if err != nil {
+		t.Fatalf("retry should have recovered the panic: %v", err)
+	}
+	if rep.Retried != 1 {
+		t.Errorf("retried = %d, want 1", rep.Retried)
+	}
+	v, err := Decode[string](rep.Payloads[0])
+	if err != nil || v != "ok" {
+		t.Errorf("payload = %q, %v", v, err)
+	}
+
+	// Retries exhausted: the failure is permanent and reported.
+	always := Job{
+		Key:   "always-bad",
+		Label: "always-bad",
+		Fn:    func(ctx context.Context) (any, error) { panic("permanent") },
+	}
+	if _, err := New(Options{Workers: 1, Retries: 1}).Run(context.Background(), []Job{always}); err == nil {
+		t.Fatal("permanent failure not reported")
+	}
+}
+
+func TestFailureCancelsQueuedJobs(t *testing.T) {
+	var execs atomic.Int64
+	jobs := make([]Job, 32)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Key: fmt.Sprintf("j%d", i),
+			Fn: func(ctx context.Context) (any, error) {
+				if i == 0 {
+					return nil, fmt.Errorf("boom")
+				}
+				execs.Add(1)
+				return i, nil
+			},
+		}
+	}
+	rep, err := New(Options{Workers: 1, Retries: 0}).Run(context.Background(), jobs)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// With one worker and job 0 failing first, the queue drains without
+	// executing most of the remaining jobs.
+	if got := execs.Load(); got == 31 {
+		t.Errorf("all queued jobs still executed after failure")
+	}
+	if rep == nil {
+		t.Fatal("report must be returned alongside the error")
+	}
+}
+
+func TestJournalResumeSkipsCompleted(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir, "v-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(dir, "journal.jsonl")
+	j1, err := OpenJournal(jpath, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// First sweep dies on job 5: jobs 0-4 complete and are journaled.
+	var execs atomic.Int64
+	jobs := make([]Job, 10)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Key:   fmt.Sprintf("sweep-job|%d", i),
+			Label: fmt.Sprintf("sw%d", i),
+			Fn: func(ctx context.Context) (any, error) {
+				if i == 5 {
+					return nil, fmt.Errorf("simulated crash")
+				}
+				execs.Add(1)
+				return i * 10, nil
+			},
+		}
+	}
+	_, err = New(Options{Workers: 1, Cache: cache, Journal: j1, Retries: 0}).
+		Run(context.Background(), jobs)
+	if err == nil {
+		t.Fatal("crash did not surface")
+	}
+	j1.Close()
+	firstPass := execs.Load()
+	if firstPass != 5 {
+		t.Fatalf("first pass executed %d jobs, want 5 (serial order up to the crash)", firstPass)
+	}
+
+	// Simulate a torn final line from a kill mid-write.
+	f, err := os.OpenFile(jpath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":99,"key":"torn`)
+	f.Close()
+
+	// Second sweep resumes: the crash is "fixed", journaled jobs skip.
+	jobs[5].Fn = func(ctx context.Context) (any, error) {
+		execs.Add(1)
+		return 50, nil
+	}
+	j2, err := OpenJournal(jpath, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Len() != 5 {
+		t.Fatalf("journal entries after torn-line load = %d, want 5", j2.Len())
+	}
+	cache2, _ := OpenCache(dir, "v-test")
+	rep, err := New(Options{Workers: 1, Cache: cache2, Journal: j2, Resume: true}).
+		Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	if rep.Resumed != 5 {
+		t.Errorf("resumed = %d, want 5", rep.Resumed)
+	}
+	if got := execs.Load() - firstPass; got != 5 {
+		t.Errorf("second pass executed %d jobs, want 5 (only the uncompleted tail)", got)
+	}
+	out, err := DecodeAll[int](rep.Payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*10 {
+			t.Errorf("payload %d = %d, want %d", i, v, i*10)
+		}
+	}
+}
+
+func TestMetricsAndStatus(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	dir := t.TempDir()
+	cache, _ := OpenCache(dir, "v-test")
+	var execs atomic.Int64
+	jobs := testJobs(6, &execs)
+	e := New(Options{Workers: 3, Cache: cache, Metrics: reg})
+	if _, err := e.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter(telemetry.MetricEngineJobs, "").Value(); got != 12 {
+		t.Errorf("jobs counter = %v, want 12", got)
+	}
+	if got := reg.Counter(telemetry.MetricEngineExecuted, "").Value(); got != 6 {
+		t.Errorf("executed counter = %v, want 6", got)
+	}
+	if got := reg.Counter(telemetry.MetricEngineCacheHits, "").Value(); got != 6 {
+		t.Errorf("hits counter = %v, want 6", got)
+	}
+	if got := reg.Gauge(telemetry.MetricEngineQueueLen, "").Value(); got != 0 {
+		t.Errorf("queue depth after drain = %v, want 0", got)
+	}
+	if got := reg.Gauge(telemetry.MetricEngineBusy, "").Value(); got != 0 {
+		t.Errorf("busy workers after drain = %v, want 0", got)
+	}
+	s := e.Status()
+	if s.Jobs != 12 || s.Executed != 6 || s.CacheHits != 6 || s.Failures != 0 {
+		t.Errorf("status = %+v", s)
+	}
+	want := "engine: 12 jobs, 6 executed, 6 cache hits, 0 resumed, 0 retries, 0 failures"
+	if e.Summary() != want {
+		t.Errorf("summary = %q, want %q", e.Summary(), want)
+	}
+}
+
+func TestSubSeed(t *testing.T) {
+	a := SubSeed(1, "canneal")
+	b := SubSeed(1, "canneal")
+	if a != b {
+		t.Fatal("SubSeed not deterministic")
+	}
+	if SubSeed(1, "canneal") == SubSeed(1, "dedup") {
+		t.Error("distinct names collide")
+	}
+	if SubSeed(1, "canneal") == SubSeed(2, "canneal") {
+		t.Error("distinct base seeds collide")
+	}
+	if SubSeed(0, "") == 0 {
+		t.Error("SubSeed must never return 0 (reserved for config defaults)")
+	}
+}
+
+func TestFloatRoundTrip(t *testing.T) {
+	for _, v := range []float64{0, 1.5, -2.25e-19, 1e300} {
+		f := Float(v)
+		b, err := f.MarshalJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var g Float
+		if err := g.UnmarshalJSON(b); err != nil {
+			t.Fatal(err)
+		}
+		if g != f {
+			t.Errorf("%v round-tripped to %v", f, g)
+		}
+	}
+	inf := Float(1)
+	if err := inf.UnmarshalJSON([]byte(`"+inf"`)); err != nil || float64(inf) <= 1e308 {
+		t.Errorf("+inf decode: %v %v", inf, err)
+	}
+}
+
+func TestKeyJSONStable(t *testing.T) {
+	type key struct {
+		A int
+		B string
+	}
+	if KeyJSON(key{1, "x"}) != KeyJSON(key{1, "x"}) {
+		t.Error("KeyJSON not stable")
+	}
+	if KeyJSON(key{1, "x"}) == KeyJSON(key{2, "x"}) {
+		t.Error("KeyJSON collides")
+	}
+	if HashKey("v1", "k") == HashKey("v2", "k") {
+		t.Error("HashKey ignores version")
+	}
+	if len(HashKey("v", "k")) != 64 {
+		t.Error("HashKey is not a sha256 hex digest")
+	}
+}

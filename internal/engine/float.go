@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"encoding/json"
+	"math"
+)
+
+// Float is a float64 whose JSON encoding round-trips the IEEE specials
+// that encoding/json rejects. Finite values marshal as ordinary numbers
+// (Go's shortest-form float encoding is an exact round-trip); +Inf,
+// -Inf, and NaN marshal as the strings "+inf", "-inf", "nan". Result
+// projections use it for fields that can legitimately be infinite —
+// an MTTF with zero accumulated failure probability, for example.
+type Float float64
+
+// MarshalJSON implements json.Marshaler.
+func (f Float) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"+inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"nan"`), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *Float) UnmarshalJSON(b []byte) error {
+	switch string(b) {
+	case `"+inf"`:
+		*f = Float(math.Inf(1))
+		return nil
+	case `"-inf"`:
+		*f = Float(math.Inf(-1))
+		return nil
+	case `"nan"`:
+		*f = Float(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = Float(v)
+	return nil
+}

@@ -1,0 +1,138 @@
+package engine
+
+// The sweep journal: an append-only JSONL file, one line per completed
+// job, flushed entry by entry. A sweep interrupted mid-run leaves a
+// journal whose entries name exactly the jobs that finished; reopening
+// it with resume=true lets the engine skip those jobs (provided their
+// payloads are still in the cache). A torn final line — the signature of
+// a kill mid-write — is ignored on load rather than treated as
+// corruption.
+//
+// This journal tracks *job-level* sweep progress. It is deliberately
+// separate from the device-level checkpointing in the repository root's
+// checkpoint.go, which snapshots the logical contents of one simulated
+// Memory; see docs/engine.md for why the two layers stay apart.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Entry is one completed job.
+type Entry struct {
+	Seq      int    `json:"seq"`
+	Key      string `json:"key"`
+	Label    string `json:"label,omitempty"`
+	Hash     string `json:"hash"`
+	Attempts int    `json:"attempts"` // 0 = served from cache
+	DurMS    int64  `json:"dur_ms"`
+}
+
+// Journal is the on-disk completion log. Safe for concurrent Append
+// from the worker pool.
+type Journal struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	seq  int
+	done map[string]Entry // by hash
+}
+
+// OpenJournal opens the journal at path. With resume=true existing
+// entries are loaded (and later Appends continue the sequence); without
+// it the file is truncated — a fresh sweep starts a fresh journal.
+func OpenJournal(path string, resume bool) (*Journal, error) {
+	j := &Journal{path: path, done: map[string]Entry{}}
+	if resume {
+		if err := j.load(); err != nil {
+			return nil, err
+		}
+	}
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if !resume {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("engine: open journal: %w", err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// load reads existing entries, ignoring a torn final line.
+func (j *Journal) load() error {
+	f, err := os.Open(j.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("engine: load journal: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		var e Entry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			// A malformed line can only be the torn tail of a killed
+			// write; everything before it is intact.
+			break
+		}
+		j.done[e.Hash] = e
+		if e.Seq > j.seq {
+			j.seq = e.Seq
+		}
+	}
+	return sc.Err()
+}
+
+// Len returns the number of distinct completed jobs loaded or appended.
+func (j *Journal) Len() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.done)
+}
+
+// Done reports whether hash is recorded as completed. Nil-safe so the
+// engine can consult an absent journal.
+func (j *Journal) Done(hash string) bool {
+	if j == nil {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, ok := j.done[hash]
+	return ok
+}
+
+// Append records one completion and flushes it to disk.
+func (j *Journal) Append(e Entry) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.seq++
+	e.Seq = j.seq
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(append(b, '\n')); err != nil {
+		return err
+	}
+	j.done[e.Hash] = e
+	return nil
+}
+
+// Close closes the underlying file.
+func (j *Journal) Close() error {
+	if j == nil || j.f == nil {
+		return nil
+	}
+	return j.f.Close()
+}

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"testing"
+
+	"racetrack/hifi/internal/engine"
+)
+
+// quick returns a small scaled configuration for the determinism tests:
+// Fig10 at these sizes is 36 simulations, enough to exercise the worker
+// pool without dominating the test run.
+func quick() RunOpts {
+	return RunOpts{AccessesPerCore: 1_000, Seed: 1, Scaled: true, MCTrials: 5_000}
+}
+
+func engAt(t *testing.T, workers int, dir string) *engine.Engine {
+	t.Helper()
+	opts := engine.Options{Workers: workers}
+	if dir != "" {
+		c, err := engine.OpenCache(dir, "det-test")
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Cache = c
+	}
+	return engine.New(opts)
+}
+
+// TestParallelSweepByteIdentical is the determinism golden test: the
+// same sweep run serially, with 8 workers, and again from a warm cache
+// must render byte-identical tables.
+func TestParallelSweepByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+
+	serial := quick()
+	serial.Eng = engAt(t, 1, "")
+	want := Fig10(serial).String()
+
+	par := quick()
+	par.Eng = engAt(t, 8, "")
+	if got := Fig10(par).String(); got != want {
+		t.Errorf("-jobs=8 table differs from -jobs=1:\nserial:\n%s\nparallel:\n%s", want, got)
+	}
+
+	// Cold run populates the cache; warm run must serve every job from it
+	// and still render the same bytes.
+	dir := t.TempDir()
+	cold := quick()
+	cold.Eng = engAt(t, 4, dir)
+	if got := Fig10(cold).String(); got != want {
+		t.Errorf("cold cached table differs from serial baseline")
+	}
+	warm := quick()
+	warm.Eng = engAt(t, 4, dir)
+	if got := Fig10(warm).String(); got != want {
+		t.Errorf("warm cached table differs from serial baseline")
+	}
+	st := warm.Eng.Status()
+	if st.Executed != 0 || st.CacheHits == 0 || st.CacheHits != st.Jobs {
+		t.Errorf("warm run should be 100%% cache hits: %+v", st)
+	}
+}
+
+// TestCacheSharedAcrossExperiments checks that experiments enumerating
+// overlapping (config, workload) tuples — Fig10's SED batch also appears
+// in Fig11 — deduplicate through the content-addressed cache.
+func TestCacheSharedAcrossExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	dir := t.TempDir()
+
+	o1 := quick()
+	o1.Eng = engAt(t, 4, dir)
+	Fig10(o1)
+	after10 := o1.Eng.Status()
+	if after10.CacheHits != 0 {
+		t.Fatalf("first experiment should be all misses: %+v", after10)
+	}
+
+	o2 := quick()
+	o2.Eng = engAt(t, 4, dir)
+	Fig11(o2)
+	after11 := o2.Eng.Status()
+	if after11.CacheHits == 0 {
+		t.Errorf("Fig11 shares SED/SECDED runs with Fig10; expected cross-experiment cache hits, got %+v", after11)
+	}
+}

@@ -3,13 +3,12 @@ package experiments
 import (
 	"context"
 	"fmt"
-	"time"
 
 	"racetrack/hifi/internal/energy"
+	"racetrack/hifi/internal/engine"
 	"racetrack/hifi/internal/memsim"
 	"racetrack/hifi/internal/shiftctrl"
 	"racetrack/hifi/internal/telemetry"
-	"racetrack/hifi/internal/telemetry/log"
 	"racetrack/hifi/internal/trace"
 )
 
@@ -36,6 +35,11 @@ type RunOpts struct {
 	// lives in the options struct because the Fig*/Table* generators are
 	// keyed closures whose signatures the CLI iterates over.
 	Ctx context.Context
+	// Eng executes the simulation jobs the experiments enumerate: worker
+	// pool, content-addressed result cache, resume journal (see
+	// docs/engine.md). Nil falls back to a serial, uncached engine that
+	// reproduces the old inline loop exactly.
+	Eng *engine.Engine
 }
 
 // ctx returns the configured context, defaulting to Background.
@@ -115,36 +119,16 @@ func (o RunOpts) workloads() []trace.Workload {
 }
 
 // runAll simulates every workload under the given configuration and
-// returns results in roster order. Each simulation is timed by its
-// memsim span (under a per-configuration span), which also feeds the
-// debug log — there is no separate ad-hoc timing.
-func (o RunOpts) runAll(t energy.Tech, s shiftctrl.Scheme, ideal bool) []memsim.Result {
+// returns results in roster order. The batch is executed by the
+// engine — in parallel when RunOpts.Eng has workers — and each job is
+// timed by its own engine span under the per-configuration span here.
+func (o RunOpts) runAll(t energy.Tech, s shiftctrl.Scheme, ideal bool) []SimRes {
 	ctx, sp := telemetry.StartSpan(o.ctx(), fmt.Sprintf("runAll:%v/%v", t, s),
 		telemetry.A("ideal", fmt.Sprint(ideal)))
 	defer sp.End()
-	var out []memsim.Result
-	for _, w := range o.workloads() {
-		cfg := o.config(t, s)
-		cfg.Ideal = ideal
-		rctx, rsp := telemetry.StartSpan(ctx, "memsim-run:"+w.Name)
-		r, err := memsim.RunCtx(rctx, w, cfg)
-		rsp.End()
-		if err != nil {
-			panic(fmt.Sprintf("experiments: %s: %v", w.Name, err))
-		}
-		if log.Enabled(log.Debug) {
-			accesses := cfg.AccessesPerCore * cfg.Cores
-			if el := rsp.Duration(); el > 0 {
-				log.Debugf("ran %s on %v/%v ideal=%v: %d accesses in %v (%.0f acc/s)",
-					w.Name, t, s, ideal, accesses, el.Round(time.Millisecond),
-					float64(accesses)/el.Seconds())
-			} else {
-				log.Debugf("ran %s on %v/%v ideal=%v: %d accesses", w.Name, t, s, ideal, accesses)
-			}
-		}
-		out = append(out, r)
-	}
-	return out
+	batch := o
+	batch.Ctx = ctx
+	return batch.runSims(o.simJobs(t, s, ideal))
 }
 
 // Fig10 regenerates paper Fig. 10: SDC MTTF of the racetrack LLC per
@@ -159,9 +143,9 @@ func Fig10(opts RunOpts) Table {
 	sec := opts.runAll(energy.Racetrack, shiftctrl.SECDED, false)
 	for i := range base {
 		t.AddRow(base[i].Workload,
-			base[i].Tracker.SDCMTTF(),
-			sed[i].Tracker.SDCMTTF(),
-			sec[i].Tracker.SDCMTTF())
+			float64(base[i].SDCMTTF),
+			float64(sed[i].SDCMTTF),
+			float64(sec[i].SDCMTTF))
 	}
 	return t
 }
@@ -181,11 +165,11 @@ func Fig11(opts RunOpts) Table {
 	pa := opts.runAll(energy.Racetrack, shiftctrl.PECCSAdaptive, false)
 	for i := range sed {
 		t.AddRow(sed[i].Workload,
-			sed[i].Tracker.DUEMTTF(),
-			sec[i].Tracker.DUEMTTF(),
-			po[i].Tracker.DUEMTTF(),
-			pw[i].Tracker.DUEMTTF(),
-			pa[i].Tracker.DUEMTTF())
+			float64(sed[i].DUEMTTF),
+			float64(sec[i].DUEMTTF),
+			float64(po[i].DUEMTTF),
+			float64(pw[i].DUEMTTF),
+			float64(pa[i].DUEMTTF))
 	}
 	return t
 }
@@ -238,36 +222,42 @@ func fig16Configs() []sysConfig {
 // normalized to SRAM.
 func Fig16(opts RunOpts) Table {
 	return sysComparison(opts, "Fig 16: overall execution time (normalized to SRAM)",
-		func(r memsimResult) float64 { return float64(r.Cycles) })
+		func(r SimRes) float64 { return float64(r.Cycles) })
 }
 
 // Fig17 regenerates paper Fig. 17: LLC dynamic energy per workload,
 // normalized to SRAM.
 func Fig17(opts RunOpts) Table {
 	return sysComparison(opts, "Fig 17: LLC dynamic energy (normalized to SRAM)",
-		func(r memsimResult) float64 { return r.Energy.LLCDynamicNJ() })
+		func(r SimRes) float64 { return r.LLCDynNJ })
 }
 
 // Fig18 regenerates paper Fig. 18: total energy (dynamic + leakage + DRAM)
 // per workload, normalized to SRAM.
 func Fig18(opts RunOpts) Table {
 	return sysComparison(opts, "Fig 18: total energy consumption (normalized to SRAM)",
-		func(r memsimResult) float64 { return r.Energy.TotalJ() })
+		func(r SimRes) float64 { return r.TotalJ })
 }
-
-type memsimResult = memsim.Result
 
 // sysComparison runs all Fig 16 configurations and reports metric values
 // normalized to the SRAM column, with capacity-sensitive workloads first.
-func sysComparison(opts RunOpts, title string, metric func(memsimResult) float64) Table {
+// Every configuration's roster is enumerated into one job batch, so a
+// parallel engine overlaps simulations across configurations, not just
+// within one.
+func sysComparison(opts RunOpts, title string, metric func(SimRes) float64) Table {
 	configs := fig16Configs()
 	t := Table{Title: title}
 	t.Header = append([]string{"workload", "class"}, labels(configs)...)
-	results := make([][]memsimResult, len(configs))
-	for i, c := range configs {
-		results[i] = opts.runAll(c.tech, c.scheme, c.ideal)
-	}
 	roster := opts.workloads()
+	var jobs []engine.Job
+	for _, c := range configs {
+		jobs = append(jobs, opts.simJobs(c.tech, c.scheme, c.ideal)...)
+	}
+	all := opts.runSims(jobs)
+	results := make([][]SimRes, len(configs))
+	for i := range configs {
+		results[i] = all[i*len(roster) : (i+1)*len(roster)]
+	}
 	order := append(filterIdx(roster, true), filterIdx(roster, false)...)
 	for _, wi := range order {
 		row := []interface{}{roster[wi].Name, class(roster[wi])}

@@ -1,0 +1,91 @@
+package memsim
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"racetrack/hifi/internal/trace"
+)
+
+// FingerprintSchema versions the fingerprint layout; bump it whenever
+// simulator behaviour changes in a result-affecting way that the config
+// fields cannot express, so stale engine-cache entries are invalidated.
+const FingerprintSchema = 1
+
+// fingerprint is the canonical, JSON-stable projection of a resolved
+// Config plus its workload: every field that affects a Result and
+// nothing that does not (Metrics, Tracer, and the span context are
+// observability-only). Field order is fixed by the struct declaration,
+// so equal inputs marshal to equal bytes.
+type fingerprint struct {
+	Schema   int     `json:"schema"`
+	Cores    int     `json:"cores"`
+	ClockHz  float64 `json:"clock_hz"`
+	Tech     string  `json:"tech"`
+	Scheme   string  `json:"scheme"`
+	Ideal    bool    `json:"ideal"`
+	Geometry struct {
+		StripesPerGroup int `json:"stripes_per_group"`
+		DataBits        int `json:"data_bits"`
+		SegLen          int `json:"seg_len"`
+		LineBytes       int `json:"line_bytes"`
+	} `json:"geometry"`
+	Accesses  int              `json:"accesses_per_core"`
+	Warmup    int              `json:"warmup_accesses_per_core"`
+	Seed      uint64           `json:"seed"`
+	TargetDUE float64          `json:"target_due"`
+	L1        int64            `json:"l1_capacity"`
+	L2        int64            `json:"l2_capacity"`
+	L3        int64            `json:"l3_capacity"`
+	L1W       int              `json:"l1_ways"`
+	L2W       int              `json:"l2_ways"`
+	L3W       int              `json:"l3_ways"`
+	Eager     bool             `json:"eager_head"`
+	Promo     int              `json:"promo_entries"`
+	Workload  trace.Workload   `json:"workload"`
+	Mix       []trace.Workload `json:"mix,omitempty"`
+}
+
+// Fingerprint returns the canonical identity of the resolved
+// configuration running workload w — the content-addressed cache-key
+// input used by the experiment engine (see docs/engine.md). Defaults
+// are filled first, so a zero field and its explicit default value
+// fingerprint identically.
+//
+// Configs carrying replayed Sources are not fingerprintable: the access
+// stream lives outside the config, so the identity would be incomplete
+// and the cache would serve wrong results. Callers must not route such
+// runs through a cached engine; Fingerprint panics to make the misuse
+// loud.
+func (c Config) Fingerprint(w trace.Workload) string {
+	if c.Sources != nil {
+		panic("memsim: Fingerprint: configs with replayed Sources have no canonical identity")
+	}
+	c.fillDefaults()
+	var fp fingerprint
+	fp.Schema = FingerprintSchema
+	fp.Cores = c.Cores
+	fp.ClockHz = c.ClockHz
+	fp.Tech = fmt.Sprint(c.Tech)
+	fp.Scheme = fmt.Sprint(c.Scheme)
+	fp.Ideal = c.Ideal
+	fp.Geometry.StripesPerGroup = c.Geometry.StripesPerGroup
+	fp.Geometry.DataBits = c.Geometry.DataBits
+	fp.Geometry.SegLen = c.Geometry.SegLen
+	fp.Geometry.LineBytes = c.Geometry.LineBytes
+	fp.Accesses = c.AccessesPerCore
+	fp.Warmup = c.WarmupAccessesPerCore
+	fp.Seed = c.Seed
+	fp.TargetDUE = c.TargetDUE
+	fp.L1, fp.L2, fp.L3 = c.L1Capacity, c.L2Capacity, c.L3Capacity
+	fp.L1W, fp.L2W, fp.L3W = c.L1Ways, c.L2Ways, c.L3Ways
+	fp.Eager = c.EagerHead
+	fp.Promo = c.PromoEntries
+	fp.Workload = w
+	fp.Mix = c.Mix
+	b, err := json.Marshal(fp)
+	if err != nil {
+		panic(fmt.Sprintf("memsim: Fingerprint: %v", err))
+	}
+	return "memsim|" + string(b)
+}

@@ -45,6 +45,19 @@ const (
 	MetricDRAMFills      = "hifi_dram_fills_total"
 	MetricDRAMWritebacks = "hifi_dram_writebacks_total"
 
+	// Parallel experiment engine (internal/engine): job lifecycle
+	// counters and live pool gauges. See docs/engine.md.
+	MetricEngineJobs      = "hifi_engine_jobs_total"
+	MetricEngineExecuted  = "hifi_engine_jobs_executed_total"
+	MetricEngineCacheHits = "hifi_engine_cache_hits_total"
+	MetricEngineCacheMiss = "hifi_engine_cache_misses_total"
+	MetricEngineResumed   = "hifi_engine_jobs_resumed_total"
+	MetricEngineRetries   = "hifi_engine_retries_total"
+	MetricEngineFailures  = "hifi_engine_failures_total"
+	MetricEngineQueueLen  = "hifi_engine_queue_depth"
+	MetricEngineBusy      = "hifi_engine_workers_busy"
+	MetricEngineJobMS     = "hifi_engine_job_ms"
+
 	// Run progress (gauges, readable while a run is in flight).
 	MetricSimAccessesDone  = "hifi_sim_accesses_done"
 	MetricSimAccessesTotal = "hifi_sim_accesses_total"
