@@ -6,12 +6,13 @@
 #   make bench-snapshot  pinned hifi-bench suite -> BENCH_<rev>.json
 #   make bench-smoke     quick suite + self-compare (CI regression gate dry run)
 #   make engine-smoke    parallel-sweep determinism + cache-reuse check
+#   make fidelity        scaled sweep scored against the paper anchors
 #   make report          render the evaluation report (scaled)
 
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all tier1 ci vet race test build bench bench-snapshot bench-smoke engine-smoke report fmt clean
+.PHONY: all tier1 ci vet race test build bench bench-snapshot bench-smoke engine-smoke fidelity report fmt clean
 
 all: tier1
 
@@ -25,8 +26,12 @@ test:
 
 ci: build vet race
 
+# vet runs go vet plus the repo's errcheck-style checker: no Close/Flush
+# error may be silently dropped (write `_ = x.Close()` for an
+# intentional discard; see internal/tools/errvet).
 vet:
 	$(GO) vet ./...
+	$(GO) run ./internal/tools/errvet .
 
 race:
 	$(GO) test -race ./...
@@ -60,6 +65,13 @@ engine-smoke:
 	$(GO) run ./cmd/hifi-experiments -run fig14 -scaled -accesses 1000 -jobs 8 -cache-dir /tmp/hifi-engine-cache 2>&1 >/dev/null \
 		| grep -E 'engine: [0-9]+ jobs, 0 executed, [1-9][0-9]* cache hits'
 
+# fidelity is the local version of CI's fidelity job: a scaled sweep
+# scored against the paper-anchor set (internal/fidelity); any failing
+# anchor fails the target. Produces fidelity.json and report.html.
+fidelity:
+	$(GO) run ./cmd/hifi-report -scaled -q -fidelity-out fidelity.json \
+		-fidelity-gate -html report.html
+
 report:
 	$(GO) run ./cmd/hifi-report -scaled -o report.md
 
@@ -67,4 +79,5 @@ fmt:
 	gofmt -w .
 
 clean:
-	rm -f report.md BENCH_*.json BENCH_*.prom *.manifest.json *.spans.json *.folded
+	rm -f report.md report.html fidelity.json BENCH_*.json BENCH_*.prom \
+		*.manifest.json *.spans.json *.folded

@@ -87,6 +87,7 @@ func main() {
 		opts.MCTrials = *trials
 	}
 	opts.Metrics = obs.Reg
+	opts.Sampler = obs.TS
 	opts.Eng = eng
 
 	if *outDir != "" {

@@ -1,16 +1,24 @@
-// Command hifi-report runs the full evaluation and renders one markdown
-// report: every paper table/figure plus the ablations, with generation
-// parameters recorded. Useful for archiving a run or diffing two builds.
+// Command hifi-report runs the full evaluation and renders it as a
+// report: markdown (-o) and/or a single self-contained HTML file
+// (-html) embedding every table, the paper-fidelity scorecard, the
+// windowed time-series charts, a span flamegraph, and the run
+// manifest. It also evaluates the fidelity anchor set against the
+// generated tables (-fidelity-out writes the scorecard JSON,
+// -fidelity-gate makes failing anchors fail the run) — the CI drift
+// gate is exactly this binary.
 //
 // Usage:
 //
-//	hifi-report -o report.md            # full size (~2 min)
-//	hifi-report -scaled -o report.md    # scaled hierarchy (seconds)
-//	hifi-report -scaled -spans-out rep  # plus span tree + flamegraph
+//	hifi-report -o report.md                # full size (~2 min)
+//	hifi-report -scaled -o report.md        # scaled hierarchy (seconds)
+//	hifi-report -scaled -html report.html   # self-contained HTML report
+//	hifi-report -scaled -jobs 8 -cache-dir .hificache \
+//	    -fidelity-out fidelity.json -fidelity-gate
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"flag"
 	"fmt"
 	"os"
@@ -18,20 +26,30 @@ import (
 
 	"racetrack/hifi/internal/cliutil"
 	"racetrack/hifi/internal/experiments"
+	"racetrack/hifi/internal/fidelity"
+	"racetrack/hifi/internal/report"
 	"racetrack/hifi/internal/telemetry"
 	"racetrack/hifi/internal/telemetry/log"
 )
 
 func main() {
 	var (
-		out      = flag.String("o", "", "output markdown file (default stdout)")
-		scaled   = flag.Bool("scaled", false, "scaled-down hierarchy")
-		accesses = flag.Int("accesses", 0, "trace length per core (0 = default)")
-		seed     = flag.Uint64("seed", 1, "trace seed")
+		out          = flag.String("o", "", "output markdown file (default stdout when -html unset)")
+		htmlOut      = flag.String("html", "", "write a self-contained HTML report to this file")
+		fidelityOut  = flag.String("fidelity-out", "", "write the fidelity scorecard JSON to this file")
+		fidelityGate = flag.Bool("fidelity-gate", false, "exit nonzero when any fidelity anchor fails")
+		scaled       = flag.Bool("scaled", false, "scaled-down hierarchy")
+		accesses     = flag.Int("accesses", 0, "trace length per core (0 = default)")
+		seed         = flag.Uint64("seed", 1, "trace seed")
 	)
 	obs := cliutil.NewObs("hifi-report")
+	engFlags := cliutil.NewEngineFlags()
 	flag.Parse()
 	ctx := obs.Start()
+	eng, err := engFlags.Build(obs)
+	if err != nil {
+		log.Fatalf("hifi-report: %v", err)
+	}
 
 	opts := experiments.DefaultRunOpts()
 	if *scaled {
@@ -42,24 +60,108 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Metrics = obs.Reg
-
-	var b strings.Builder
-	b.WriteString("# Hi-fi Playback reproduction report\n\n")
-	fmt.Fprintf(&b, "Generated by hifi-report: scaled=%v, accesses/core=%d, seed=%d.\n\n",
-		*scaled, opts.AccessesPerCore, opts.Seed)
-	b.WriteString("Each section reproduces one table or figure of the paper's\n")
-	b.WriteString("evaluation; see EXPERIMENTS.md for the paper-vs-measured analysis.\n\n")
+	opts.Sampler = obs.TS
+	opts.Eng = eng
 
 	order := experiments.Order()
+	tables := make(map[string]experiments.Table, len(order))
 	for i, k := range order {
 		log.Infof("running %s (%d/%d)", k, i+1, len(order))
 		kctx, ksp := telemetry.StartSpan(ctx, "experiment:"+k)
 		opts.Ctx = kctx
-		tab := experiments.All(opts)[k]()
+		tables[k] = experiments.All(opts)[k]()
 		ksp.End()
 		if el := ksp.Duration(); el > 0 {
 			log.Debugf("finished %s in %v", k, el)
 		}
+	}
+	engFlags.Finish(eng)
+
+	// The scorecard derives from the tables alone, so it inherits the
+	// engine's determinism: byte-identical at any -jobs setting and
+	// cache temperature.
+	scorecard := fidelity.Evaluate(fidelity.Anchors(), tables)
+	log.Infof("fidelity: %d pass, %d warn, %d fail, %d skip",
+		scorecard.Pass, scorecard.Warn, scorecard.Fail, scorecard.Skip)
+	if *fidelityOut != "" {
+		if err := scorecard.WriteFile(*fidelityOut); err != nil {
+			log.Fatalf("hifi-report: %v", err)
+		}
+		obs.AddOutput(*fidelityOut)
+		log.Infof("wrote %s", *fidelityOut)
+	}
+
+	md := renderMarkdown(order, tables, *scaled, opts)
+	switch {
+	case *out != "":
+		if err := writeReport(*out, md); err != nil {
+			log.Fatalf("hifi-report: %v", err)
+		}
+		obs.AddOutput(*out)
+		log.Infof("wrote %s (%d experiments)", *out, len(order))
+	case *htmlOut == "":
+		fmt.Print(md)
+	}
+
+	if *htmlOut != "" {
+		if err := writeReport(*htmlOut, string(buildHTML(obs, order, tables, scorecard, *scaled, opts))); err != nil {
+			log.Fatalf("hifi-report: %v", err)
+		}
+		obs.AddOutput(*htmlOut)
+		log.Infof("wrote %s", *htmlOut)
+	}
+
+	if err := obs.Finish(); err != nil {
+		log.Fatalf("hifi-report: %v", err)
+	}
+	if *fidelityGate {
+		if err := scorecard.Err(); err != nil {
+			log.Errorf("hifi-report: %v", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// buildHTML assembles the report.Data from everything the run
+// produced: tables, scorecard, sampled time-series, span tree, and the
+// manifest-so-far (finished separately by obs.Finish).
+func buildHTML(obs *cliutil.Obs, order []string, tables map[string]experiments.Table,
+	sc fidelity.Scorecard, scaled bool, opts experiments.RunOpts) []byte {
+	d := report.Data{
+		Title: "Hi-fi Playback reproduction report",
+		Params: []report.Param{
+			{Key: "scaled", Value: fmt.Sprint(scaled)},
+			{Key: "accesses/core", Value: fmt.Sprint(opts.AccessesPerCore)},
+			{Key: "seed", Value: fmt.Sprint(opts.Seed)},
+		},
+		Keys:      order,
+		Tables:    tables,
+		Scorecard: &sc,
+	}
+	if se := obs.TS.Export(); len(se.Windows) > 0 {
+		d.Series = &se
+	}
+	if obs.Col != nil {
+		e := obs.Col.Export()
+		d.Spans = &e
+	}
+	var mb bytes.Buffer
+	if err := obs.Man.WriteJSON(&mb); err == nil {
+		d.ManifestJSON = mb.Bytes()
+	}
+	return report.HTML(d)
+}
+
+func renderMarkdown(order []string, tables map[string]experiments.Table,
+	scaled bool, opts experiments.RunOpts) string {
+	var b strings.Builder
+	b.WriteString("# Hi-fi Playback reproduction report\n\n")
+	fmt.Fprintf(&b, "Generated by hifi-report: scaled=%v, accesses/core=%d, seed=%d.\n\n",
+		scaled, opts.AccessesPerCore, opts.Seed)
+	b.WriteString("Each section reproduces one table or figure of the paper's\n")
+	b.WriteString("evaluation; see EXPERIMENTS.md for the paper-vs-measured analysis.\n\n")
+	for _, k := range order {
+		tab := tables[k]
 		fmt.Fprintf(&b, "## %s\n\n", tab.Title)
 		if tab.Note != "" {
 			fmt.Fprintf(&b, "_%s_\n\n", tab.Note)
@@ -67,19 +169,7 @@ func main() {
 		writeMarkdownTable(&b, tab)
 		b.WriteString("\n")
 	}
-
-	if *out == "" {
-		fmt.Print(b.String())
-	} else {
-		if err := writeReport(*out, b.String()); err != nil {
-			log.Fatalf("hifi-report: %v", err)
-		}
-		obs.AddOutput(*out)
-		log.Infof("wrote %s (%d experiments)", *out, len(order))
-	}
-	if err := obs.Finish(); err != nil {
-		log.Fatalf("hifi-report: %v", err)
-	}
+	return b.String()
 }
 
 // writeReport streams the report to path, surfacing short writes and
@@ -91,11 +181,11 @@ func writeReport(path, content string) error {
 	}
 	w := bufio.NewWriter(f)
 	if _, err := w.WriteString(content); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := w.Flush(); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

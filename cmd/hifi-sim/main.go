@@ -122,6 +122,7 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Ideal = *ideal
 	cfg.Metrics = reg
+	cfg.Sampler = obs.TS
 	if *traceOut != "" {
 		cfg.Tracer = telemetry.NewTracer(*traceCap)
 	}
@@ -239,7 +240,7 @@ func writeTrace(tr *telemetry.Tracer, path string) error {
 		return err
 	}
 	if err := tr.WriteJSON(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

@@ -58,7 +58,7 @@ func record(name string, core, n int, seed uint64, path string) {
 		log.Fatalf("hifi-trace: %v", err)
 	}
 	if err := trace.WriteTrace(f, recs); err != nil {
-		f.Close()
+		_ = f.Close()
 		log.Fatalf("hifi-trace: write: %v", err)
 	}
 	// Close before reporting: a short write surfaces here, and the size

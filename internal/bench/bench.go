@@ -55,7 +55,7 @@ func (s *Snapshot) WriteFile(path string) error {
 	enc := json.NewEncoder(f)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(s); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

@@ -12,9 +12,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"racetrack/hifi/internal/telemetry"
 	"racetrack/hifi/internal/telemetry/log"
+	"racetrack/hifi/internal/telemetry/timeseries"
 )
 
 // Obs owns one CLI's observability state from flag registration to the
@@ -29,6 +31,9 @@ type Obs struct {
 	spansOut    *string
 	manifestOut *string
 	statusAddr  *string
+	tsOut       *string
+	tsEvery     *int
+	tsWall      *time.Duration
 	verbose     *bool
 	quiet       *bool
 
@@ -38,6 +43,11 @@ type Obs struct {
 	Reg *telemetry.Registry
 	Col *telemetry.SpanCollector
 	Man *telemetry.Manifest
+
+	// TS is the windowed time-series sampler (nil unless -timeseries-out
+	// or -pprof asked for one). Thread it into the code being observed:
+	// memsim.Config.Sampler, experiments.RunOpts.Sampler.
+	TS *timeseries.Sampler
 
 	// Mux is the live status mux once Start has launched it (nil without
 	// -pprof). Subsystems built after Start — the experiment engine's
@@ -62,7 +72,13 @@ func AddFlags(fs *flag.FlagSet, tool string) *Obs {
 	o.manifestOut = fs.String("manifest-out", "",
 		"write the run manifest here (default: <metrics/spans base>.manifest.json)")
 	o.statusAddr = fs.String("pprof", "",
-		"serve /metrics /spans /runinfo /healthz and /debug/pprof on this address (e.g. localhost:6060)")
+		"serve /metrics /spans /runinfo /timeseries /healthz and /debug/pprof on this address (e.g. localhost:6060)")
+	o.tsOut = fs.String("timeseries-out", "",
+		"write the windowed metrics time-series (JSON) to this file")
+	o.tsEvery = fs.Int("timeseries-every", timeseries.DefaultEvery,
+		"time-series window width in simulated accesses")
+	o.tsWall = fs.Duration("timeseries-wall", 0,
+		"additionally cut a time-series window at this wall-clock interval (0 disables; nondeterministic)")
 	o.verbose = fs.Bool("v", false, "debug logging (overrides HIFI_LOG)")
 	o.quiet = fs.Bool("q", false, "errors only (overrides HIFI_LOG)")
 	return o
@@ -92,11 +108,17 @@ func (o *Obs) Start() context.Context {
 		log.SetLevel(log.Debug)
 	}
 
-	if *o.metricsOut != "" || *o.statusAddr != "" || *o.manifestOut != "" {
+	if *o.metricsOut != "" || *o.statusAddr != "" || *o.manifestOut != "" || *o.tsOut != "" {
 		o.EnableMetrics()
 	}
 	if *o.spansOut != "" || *o.statusAddr != "" {
 		o.Col = telemetry.NewSpanCollector(o.Reg)
+	}
+	if *o.tsOut != "" || *o.statusAddr != "" {
+		o.TS = timeseries.New(o.Reg, timeseries.Options{
+			Every:        *o.tsEvery,
+			WallInterval: *o.tsWall,
+		})
 	}
 
 	o.Man = telemetry.NewManifest(o.tool)
@@ -110,7 +132,7 @@ func (o *Obs) Start() context.Context {
 	}
 
 	if *o.statusAddr != "" {
-		o.Mux = telemetry.NewStatusMux(o.Reg, o.Col, o.Man)
+		o.Mux = telemetry.NewStatusMux(o.Reg, o.Col, o.Man, o.TS.Handler())
 		go func(addr string, mux *http.ServeMux) {
 			log.Infof("status listening on http://%s/ (/metrics /spans /runinfo /debug/pprof)", addr)
 			if err := http.ListenAndServe(addr, mux); err != nil {
@@ -170,6 +192,18 @@ func (o *Obs) Finish() error {
 		} else if err == nil {
 			o.Man.AddOutput(jsonPath, foldedPath)
 			log.Infof("wrote spans to %s and %s", jsonPath, foldedPath)
+		}
+	}
+	o.TS.Stop()
+	if *o.tsOut != "" && o.TS != nil {
+		se := o.TS.Export()
+		if err := se.WriteFile(*o.tsOut); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			o.Man.AddOutput(*o.tsOut)
+			log.Infof("wrote %d time-series windows to %s", len(se.Windows), *o.tsOut)
 		}
 	}
 

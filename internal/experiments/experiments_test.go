@@ -6,8 +6,6 @@ import (
 	"strconv"
 	"strings"
 	"testing"
-
-	"racetrack/hifi/internal/mttf"
 )
 
 // parse pulls a float back out of a rendered cell.
@@ -51,7 +49,8 @@ func TestFig1Shape(t *testing.T) {
 	if len(tab.Rows) != 19 {
 		t.Fatalf("rows = %d, want 19 (1e-20..1e-2)", len(tab.Rows))
 	}
-	// MTTF strictly decreasing with rate.
+	// MTTF strictly decreasing with rate. The ~10-year paper anchor at
+	// 1e-19 is enforced by the fidelity scorecard (fidelity_test.go).
 	prev := math.Inf(1)
 	for _, r := range tab.Rows {
 		m := parse(t, r[1])
@@ -59,15 +58,6 @@ func TestFig1Shape(t *testing.T) {
 			t.Fatalf("MTTF not decreasing at rate %s", r[0])
 		}
 		prev = m
-	}
-	// Paper anchor: ~1e-19 rate for 10-year MTTF.
-	for _, r := range tab.Rows {
-		if r[0] == "1e-19" {
-			years := parse(t, r[1]) / mttf.SecondsPerYear
-			if years < 3 || years > 30 {
-				t.Errorf("MTTF at 1e-19 = %v years, want ~10", years)
-			}
-		}
 	}
 }
 
@@ -102,16 +92,12 @@ func TestFig4Shape(t *testing.T) {
 	}
 }
 
-func TestTable2MatchesPublished(t *testing.T) {
+func TestTable2Shape(t *testing.T) {
+	// Per-distance published rates are enforced anchor by anchor in the
+	// fidelity scorecard (fidelity_test.go); here only the shape.
 	tab := Table2()
 	if len(tab.Rows) != 7 {
 		t.Fatalf("rows = %d", len(tab.Rows))
-	}
-	if got := parse(t, tab.Rows[0][1]); got != 4.55e-5 {
-		t.Errorf("k1(1) = %v", got)
-	}
-	if got := parse(t, tab.Rows[6][2]); got != 7.57e-15 {
-		t.Errorf("k2(7) = %v", got)
 	}
 }
 
@@ -156,14 +142,12 @@ func TestTable3Content(t *testing.T) {
 	if bRows < 7 {
 		t.Errorf("part (b) rows = %d, want >= 7", bRows)
 	}
-	// Table 3a anchor: Dsafe=1 intensity 4.53G.
+	// The Dsafe=1 rate anchor lives in the fidelity scorecard; here only
+	// that the row exists.
 	found := false
 	for _, r := range tab.Rows {
 		if r[0] == "a" && r[1] == "Dsafe=1" {
 			found = true
-			if !strings.Contains(r[3], "4.52G") && !strings.Contains(r[3], "4.53G") {
-				t.Errorf("Dsafe=1 intensity detail = %q, want ~4.53G (paper)", r[3])
-			}
 		}
 	}
 	if !found {
@@ -244,6 +228,8 @@ func TestFig15Shape(t *testing.T) {
 }
 
 func TestTable5Content(t *testing.T) {
+	// The published overhead numbers (detect cost, cell %, controller
+	// area) are fidelity anchors; here only shape and the N/A cell.
 	tab := Table5()
 	if len(tab.Rows) != 5 {
 		t.Fatalf("rows = %d, want 5", len(tab.Rows))
@@ -252,19 +238,8 @@ func TestTable5Content(t *testing.T) {
 	for _, r := range tab.Rows {
 		byName[r[0]] = r
 	}
-	p := byName["p-ecc"]
-	if p == nil {
+	if byName["p-ecc"] == nil {
 		t.Fatal("p-ecc row missing")
-	}
-	if parse(t, p[1]) != 0.34 || parse(t, p[2]) != 3.73 {
-		t.Errorf("p-ecc detect = %s ns %s pJ", p[1], p[2])
-	}
-	if cell := parse(t, p[5]); math.Abs(cell-17.2) > 1 {
-		t.Errorf("p-ecc cell %% = %v, want ~17.2 (paper 17.6)", cell)
-	}
-	o := byName["p-ecc-o"]
-	if cell := parse(t, o[5]); math.Abs(cell-15.6) > 1 {
-		t.Errorf("p-ecc-o cell %% = %v, want ~15.6 (paper 15.7)", cell)
 	}
 	if byName["sts"][5] != "N/A" {
 		t.Error("sts cell overhead should be N/A")

@@ -63,11 +63,13 @@ func (o RunOpts) engine() *engine.Engine {
 // batch) content-address to the same cache entry.
 func (o RunOpts) simJob(w trace.Workload, cfg memsim.Config, tag string) engine.Job {
 	metrics := o.Metrics
+	sampler := o.Sampler
 	return engine.Job{
 		Key:   cfg.Fingerprint(w),
 		Label: fmt.Sprintf("%s:%s", tag, w.Name),
 		Fn: func(ctx context.Context) (any, error) {
 			cfg.Metrics = metrics
+			cfg.Sampler = sampler
 			r, err := memsim.RunCtx(ctx, w, cfg)
 			if err != nil {
 				return nil, err

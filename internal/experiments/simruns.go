@@ -9,6 +9,7 @@ import (
 	"racetrack/hifi/internal/memsim"
 	"racetrack/hifi/internal/shiftctrl"
 	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/timeseries"
 	"racetrack/hifi/internal/trace"
 )
 
@@ -29,6 +30,11 @@ type RunOpts struct {
 	// experiment runs (shift counts, LLC traffic, expected failures);
 	// see docs/observability.md. Nil disables instrumentation.
 	Metrics *telemetry.Registry
+	// Sampler optionally windows the Metrics registry on the simulated-
+	// access clock, so a sweep produces a time-series of its evolution
+	// (docs/observability.md). Cache-served jobs do not re-simulate and
+	// therefore contribute no windows. Nil disables sampling.
+	Sampler *timeseries.Sampler
 	// Ctx carries the span collector (telemetry.WithCollector) so every
 	// simulation an experiment runs is timed as a span under the caller's
 	// tree. Nil means context.Background(), i.e. no span recording. It
@@ -97,6 +103,7 @@ func (o RunOpts) config(t energy.Tech, s shiftctrl.Scheme) memsim.Config {
 		cfg.L3Capacity = scaledL3(t)
 	}
 	cfg.Metrics = o.Metrics
+	cfg.Sampler = o.Sampler
 	return cfg
 }
 

@@ -1,0 +1,196 @@
+package fidelity
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"racetrack/hifi/internal/experiments"
+)
+
+func tab(header []string, rows ...[]string) experiments.Table {
+	return experiments.Table{Title: "t", Header: header, Rows: rows}
+}
+
+func one(t *testing.T, a Anchor, tables map[string]experiments.Table) Result {
+	t.Helper()
+	sc := Evaluate([]Anchor{a}, tables)
+	if len(sc.Anchors) != 1 {
+		t.Fatalf("anchors = %d", len(sc.Anchors))
+	}
+	return sc.Anchors[0]
+}
+
+func TestValueBands(t *testing.T) {
+	tables := map[string]experiments.Table{
+		"e": tab([]string{"k", "v"}, []string{"x", "1.02"}),
+	}
+	a := Anchor{ID: "a", Experiment: "e", Kind: Value, Col: "v", Want: 1.0,
+		RelTol: 0.05, WarnTol: 0.10}
+	if r := one(t, a, tables); r.Status != Pass || r.Measured != 1.02 {
+		t.Errorf("2%% off with 5%% tol = %+v", r)
+	}
+	a.RelTol = 0.01
+	if r := one(t, a, tables); r.Status != Warn {
+		t.Errorf("2%% off with 1%% tol, 10%% warn = %+v", r)
+	}
+	a.WarnTol = 0.015
+	if r := one(t, a, tables); r.Status != Fail || !strings.Contains(r.Detail, "x") {
+		t.Errorf("2%% off beyond warn band = %+v", r)
+	}
+}
+
+func TestBoundsAndRatios(t *testing.T) {
+	tables := map[string]experiments.Table{
+		"e": tab([]string{"k", "a", "b"}, []string{"x", "2", "4"}),
+	}
+	cases := []struct {
+		a    Anchor
+		want Status
+	}{
+		{Anchor{Kind: AtLeast, Col: "a", Want: 1.5}, Pass},
+		{Anchor{Kind: AtLeast, Col: "a", Want: 2.1, WarnTol: 0.10}, Warn},
+		{Anchor{Kind: AtLeast, Col: "a", Want: 3}, Fail},
+		{Anchor{Kind: AtMost, Col: "a", Want: 2}, Pass},
+		{Anchor{Kind: AtMost, Col: "a", Want: 1.95, WarnTol: 0.05}, Warn},
+		{Anchor{Kind: RatioAtLeast, Col: "b", Baseline: "a", Want: 2}, Pass},
+		{Anchor{Kind: RatioAtMost, Col: "b", Baseline: "a", Want: 1.9}, Fail},
+	}
+	for i, c := range cases {
+		c.a.ID, c.a.Experiment = "a", "e"
+		if r := one(t, c.a, tables); r.Status != c.want {
+			t.Errorf("case %d (%s %s want %g): %s, want %s (%s)",
+				i, c.a.Kind, c.a.Col, c.a.Want, r.Status, c.want, r.Detail)
+		}
+	}
+}
+
+func TestOrderAndSlack(t *testing.T) {
+	tables := map[string]experiments.Table{
+		"e": tab([]string{"k", "a", "b", "c"},
+			[]string{"x", "1", "2", "3"},
+			[]string{"y", "1", "0.99", "3"}),
+	}
+	a := Anchor{ID: "a", Experiment: "e", Kind: Order, Cols: []string{"a", "b", "c"}}
+	if r := one(t, a, tables); r.Status != Fail || !strings.Contains(r.Detail, `"y"`) {
+		t.Errorf("descending pair should fail naming row y: %+v", r)
+	}
+	a.Slack = 0.02
+	if r := one(t, a, tables); r.Status != Warn {
+		t.Errorf("1%% dip within 2%% slack should warn: %+v", r)
+	}
+	if r := one(t, a, tables); r.Rows != 2 {
+		t.Errorf("rows checked = %d, want 2", r.Rows)
+	}
+}
+
+func TestWhereSelectsRows(t *testing.T) {
+	tables := map[string]experiments.Table{
+		"e": tab([]string{"k", "class", "v"},
+			[]string{"x", "hot", "5"},
+			[]string{"y", "cold", "50"}),
+	}
+	a := Anchor{ID: "a", Experiment: "e", Kind: AtMost, Col: "v", Want: 10,
+		Where: map[string]string{"class": "hot"}}
+	if r := one(t, a, tables); r.Status != Pass || r.Rows != 1 {
+		t.Errorf("filtered check = %+v", r)
+	}
+	a.Where = map[string]string{"class": "lukewarm"}
+	if r := one(t, a, tables); r.Status != Fail {
+		t.Errorf("no matching rows must fail loudly, got %+v", r)
+	}
+}
+
+func TestMalformedTableFails(t *testing.T) {
+	tables := map[string]experiments.Table{
+		"e": tab([]string{"k", "v"}, []string{"x", "N/A"}),
+	}
+	a := Anchor{ID: "a", Experiment: "e", Kind: Value, Col: "v", Want: 1}
+	if r := one(t, a, tables); r.Status != Fail || !strings.Contains(r.Detail, "not numeric") {
+		t.Errorf("non-numeric cell = %+v", r)
+	}
+	a.Col = "nope"
+	if r := one(t, a, tables); r.Status != Fail || !strings.Contains(r.Detail, "nope") {
+		t.Errorf("unknown column = %+v", r)
+	}
+}
+
+func TestSkipAndGate(t *testing.T) {
+	a := Anchor{ID: "a", Experiment: "absent", Kind: Value, Col: "v", Want: 1}
+	sc := Evaluate([]Anchor{a}, nil)
+	if sc.Skip != 1 || sc.Anchors[0].Status != Skip {
+		t.Errorf("missing table should skip: %+v", sc)
+	}
+	if err := sc.Err(); err != nil {
+		t.Errorf("skips must not trip the gate: %v", err)
+	}
+	tables := map[string]experiments.Table{
+		"e": tab([]string{"k", "v"}, []string{"x", "9"}),
+	}
+	sc = Evaluate([]Anchor{{ID: "bad", Experiment: "e", Kind: AtMost, Col: "v", Want: 1}}, tables)
+	err := sc.Err()
+	if err == nil || !strings.Contains(err.Error(), "bad") {
+		t.Errorf("gate error should name the anchor: %v", err)
+	}
+}
+
+func TestScorecardJSONDeterministic(t *testing.T) {
+	tables := map[string]experiments.Table{
+		"e": tab([]string{"k", "class", "v"},
+			[]string{"x", "hot", "5"}, []string{"y", "cold", "50"}),
+	}
+	anchors := []Anchor{
+		{ID: "a", Experiment: "e", Kind: AtMost, Col: "v", Want: 100,
+			Where: map[string]string{"class": "hot", "k": "x"}},
+		{ID: "b", Experiment: "e", Kind: AtLeast, Col: "v", Want: 1},
+	}
+	first := Evaluate(anchors, tables).JSON()
+	for i := 0; i < 10; i++ {
+		if got := Evaluate(anchors, tables).JSON(); !bytes.Equal(got, first) {
+			t.Fatalf("run %d produced different bytes", i)
+		}
+	}
+	if !strings.Contains(string(first), `"schema": "hifi_fidelity_v1"`) {
+		t.Errorf("schema missing:\n%s", first)
+	}
+}
+
+// The shipped anchor set must be internally consistent: unique IDs,
+// known experiments, and column references that resolve once tables
+// exist (checked end-to-end in the experiments package).
+func TestDefaultAnchorsWellFormed(t *testing.T) {
+	known := make(map[string]bool)
+	for _, k := range experiments.Order() {
+		known[k] = true
+	}
+	seen := make(map[string]bool)
+	for _, a := range Anchors() {
+		if a.ID == "" || seen[a.ID] {
+			t.Errorf("anchor ID %q empty or duplicated", a.ID)
+		}
+		seen[a.ID] = true
+		if !known[a.Experiment] {
+			t.Errorf("%s: unknown experiment %q", a.ID, a.Experiment)
+		}
+		if a.Source == "" {
+			t.Errorf("%s: missing paper provenance", a.ID)
+		}
+		switch a.Kind {
+		case Value:
+			if a.RelTol <= 0 || a.WarnTol < a.RelTol {
+				t.Errorf("%s: value anchor needs 0 < rel_tol <= warn_tol", a.ID)
+			}
+		case Order:
+			if len(a.Cols) < 2 {
+				t.Errorf("%s: order anchor needs >= 2 columns", a.ID)
+			}
+		case RatioAtLeast, RatioAtMost:
+			if a.Baseline == "" {
+				t.Errorf("%s: ratio anchor needs a baseline column", a.ID)
+			}
+		}
+	}
+	if len(seen) < 30 {
+		t.Errorf("anchor set has %d entries, expected the full published set (>= 30)", len(seen))
+	}
+}

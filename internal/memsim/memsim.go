@@ -17,6 +17,7 @@ import (
 	"racetrack/hifi/internal/mttf"
 	"racetrack/hifi/internal/shiftctrl"
 	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/timeseries"
 	"racetrack/hifi/internal/trace"
 )
 
@@ -77,6 +78,13 @@ type Config struct {
 	// Tracer optionally receives shift/eviction events on the LLC
 	// timeline. Nil disables tracing.
 	Tracer *telemetry.Tracer
+	// Sampler optionally cuts the Metrics registry's series into
+	// windows on the simulated-access clock: every access ticks it
+	// once, the setup/warmup/measure phases mark their windows, and
+	// phase boundaries force a cut so warmup and measurement never
+	// share a window (see docs/observability.md). Nil disables
+	// windowed sampling at one branch per access.
+	Sampler *timeseries.Sampler
 }
 
 // Source is any per-core access stream: the synthetic trace.Generator and
@@ -248,8 +256,9 @@ type system struct {
 
 	costsL1, costsL2, costsL3, costsMem energy.CacheCosts
 
-	tel    simTelemetry
-	tracer *telemetry.Tracer
+	tel     simTelemetry
+	tracer  *telemetry.Tracer
+	sampler *timeseries.Sampler
 }
 
 // simTelemetry caches the metric handles the simulator updates on its
@@ -363,6 +372,8 @@ func newSystem(ctx context.Context, w trace.Workload, cfg Config) *system {
 	}
 	s.tel = newSimTelemetry(cfg.Metrics)
 	s.tracer = cfg.Tracer
+	s.sampler = cfg.Sampler
+	s.sampler.Mark("memsim:" + w.Name + ":setup")
 	if cfg.Metrics != nil {
 		for _, c := range s.l1 {
 			c.Instrument(cfg.Metrics, "l1")
@@ -387,6 +398,7 @@ func (s *system) run(ctx context.Context) {
 	warm := s.cfg.WarmupAccessesPerCore
 	if warm > 0 {
 		s.tel.phase.Set(0)
+		s.sampler.Mark("memsim:" + s.w.Name + ":warmup")
 		_, sp := telemetry.StartSpan(ctx, "warmup",
 			telemetry.AInt("accesses", int64(warm*s.cfg.Cores)))
 		s.setBudget(warm)
@@ -394,13 +406,17 @@ func (s *system) run(ctx context.Context) {
 		sp.End()
 		s.tel.warmupDone.Add(float64(warm * s.cfg.Cores))
 		s.resetMeasurement()
+		// Close the warmup window so measured traffic never shares one.
+		s.sampler.Cut()
 	}
 	s.tel.phase.Set(1)
+	s.sampler.Mark("memsim:" + s.w.Name + ":measure")
 	_, sp := telemetry.StartSpan(ctx, "measure",
 		telemetry.AInt("accesses", int64((s.cfg.AccessesPerCore-warm)*s.cfg.Cores)))
 	s.setBudget(s.cfg.AccessesPerCore - warm)
 	s.drive()
 	sp.End()
+	s.sampler.Cut()
 }
 
 // setBudget gives every core n more accesses to execute.
@@ -472,6 +488,7 @@ func (s *system) step(core int) {
 	lat := s.accessL1(core, a.Addr, a.Write)
 	s.cycles[core] += uint64(lat)
 	s.tel.accessesDone.Add(1)
+	s.sampler.Tick(1)
 }
 
 // accessL1 runs the full hierarchy for one reference and returns latency in

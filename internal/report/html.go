@@ -1,0 +1,357 @@
+// Package report renders one run of the experiment suite as a single
+// self-contained HTML document: every table, the fidelity scorecard,
+// per-window time-series charts, a span flamegraph, and the run
+// manifest. Everything is inlined — one <style> block and hand-built
+// SVG, no scripts, no external assets — so the file can be archived,
+// attached to CI, or mailed around and still render identically.
+package report
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"html"
+	"sort"
+	"strings"
+
+	"racetrack/hifi/internal/experiments"
+	"racetrack/hifi/internal/fidelity"
+	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/timeseries"
+)
+
+// Param is one generation parameter shown in the report header.
+type Param struct {
+	Key, Value string
+}
+
+// Data is everything one report embeds. Optional sections (Scorecard,
+// Series, Spans, Manifest) are omitted from the output when nil/empty,
+// so a tables-only run still renders.
+type Data struct {
+	Title  string
+	Params []Param
+	// Keys orders the experiment sections; each must be in Tables.
+	Keys   []string
+	Tables map[string]experiments.Table
+
+	Scorecard *fidelity.Scorecard
+	Series    *timeseries.Series
+	Spans     *telemetry.SpanExport
+	// ManifestJSON is the rendered run manifest, shown verbatim.
+	ManifestJSON []byte
+}
+
+// HTML renders the report. Identical Data yields identical bytes: all
+// map iteration is over sorted keys and no clocks are read here.
+func HTML(d Data) []byte {
+	var b bytes.Buffer
+	b.WriteString("<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n<meta charset=\"utf-8\">\n")
+	fmt.Fprintf(&b, "<title>%s</title>\n", esc(d.Title))
+	b.WriteString("<style>\n" + styles + "</style>\n</head>\n<body>\n")
+	fmt.Fprintf(&b, "<h1>%s</h1>\n", esc(d.Title))
+
+	if len(d.Params) > 0 {
+		b.WriteString("<p class=\"params\">")
+		for i, p := range d.Params {
+			if i > 0 {
+				b.WriteString(" &middot; ")
+			}
+			fmt.Fprintf(&b, "<b>%s</b>=%s", esc(p.Key), esc(p.Value))
+		}
+		b.WriteString("</p>\n")
+	}
+	writeTOC(&b, d)
+	if d.Scorecard != nil {
+		writeScorecard(&b, *d.Scorecard)
+	}
+	for _, k := range d.Keys {
+		tab, ok := d.Tables[k]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "<section id=\"%s\">\n<h2>%s</h2>\n", esc(k), esc(tab.Title))
+		if tab.Note != "" {
+			fmt.Fprintf(&b, "<p class=\"note\">%s</p>\n", esc(tab.Note))
+		}
+		writeTable(&b, tab)
+		b.WriteString("</section>\n")
+	}
+	if d.Series != nil && len(d.Series.Windows) > 0 {
+		writeTimeseries(&b, *d.Series)
+	}
+	if d.Spans != nil && (len(d.Spans.Spans) > 0 || len(d.Spans.InFlight) > 0) {
+		writeFlamegraph(&b, *d.Spans)
+	}
+	if len(d.ManifestJSON) > 0 {
+		b.WriteString("<section id=\"manifest\">\n<h2>Run manifest</h2>\n<pre class=\"manifest\">")
+		b.WriteString(esc(string(d.ManifestJSON)))
+		b.WriteString("</pre>\n</section>\n")
+	}
+	b.WriteString("</body>\n</html>\n")
+	return b.Bytes()
+}
+
+func esc(s string) string { return html.EscapeString(s) }
+
+const styles = `body{font:14px/1.5 system-ui,sans-serif;margin:2em auto;max-width:70em;padding:0 1em;color:#1a1a2e}
+h1{border-bottom:2px solid #1a1a2e;padding-bottom:.3em}
+h2{margin-top:2em}
+.params,.note{color:#555}
+table{border-collapse:collapse;margin:.5em 0;font-variant-numeric:tabular-nums}
+th,td{border:1px solid #ccc;padding:.25em .6em;text-align:right}
+th:first-child,td:first-child{text-align:left}
+th{background:#eef}
+.toc a{margin-right:.8em}
+.badge{display:inline-block;padding:0 .5em;border-radius:.6em;color:#fff;font-size:12px}
+.pass{background:#2a7d2a}.warn{background:#b8860b}.fail{background:#b22222}.skip{background:#888}
+tr.fail td{background:#fde8e8}tr.warn td{background:#fdf6e3}
+.chart{margin:.4em 1em .4em 0}
+.charts{display:flex;flex-wrap:wrap}
+svg text{font:10px system-ui,sans-serif}
+pre.manifest{background:#f6f6f6;border:1px solid #ddd;padding:1em;overflow-x:auto;font-size:12px}
+`
+
+func writeTOC(b *bytes.Buffer, d Data) {
+	b.WriteString("<p class=\"toc\">")
+	if d.Scorecard != nil {
+		b.WriteString("<a href=\"#fidelity\">fidelity</a>")
+	}
+	for _, k := range d.Keys {
+		if _, ok := d.Tables[k]; ok {
+			fmt.Fprintf(b, "<a href=\"#%s\">%s</a>", esc(k), esc(k))
+		}
+	}
+	if d.Series != nil && len(d.Series.Windows) > 0 {
+		b.WriteString("<a href=\"#timeseries\">timeseries</a>")
+	}
+	if d.Spans != nil && len(d.Spans.Spans) > 0 {
+		b.WriteString("<a href=\"#flamegraph\">flamegraph</a>")
+	}
+	if len(d.ManifestJSON) > 0 {
+		b.WriteString("<a href=\"#manifest\">manifest</a>")
+	}
+	b.WriteString("</p>\n")
+}
+
+func writeTable(b *bytes.Buffer, tab experiments.Table) {
+	b.WriteString("<table>\n<tr>")
+	for _, h := range tab.Header {
+		fmt.Fprintf(b, "<th>%s</th>", esc(h))
+	}
+	b.WriteString("</tr>\n")
+	for _, row := range tab.Rows {
+		b.WriteString("<tr>")
+		for _, c := range row {
+			fmt.Fprintf(b, "<td>%s</td>", esc(c))
+		}
+		b.WriteString("</tr>\n")
+	}
+	b.WriteString("</table>\n")
+}
+
+func writeScorecard(b *bytes.Buffer, sc fidelity.Scorecard) {
+	b.WriteString("<section id=\"fidelity\">\n<h2>Paper-fidelity scorecard</h2>\n")
+	fmt.Fprintf(b, "<p><span class=\"badge pass\">%d pass</span> <span class=\"badge warn\">%d warn</span> "+
+		"<span class=\"badge fail\">%d fail</span> <span class=\"badge skip\">%d skip</span></p>\n",
+		sc.Pass, sc.Warn, sc.Fail, sc.Skip)
+	b.WriteString("<table>\n<tr><th>anchor</th><th>status</th><th>measured</th><th>want</th>" +
+		"<th>rel err</th><th>rows</th><th>source</th><th>detail</th></tr>\n")
+	for _, r := range sc.Anchors {
+		fmt.Fprintf(b, "<tr class=\"%s\"><td>%s</td><td><span class=\"badge %s\">%s</span></td>",
+			r.Status, esc(r.ID), r.Status, r.Status)
+		fmt.Fprintf(b, "<td>%s</td><td>%s</td><td>%s</td><td>%d</td><td>%s</td><td>%s</td></tr>\n",
+			num(r.Measured), num(r.Want), num(r.RelErr), r.Rows, esc(r.Source), esc(r.Detail))
+	}
+	b.WriteString("</table>\n</section>\n")
+}
+
+func num(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+// writeTimeseries renders one small-multiple line chart per counter
+// (per-window delta) and per histogram (per-window mean), in sorted
+// name order.
+func writeTimeseries(b *bytes.Buffer, se timeseries.Series) {
+	counters := map[string]bool{}
+	hists := map[string]bool{}
+	for _, w := range se.Windows {
+		for _, c := range w.Counters {
+			counters[c.Name] = true
+		}
+		for _, h := range w.Histograms {
+			hists[h.Name] = true
+		}
+	}
+	b.WriteString("<section id=\"timeseries\">\n<h2>Windowed time-series</h2>\n")
+	fmt.Fprintf(b, "<p class=\"note\">%d windows of %d simulated accesses each (%d ticks total, %d windows dropped). "+
+		"Counters plot per-window deltas; histograms plot per-window means.</p>\n",
+		len(se.Windows), se.Every, se.Ticks, se.Dropped)
+	b.WriteString("<div class=\"charts\">\n")
+	for _, name := range sorted(counters) {
+		ticks, deltas := se.CounterSeries(name)
+		writeChart(b, name, ticks, deltas)
+	}
+	for _, name := range sorted(hists) {
+		ticks, means := se.HistMeanSeries(name)
+		writeChart(b, name+" (mean)", ticks, means)
+	}
+	b.WriteString("</div>\n</section>\n")
+}
+
+func sorted(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// writeChart emits one 300x110 SVG line chart: series name on top,
+// min/max labels on the y extremes, last tick on the x axis.
+func writeChart(b *bytes.Buffer, name string, ticks []int64, vals []float64) {
+	const w, h = 300, 110
+	const left, right, top, bottom = 8, 8, 16, 14
+	pw, ph := float64(w-left-right), float64(h-top-bottom)
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	var pts strings.Builder
+	n := len(vals)
+	for i, v := range vals {
+		x := float64(left)
+		if n > 1 {
+			x += pw * float64(i) / float64(n-1)
+		}
+		y := float64(top) + ph*(1-(v-lo)/span)
+		fmt.Fprintf(&pts, "%.1f,%.1f ", x, y)
+	}
+	fmt.Fprintf(b, "<svg class=\"chart\" width=\"%d\" height=\"%d\" role=\"img\" aria-label=\"%s\">\n",
+		w, h, esc(name))
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"11\">%s</text>\n", left, esc(name))
+	fmt.Fprintf(b, "<rect x=\"%d\" y=\"%d\" width=\"%.0f\" height=\"%.0f\" fill=\"#fafaff\" stroke=\"#ddd\"/>\n",
+		left, top, pw, ph)
+	fmt.Fprintf(b, "<polyline points=\"%s\" fill=\"none\" stroke=\"#3455a4\" stroke-width=\"1.5\"/>\n",
+		strings.TrimSpace(pts.String()))
+	fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" fill=\"#777\">%s .. %s</text>\n",
+		left, h-3, num(lo), num(hi))
+	if n > 0 {
+		fmt.Fprintf(b, "<text x=\"%d\" y=\"%d\" fill=\"#777\" text-anchor=\"end\">tick %d</text>\n",
+			w-right, h-3, ticks[n-1])
+	}
+	b.WriteString("</svg>\n")
+}
+
+// writeFlamegraph lays spans out icicle-style: time on x (relative to
+// the earliest span), depth on y, one tooltip per rect. Self-contained
+// SVG — the interactive zoom of flamegraph.pl is traded for zero
+// scripts.
+func writeFlamegraph(b *bytes.Buffer, e telemetry.SpanExport) {
+	all := append(append([]telemetry.SpanRecord{}, e.Spans...), e.InFlight...)
+	children := map[uint64][]telemetry.SpanRecord{}
+	ids := map[uint64]bool{}
+	for _, r := range all {
+		ids[r.ID] = true
+	}
+	var roots []telemetry.SpanRecord
+	minNS, maxNS := all[0].StartNS, all[0].StartNS+all[0].DurNS
+	for _, r := range all {
+		if r.Parent != 0 && ids[r.Parent] {
+			children[r.Parent] = append(children[r.Parent], r)
+		} else {
+			roots = append(roots, r)
+		}
+		if r.StartNS < minNS {
+			minNS = r.StartNS
+		}
+		if end := r.StartNS + r.DurNS; end > maxNS {
+			maxNS = end
+		}
+	}
+	for _, c := range children {
+		sort.Slice(c, func(i, j int) bool { return c[i].StartNS < c[j].StartNS })
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].StartNS < roots[j].StartNS })
+	span := maxNS - minNS
+	if span <= 0 {
+		span = 1
+	}
+
+	const width, rowH = 960, 18
+	depthOf := func() int {
+		max := 1
+		var walk func(r telemetry.SpanRecord, d int)
+		walk = func(r telemetry.SpanRecord, d int) {
+			if d > max {
+				max = d
+			}
+			for _, c := range children[r.ID] {
+				walk(c, d+1)
+			}
+		}
+		for _, r := range roots {
+			walk(r, 1)
+		}
+		return max
+	}()
+	height := depthOf*rowH + 4
+
+	b.WriteString("<section id=\"flamegraph\">\n<h2>Span flamegraph</h2>\n")
+	fmt.Fprintf(b, "<p class=\"note\">%d spans over %s; hover a block for its name, duration, and attributes.</p>\n",
+		len(all), fmt.Sprintf("%.3gs", float64(span)/1e9))
+	fmt.Fprintf(b, "<svg width=\"%d\" height=\"%d\">\n", width, height)
+	var draw func(r telemetry.SpanRecord, depth int)
+	draw = func(r telemetry.SpanRecord, depth int) {
+		x := float64(width) * float64(r.StartNS-minNS) / float64(span)
+		w := float64(width) * float64(r.DurNS) / float64(span)
+		if w < 0.5 {
+			w = 0.5
+		}
+		y := (depth - 1) * rowH
+		label := fmt.Sprintf("%s %.3gms", r.Name, float64(r.DurNS)/1e6)
+		title := label
+		for _, a := range r.Attrs {
+			title += fmt.Sprintf(" %s=%s", a.Key, a.Value)
+		}
+		if r.Running {
+			title += " (running)"
+		}
+		fmt.Fprintf(b, "<g><rect x=\"%.1f\" y=\"%d\" width=\"%.1f\" height=\"%d\" fill=\"%s\" stroke=\"#fff\"/>"+
+			"<title>%s</title>", x, y, w, rowH-2, spanColor(r.Name), esc(title))
+		// Label only blocks wide enough to hold text (~6px/char).
+		if int(w)/6 > len(r.Name) {
+			fmt.Fprintf(b, "<text x=\"%.1f\" y=\"%d\">%s</text>", x+3, y+12, esc(r.Name))
+		}
+		b.WriteString("</g>\n")
+		for _, c := range children[r.ID] {
+			draw(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		draw(r, 1)
+	}
+	b.WriteString("</svg>\n</section>\n")
+}
+
+// spanColor maps a span name to a stable warm hue, so identical trees
+// render identically and repeated names share a color.
+func spanColor(name string) string {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return fmt.Sprintf("hsl(%d,65%%,72%%)", h.Sum32()%60)
+}

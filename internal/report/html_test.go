@@ -1,0 +1,105 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"racetrack/hifi/internal/experiments"
+	"racetrack/hifi/internal/fidelity"
+	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/timeseries"
+)
+
+func sampleData() Data {
+	tab := experiments.Table{
+		Title:  "Fig X: demo",
+		Note:   "a note",
+		Header: []string{"workload", "value"},
+	}
+	tab.AddRow("canneal <b>", 1.25)
+	sc := fidelity.Evaluate([]fidelity.Anchor{
+		{ID: "x/v", Experiment: "figx", Source: "Fig X", Kind: fidelity.AtMost,
+			Col: "value", Want: 2},
+	}, map[string]experiments.Table{"figx": tab})
+	se := timeseries.Series{Schema: timeseries.SchemaV1, Every: 4, Ticks: 8,
+		Windows: []timeseries.Window{
+			{Index: 0, StartTick: 0, EndTick: 4, Marks: []string{"setup"},
+				Counters: []telemetry.SeriesValue{{Name: "hifi_x_total", Value: 3}}},
+			{Index: 1, StartTick: 4, EndTick: 8,
+				Counters: []telemetry.SeriesValue{{Name: "hifi_x_total", Value: 5}}},
+		}}
+	spans := telemetry.SpanExport{Spans: []telemetry.SpanRecord{
+		{ID: 1, Name: "run", StartNS: 0, DurNS: 1000000},
+		{ID: 2, Parent: 1, Name: "phase & co", StartNS: 100, DurNS: 500000},
+	}}
+	return Data{
+		Title:        "demo report",
+		Params:       []Param{{"scaled", "true"}, {"seed", "1"}},
+		Keys:         []string{"figx"},
+		Tables:       map[string]experiments.Table{"figx": tab},
+		Scorecard:    &sc,
+		Series:       &se,
+		Spans:        &spans,
+		ManifestJSON: []byte(`{"tool":"test"}`),
+	}
+}
+
+func TestHTMLSections(t *testing.T) {
+	out := string(HTML(sampleData()))
+	for _, want := range []string{
+		"<!DOCTYPE html>",
+		"demo report",
+		"Fig X: demo",
+		"Paper-fidelity scorecard",
+		"badge pass\">1 pass",
+		"Windowed time-series",
+		"hifi_x_total",
+		"<polyline",
+		"Span flamegraph",
+		"phase &amp; co",
+		"Run manifest",
+		`{&#34;tool&#34;:&#34;test&#34;}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+	// Cell content must be escaped, not interpreted.
+	if strings.Contains(out, "canneal <b>") {
+		t.Error("unescaped table cell")
+	}
+}
+
+func TestHTMLSelfContained(t *testing.T) {
+	out := string(HTML(sampleData()))
+	for _, banned := range []string{"<script", "src=", "href=\"http", "@import", "url("} {
+		if strings.Contains(out, banned) {
+			t.Errorf("report references external content: found %q", banned)
+		}
+	}
+}
+
+func TestHTMLDeterministic(t *testing.T) {
+	d := sampleData()
+	first := HTML(d)
+	for i := 0; i < 5; i++ {
+		if !bytes.Equal(HTML(d), first) {
+			t.Fatalf("render %d differs", i)
+		}
+	}
+}
+
+func TestHTMLOptionalSectionsOmitted(t *testing.T) {
+	d := sampleData()
+	d.Scorecard, d.Series, d.Spans, d.ManifestJSON = nil, nil, nil, nil
+	out := string(HTML(d))
+	for _, absent := range []string{"fidelity", "timeseries", "flamegraph", "manifest"} {
+		if strings.Contains(out, "id=\""+absent+"\"") {
+			t.Errorf("section %q rendered without data", absent)
+		}
+	}
+	if !strings.Contains(out, "Fig X: demo") {
+		t.Error("tables must still render")
+	}
+}

@@ -184,7 +184,7 @@ func writeTo(path string, fn func(io.Writer) error) error {
 		return err
 	}
 	if err := fn(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	return f.Close()

@@ -179,7 +179,7 @@ func (s Snapshot) WriteFiles(path string) (jsonPath, promPath string, err error)
 		return "", "", err
 	}
 	if err := s.WriteJSON(jf); err != nil {
-		jf.Close()
+		_ = jf.Close()
 		return "", "", err
 	}
 	if err := jf.Close(); err != nil {
@@ -190,7 +190,7 @@ func (s Snapshot) WriteFiles(path string) (jsonPath, promPath string, err error)
 		return "", "", err
 	}
 	if err := s.WritePrometheus(pf); err != nil {
-		pf.Close()
+		_ = pf.Close()
 		return "", "", err
 	}
 	if err := pf.Close(); err != nil {

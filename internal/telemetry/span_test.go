@@ -1,7 +1,6 @@
 package telemetry
 
 import (
-	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
@@ -219,53 +218,4 @@ func TestSpanConcurrency(t *testing.T) {
 	if got := len(col.Export().Spans); got != 1600 {
 		t.Fatalf("got %d spans, want 1600", got)
 	}
-}
-
-func TestStatusMuxRoutes(t *testing.T) {
-	reg := NewRegistry()
-	reg.Counter("hifi_test_total", "help").Add(3)
-	col := NewSpanCollector(reg)
-	ctx := WithCollector(nil, col)
-	_, sp := StartSpan(ctx, "run")
-	man := NewManifest("test-tool")
-	mux := NewStatusMux(reg, col, man)
-	srv := httptest.NewServer(mux)
-	defer srv.Close()
-
-	get := func(path string) string {
-		t.Helper()
-		resp, err := srv.Client().Get(srv.URL + path)
-		if err != nil {
-			t.Fatalf("GET %s: %v", path, err)
-		}
-		defer resp.Body.Close()
-		if resp.StatusCode != 200 {
-			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
-		}
-		var b strings.Builder
-		buf := make([]byte, 1<<16)
-		for {
-			n, err := resp.Body.Read(buf)
-			b.Write(buf[:n])
-			if err != nil {
-				break
-			}
-		}
-		return b.String()
-	}
-
-	if got := get("/healthz"); !strings.Contains(got, "ok") {
-		t.Errorf("/healthz = %q", got)
-	}
-	if got := get("/metrics"); !strings.Contains(got, "hifi_test_total 3") {
-		t.Errorf("/metrics missing counter:\n%s", got)
-	}
-	if got := get("/spans"); !strings.Contains(got, `"name": "run"`) {
-		t.Errorf("/spans missing in-flight span:\n%s", got)
-	}
-	if got := get("/runinfo"); !strings.Contains(got, `"tool": "test-tool"`) ||
-		!strings.Contains(got, `"status": "running"`) {
-		t.Errorf("/runinfo = %s", got)
-	}
-	sp.End()
 }

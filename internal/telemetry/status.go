@@ -13,11 +13,15 @@ import (
 //	/metrics      current registry snapshot, Prometheus text format
 //	/spans        span export: finished spans plus the in-flight tree
 //	/runinfo      the manifest-so-far (config, provenance, progress)
+//	/timeseries   windowed time-series export (JSON), when a sampler runs
 //	/debug/pprof  the standard net/http/pprof handlers
 //
-// Any of reg, col, man may be nil; the corresponding route then serves an
-// empty document rather than an error, so dashboards can poll uniformly.
-func NewStatusMux(reg *Registry, col *SpanCollector, man *Manifest) *http.ServeMux {
+// timeseries is the windowed sampler's live handler (it lives in the
+// telemetry/timeseries subpackage, which imports this one, so the mux
+// takes it as a plain http.Handler). Any of reg, col, man, timeseries
+// may be nil; the corresponding route then serves an empty document
+// rather than an error, so dashboards can poll uniformly.
+func NewStatusMux(reg *Registry, col *SpanCollector, man *Manifest, timeseries http.Handler) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -38,6 +42,14 @@ func NewStatusMux(reg *Registry, col *SpanCollector, man *Manifest) *http.ServeM
 			return
 		}
 		man.WriteJSON(w)
+	})
+	mux.HandleFunc("/timeseries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if timeseries == nil {
+			io.WriteString(w, "{}\n")
+			return
+		}
+		timeseries.ServeHTTP(w, r)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// get fetches a route from the test server and returns status and body.
+func get(t *testing.T, srv *httptest.Server, path string) (int, string) {
+	t.Helper()
+	resp, err := srv.Client().Get(srv.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", path, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestStatusMuxRoutes(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("hifi_test_total", "help").Add(3)
+	col := NewSpanCollector(reg)
+	ctx := WithCollector(nil, col)
+	_, sp := StartSpan(ctx, "run")
+	man := NewManifest("test-tool")
+	ts := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"schema":"hifi_timeseries_v1","windows":[]}`)
+	})
+	srv := httptest.NewServer(NewStatusMux(reg, col, man, ts))
+	defer srv.Close()
+
+	if code, got := get(t, srv, "/healthz"); code != 200 || !strings.Contains(got, "ok") {
+		t.Errorf("/healthz = %d %q", code, got)
+	}
+	if _, got := get(t, srv, "/metrics"); !strings.Contains(got, "hifi_test_total 3") {
+		t.Errorf("/metrics missing counter:\n%s", got)
+	}
+	if _, got := get(t, srv, "/spans"); !strings.Contains(got, `"name": "run"`) {
+		t.Errorf("/spans missing in-flight span:\n%s", got)
+	}
+	if _, got := get(t, srv, "/runinfo"); !strings.Contains(got, `"tool": "test-tool"`) ||
+		!strings.Contains(got, `"status": "running"`) {
+		t.Errorf("/runinfo = %s", got)
+	}
+	if _, got := get(t, srv, "/timeseries"); !strings.Contains(got, "hifi_timeseries_v1") {
+		t.Errorf("/timeseries = %s", got)
+	}
+	sp.End()
+}
+
+// Every route must serve an empty-but-valid document when its backing
+// object is nil, so dashboards can poll any tool uniformly whether or
+// not that tool enabled the subsystem.
+func TestStatusMuxNilBackends(t *testing.T) {
+	srv := httptest.NewServer(NewStatusMux(nil, nil, nil, nil))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/healthz")
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, body = get(t, srv, "/metrics"); code != 200 || body != "" {
+		t.Errorf("/metrics on nil registry = %d %q, want empty 200", code, body)
+	}
+	for _, path := range []string{"/spans", "/runinfo", "/timeseries"} {
+		code, body := get(t, srv, path)
+		if code != 200 {
+			t.Errorf("%s = %d, want 200", path, code)
+			continue
+		}
+		var v map[string]any
+		if err := json.Unmarshal([]byte(body), &v); err != nil {
+			t.Errorf("%s body is not JSON: %v\n%s", path, err, body)
+		}
+	}
+}
+
+func TestStatusMuxContentTypes(t *testing.T) {
+	srv := httptest.NewServer(NewStatusMux(NewRegistry(), nil, nil, nil))
+	defer srv.Close()
+	for path, want := range map[string]string{
+		"/healthz":    "text/plain",
+		"/metrics":    "text/plain",
+		"/spans":      "application/json",
+		"/runinfo":    "application/json",
+		"/timeseries": "application/json",
+	} {
+		resp, err := srv.Client().Get(srv.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		ct := resp.Header.Get("Content-Type")
+		resp.Body.Close()
+		if !strings.HasPrefix(ct, want) {
+			t.Errorf("%s Content-Type = %q, want prefix %q", path, ct, want)
+		}
+	}
+}
+
+func TestStatusMuxPprofIndex(t *testing.T) {
+	srv := httptest.NewServer(NewStatusMux(nil, nil, nil, nil))
+	defer srv.Close()
+	code, body := get(t, srv, "/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d (len %d)", code, len(body))
+	}
+}

@@ -1,0 +1,128 @@
+// Command errvet is the repo's errcheck-style vet step: it flags
+// Close() and Flush() calls whose error result is silently dropped.
+// Those are exactly the calls where buffered data or a failed disk
+// write disappears without a trace — a report writer that loses the
+// tail of fidelity.json but exits zero is worse than one that crashes.
+//
+// A call is flagged when it appears as a bare expression statement:
+//
+//	f.Close()        // flagged: error dropped silently
+//
+// and accepted in every form that handles or visibly discards it:
+//
+//	err := f.Close() // handled
+//	return f.Close() // handled
+//	_ = f.Close()    // explicit, greppable discard
+//	defer f.Close()  // read-path cleanup idiom; not an ExprStmt
+//
+// Usage: errvet [dir ...]   (default ".", recursing; _test.go files
+// and testdata/ are skipped). Exits 1 when any call is flagged, so it
+// slots into `make vet` and CI directly.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// flagged lists the method names whose dropped error loses data.
+var flagged = map[string]bool{"Close": true, "Flush": true}
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	bad := 0
+	for _, root := range roots {
+		files, err := goFiles(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "errvet: %v\n", err)
+			os.Exit(2)
+		}
+		for _, path := range files {
+			n, err := checkFile(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "errvet: %v\n", err)
+				os.Exit(2)
+			}
+			bad += n
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "errvet: %d unchecked Close/Flush call(s); handle the error or write `_ = x.Close()`\n", bad)
+		os.Exit(1)
+	}
+}
+
+// goFiles walks root collecting non-test .go files, skipping vendor,
+// testdata, and hidden directories.
+func goFiles(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name != "." && (strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out, err
+}
+
+// checkFile parses one file and reports every bare Close/Flush
+// expression statement.
+func checkFile(path string) (int, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	ast.Inspect(f, func(n ast.Node) bool {
+		stmt, ok := n.(*ast.ExprStmt)
+		if !ok {
+			return true
+		}
+		call, ok := stmt.X.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || !flagged[sel.Sel.Name] || len(call.Args) > 0 {
+			return true
+		}
+		pos := fset.Position(stmt.Pos())
+		fmt.Printf("%s:%d: result of %s.%s() is dropped\n",
+			pos.Filename, pos.Line, exprString(sel.X), sel.Sel.Name)
+		bad++
+		return true
+	})
+	return bad, nil
+}
+
+// exprString renders simple receivers for the message; anything
+// complex falls back to "(...)".
+func exprString(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprString(v.X) + "." + v.Sel.Name
+	}
+	return "(...)"
+}
