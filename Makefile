@@ -6,13 +6,14 @@
 #   make bench-snapshot  pinned hifi-bench suite -> BENCH_<rev>.json
 #   make bench-smoke     quick suite + self-compare (CI regression gate dry run)
 #   make engine-smoke    parallel-sweep determinism + cache-reuse check
+#   make chaos           fault-injection tests + seeded campaign + off==nominal
 #   make fidelity        scaled sweep scored against the paper anchors
 #   make report          render the evaluation report (scaled)
 
 GO ?= go
 REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
 
-.PHONY: all tier1 ci vet race test build bench bench-snapshot bench-smoke engine-smoke fidelity report fmt clean
+.PHONY: all tier1 ci vet race test build bench bench-snapshot bench-smoke engine-smoke chaos fidelity report fmt clean
 
 all: tier1
 
@@ -28,7 +29,8 @@ ci: build vet race
 
 # vet runs go vet plus the repo's errcheck-style checker: no Close/Flush
 # error may be silently dropped (write `_ = x.Close()` for an
-# intentional discard; see internal/tools/errvet).
+# intentional discard), and no select on ctx.Done() may return nil
+# without consulting ctx.Err()/context.Cause (see internal/tools/errvet).
 vet:
 	$(GO) vet ./...
 	$(GO) run ./internal/tools/errvet .
@@ -64,6 +66,19 @@ engine-smoke:
 	$(GO) run ./cmd/hifi-experiments -run fig14 -scaled -accesses 1000 -jobs 8 -cache-dir /tmp/hifi-engine-cache >/dev/null
 	$(GO) run ./cmd/hifi-experiments -run fig14 -scaled -accesses 1000 -jobs 8 -cache-dir /tmp/hifi-engine-cache 2>&1 >/dev/null \
 		| grep -E 'engine: [0-9]+ jobs, 0 executed, [1-9][0-9]* cache hits'
+
+# chaos is the local version of CI's chaos job (docs/faults.md): the
+# storage-chaos tests under the race detector, a tiny seeded
+# device-plane campaign, and the contract that -faults off is
+# byte-identical to a plan-free run.
+chaos:
+	$(GO) test -race ./internal/faults/... ./internal/engine/...
+	$(GO) run ./cmd/hifi-chaos -scaled -accesses 500 -intensities 0,2 \
+		-schemes baseline,adaptive > /tmp/hifi-chaos-curves.txt
+	grep -q 'Chaos: DUE MTTF vs fault intensity' /tmp/hifi-chaos-curves.txt
+	$(GO) run ./cmd/hifi-experiments -run fig14 -scaled -accesses 1000 -q > /tmp/hifi-plan-free.txt
+	$(GO) run ./cmd/hifi-experiments -run fig14 -scaled -accesses 1000 -q -faults off > /tmp/hifi-faults-off.txt
+	diff -u /tmp/hifi-plan-free.txt /tmp/hifi-faults-off.txt
 
 # fidelity is the local version of CI's fidelity job: a scaled sweep
 # scored against the paper-anchor set (internal/fidelity); any failing

@@ -49,6 +49,7 @@ func main() {
 	)
 	obs := cliutil.NewObs("hifi-experiments")
 	engFlags := cliutil.NewEngineFlags()
+	faultFlags := cliutil.NewFaultFlags()
 	flag.Parse()
 
 	if *list {
@@ -89,6 +90,14 @@ func main() {
 	opts.Metrics = obs.Reg
 	opts.Sampler = obs.TS
 	opts.Eng = eng
+	plan, err := faultFlags.Plan()
+	if err != nil {
+		log.Fatalf("hifi-experiments: %v", err)
+	}
+	opts.FaultPlan = plan
+	if plan != nil {
+		log.Infof("fault injection active: %d injector(s), plan seed %d", len(plan.Injectors), plan.Seed)
+	}
 
 	if *outDir != "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {

@@ -94,6 +94,7 @@ func main() {
 	)
 	obs := cliutil.NewObs("hifi-sim")
 	engFlags := cliutil.AddEngineFlags(flag.CommandLine)
+	faultFlags := cliutil.NewFaultFlags()
 	flag.Parse()
 	obs.EnableMetrics() // the progress line reads the run gauges
 	ctx := obs.Start()
@@ -114,6 +115,10 @@ func main() {
 	if err != nil {
 		log.Fatalf("hifi-sim: %v", err)
 	}
+	plan, err := faultFlags.Plan()
+	if err != nil {
+		log.Fatalf("hifi-sim: %v", err)
+	}
 
 	reg := obs.Reg
 	cfg := memsim.DefaultConfig(t, s)
@@ -123,6 +128,7 @@ func main() {
 	cfg.Ideal = *ideal
 	cfg.Metrics = reg
 	cfg.Sampler = obs.TS
+	cfg.FaultPlan = plan
 	if *traceOut != "" {
 		cfg.Tracer = telemetry.NewTracer(*traceCap)
 	}
@@ -162,6 +168,9 @@ func main() {
 
 	fmt.Printf("workload      %s (%s)\n", r.Workload, class(w))
 	fmt.Printf("system        %s LLC, scheme %s, ideal=%v\n", t, s, *ideal)
+	if plan != nil {
+		fmt.Printf("faults        %d injector(s), plan seed %d\n", len(plan.Injectors), plan.Seed)
+	}
 	fmt.Printf("time          %d cycles = %.3f ms @2GHz\n", r.Cycles, r.Seconds*1e3)
 	fmt.Printf("L1            %.2f%% miss (%d accesses)\n", 100*r.L1.MissRate(), r.L1.Hits+r.L1.Misses)
 	fmt.Printf("L2            %.2f%% miss (%d accesses)\n", 100*r.L2.MissRate(), r.L2.Hits+r.L2.Misses)

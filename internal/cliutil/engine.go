@@ -11,17 +11,21 @@ import (
 	"fmt"
 	"path/filepath"
 	"runtime"
+	"time"
 
 	"racetrack/hifi/internal/engine"
+	"racetrack/hifi/internal/telemetry"
 	"racetrack/hifi/internal/telemetry/log"
 )
 
 // EngineFlags holds the parsed engine flags for one CLI.
 type EngineFlags struct {
-	jobs     *int
-	cacheDir *string
-	resume   *bool
-	retries  *int
+	jobs       *int
+	cacheDir   *string
+	resume     *bool
+	retries    *int
+	backoff    *time.Duration
+	jobTimeout *time.Duration
 
 	journal *engine.Journal
 }
@@ -41,6 +45,10 @@ func AddEngineFlags(fs *flag.FlagSet) *EngineFlags {
 		"resume an interrupted sweep from the journal in -cache-dir")
 	ef.retries = fs.Int("job-retries", 1,
 		"re-executions of a failed job before the failure is permanent")
+	ef.backoff = fs.Duration("retry-backoff", 250*time.Millisecond,
+		"base delay before retrying a failed job (doubles per retry, jittered; 0 retries immediately)")
+	ef.jobTimeout = fs.Duration("job-timeout", 0,
+		"per-job execution deadline; a timed-out attempt is retried (0 disables)")
 	return ef
 }
 
@@ -48,11 +56,18 @@ func AddEngineFlags(fs *flag.FlagSet) *EngineFlags {
 // width, result cache, resume journal, metrics from the Obs registry,
 // and — when the Obs status server is up — the /engine route. Call
 // after Obs.Start so the registry and mux exist.
+//
+// An unusable cache directory (unwritable disk, bad permissions) is a
+// degradation, not a failure: Build warns once and returns a cache-less
+// engine, so a sweep on a sick machine still completes — it just
+// cannot reuse or journal its results.
 func (ef *EngineFlags) Build(o *Obs) (*engine.Engine, error) {
 	opts := engine.Options{
-		Workers: *ef.jobs,
-		Retries: *ef.retries,
-		Resume:  *ef.resume,
+		Workers:      *ef.jobs,
+		Retries:      *ef.retries,
+		Resume:       *ef.resume,
+		RetryBackoff: *ef.backoff,
+		JobTimeout:   *ef.jobTimeout,
 	}
 	if o != nil {
 		opts.Metrics = o.Reg
@@ -63,17 +78,27 @@ func (ef *EngineFlags) Build(o *Obs) (*engine.Engine, error) {
 	if *ef.cacheDir != "" {
 		cache, err := engine.OpenCache(*ef.cacheDir, "")
 		if err != nil {
-			return nil, err
-		}
-		journal, err := engine.OpenJournal(filepath.Join(*ef.cacheDir, "journal.jsonl"), *ef.resume)
-		if err != nil {
-			return nil, err
-		}
-		opts.Cache = cache
-		opts.Journal = journal
-		ef.journal = journal
-		if *ef.resume {
-			log.Infof("engine: resuming, journal lists %d completed job(s)", journal.Len())
+			log.Errorf("engine: %v; continuing without cache or journal (results will not be reused)", err)
+		} else {
+			opts.Cache = cache
+			journal, err := engine.OpenJournal(filepath.Join(*ef.cacheDir, "journal.jsonl"), *ef.resume)
+			if err != nil {
+				log.Errorf("engine: %v; continuing without journal (sweep will not be resumable)", err)
+				opts.Resume = false
+			} else {
+				opts.Journal = journal
+				ef.journal = journal
+				if *ef.resume {
+					log.Infof("engine: resuming, journal lists %d completed job(s)", journal.Len())
+				}
+				if skipped := journal.Skipped(); skipped > 0 {
+					log.Errorf("engine: journal had %d corrupt record(s); the jobs they named will re-resolve", skipped)
+					if o != nil && o.Reg != nil {
+						o.Reg.Counter(telemetry.MetricEngineJournalSkipped,
+							"journal records skipped as corrupt on resume").Add(float64(skipped))
+					}
+				}
+			}
 		}
 	}
 	eng := engine.New(opts)

@@ -1,0 +1,63 @@
+package cliutil
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// parse registers the engine flags on a private flag set and parses
+// args, returning the flag struct Build consumes.
+func parse(t *testing.T, args ...string) *EngineFlags {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	ef := AddEngineFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return ef
+}
+
+func TestBuildDegradesWhenCacheDirUnusable(t *testing.T) {
+	// A regular file where the cache directory should be: MkdirAll can
+	// never succeed, so Build must warn and hand back a cache-less
+	// engine rather than failing the run.
+	blocker := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(blocker, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ef := parse(t, "-cache-dir", blocker, "-jobs", "2")
+	eng, err := ef.Build(nil)
+	if err != nil {
+		t.Fatalf("unusable cache dir must degrade, not error: %v", err)
+	}
+	if eng == nil {
+		t.Fatal("no engine returned")
+	}
+	ef.Finish(eng)
+}
+
+func TestBuildResumeStillRequiresCacheDir(t *testing.T) {
+	ef := parse(t, "-resume")
+	if _, err := ef.Build(nil); err == nil {
+		t.Fatal("-resume without -cache-dir must stay an error (explicit user intent)")
+	}
+}
+
+func TestBuildWiresRobustnessOptions(t *testing.T) {
+	dir := t.TempDir()
+	ef := parse(t, "-cache-dir", dir, "-retry-backoff", "1ms", "-job-timeout", "5s", "-job-retries", "3")
+	eng, err := ef.Build(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng == nil {
+		t.Fatal("no engine returned")
+	}
+	ef.Finish(eng)
+	// The journal must exist: Build opened it for the writable dir.
+	if _, err := os.Stat(filepath.Join(dir, "journal.jsonl")); err != nil {
+		t.Errorf("journal not created: %v", err)
+	}
+}

@@ -1,0 +1,67 @@
+package cliutil
+
+// Shared flag surface for device-plane fault injection: every CLI that
+// can run simulations under an off-nominal device registers -faults,
+// -fault-plan, and -fault-intensity through FaultFlags so the plan
+// sources and their precedence stay uniform. See docs/faults.md.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"racetrack/hifi/internal/faults"
+)
+
+// FaultFlags holds the parsed fault-injection flags for one CLI.
+type FaultFlags struct {
+	preset    *string
+	planPath  *string
+	intensity *float64
+}
+
+// NewFaultFlags registers the fault flags on the default flag set.
+func NewFaultFlags() *FaultFlags { return AddFaultFlags(flag.CommandLine) }
+
+// AddFaultFlags registers the fault flags on fs.
+func AddFaultFlags(fs *flag.FlagSet) *FaultFlags {
+	ff := &FaultFlags{}
+	ff.preset = fs.String("faults", "off",
+		"fault-injection preset ("+strings.Join(faults.PresetNames(), "|")+")")
+	ff.planPath = fs.String("fault-plan", "",
+		"JSON fault plan file (overrides -faults; see docs/faults.md)")
+	ff.intensity = fs.Float64("fault-intensity", 1,
+		"scale every injector's intensity by this factor")
+	return ff
+}
+
+// Plan resolves the flags into a fault plan: an explicit -fault-plan
+// file wins over the -faults preset, and -fault-intensity scales the
+// result. Returns nil (the nominal device) when injection is off.
+func (ff *FaultFlags) Plan() (*faults.Plan, error) {
+	var plan *faults.Plan
+	if *ff.planPath != "" {
+		b, err := os.ReadFile(*ff.planPath)
+		if err != nil {
+			return nil, fmt.Errorf("-fault-plan: %w", err)
+		}
+		plan, err = faults.Parse(b)
+		if err != nil {
+			return nil, fmt.Errorf("-fault-plan %s: %w", *ff.planPath, err)
+		}
+	} else {
+		p, err := faults.Preset(*ff.preset)
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+	}
+	if plan != nil && *ff.intensity != 1 {
+		plan = plan.Scale(*ff.intensity)
+		if err := plan.Validate(); err != nil {
+			return nil, fmt.Errorf("-fault-intensity %g: %w", *ff.intensity, err)
+		}
+	}
+	return plan.Norm(), nil
+}

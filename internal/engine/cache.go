@@ -5,20 +5,48 @@ package engine
 // <dir>/objects/<hh>/<hash>.json so one directory never holds millions
 // of entries. Writes are atomic (temp file + rename), so a killed sweep
 // can never leave a truncated payload behind for -resume to trust.
+//
+// Atomicity protects against torn writes, not against the disk itself:
+// a bit flip, an fsck truncation, or an operator editing an object by
+// hand would otherwise JSON-decode into a zero result and silently
+// poison a sweep. Each object therefore carries a checksum header
+//
+//	hifi1 <sha256(payload) hex>\n<payload>
+//
+// verified on every Get. A mismatch (or a missing/garbled header, or a
+// payload that is not valid JSON) returns ErrCorrupt and the object is
+// moved aside to <dir>/objects/quarantine/ for post-mortem; the engine
+// falls through to recomputation, so corruption costs one re-execution,
+// never a wrong table. See docs/engine.md ("failure modes & recovery").
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"runtime/debug"
 	"sync/atomic"
+
+	"racetrack/hifi/internal/telemetry/log"
 )
 
-// CacheSchema versions the payload encoding; bump it to invalidate every
-// cached result when the canonical JSON projection changes shape.
-const CacheSchema = 1
+// CacheSchema versions the object encoding; bump it to invalidate every
+// cached result when the canonical JSON projection — or, as with the
+// schema-2 checksum header, the on-disk framing — changes shape.
+const CacheSchema = 2
+
+// objectMagic prefixes every object file, followed by the payload
+// checksum and a newline.
+const objectMagic = "hifi1 "
+
+// ErrCorrupt marks a cache object that failed checksum or framing
+// verification. Callers match it with errors.Is and recompute.
+var ErrCorrupt = errors.New("engine: corrupt cache object")
 
 // CodeVersion identifies the code that produced a payload. It prefers
 // the VCS revision baked into the build (plus a dirty marker), so a
@@ -62,19 +90,27 @@ func HashKey(version, jobKey string) string {
 type Cache struct {
 	dir     string
 	version string
+	fsys    FS
 	seq     atomic.Uint64 // unique temp-file suffixes
+	corrupt atomic.Uint64 // objects quarantined by Get
 }
 
 // OpenCache opens (creating if needed) a cache rooted at dir. An empty
 // version selects CodeVersion().
 func OpenCache(dir, version string) (*Cache, error) {
+	return OpenCacheFS(dir, version, OS())
+}
+
+// OpenCacheFS is OpenCache over an explicit filesystem; the fault tests
+// use it to interpose faultfs.
+func OpenCacheFS(dir, version string, fsys FS) (*Cache, error) {
 	if version == "" {
 		version = CodeVersion()
 	}
-	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+	if err := fsys.MkdirAll(filepath.Join(dir, "objects")); err != nil {
 		return nil, fmt.Errorf("engine: open cache: %w", err)
 	}
-	return &Cache{dir: dir, version: version}, nil
+	return &Cache{dir: dir, version: version, fsys: fsys}, nil
 }
 
 // Dir returns the cache root.
@@ -83,41 +119,116 @@ func (c *Cache) Dir() string { return c.dir }
 // Version returns the code version mixed into every hash.
 func (c *Cache) Version() string { return c.version }
 
+// CorruptCount returns how many objects Get has quarantined.
+func (c *Cache) CorruptCount() uint64 { return c.corrupt.Load() }
+
 func (c *Cache) path(hash string) string {
 	return filepath.Join(c.dir, "objects", hash[:2], hash+".json")
 }
 
-// Get returns the payload stored under hash, if present.
-func (c *Cache) Get(hash string) ([]byte, bool) {
-	b, err := os.ReadFile(c.path(hash))
-	if err != nil {
-		return nil, false
-	}
-	return b, true
+// QuarantineDir is where corrupt objects are moved for post-mortem.
+func (c *Cache) QuarantineDir() string {
+	return filepath.Join(c.dir, "objects", "quarantine")
 }
 
-// Put stores payload under hash atomically.
+// Get returns the payload stored under hash after verifying its
+// checksum. A missing object returns an error matching fs.ErrNotExist;
+// a present-but-damaged object is quarantined and returns an error
+// matching ErrCorrupt. Any non-nil error means "not usable: recompute".
+func (c *Cache) Get(hash string) ([]byte, error) {
+	path := c.path(hash)
+	b, err := c.fsys.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, err := verifyObject(b)
+	if err != nil {
+		c.quarantine(hash, path)
+		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, hash[:12], err)
+	}
+	return payload, nil
+}
+
+// verifyObject checks the framing and checksum of one object file and
+// returns the payload.
+func verifyObject(b []byte) ([]byte, error) {
+	rest, ok := bytes.CutPrefix(b, []byte(objectMagic))
+	if !ok {
+		return nil, errors.New("missing object header")
+	}
+	sum, payload, ok := bytes.Cut(rest, []byte{'\n'})
+	if !ok {
+		return nil, errors.New("truncated object header")
+	}
+	want := sha256.Sum256(payload)
+	if string(sum) != hex.EncodeToString(want[:]) {
+		return nil, errors.New("checksum mismatch")
+	}
+	// Belt and braces: the engine only stores canonical JSON, so a
+	// checksummed non-JSON payload still means something is wrong.
+	if !json.Valid(payload) {
+		return nil, errors.New("payload is not valid JSON")
+	}
+	return payload, nil
+}
+
+// quarantine moves a damaged object out of the addressable tree so the
+// evidence survives but the next Get recomputes. Best effort: if the
+// move fails the object is deleted instead, and if that fails too the
+// corrupt bytes will simply be re-detected next read.
+func (c *Cache) quarantine(hash, path string) {
+	c.corrupt.Add(1)
+	qdir := c.QuarantineDir()
+	if err := c.fsys.MkdirAll(qdir); err == nil {
+		if err := c.fsys.Rename(path, filepath.Join(qdir, hash+".json")); err == nil {
+			return
+		}
+	}
+	if err := c.fsys.Remove(path); err != nil {
+		log.Errorf("engine: quarantine %s: cannot move or remove: %v", hash[:12], err)
+	}
+}
+
+// Put stores payload under hash atomically, framed with the checksum
+// header Get verifies.
 func (c *Cache) Put(hash string, payload []byte) error {
 	path := c.path(hash)
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+	if err := c.fsys.MkdirAll(filepath.Dir(path)); err != nil {
 		return err
 	}
+	sum := sha256.Sum256(payload)
+	obj := make([]byte, 0, len(objectMagic)+hex.EncodedLen(len(sum))+1+len(payload))
+	obj = append(obj, objectMagic...)
+	obj = append(obj, hex.EncodeToString(sum[:])...)
+	obj = append(obj, '\n')
+	obj = append(obj, payload...)
 	tmp := fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), c.seq.Add(1))
-	if err := os.WriteFile(tmp, payload, 0o644); err != nil {
+	if err := c.fsys.WriteFile(tmp, obj); err != nil {
 		return err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		os.Remove(tmp)
+	if err := c.fsys.Rename(tmp, path); err != nil {
+		c.fsys.Remove(tmp)
 		return err
 	}
 	return nil
 }
 
 // Len counts stored payloads (a full directory walk; diagnostics only).
+// Quarantined objects are not counted.
 func (c *Cache) Len() int {
 	n := 0
-	filepath.WalkDir(filepath.Join(c.dir, "objects"), func(path string, d os.DirEntry, err error) error {
-		if err == nil && !d.IsDir() && filepath.Ext(path) == ".json" {
+	qdir := c.QuarantineDir()
+	filepath.WalkDir(filepath.Join(c.dir, "objects"), func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return nil
+		}
+		if d.IsDir() {
+			if path == qdir {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if filepath.Ext(path) == ".json" {
 			n++
 		}
 		return nil

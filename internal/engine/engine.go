@@ -23,7 +23,9 @@ package engine
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -89,6 +91,14 @@ type Options struct {
 	// Retries is how many times a failed (error or panic) job is
 	// re-executed before the failure is permanent. Negative means 0.
 	Retries int
+	// RetryBackoff is the base delay before the first retry; each
+	// further retry doubles it (capped at 30s) and adds a deterministic
+	// jitter derived from the job hash. Zero retries immediately.
+	RetryBackoff time.Duration
+	// JobTimeout bounds each execution attempt; an attempt that exceeds
+	// it is abandoned (counted in the timeout metric) and retried like
+	// any other failure. Zero means no per-job deadline.
+	JobTimeout time.Duration
 	// Metrics optionally receives the engine counters and pool gauges
 	// named in telemetry/names.go. Nil disables instrumentation.
 	Metrics *telemetry.Registry
@@ -109,9 +119,13 @@ type Engine struct {
 	resumed  atomic.Uint64
 	retries  atomic.Uint64
 	failures atomic.Uint64
+	corrupt  atomic.Uint64
+	timeouts atomic.Uint64
 
 	queued  atomic.Int64
 	running atomic.Int64
+
+	putWarned atomic.Bool // cache writes failing: warn once, degrade
 
 	mu      sync.Mutex
 	inFlite map[int]runningJob // worker slot -> job
@@ -132,6 +146,8 @@ type engineTelemetry struct {
 	resumed  *telemetry.Counter
 	retries  *telemetry.Counter
 	failures *telemetry.Counter
+	corrupt  *telemetry.Counter
+	timeouts *telemetry.Counter
 	queue    *telemetry.Gauge
 	busy     *telemetry.Gauge
 	jobMS    *telemetry.Histogram
@@ -156,6 +172,8 @@ func New(opts Options) *Engine {
 			resumed:  reg.Counter(telemetry.MetricEngineResumed, "jobs skipped via the resume journal"),
 			retries:  reg.Counter(telemetry.MetricEngineRetries, "job re-executions after a panic or error"),
 			failures: reg.Counter(telemetry.MetricEngineFailures, "jobs failed permanently"),
+			corrupt:  reg.Counter(telemetry.MetricEngineCacheCorrupt, "cache objects that failed checksum verification"),
+			timeouts: reg.Counter(telemetry.MetricEngineJobTimeouts, "job attempts abandoned at the per-job deadline"),
 			queue:    reg.Gauge(telemetry.MetricEngineQueueLen, "jobs waiting for a worker"),
 			busy:     reg.Gauge(telemetry.MetricEngineBusy, "workers currently executing a job"),
 			jobMS: reg.Histogram(telemetry.MetricEngineJobMS,
@@ -290,7 +308,7 @@ func (e *Engine) process(ctx context.Context, slot int, j Job) (payload []byte, 
 
 	// Resume: a journaled job whose payload is still cached is done.
 	if e.opts.Resume && e.opts.Journal.Done(hash) && e.opts.Cache != nil {
-		if p, ok := e.opts.Cache.Get(hash); ok {
+		if p := e.cacheGet(j, hash); p != nil {
 			e.resumed.Add(1)
 			e.hits.Add(1)
 			e.tel.resumed.Inc()
@@ -300,7 +318,7 @@ func (e *Engine) process(ctx context.Context, slot int, j Job) (payload []byte, 
 		}
 	}
 	if e.opts.Cache != nil {
-		if p, ok := e.opts.Cache.Get(hash); ok {
+		if p := e.cacheGet(j, hash); p != nil {
 			e.hits.Add(1)
 			e.tel.hits.Inc()
 			e.journal(j, hash, 0, 0)
@@ -335,11 +353,22 @@ func (e *Engine) process(ctx context.Context, slot int, j Job) (payload []byte, 
 			o.retried++
 			log.Infof("engine: retrying %s (attempt %d/%d): %v",
 				label(j), attempt+1, e.opts.Retries+1, lastErr)
+			if err := e.backoff(ctx, hash, attempt); err != nil {
+				lastErr = err
+				break
+			}
 		}
 		started := time.Now()
-		result, err := runIsolated(jctx, j)
+		result, err := e.runAttempt(jctx, j)
 		if err != nil {
 			lastErr = err
+			if errors.Is(err, errAttemptTimeout) {
+				e.timeouts.Add(1)
+				e.tel.timeouts.Inc()
+			}
+			if ctx.Err() != nil {
+				break // the sweep is being cancelled; stop burning retries
+			}
 			continue
 		}
 		payload, err = json.Marshal(result)
@@ -350,12 +379,7 @@ func (e *Engine) process(ctx context.Context, slot int, j Job) (payload []byte, 
 		}
 		dur := time.Since(started)
 		e.tel.jobMS.Observe(float64(dur.Milliseconds()))
-		if e.opts.Cache != nil {
-			if err := e.opts.Cache.Put(hash, payload); err != nil {
-				// A cache write failure degrades reuse, not correctness.
-				log.Errorf("engine: cache put %s: %v", label(j), err)
-			}
-		}
+		e.cachePut(j, hash, payload)
 		e.executed.Add(1)
 		e.tel.executed.Inc()
 		e.journal(j, hash, attempt+1, dur)
@@ -367,6 +391,101 @@ func (e *Engine) process(ctx context.Context, slot int, j Job) (payload []byte, 
 	sp.SetAttr("error", fmt.Sprint(lastErr))
 	o.err = lastErr
 	return nil, o
+}
+
+// cacheGet resolves hash from the cache, mapping every failure to "not
+// cached". Corruption is counted and logged (the object has already
+// been quarantined by Cache.Get); unexpected read errors are logged so
+// a dying disk is visible, but neither ever fails the job — the engine
+// recomputes instead.
+func (e *Engine) cacheGet(j Job, hash string) []byte {
+	p, err := e.opts.Cache.Get(hash)
+	switch {
+	case err == nil:
+		return p
+	case errors.Is(err, fs.ErrNotExist):
+	case errors.Is(err, ErrCorrupt):
+		e.corrupt.Add(1)
+		e.tel.corrupt.Inc()
+		log.Errorf("engine: %s: %v (quarantined; recomputing)", label(j), err)
+	default:
+		log.Errorf("engine: cache read %s: %v (recomputing)", label(j), err)
+	}
+	return nil
+}
+
+// cachePut stores a fresh payload, degrading to cache-less operation on
+// failure: the first error warns, later ones are dropped so an
+// unwritable cache directory does not flood a long sweep's log.
+func (e *Engine) cachePut(j Job, hash string, payload []byte) {
+	if e.opts.Cache == nil {
+		return
+	}
+	if err := e.opts.Cache.Put(hash, payload); err != nil {
+		if e.putWarned.CompareAndSwap(false, true) {
+			log.Errorf("engine: cache put %s: %v (continuing without cache writes)", label(j), err)
+		}
+	}
+}
+
+// backoff sleeps before a retry: exponential in the attempt number from
+// the configured base, capped at 30s, with a deterministic jitter
+// derived from the job hash so a stampede of retrying workers
+// de-synchronizes reproducibly. Returns early if the sweep is
+// cancelled mid-sleep.
+func (e *Engine) backoff(ctx context.Context, hash string, attempt int) error {
+	base := e.opts.RetryBackoff
+	if base <= 0 {
+		return nil
+	}
+	d := base << (attempt - 1)
+	if max := 30 * time.Second; d > max || d <= 0 {
+		d = max
+	}
+	// Jitter in [0, d/2), seeded by (hash, attempt) — deterministic for
+	// a given job, different across jobs and attempts.
+	frac := float64(SubSeed(uint64(attempt), hash)%1024) / 1024
+	d += time.Duration(frac * float64(d) / 2)
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("engine: cancelled during retry backoff: %w", context.Cause(ctx))
+	}
+}
+
+// errAttemptTimeout is the cancel cause installed by the per-job
+// deadline, distinguishable from a sweep-wide cancellation.
+var errAttemptTimeout = errors.New("engine: job attempt deadline exceeded")
+
+// runAttempt executes one attempt, bounded by Options.JobTimeout when
+// set. A timed-out attempt is abandoned: its goroutine keeps running
+// until the job function honours ctx (or leaks, if it never does — the
+// engine cannot preempt it), but the worker moves on and the attempt
+// counts as a retryable failure.
+func (e *Engine) runAttempt(ctx context.Context, j Job) (any, error) {
+	if e.opts.JobTimeout <= 0 {
+		return runIsolated(ctx, j)
+	}
+	actx, cancel := context.WithTimeoutCause(ctx, e.opts.JobTimeout, errAttemptTimeout)
+	defer cancel()
+	type res struct {
+		result any
+		err    error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		r, err := runIsolated(actx, j)
+		ch <- res{r, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.result, r.err
+	case <-actx.Done():
+		return nil, fmt.Errorf("after %v: %w", e.opts.JobTimeout, context.Cause(actx))
+	}
 }
 
 // journal appends a completion record, tolerating a nil journal.

@@ -300,7 +300,7 @@ func TestMetricsAndStatus(t *testing.T) {
 	if s.Jobs != 12 || s.Executed != 6 || s.CacheHits != 6 || s.Failures != 0 {
 		t.Errorf("status = %+v", s)
 	}
-	want := "engine: 12 jobs, 6 executed, 6 cache hits, 0 resumed, 0 retries, 0 failures"
+	want := "engine: 12 jobs, 6 executed, 6 cache hits, 0 resumed, 0 retries, 0 failures, 0 corrupt, 0 timeouts"
 	if e.Summary() != want {
 		t.Errorf("summary = %q, want %q", e.Summary(), want)
 	}

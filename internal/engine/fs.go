@@ -1,0 +1,43 @@
+package engine
+
+// The engine's persistence (cache objects, the journal) goes through the
+// narrow FS interface instead of the os package directly, so the fault
+// tests in engine/faultfs can interpose torn writes, read errors,
+// corruption, and stalls without touching the real filesystem code
+// paths. Production always uses OS(), the trivial passthrough.
+
+import (
+	"io"
+	"os"
+)
+
+// FS is the slice of filesystem behaviour the engine needs. All paths
+// are OS paths; semantics match the corresponding os functions.
+type FS interface {
+	MkdirAll(dir string) error
+	ReadFile(path string) ([]byte, error)
+	WriteFile(path string, data []byte) error
+	Rename(oldpath, newpath string) error
+	Remove(path string) error
+	// OpenAppend opens path for appending (creating it if needed);
+	// truncate discards existing content first.
+	OpenAppend(path string, truncate bool) (io.WriteCloser, error)
+}
+
+type osFS struct{}
+
+func (osFS) MkdirAll(dir string) error                { return os.MkdirAll(dir, 0o755) }
+func (osFS) ReadFile(path string) ([]byte, error)     { return os.ReadFile(path) }
+func (osFS) WriteFile(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
+func (osFS) Rename(oldpath, newpath string) error     { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error                 { return os.Remove(path) }
+func (osFS) OpenAppend(path string, truncate bool) (io.WriteCloser, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if truncate {
+		flags |= os.O_TRUNC
+	}
+	return os.OpenFile(path, flags, 0o644)
+}
+
+// OS returns the real-filesystem implementation of FS.
+func OS() FS { return osFS{} }

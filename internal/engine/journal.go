@@ -4,9 +4,19 @@ package engine
 // job, flushed entry by entry. A sweep interrupted mid-run leaves a
 // journal whose entries name exactly the jobs that finished; reopening
 // it with resume=true lets the engine skip those jobs (provided their
-// payloads are still in the cache). A torn final line — the signature of
-// a kill mid-write — is ignored on load rather than treated as
-// corruption.
+// payloads are still in the cache).
+//
+// Two damage modes are tolerated on load:
+//
+//   - A torn *final* line with no trailing newline — the signature of a
+//     kill mid-write — is silently ignored; everything before it is
+//     intact by construction.
+//   - A malformed line in the *middle* (or a complete-but-garbled final
+//     line) means the file itself was damaged after the fact. Each such
+//     record is skipped and logged, counted in Skipped() and the
+//     hifi_engine_journal_skipped_total metric; the jobs it named are
+//     simply re-resolved from the cache or re-executed. Resume degrades,
+//     correctness does not.
 //
 // This journal tracks *job-level* sweep progress. It is deliberately
 // separate from the device-level checkpointing in the repository root's
@@ -14,11 +24,15 @@ package engine
 // Memory; see docs/engine.md for why the two layers stay apart.
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io"
+	"io/fs"
 	"sync"
+
+	"racetrack/hifi/internal/telemetry/log"
 )
 
 // Entry is one completed job.
@@ -34,60 +48,78 @@ type Entry struct {
 // Journal is the on-disk completion log. Safe for concurrent Append
 // from the worker pool.
 type Journal struct {
-	mu   sync.Mutex
-	path string
-	f    *os.File
-	seq  int
-	done map[string]Entry // by hash
+	mu      sync.Mutex
+	path    string
+	fsys    FS
+	w       io.WriteCloser
+	seq     int
+	skipped int
+	done    map[string]Entry // by hash
 }
 
 // OpenJournal opens the journal at path. With resume=true existing
 // entries are loaded (and later Appends continue the sequence); without
 // it the file is truncated — a fresh sweep starts a fresh journal.
 func OpenJournal(path string, resume bool) (*Journal, error) {
-	j := &Journal{path: path, done: map[string]Entry{}}
+	return OpenJournalFS(path, resume, OS())
+}
+
+// OpenJournalFS is OpenJournal over an explicit filesystem; the fault
+// tests use it to interpose faultfs.
+func OpenJournalFS(path string, resume bool, fsys FS) (*Journal, error) {
+	j := &Journal{path: path, fsys: fsys, done: map[string]Entry{}}
 	if resume {
 		if err := j.load(); err != nil {
 			return nil, err
 		}
 	}
-	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
-	if !resume {
-		flags |= os.O_TRUNC
-	}
-	f, err := os.OpenFile(path, flags, 0o644)
+	w, err := fsys.OpenAppend(path, !resume)
 	if err != nil {
 		return nil, fmt.Errorf("engine: open journal: %w", err)
 	}
-	j.f = f
+	j.w = w
 	return j, nil
 }
 
-// load reads existing entries, ignoring a torn final line.
+// load reads existing entries, ignoring a torn final line and skipping
+// (with a log line and the skip counter) any other malformed record.
 func (j *Journal) load() error {
-	f, err := os.Open(j.path)
+	content, err := j.fsys.ReadFile(j.path)
 	if err != nil {
-		if os.IsNotExist(err) {
+		if errors.Is(err, fs.ErrNotExist) {
 			return nil
 		}
 		return fmt.Errorf("engine: load journal: %w", err)
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
-	for sc.Scan() {
+	// Only a line terminated by '\n' was fully written; an unterminated
+	// final line is the torn tail of a killed write, not corruption.
+	torn := len(content) > 0 && content[len(content)-1] != '\n'
+	lines := bytes.Split(content, []byte{'\n'})
+	// Split leaves a trailing empty element after the final '\n' (or the
+	// torn tail when there is one); drop the empty, keep the tail marked.
+	if n := len(lines); n > 0 && len(lines[n-1]) == 0 {
+		lines = lines[:n-1]
+		torn = false
+	}
+	for i, line := range lines {
+		if len(line) == 0 {
+			continue
+		}
 		var e Entry
-		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
-			// A malformed line can only be the torn tail of a killed
-			// write; everything before it is intact.
-			break
+		if err := json.Unmarshal(line, &e); err != nil || e.Hash == "" {
+			if torn && i == len(lines)-1 {
+				break // torn tail: expected damage, not worth a log line
+			}
+			j.skipped++
+			log.Errorf("engine: journal %s: skipping corrupt record at line %d: %v", j.path, i+1, err)
+			continue
 		}
 		j.done[e.Hash] = e
 		if e.Seq > j.seq {
 			j.seq = e.Seq
 		}
 	}
-	return sc.Err()
+	return nil
 }
 
 // Len returns the number of distinct completed jobs loaded or appended.
@@ -98,6 +130,16 @@ func (j *Journal) Len() int {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return len(j.done)
+}
+
+// Skipped returns how many corrupt records load discarded.
+func (j *Journal) Skipped() int {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.skipped
 }
 
 // Done reports whether hash is recorded as completed. Nil-safe so the
@@ -122,7 +164,7 @@ func (j *Journal) Append(e Entry) error {
 	if err != nil {
 		return err
 	}
-	if _, err := j.f.Write(append(b, '\n')); err != nil {
+	if _, err := j.w.Write(append(b, '\n')); err != nil {
 		return err
 	}
 	j.done[e.Hash] = e
@@ -131,8 +173,8 @@ func (j *Journal) Append(e Entry) error {
 
 // Close closes the underlying file.
 func (j *Journal) Close() error {
-	if j == nil || j.f == nil {
+	if j == nil || j.w == nil {
 		return nil
 	}
-	return j.f.Close()
+	return j.w.Close()
 }

@@ -1,0 +1,279 @@
+package engine
+
+// Robustness tests: checksum verification and quarantine on cache
+// reads, skip-and-log for corrupt journal records, per-job timeouts,
+// and retry backoff. The end-to-end chaos sweep (filesystem faults via
+// engine/faultfs) lives in faultfs's own tests to keep the import
+// graph acyclic.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheGetVerifiesChecksum(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, "v-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := HashKey("v-test", "some-job")
+	payload := []byte(`{"value":42}`)
+	if err := c.Put(hash, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Get(hash)
+	if err != nil || string(got) != string(payload) {
+		t.Fatalf("round trip: %q, %v", got, err)
+	}
+
+	// Flip one payload byte on disk: Get must refuse and quarantine.
+	path := c.path(hash)
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-3] ^= 0x01
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(hash); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("corrupted object: err = %v, want ErrCorrupt", err)
+	}
+	if c.CorruptCount() != 1 {
+		t.Errorf("corrupt count = %d, want 1", c.CorruptCount())
+	}
+	if _, err := os.Stat(filepath.Join(c.QuarantineDir(), hash+".json")); err != nil {
+		t.Errorf("corrupt object not quarantined: %v", err)
+	}
+	// The address is free again: the next read is a plain miss.
+	if _, err := c.Get(hash); !errors.Is(err, fs.ErrNotExist) {
+		t.Errorf("post-quarantine read: err = %v, want fs.ErrNotExist", err)
+	}
+}
+
+// A schema-1 object (raw JSON, no checksum header) used to decode into
+// a zero result; under the checksum framing it is corrupt by
+// construction, never silently zero.
+func TestCacheGetRejectsHeaderlessObject(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, "v-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := HashKey("v-test", "legacy-job")
+	path := c.path(hash)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	// Perfectly valid JSON — the failure mode is framing, not syntax.
+	if err := os.WriteFile(path, []byte(`{"value":0}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(hash); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("headerless object: err = %v, want ErrCorrupt", err)
+	}
+	// Truncated mid-header is corrupt too, not a decode-to-zero.
+	if err := os.WriteFile(path, []byte(objectMagic+"abcd"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Get(hash); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("truncated object: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestEngineRecomputesCorruptObject(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir, "v-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execs atomic.Int64
+	jobs := testJobs(6, &execs)
+	if _, err := New(Options{Workers: 2, Cache: cache}).Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+
+	// Damage one object behind the cache's back.
+	victim := cache.path(HashKey("v-test", jobs[3].Key))
+	if err := os.WriteFile(victim, []byte("rotten"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cache2, _ := OpenCache(dir, "v-test")
+	e := New(Options{Workers: 2, Cache: cache2})
+	rep, err := e.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatalf("corruption must not fail the sweep: %v", err)
+	}
+	if rep.Executed != 1 || rep.CacheHits != 5 {
+		t.Errorf("executed %d hits %d, want 1/5 (only the damaged job recomputes)", rep.Executed, rep.CacheHits)
+	}
+	if s := e.Status(); s.Corrupt != 1 {
+		t.Errorf("status corrupt = %d, want 1", s.Corrupt)
+	}
+	out, err := DecodeAll[map[string]int](rep.Payloads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[3]["square"] != 9 {
+		t.Errorf("recomputed payload = %v", out[3])
+	}
+}
+
+func TestJournalSkipsCorruptMiddleRecord(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal.jsonl")
+	good := func(seq int, hash string) string {
+		return fmt.Sprintf(`{"seq":%d,"key":"k%d","hash":%q,"attempts":1,"dur_ms":1}`, seq, seq, hash)
+	}
+	content := good(1, "aaa") + "\n" +
+		`{"seq":2,"key":"k2","ha` + "\n" + // damaged middle record
+		"not json at all\n" + // a second damaged record
+		good(4, "ddd") + "\n" +
+		`{"seq":9,"key":"torn` // torn tail: tolerated, not counted
+	if err := os.WriteFile(jpath, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, err := OpenJournal(jpath, true)
+	if err != nil {
+		t.Fatalf("resume must survive middle corruption: %v", err)
+	}
+	defer j.Close()
+	if j.Len() != 2 {
+		t.Errorf("loaded %d entries, want 2", j.Len())
+	}
+	if !j.Done("aaa") || !j.Done("ddd") {
+		t.Error("intact records around the damage were lost")
+	}
+	if j.Skipped() != 2 {
+		t.Errorf("skipped = %d, want 2 (the torn tail is not corruption)", j.Skipped())
+	}
+	// Appends continue past the highest surviving sequence number.
+	if err := j.Append(Entry{Key: "k5", Hash: "eee"}); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Done("eee") {
+		t.Error("append after damaged load not recorded")
+	}
+}
+
+func TestJobTimeoutAbandonsHungAttempt(t *testing.T) {
+	var attempts atomic.Int64
+	hang := Job{
+		Key:   "hang-once",
+		Label: "hang-once",
+		Fn: func(ctx context.Context) (any, error) {
+			if attempts.Add(1) == 1 {
+				<-ctx.Done() // hung until the per-job deadline fires
+				return nil, context.Cause(ctx)
+			}
+			return "recovered", nil
+		},
+	}
+	e := New(Options{Workers: 1, Retries: 1, JobTimeout: 30 * time.Millisecond})
+	rep, err := e.Run(context.Background(), []Job{hang})
+	if err != nil {
+		t.Fatalf("timeout + retry should recover: %v", err)
+	}
+	if rep.Retried != 1 {
+		t.Errorf("retried = %d, want 1", rep.Retried)
+	}
+	if s := e.Status(); s.Timeouts != 1 {
+		t.Errorf("timeouts = %d, want 1", s.Timeouts)
+	}
+	v, err := Decode[string](rep.Payloads[0])
+	if err != nil || v != "recovered" {
+		t.Errorf("payload = %q, %v", v, err)
+	}
+
+	// A job that always hangs exhausts retries with a timeout error.
+	stuck := Job{
+		Key: "always-hung",
+		Fn: func(ctx context.Context) (any, error) {
+			<-ctx.Done()
+			return nil, context.Cause(ctx)
+		},
+	}
+	_, err = New(Options{Workers: 1, Retries: 1, JobTimeout: 10 * time.Millisecond}).
+		Run(context.Background(), []Job{stuck})
+	if !errors.Is(err, errAttemptTimeout) {
+		t.Errorf("permanently hung job: err = %v, want attempt-timeout cause", err)
+	}
+}
+
+func TestRetryBackoffDelaysAndCancels(t *testing.T) {
+	var attempts atomic.Int64
+	flaky := Job{
+		Key: "flaky-timed",
+		Fn: func(ctx context.Context) (any, error) {
+			if attempts.Add(1) <= 2 {
+				return nil, fmt.Errorf("transient")
+			}
+			return "ok", nil
+		},
+	}
+	start := time.Now()
+	_, err := New(Options{Workers: 1, Retries: 2, RetryBackoff: 20 * time.Millisecond}).
+		Run(context.Background(), []Job{flaky})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two backoffs: >= 20ms + 40ms before jitter.
+	if elapsed := time.Since(start); elapsed < 60*time.Millisecond {
+		t.Errorf("elapsed %v, want >= 60ms of backoff", elapsed)
+	}
+
+	// Cancellation mid-backoff returns promptly instead of sleeping out.
+	ctx, cancel := context.WithCancel(context.Background())
+	always := Job{
+		Key: "always-bad-timed",
+		Fn: func(ctx context.Context) (any, error) {
+			cancel() // fail and take the sweep down while backing off
+			return nil, fmt.Errorf("boom")
+		},
+	}
+	start = time.Now()
+	_, err = New(Options{Workers: 1, Retries: 3, RetryBackoff: 10 * time.Second}).
+		Run(ctx, []Job{always})
+	if err == nil {
+		t.Fatal("cancelled sweep reported success")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %v; backoff did not honour ctx", elapsed)
+	}
+}
+
+func TestCachePutFailureWarnsOnceAndContinues(t *testing.T) {
+	dir := t.TempDir()
+	cache, err := OpenCache(dir, "v-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the objects tree unwritable so every Put fails. (Root can
+	// write anyway on some CI images; skip if the chmod has no effect.)
+	objects := filepath.Join(dir, "objects")
+	if err := os.Chmod(objects, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(objects, 0o755)
+	if f, err := os.Create(filepath.Join(objects, "probe")); err == nil {
+		f.Close()
+		t.Skip("running with privileges that ignore directory permissions")
+	}
+	var execs atomic.Int64
+	rep, err := New(Options{Workers: 2, Cache: cache}).Run(context.Background(), testJobs(4, &execs))
+	if err != nil {
+		t.Fatalf("unwritable cache must degrade, not fail: %v", err)
+	}
+	if rep.Executed != 4 {
+		t.Errorf("executed %d, want 4", rep.Executed)
+	}
+}

@@ -30,6 +30,8 @@ type Status struct {
 	Resumed   uint64       `json:"resumed"`
 	Retries   uint64       `json:"retries"`
 	Failures  uint64       `json:"failures"`
+	Corrupt   uint64       `json:"corrupt"`
+	Timeouts  uint64       `json:"timeouts"`
 }
 
 // Status snapshots the engine's counters and in-flight jobs.
@@ -43,6 +45,8 @@ func (e *Engine) Status() Status {
 		Resumed:   e.resumed.Load(),
 		Retries:   e.retries.Load(),
 		Failures:  e.failures.Load(),
+		Corrupt:   e.corrupt.Load(),
+		Timeouts:  e.timeouts.Load(),
 	}
 	now := time.Now()
 	e.mu.Lock()
@@ -69,11 +73,12 @@ func (e *Engine) StatusHandler() http.Handler {
 }
 
 // Summary renders the one-line sweep ledger the CLIs log at exit (and
-// that CI greps to assert cache reuse):
+// that CI greps to assert cache reuse — greps match a prefix, so new
+// fields append at the end):
 //
-//	engine: 84 jobs, 0 executed, 84 cache hits, 84 resumed, 0 retries, 0 failures
+//	engine: 84 jobs, 0 executed, 84 cache hits, 84 resumed, 0 retries, 0 failures, 0 corrupt, 0 timeouts
 func (e *Engine) Summary() string {
 	s := e.Status()
-	return fmt.Sprintf("engine: %d jobs, %d executed, %d cache hits, %d resumed, %d retries, %d failures",
-		s.Jobs, s.Executed, s.CacheHits, s.Resumed, s.Retries, s.Failures)
+	return fmt.Sprintf("engine: %d jobs, %d executed, %d cache hits, %d resumed, %d retries, %d failures, %d corrupt, %d timeouts",
+		s.Jobs, s.Executed, s.CacheHits, s.Resumed, s.Retries, s.Failures, s.Corrupt, s.Timeouts)
 }

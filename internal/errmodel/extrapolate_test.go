@@ -1,0 +1,139 @@
+package errmodel
+
+// Edge tests for the rate model beyond the published Table 2 range:
+// the log-quadratic K1 extrapolation, the ratio-growth K2 tail, and the
+// k >= 3 super-exponential decay must stay monotone, bounded, and free
+// of NaN/Inf for any shift distance a campaign can produce — a single
+// NaN here poisons every MTTF downstream.
+
+import (
+	"math"
+	"testing"
+)
+
+// probe distances: the full tabulated range, the first extrapolated
+// points, and far-tail distances no real geometry reaches.
+var probeN = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 16, 64, 512, 1 << 20}
+
+// wellFormed fails the test if p is not a probability.
+func wellFormed(t *testing.T, label string, p float64) {
+	t.Helper()
+	if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 1 {
+		t.Errorf("%s = %g, want a probability", label, p)
+	}
+}
+
+func TestRatesMonotonicAcrossExtrapolationBoundary(t *testing.T) {
+	var m Model
+	lastK1, lastK2 := 0.0, 0.0
+	for _, n := range probeN {
+		k1, k2 := m.K1Rate(n), m.K2Rate(n)
+		wellFormed(t, "K1Rate", k1)
+		wellFormed(t, "K2Rate", k2)
+		if k1 < lastK1 {
+			t.Errorf("K1Rate(%d) = %g dips below previous %g", n, k1, lastK1)
+		}
+		if k2 < lastK2 {
+			t.Errorf("K2Rate(%d) = %g dips below previous %g", n, k2, lastK2)
+		}
+		if k2 > k1 {
+			t.Errorf("K2Rate(%d) = %g exceeds K1Rate = %g", n, k2, k1)
+		}
+		lastK1, lastK2 = k1, k2
+	}
+	// The boundary itself: the first extrapolated point continues the
+	// tabulated growth rather than jumping orders of magnitude. Table 2
+	// grows ~1.3x per step near n=7; allow up to the K2 ratio growth.
+	if r := m.K1Rate(MaxTabulated+1) / m.K1Rate(MaxTabulated); r < 1 || r > 3 {
+		t.Errorf("K1 growth across the table boundary = %gx, want 1..3x", r)
+	}
+	if r := m.K2Rate(MaxTabulated+1) / m.K2Rate(MaxTabulated); r < 1 || r > 1e4 {
+		t.Errorf("K2 growth across the table boundary = %gx, want 1..1e4x", r)
+	}
+}
+
+func TestKRateTailDecaysAndStaysFinite(t *testing.T) {
+	var m Model
+	for _, n := range probeN {
+		last := m.K2Rate(n)
+		for k := 3; k <= 8; k++ {
+			r := m.KRate(n, k)
+			wellFormed(t, "KRate", r)
+			if r > last {
+				t.Errorf("KRate(%d,%d) = %g grows over KRate(%d,%d) = %g", n, k, r, n, k-1, last)
+			}
+			last = r
+		}
+		if got, want := m.KRate(n, 3), m.K3PlusRate(n); got != want {
+			t.Errorf("KRate(%d,3) = %g, K3PlusRate = %g; tail head must match", n, got, want)
+		}
+	}
+}
+
+func TestKRateDegenerateInputs(t *testing.T) {
+	var m Model
+	for _, n := range []int{0, -1, -100} {
+		if r := m.K1Rate(n); r != 0 {
+			t.Errorf("K1Rate(%d) = %g, want 0", n, r)
+		}
+		if r := m.K2Rate(n); r != 0 {
+			t.Errorf("K2Rate(%d) = %g, want 0", n, r)
+		}
+		if r := m.K3PlusRate(n); r != 0 {
+			t.Errorf("K3PlusRate(%d) = %g, want 0", n, r)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("KRate with k = 0 did not panic")
+		}
+	}()
+	m.KRate(4, 0)
+}
+
+// TestRatesBoundedUnderHostileScaling: a fault campaign multiplies
+// RateScale and temperature well past nominal; every rate must saturate
+// instead of escaping [0, 1], and its reciprocal (the per-event MTTF
+// numerator) must stay finite or +Inf — never NaN.
+func TestRatesBoundedUnderHostileScaling(t *testing.T) {
+	for _, m := range []Model{
+		{RateScale: 1e6},
+		{RateScale: 1e12, TempC: 85},
+		{TempC: 300},
+		{RateScale: 1e-12, TempC: -40},
+		{DisableSTS: true, RateScale: 1e9},
+	} {
+		for _, n := range probeN {
+			total := m.ErrorRate(n)
+			wellFormed(t, "ErrorRate", total)
+			for k := 1; k <= 6; k++ {
+				r := m.KRate(n, k)
+				if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+					t.Fatalf("KRate(%d,%d) under %+v = %g", n, k, m, r)
+				}
+				if r > 0 {
+					if inv := 1 / r; math.IsNaN(inv) {
+						t.Fatalf("1/KRate(%d,%d) is NaN under %+v", n, k, m)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestExtrapolatedTailStaysNegligible: the k=2 extrapolation is capped
+// at a tenth of k=1 and the k>=3 tail below it, so SECDED's aliasing
+// mass never dominates — the property behind the paper's ">1000 years"
+// SECDED SDC MTTF claim surviving long shifts.
+func TestExtrapolatedTailStaysNegligible(t *testing.T) {
+	var m Model
+	for _, n := range []int{8, 16, 64, 512, 1 << 20} {
+		k1, k2 := m.K1Rate(n), m.K2Rate(n)
+		if k2 > 0.1*k1 {
+			t.Errorf("K2Rate(%d) = %g exceeds the 0.1*K1 cap (K1 = %g)", n, k2, k1)
+		}
+		if k3 := m.K3PlusRate(n); k3 > k2 {
+			t.Errorf("K3PlusRate(%d) = %g exceeds K2Rate = %g", n, k3, k2)
+		}
+	}
+}

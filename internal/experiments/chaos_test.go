@@ -1,0 +1,80 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"racetrack/hifi/internal/faults"
+	"racetrack/hifi/internal/shiftctrl"
+)
+
+// chaosTestOpts is a campaign small enough for unit tests.
+func chaosTestOpts() ChaosOpts {
+	run := QuickRunOpts()
+	run.AccessesPerCore = 500
+	plan, err := faults.Preset("temp")
+	if err != nil {
+		panic(err)
+	}
+	return ChaosOpts{
+		RunOpts:     run,
+		Plan:        plan,
+		Intensities: []float64{0, 2},
+		Schemes:     []shiftctrl.Scheme{shiftctrl.Baseline, shiftctrl.SECDED},
+	}
+}
+
+func cell(t *testing.T, tab Table, row, col int) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(tab.Rows[row][col], 64)
+	if err != nil {
+		t.Fatalf("table %q cell (%d,%d) = %q: %v", tab.Title, row, col, tab.Rows[row][col], err)
+	}
+	return v
+}
+
+func TestDegradationCurves(t *testing.T) {
+	o := chaosTestOpts()
+	tables := Degradation(o)
+	if len(tables) != 3 {
+		t.Fatalf("Degradation returned %d tables, want 3", len(tables))
+	}
+	for _, tab := range tables {
+		if len(tab.Rows) != len(o.Intensities) {
+			t.Errorf("%q has %d rows, want %d", tab.Title, len(tab.Rows), len(o.Intensities))
+		}
+		if len(tab.Header) != 1+len(o.Schemes) {
+			t.Errorf("%q has %d columns, want %d", tab.Title, len(tab.Header), 1+len(o.Schemes))
+		}
+	}
+
+	// Raising fault intensity must not improve reliability. Column 2 is
+	// SECDED; its DUE MTTF is finite at both points.
+	due := tables[0]
+	if lo, hi := cell(t, due, 0, 2), cell(t, due, 1, 2); hi > lo {
+		t.Errorf("SECDED DUE MTTF improved under faults: intensity 0 -> %g, 2 -> %g", lo, hi)
+	}
+	sdc := tables[1]
+	if lo, hi := cell(t, sdc, 0, 1), cell(t, sdc, 1, 1); hi > lo {
+		t.Errorf("Baseline SDC MTTF improved under faults: intensity 0 -> %g, 2 -> %g", lo, hi)
+	}
+
+	// Faults modulate the error model, not timing: the normalized
+	// execution-time curve stays at exactly 1.
+	norm := tables[2]
+	for ri := range norm.Rows {
+		for ci := 1; ci < len(norm.Rows[ri]); ci++ {
+			if v := cell(t, norm, ri, ci); v != 1 {
+				t.Errorf("normalized exec time row %d col %d = %g, want 1", ri, ci, v)
+			}
+		}
+	}
+}
+
+func TestDegradationEmptyAxes(t *testing.T) {
+	o := chaosTestOpts()
+	o.Intensities = nil
+	if got := Degradation(o); got != nil {
+		t.Errorf("empty intensity axis produced %d tables", len(got))
+	}
+}

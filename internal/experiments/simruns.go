@@ -6,6 +6,7 @@ import (
 
 	"racetrack/hifi/internal/energy"
 	"racetrack/hifi/internal/engine"
+	"racetrack/hifi/internal/faults"
 	"racetrack/hifi/internal/memsim"
 	"racetrack/hifi/internal/shiftctrl"
 	"racetrack/hifi/internal/telemetry"
@@ -46,6 +47,12 @@ type RunOpts struct {
 	// docs/engine.md). Nil falls back to a serial, uncached engine that
 	// reproduces the old inline loop exactly.
 	Eng *engine.Engine
+	// FaultPlan optionally runs every racetrack simulation under an
+	// off-nominal device regime (internal/faults; -faults/-fault-plan
+	// on the CLIs). Nil is the nominal device: tables are byte-identical
+	// to a plan-free run, and the plan participates in the engine cache
+	// fingerprint so injected and nominal results never mix.
+	FaultPlan *faults.Plan
 }
 
 // ctx returns the configured context, defaulting to Background.
@@ -104,6 +111,7 @@ func (o RunOpts) config(t energy.Tech, s shiftctrl.Scheme) memsim.Config {
 	}
 	cfg.Metrics = o.Metrics
 	cfg.Sampler = o.Sampler
+	cfg.FaultPlan = o.FaultPlan.Norm()
 	return cfg
 }
 

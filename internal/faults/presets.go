@@ -1,0 +1,70 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// presets are the named fault plans the CLIs expose through -faults.
+// Each is a plausible off-nominal regime at intensity 1; campaigns
+// sweep Plan.Scale to push them further. "off" is the nominal device.
+var presets = map[string]func() *Plan{
+	"off": func() *Plan { return nil },
+	"burst": func() *Plan {
+		return &Plan{Seed: 1, Injectors: []Injector{
+			{Kind: KindBurst, Boost: 100, Len: 64, Period: 4096},
+		}}
+	},
+	"markov": func() *Plan {
+		return &Plan{Seed: 1, Injectors: []Injector{
+			{Kind: KindMarkov, Boost: 50, PEnter: 0.001, PExit: 0.02},
+		}}
+	},
+	"stuck": func() *Plan {
+		return &Plan{Seed: 1, Injectors: []Injector{
+			{Kind: KindStuck, Period: 8192, Offset: -1},
+		}}
+	},
+	"temp": func() *Plan {
+		return &Plan{Seed: 1, Injectors: []Injector{
+			{Kind: KindTemp, PeakC: 85, RampOps: 2048, HoldOps: 4096, Period: 8192},
+		}}
+	},
+	"drift": func() *Plan {
+		return &Plan{Seed: 1, Injectors: []Injector{
+			{Kind: KindDrift, PerOp: 5e-5, Cap: 50},
+		}}
+	},
+	// mixed is the kitchen-sink regime used by chaos smoke runs: every
+	// injector kind at moderate strength.
+	"mixed": func() *Plan {
+		return &Plan{Seed: 1, Injectors: []Injector{
+			{Kind: KindBurst, Boost: 20, Len: 32, Period: 4096},
+			{Kind: KindMarkov, Boost: 10, PEnter: 0.0005, PExit: 0.05},
+			{Kind: KindStuck, Period: 16384, Offset: -1},
+			{Kind: KindTemp, PeakC: 70, RampOps: 2048, HoldOps: 2048, Period: 16384},
+			{Kind: KindDrift, PerOp: 2e-5, Cap: 20},
+		}}
+	},
+}
+
+// Preset returns the named plan, nil for "off". Unknown names list the
+// valid choices in the error.
+func Preset(name string) (*Plan, error) {
+	f, ok := presets[name]
+	if !ok {
+		return nil, fmt.Errorf("faults: unknown preset %q (valid: %s)", name, strings.Join(PresetNames(), " "))
+	}
+	return f(), nil
+}
+
+// PresetNames lists the available presets in sorted order.
+func PresetNames() []string {
+	names := make([]string, 0, len(presets))
+	for k := range presets {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}

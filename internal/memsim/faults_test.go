@@ -1,0 +1,206 @@
+package memsim
+
+import (
+	"math"
+	"testing"
+
+	"racetrack/hifi/internal/energy"
+	"racetrack/hifi/internal/faults"
+	"racetrack/hifi/internal/shiftctrl"
+	"racetrack/hifi/internal/telemetry"
+)
+
+// TestFaultPlanNilIsNominal: a nil plan, an empty plan, and a config
+// that predates the FaultPlan field must all produce the same
+// fingerprint bytes and the same simulated result — the zero-cost
+// "injection off" contract the engine cache depends on.
+func TestFaultPlanNilIsNominal(t *testing.T) {
+	w := smallWorkload("ferret", 64<<10)
+	cfg := smallConfig(energy.Racetrack, shiftctrl.SECDED)
+
+	bare := cfg
+	withNil := cfg
+	withNil.FaultPlan = nil
+	withEmpty := cfg
+	withEmpty.FaultPlan = (&faults.Plan{}).Norm()
+
+	fp := bare.Fingerprint(w)
+	if got := withNil.Fingerprint(w); got != fp {
+		t.Errorf("nil-plan fingerprint differs:\n%s\n%s", got, fp)
+	}
+	if got := withEmpty.Fingerprint(w); got != fp {
+		t.Errorf("normalized-empty-plan fingerprint differs:\n%s\n%s", got, fp)
+	}
+
+	a, err := Run(w, bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(w, withNil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Tracker.SDCMTTF() != b.Tracker.SDCMTTF() ||
+		a.Tracker.DUEMTTF() != b.Tracker.DUEMTTF() {
+		t.Errorf("nil plan changed the simulation: %+v vs %+v", a.Cycles, b.Cycles)
+	}
+}
+
+// TestFaultPlanChangesFingerprint: a non-empty plan must key the cache
+// differently from the nominal device, and differently per intensity.
+func TestFaultPlanChangesFingerprint(t *testing.T) {
+	w := smallWorkload("ferret", 64<<10)
+	cfg := smallConfig(energy.Racetrack, shiftctrl.SECDED)
+	plan, err := faults.Preset("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nominal := cfg.Fingerprint(w)
+	cfg.FaultPlan = plan
+	injected := cfg.Fingerprint(w)
+	if injected == nominal {
+		t.Error("fault plan not reflected in the fingerprint")
+	}
+	cfg.FaultPlan = plan.Scale(2)
+	if got := cfg.Fingerprint(w); got == injected || got == nominal {
+		t.Error("scaled plan does not get its own fingerprint")
+	}
+	cfg.FaultPlan = plan.Scale(0) // disabled injectors: inert but still a distinct key
+	if got := cfg.Fingerprint(w); got == injected || got == nominal {
+		t.Error("disabled plan does not get its own fingerprint")
+	}
+}
+
+// TestFaultPlanDegradesMTTF: running under the temperature-excursion
+// preset must accrue strictly more failure mass (lower MTTF) than the
+// nominal device, and the degradation must deepen with intensity.
+func TestFaultPlanDegradesMTTF(t *testing.T) {
+	w := smallWorkload("ferret", 64<<10)
+	cfg := smallConfig(energy.Racetrack, shiftctrl.SECDED)
+	nominal, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := faults.Preset("temp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FaultPlan = plan
+	hot, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm, hm := nominal.Tracker.DUEMTTF(), hot.Tracker.DUEMTTF()
+	if !(hm < nm) {
+		t.Errorf("temp plan did not degrade DUE MTTF: nominal %g, injected %g", nm, hm)
+	}
+	if math.IsNaN(hm) || hm <= 0 {
+		t.Errorf("degraded MTTF not positive and finite: %g", hm)
+	}
+
+	cfg.FaultPlan = plan.Scale(4)
+	hotter, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hotter.Tracker.DUEMTTF() < hm) {
+		t.Errorf("scaling the plan up did not deepen degradation: x1 %g, x4 %g",
+			hm, hotter.Tracker.DUEMTTF())
+	}
+
+	// The faults only modulate the error model; timing must not move.
+	if hot.Cycles != nominal.Cycles {
+		t.Errorf("fault plan changed timing: %d vs %d cycles", hot.Cycles, nominal.Cycles)
+	}
+}
+
+// TestFaultPlanStuckAccounting: a stuck-notch plan forces whole-offset
+// outcomes, which the scheme classifier books as probability-1 failure
+// mass. Under Baseline a forced offset is silent corruption, so the
+// SDC MTTF must collapse relative to nominal; under SECDED the default
+// -1 offset is corrected and adds nothing.
+func TestFaultPlanStuckAccounting(t *testing.T) {
+	w := smallWorkload("ferret", 64<<10)
+	plan := &faults.Plan{Injectors: []faults.Injector{
+		{Kind: faults.KindStuck, Period: 64},
+	}}
+
+	base := smallConfig(energy.Racetrack, shiftctrl.Baseline)
+	nominal, err := Run(w, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.FaultPlan = plan
+	reg := telemetry.NewRegistry()
+	base.Metrics = reg
+	stuck, err := Run(w, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every forced outcome books exactly 1.0 of certain failure mass, so
+	// the delta over nominal equals the forced-event count.
+	forced := reg.Counter(telemetry.MetricFaultsForced, "").Value()
+	if forced == 0 {
+		t.Fatal("stuck plan with period 64 forced no outcomes")
+	}
+	diff := stuck.Tracker.ExpectedSDC() - nominal.Tracker.ExpectedSDC()
+	if math.Abs(diff-forced) > 1e-6*forced {
+		t.Errorf("stuck plan under Baseline: expected-SDC delta %g, want %g (one per forced outcome)",
+			diff, forced)
+	}
+
+	sec := smallConfig(energy.Racetrack, shiftctrl.SECDED)
+	secNominal, err := Run(w, sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec.FaultPlan = plan
+	secStuck, err := Run(w, sec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ClassifyOffset(-1) under SECDED is OffsetOK: the forced outcomes add
+	// no failure mass, so the expected-failure totals match nominal.
+	if secStuck.Tracker.ExpectedDUE() != secNominal.Tracker.ExpectedDUE() {
+		t.Errorf("stuck -1 under SECDED changed expected DUE: %g vs %g",
+			secStuck.Tracker.ExpectedDUE(), secNominal.Tracker.ExpectedDUE())
+	}
+}
+
+// TestFaultPlanDeterministic: the same plan over the same workload must
+// reproduce bit-identical reliability results.
+func TestFaultPlanDeterministic(t *testing.T) {
+	w := smallWorkload("vips", 64<<10)
+	cfg := smallConfig(energy.Racetrack, shiftctrl.PECCSAdaptive)
+	plan, err := faults.Preset("mixed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FaultPlan = plan
+	a, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles ||
+		a.Tracker.ExpectedSDC() != b.Tracker.ExpectedSDC() ||
+		a.Tracker.ExpectedDUE() != b.Tracker.ExpectedDUE() {
+		t.Errorf("fault-injected run not deterministic: %+v vs %+v", a, b)
+	}
+}
+
+// TestFaultPlanInvalidRejected: RunCtx must refuse a malformed plan
+// before simulating anything.
+func TestFaultPlanInvalidRejected(t *testing.T) {
+	w := smallWorkload("ferret", 64<<10)
+	cfg := smallConfig(energy.Racetrack, shiftctrl.SECDED)
+	cfg.FaultPlan = &faults.Plan{Injectors: []faults.Injector{{Kind: "nonsense"}}}
+	if _, err := Run(w, cfg); err == nil {
+		t.Fatal("invalid fault plan accepted")
+	}
+}

@@ -44,6 +44,10 @@ type fingerprint struct {
 	Promo     int              `json:"promo_entries"`
 	Workload  trace.Workload   `json:"workload"`
 	Mix       []trace.Workload `json:"mix,omitempty"`
+	// Faults is the fault plan's canonical JSON; empty (the nominal
+	// device) is omitted, so plan-free fingerprints are byte-identical
+	// to those produced before fault injection existed.
+	Faults string `json:"faults,omitempty"`
 }
 
 // Fingerprint returns the canonical identity of the resolved
@@ -83,6 +87,7 @@ func (c Config) Fingerprint(w trace.Workload) string {
 	fp.Promo = c.PromoEntries
 	fp.Workload = w
 	fp.Mix = c.Mix
+	fp.Faults = c.FaultPlan.Canonical()
 	b, err := json.Marshal(fp)
 	if err != nil {
 		panic(fmt.Sprintf("memsim: Fingerprint: %v", err))

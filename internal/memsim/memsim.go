@@ -14,6 +14,7 @@ import (
 	"racetrack/hifi/internal/cache"
 	"racetrack/hifi/internal/energy"
 	"racetrack/hifi/internal/errmodel"
+	"racetrack/hifi/internal/faults"
 	"racetrack/hifi/internal/mttf"
 	"racetrack/hifi/internal/shiftctrl"
 	"racetrack/hifi/internal/telemetry"
@@ -70,6 +71,14 @@ type Config struct {
 	// a disjoint address-space slice so the shared LLC sees true
 	// multiprogram contention.
 	Mix []trace.Workload
+	// FaultPlan optionally runs the racetrack array under an off-nominal
+	// device regime (internal/faults): each LLC shift operation is
+	// modulated by the plan's injectors before its reliability exposure
+	// is accounted. Nil (or an empty plan) is the nominal device and is
+	// provably zero-cost: results and fingerprints are byte-identical to
+	// a config without the field. The plan is part of the fingerprint,
+	// so cached results are keyed by the regime that produced them.
+	FaultPlan *faults.Plan
 	// Metrics optionally receives named event series from every level of
 	// the simulated hierarchy (see docs/observability.md). The registry
 	// is safe to snapshot from another goroutine while the run is in
@@ -207,6 +216,9 @@ func RunCtx(ctx context.Context, w trace.Workload, cfg Config) (Result, error) {
 		return Result{}, fmt.Errorf("memsim: warmup accesses (%d) must be in [0, accesses per core = %d)",
 			w, cfg.AccessesPerCore)
 	}
+	if err := cfg.FaultPlan.Validate(); err != nil {
+		return Result{}, fmt.Errorf("memsim: %w", err)
+	}
 	ctx, sp := telemetry.StartSpan(ctx, "memsim:"+w.Name,
 		telemetry.A("tech", fmt.Sprint(cfg.Tech)),
 		telemetry.A("scheme", fmt.Sprint(cfg.Scheme)))
@@ -236,6 +248,7 @@ type system struct {
 	adapter *shiftctrl.Adapter
 	timing  shiftctrl.Timing
 	em      errmodel.Model
+	faults  *faults.Device
 	shiftE  energy.ShiftCosts
 
 	lastShiftCycle uint64 // LLC-timeline cycle of the previous L3 shift
@@ -285,6 +298,9 @@ type simTelemetry struct {
 	accessesTotal *telemetry.Gauge
 	phase         *telemetry.Gauge
 	warmupDone    *telemetry.Counter
+
+	faultActive *telemetry.Counter
+	faultForced *telemetry.Counter
 }
 
 func newSimTelemetry(reg *telemetry.Registry) simTelemetry {
@@ -313,6 +329,9 @@ func newSimTelemetry(reg *telemetry.Registry) simTelemetry {
 		accessesTotal: reg.Gauge(telemetry.MetricSimAccessesTotal, "core accesses this run will simulate"),
 		phase:         reg.Gauge(telemetry.MetricSimPhase, "0 during cache warmup, 1 while measuring"),
 		warmupDone:    reg.Counter(telemetry.MetricSimWarmupAccesses, "core accesses consumed by warmup phases"),
+
+		faultActive: reg.Counter(telemetry.MetricFaultsActiveOps, "shift operations run under an active fault modulation"),
+		faultForced: reg.Counter(telemetry.MetricFaultsForced, "shift outcomes forced by a stuck-domain fault"),
 	}
 }
 
@@ -355,6 +374,9 @@ func newSystem(ctx context.Context, w trace.Workload, cfg Config) *system {
 		s.rtm = cache.NewRTMArray(cfg.Geometry, cfg.L3Capacity)
 		s.timing = shiftctrl.DefaultTiming()
 		s.em = errmodel.Model{}
+		// The plan was validated by RunCtx; New on a valid plan cannot
+		// fail, and a nil plan yields a nil (free) device.
+		s.faults, _ = faults.New(cfg.FaultPlan)
 		maxDist := cfg.Geometry.SegLen - 1
 		if maxDist < 1 {
 			maxDist = 1
@@ -654,7 +676,29 @@ func (s *system) trackSeq(seq []int) {
 	checked := s.cfg.Scheme != shiftctrl.Baseline && s.cfg.Scheme != shiftctrl.STSOnly
 	corrects := checked && s.cfg.Scheme != shiftctrl.SED
 	for _, n := range seq {
-		sdc, due := s.cfg.Scheme.FailureRates(s.em, n)
+		em := s.em
+		if s.faults != nil {
+			// One fault-plane step per shift operation: the modulation
+			// scales this operation's rates, and a stuck fault lands a
+			// concrete position error at probability 1 on one stripe.
+			mod := s.faults.Advance()
+			if !mod.Identity() {
+				em = mod.Apply(em)
+				s.tel.faultActive.Inc()
+			}
+			if mod.ForceOffset != 0 {
+				s.tel.faultForced.Inc()
+				switch s.cfg.Scheme.ClassifyOffset(mod.ForceOffset) {
+				case shiftctrl.OffsetSDC:
+					s.tracker.AddShift(1, 0)
+					s.tel.expSDC.Add(1)
+				case shiftctrl.OffsetDUE:
+					s.tracker.AddShift(0, 1)
+					s.tel.expDUE.Add(1)
+				}
+			}
+		}
+		sdc, due := s.cfg.Scheme.FailureRates(em, n)
 		s.tracker.AddShift(sdc*g, due*g)
 		s.tel.opSteps.Observe(float64(n))
 		s.tel.expSDC.Add(sdc * g)
@@ -663,7 +707,7 @@ func (s *system) trackSeq(seq []int) {
 			s.tel.checks.Inc()
 		}
 		if corrects {
-			s.tel.expCorr.Add(s.em.K1Rate(n) * g)
+			s.tel.expCorr.Add(em.K1Rate(n) * g)
 		}
 	}
 }

@@ -100,3 +100,49 @@ func (s Scheme) FailureRates(em errmodel.Model, n int) (sdc, due float64) {
 		return em.K3PlusRate(n), em.K2Rate(n)
 	}
 }
+
+// OffsetClass is the fate of one concrete position error under a
+// scheme, as classified by ClassifyOffset.
+type OffsetClass int
+
+const (
+	// OffsetOK: no position error (or one the scheme fully corrects).
+	OffsetOK OffsetClass = iota
+	// OffsetSDC: the error is silent data corruption.
+	OffsetSDC
+	// OffsetDUE: the error is detected but unrecoverable.
+	OffsetDUE
+)
+
+// ClassifyOffset classifies one concrete step offset k — a known,
+// injected position error such as a stuck-domain fault — under scheme
+// s, using the same p-ECC semantics as FailureRates. FailureRates
+// integrates the error-model distribution; ClassifyOffset answers for
+// a single deterministic outcome, which is what the fault-injection
+// plane needs to account a forced error at probability 1.
+func (s Scheme) ClassifyOffset(k int) OffsetClass {
+	if k < 0 {
+		k = -k
+	}
+	if k == 0 {
+		return OffsetOK
+	}
+	switch s {
+	case Baseline, STSOnly:
+		return OffsetSDC
+	case SED:
+		if k%2 == 1 {
+			return OffsetDUE
+		}
+		return OffsetSDC
+	default: // SECDED family: +-1 corrected, +-2 DUE, >= 3 aliases silently
+		switch k {
+		case 1:
+			return OffsetOK
+		case 2:
+			return OffsetDUE
+		default:
+			return OffsetSDC
+		}
+	}
+}

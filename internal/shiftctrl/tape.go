@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"racetrack/hifi/internal/errmodel"
+	"racetrack/hifi/internal/faults"
 	"racetrack/hifi/internal/pecc"
 	"racetrack/hifi/internal/sim"
 	"racetrack/hifi/internal/stripe"
@@ -60,6 +61,11 @@ type Tape struct {
 
 	// Mode selects the protection level; zero value is full correction.
 	Mode CheckMode
+
+	// Faults optionally modulates every sampled shift outcome with the
+	// device-plane fault injectors (internal/faults). Nil — the default
+	// and the nominal device — costs one nil check per operation.
+	Faults *faults.Device
 
 	believed int // offset the controller believes (0..SegLen-1 nominally)
 	trueOff  int // actual tape offset (oracle; hardware cannot see this)
@@ -140,7 +146,7 @@ func (t *Tape) shiftOnce(dist, dir int) {
 // position error, updating physical state and the true offset, without any
 // checking.
 func (t *Tape) applyRaw(dist, dir int) {
-	o := t.em.Sample(dist, t.rng)
+	o := t.Faults.Sample(t.em, dist, t.rng)
 	actual := dist + o.StepOffset
 	if actual < 0 {
 		actual = 0

@@ -57,6 +57,18 @@ const (
 	MetricEngineQueueLen  = "hifi_engine_queue_depth"
 	MetricEngineBusy      = "hifi_engine_workers_busy"
 	MetricEngineJobMS     = "hifi_engine_job_ms"
+	// Robustness counters: corrupt cache objects quarantined on read,
+	// journal records skipped on -resume, and job attempts abandoned at
+	// the per-job deadline. See docs/engine.md ("failure modes").
+	MetricEngineCacheCorrupt   = "hifi_engine_cache_corrupt_total"
+	MetricEngineJournalSkipped = "hifi_engine_journal_skipped_total"
+	MetricEngineJobTimeouts    = "hifi_engine_job_timeouts_total"
+
+	// Fault injection (internal/faults): operations executed under an
+	// active (non-identity) modulation and outcomes forced by a stuck
+	// fault. See docs/faults.md.
+	MetricFaultsActiveOps = "hifi_faults_active_ops_total"
+	MetricFaultsForced    = "hifi_faults_forced_total"
 
 	// Run progress (gauges, readable while a run is in flight).
 	MetricSimAccessesDone  = "hifi_sim_accesses_done"

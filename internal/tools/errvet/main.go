@@ -1,8 +1,10 @@
-// Command errvet is the repo's errcheck-style vet step: it flags
-// Close() and Flush() calls whose error result is silently dropped.
-// Those are exactly the calls where buffered data or a failed disk
-// write disappears without a trace — a report writer that loses the
-// tail of fidelity.json but exits zero is worse than one that crashes.
+// Command errvet is the repo's errcheck-style vet step. It flags two
+// patterns that silently lose failure information:
+//
+// 1. Close() and Flush() calls whose error result is dropped. Those are
+// exactly the calls where buffered data or a failed disk write
+// disappears without a trace — a report writer that loses the tail of
+// fidelity.json but exits zero is worse than one that crashes.
 //
 // A call is flagged when it appears as a bare expression statement:
 //
@@ -14,6 +16,23 @@
 //	return f.Close() // handled
 //	_ = f.Close()    // explicit, greppable discard
 //	defer f.Close()  // read-path cleanup idiom; not an ExprStmt
+//
+// 2. Swallowed cancellation causes: a select case receiving from
+// x.Done() whose body returns an explicit trailing nil without
+// consulting x.Err() or context.Cause. A worker loop written that way
+// reports success for a job that was actually cancelled or timed out —
+// the engine's retry accounting then never sees the failure:
+//
+//	case <-ctx.Done():
+//		return res, nil              // flagged: cancellation swallowed
+//	case <-ctx.Done():
+//		return res, ctx.Err()        // handled
+//	case <-actx.Done():
+//		return nil, context.Cause(actx) // handled (cause-aware)
+//	case <-stop:
+//		return nil, nil              // not a Done() channel; not flagged
+//
+// Bare `return` in a void goroutine (a feeder loop) is not flagged.
 //
 // Usage: errvet [dir ...]   (default ".", recursing; _test.go files
 // and testdata/ are skipped). Exits 1 when any call is flagged, so it
@@ -56,7 +75,7 @@ func main() {
 		}
 	}
 	if bad > 0 {
-		fmt.Fprintf(os.Stderr, "errvet: %d unchecked Close/Flush call(s); handle the error or write `_ = x.Close()`\n", bad)
+		fmt.Fprintf(os.Stderr, "errvet: %d finding(s); handle the error (or write `_ = x.Close()` / return x.Err())\n", bad)
 		os.Exit(1)
 	}
 }
@@ -94,25 +113,108 @@ func checkFile(path string) (int, error) {
 	}
 	bad := 0
 	ast.Inspect(f, func(n ast.Node) bool {
-		stmt, ok := n.(*ast.ExprStmt)
-		if !ok {
-			return true
+		switch v := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := v.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !flagged[sel.Sel.Name] || len(call.Args) > 0 {
+				return true
+			}
+			pos := fset.Position(v.Pos())
+			fmt.Printf("%s:%d: result of %s.%s() is dropped\n",
+				pos.Filename, pos.Line, exprString(sel.X), sel.Sel.Name)
+			bad++
+		case *ast.CommClause:
+			bad += checkDoneClause(fset, v)
 		}
-		call, ok := stmt.X.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || !flagged[sel.Sel.Name] || len(call.Args) > 0 {
-			return true
-		}
-		pos := fset.Position(stmt.Pos())
-		fmt.Printf("%s:%d: result of %s.%s() is dropped\n",
-			pos.Filename, pos.Line, exprString(sel.X), sel.Sel.Name)
-		bad++
 		return true
 	})
 	return bad, nil
+}
+
+// checkDoneClause flags a `case <-x.Done():` whose body returns an
+// explicit trailing nil without referencing x.Err() (any receiver's
+// .Err(), conservatively) or context.Cause — the shape that swallows a
+// cancellation and reports it as success.
+func checkDoneClause(fset *token.FileSet, cc *ast.CommClause) int {
+	recv := doneReceiver(cc.Comm)
+	if recv == "" {
+		return 0
+	}
+	consulted := false
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+				name := sel.Sel.Name
+				// x.Err() / errors.Is(...) / context.Cause(actx) all
+				// carry the cancellation out of the clause.
+				if name == "Err" || name == "Cause" || name == "Is" || name == "As" {
+					consulted = true
+					return false
+				}
+			}
+			return true
+		})
+	}
+	if consulted {
+		return 0
+	}
+	bad := 0
+	for _, stmt := range cc.Body {
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false // nested function bodies return elsewhere
+			}
+			ret, ok := n.(*ast.ReturnStmt)
+			if !ok || len(ret.Results) == 0 {
+				return true
+			}
+			last, ok := ret.Results[len(ret.Results)-1].(*ast.Ident)
+			if !ok || last.Name != "nil" {
+				return true
+			}
+			pos := fset.Position(ret.Pos())
+			fmt.Printf("%s:%d: select on %s.Done() returns nil without consulting %s.Err() or context.Cause\n",
+				pos.Filename, pos.Line, recv, recv)
+			bad++
+			return true
+		})
+	}
+	return bad
+}
+
+// doneReceiver returns the rendered receiver of a `<-x.Done()` comm
+// statement ("" when the clause receives from anything else).
+func doneReceiver(comm ast.Stmt) string {
+	var expr ast.Expr
+	switch v := comm.(type) {
+	case *ast.ExprStmt:
+		expr = v.X
+	case *ast.AssignStmt:
+		if len(v.Rhs) == 1 {
+			expr = v.Rhs[0]
+		}
+	}
+	un, ok := expr.(*ast.UnaryExpr)
+	if !ok || un.Op != token.ARROW {
+		return ""
+	}
+	call, ok := un.X.(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" || len(call.Args) > 0 {
+		return ""
+	}
+	return exprString(sel.X)
 }
 
 // exprString renders simple receivers for the message; anything

@@ -1,0 +1,133 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// write puts one source file in a fresh temp dir and returns its path.
+func write(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func count(t *testing.T, src string) int {
+	t.Helper()
+	n, err := checkFile(write(t, src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestFlagsDroppedCloseAndFlush(t *testing.T) {
+	src := `package p
+func f(c interface{ Close() error }) {
+	c.Close()          // flagged
+	_ = c.Close()      // discarded visibly
+	defer c.Close()    // cleanup idiom
+	err := c.Close()   // handled
+	_ = err
+}`
+	if got := count(t, src); got != 1 {
+		t.Errorf("flagged %d calls, want 1", got)
+	}
+}
+
+func TestFlagsSwallowedCancellation(t *testing.T) {
+	src := `package p
+import "context"
+func f(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, nil // flagged: cancellation reported as success
+	}
+}`
+	if got := count(t, src); got != 1 {
+		t.Errorf("flagged %d clauses, want 1", got)
+	}
+}
+
+func TestAcceptsConsultedCancellation(t *testing.T) {
+	src := `package p
+import "context"
+func f(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+}
+func g(actx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-actx.Done():
+		return 0, context.Cause(actx)
+	}
+}
+func h(ctx context.Context, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-ctx.Done():
+		if err := context.Cause(ctx); err != nil {
+			return 0, err
+		}
+		return 0, nil // reachable only when the cause was consulted
+	}
+}`
+	if got := count(t, src); got != 0 {
+		t.Errorf("flagged %d clauses, want 0", got)
+	}
+}
+
+func TestAcceptsNonDoneChannelsAndVoidReturns(t *testing.T) {
+	src := `package p
+import "context"
+func feeder(ctx context.Context, out chan int) {
+	for i := 0; ; i++ {
+		select {
+		case out <- i:
+		case <-ctx.Done():
+			return // void feeder loop: nothing to report
+		}
+	}
+}
+func stopper(stop chan struct{}, ch chan int) (int, error) {
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-stop:
+		return 0, nil // plain stop channel carries no cause
+	}
+}`
+	if got := count(t, src); got != 0 {
+		t.Errorf("flagged %d clauses, want 0", got)
+	}
+}
+
+func TestNestedFuncLitDoesNotLeakReturns(t *testing.T) {
+	src := `package p
+import "context"
+func f(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		fn := func() (int, error) { return 0, nil } // inner return is fn's
+		_ = fn
+		return ctx.Err()
+	}
+}`
+	if got := count(t, src); got != 0 {
+		t.Errorf("flagged %d clauses, want 0", got)
+	}
+}
