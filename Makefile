@@ -3,17 +3,18 @@
 #   make tier1           build + unit tests (the seed gate)
 #   make ci              tier-1 plus vet and the race detector
 #   make bench           full benchmark sweep (go test -bench)
-#   make bench-snapshot  pinned hifi-bench suite -> BENCH_<rev>.json
+#   make bench-snapshot  pinned hifi-bench suite -> BENCH_<utc-date>.json
 #   make bench-smoke     quick suite + self-compare (CI regression gate dry run)
+#   make perf-smoke      profile capture + self-time export + trajectory check
 #   make engine-smoke    parallel-sweep determinism + cache-reuse check
 #   make chaos           fault-injection tests + seeded campaign + off==nominal
 #   make fidelity        scaled sweep scored against the paper anchors
 #   make report          render the evaluation report (scaled)
 
 GO ?= go
-REV := $(shell git rev-parse --short HEAD 2>/dev/null || echo dev)
+DATE := $(shell date -u +%F)
 
-.PHONY: all tier1 ci vet race test build bench bench-snapshot bench-smoke engine-smoke chaos fidelity report fmt clean
+.PHONY: all tier1 ci vet race test build bench bench-snapshot bench-smoke perf-smoke engine-smoke chaos fidelity report fmt clean
 
 all: tier1
 
@@ -43,10 +44,14 @@ bench:
 
 # bench-snapshot runs the pinned micro+macro suite (hifi-bench) and
 # archives the ns/op + domain-rate snapshot for the performance
-# trajectory. Compare two revisions with:
+# trajectory. Snapshots are date-stamped (BENCH_<utc-date>.json) so a
+# sorted directory listing IS the trajectory; commit the file to extend
+# it. Compare two with:
 #   go run ./cmd/hifi-bench -compare BENCH_old.json BENCH_new.json
+# and render the whole history with:
+#   go run ./cmd/hifi-bench -trajectory BENCH_*.json
 bench-snapshot:
-	$(GO) run ./cmd/hifi-bench -out BENCH_$(REV).json
+	$(GO) run ./cmd/hifi-bench -out BENCH_$(DATE).json
 
 # bench-smoke is the CI shape: quick suite, then a self-compare to prove
 # the gate machinery works (always passes; the regression gate proper runs
@@ -54,6 +59,25 @@ bench-snapshot:
 bench-smoke:
 	$(GO) run ./cmd/hifi-bench -quick -out BENCH_smoke.json
 	$(GO) run ./cmd/hifi-bench -compare BENCH_smoke.json BENCH_smoke.json
+
+# perf-smoke is the local version of CI's perf job: a sweep with pprof
+# capture and self-time export on, existence checks on every artifact,
+# and a trajectory over the committed baseline(s) plus a fresh quick
+# snapshot (docs/perf.md).
+perf-smoke:
+	rm -rf /tmp/hifi-perf && mkdir -p /tmp/hifi-perf
+	$(GO) run ./cmd/hifi-experiments -run fig14 -scaled -accesses 1000 -q \
+		-profile cpu,heap -profile-out /tmp/hifi-perf/run \
+		-perf-out /tmp/hifi-perf/perf.json \
+		-manifest-out /tmp/hifi-perf/run.manifest.json >/dev/null
+	test -s /tmp/hifi-perf/run.cpu.pprof
+	test -s /tmp/hifi-perf/run.heap.pprof
+	grep -q hifi_perf_v1 /tmp/hifi-perf/perf.json
+	grep -q cpu.pprof /tmp/hifi-perf/run.manifest.json
+	$(GO) run ./cmd/hifi-bench -quick -q -out /tmp/hifi-perf/BENCH_now.json
+	$(GO) run ./cmd/hifi-bench -trajectory -svg-out /tmp/hifi-perf/trend.svg \
+		BENCH_*.json /tmp/hifi-perf/BENCH_now.json
+	test -s /tmp/hifi-perf/trend.svg
 
 # engine-smoke is the local version of CI's engine job: tables must be
 # byte-identical at any -jobs, and a repeated cached sweep must execute
@@ -93,6 +117,8 @@ report:
 fmt:
 	gofmt -w .
 
+# clean spares the date-stamped BENCH_*.json snapshots: those are
+# committed history (the bench trajectory), not build products.
 clean:
-	rm -f report.md report.html fidelity.json BENCH_*.json BENCH_*.prom \
-		*.manifest.json *.spans.json *.folded
+	rm -f report.md report.html fidelity.json BENCH_smoke.json \
+		*.manifest.json *.spans.json *.folded *.pprof

@@ -11,6 +11,8 @@
 //	hifi-bench -quick -out BENCH_ci.json        # smaller workloads (CI smoke)
 //	hifi-bench -compare BENCH_old.json          # run now, compare, exit 1 on >10% slowdown
 //	hifi-bench -compare BENCH_old.json BENCH_new.json   # compare two files
+//	hifi-bench -trajectory BENCH_*.json         # first-vs-last deltas over >= 2 snapshots
+//	hifi-bench -trajectory -svg-out trend.svg BENCH_*.json   # plus the trend chart
 package main
 
 import (
@@ -35,12 +37,15 @@ import (
 
 func main() {
 	var (
-		out       = flag.String("out", "", "snapshot output path (default BENCH_<date>.json)")
-		quick     = flag.Bool("quick", false, "smaller workloads for CI smoke runs")
-		compare   = flag.Bool("compare", false, "compare mode: hifi-bench -compare OLD [NEW]")
-		threshold = flag.Float64("threshold", bench.DefaultThreshold, "relative ns/op slowdown treated as a regression")
-		verbose   = flag.Bool("v", false, "debug logging (overrides HIFI_LOG)")
-		quiet     = flag.Bool("q", false, "errors only (overrides HIFI_LOG)")
+		out        = flag.String("out", "", "snapshot output path (default BENCH_<date>.json)")
+		quick      = flag.Bool("quick", false, "smaller workloads for CI smoke runs")
+		compare    = flag.Bool("compare", false, "compare mode: hifi-bench -compare OLD [NEW]")
+		threshold  = flag.Float64("threshold", bench.DefaultThreshold, "relative ns/op slowdown treated as a regression")
+		allocThr   = flag.Float64("alloc-threshold", bench.DefaultAllocThreshold, "relative allocs/op growth treated as a regression (negative disables the gate)")
+		trajectory = flag.Bool("trajectory", false, "trajectory mode: hifi-bench -trajectory SNAP.json... (>= 2 snapshots)")
+		svgOut     = flag.String("svg-out", "", "with -trajectory, write the trend chart SVG here")
+		verbose    = flag.Bool("v", false, "debug logging (overrides HIFI_LOG)")
+		quiet      = flag.Bool("q", false, "errors only (overrides HIFI_LOG)")
 	)
 	flag.Parse()
 	switch {
@@ -51,7 +56,11 @@ func main() {
 	}
 
 	if *compare {
-		runCompare(flag.Args(), *quick, *threshold)
+		runCompare(flag.Args(), *quick, *threshold, *allocThr)
+		return
+	}
+	if *trajectory {
+		runTrajectory(flag.Args(), *svgOut)
 		return
 	}
 
@@ -69,8 +78,8 @@ func main() {
 
 // runCompare loads the baseline, obtains the candidate (second file or a
 // fresh run), prints the per-benchmark deltas, and exits 1 if any exceeds
-// the threshold.
-func runCompare(args []string, quick bool, threshold float64) {
+// the ns/op or allocs/op threshold.
+func runCompare(args []string, quick bool, threshold, allocThr float64) {
 	if len(args) < 1 || len(args) > 2 {
 		log.Errorf("hifi-bench: -compare needs OLD.json [NEW.json]")
 		os.Exit(2)
@@ -89,27 +98,58 @@ func runCompare(args []string, quick bool, threshold float64) {
 	}
 
 	deltas := bench.Compare(old, cur)
-	fmt.Printf("%-24s %14s %14s %8s\n", "benchmark", "old ns/op", "new ns/op", "ratio")
-	for _, d := range deltas {
-		if d.MissingNew {
-			fmt.Printf("%-24s %14.0f %14s %8s\n", d.Name, d.Old, "missing", "-")
-			continue
-		}
-		fmt.Printf("%-24s %14.0f %14.0f %7.2fx\n", d.Name, d.Old, d.New, d.Ratio)
-	}
-	regs := bench.Regressions(deltas, threshold)
+	printDeltas(deltas)
+	regs := bench.Regressions(deltas, threshold, allocThr)
 	if len(regs) > 0 {
 		for _, d := range regs {
-			if d.MissingNew {
+			switch {
+			case d.MissingNew:
 				log.Errorf("hifi-bench: %s missing from new snapshot", d.Name)
-			} else {
+			case d.Regressed(threshold):
 				log.Errorf("hifi-bench: %s regressed %.1f%% (threshold %.0f%%)",
 					d.Name, 100*(d.Ratio-1), 100*threshold)
+			default:
+				log.Errorf("hifi-bench: %s allocs/op grew %d -> %d (threshold %.0f%%)",
+					d.Name, d.OldAllocs, d.NewAllocs, 100*allocThr)
 			}
 		}
 		os.Exit(1)
 	}
-	log.Infof("no regression beyond %.0f%% across %d benchmarks", 100*threshold, len(deltas))
+	log.Infof("no regression beyond %.0f%% ns/op or %.0f%% allocs/op across %d benchmarks",
+		100*threshold, 100*allocThr, len(deltas))
+}
+
+// printDeltas renders the shared delta table for compare and trajectory.
+func printDeltas(deltas []bench.Delta) {
+	fmt.Printf("%-24s %14s %14s %8s %18s\n", "benchmark", "old ns/op", "new ns/op", "ratio", "allocs/op")
+	for _, d := range deltas {
+		if d.MissingNew {
+			fmt.Printf("%-24s %14.0f %14s %8s %18s\n", d.Name, d.Old, "missing", "-", "-")
+			continue
+		}
+		fmt.Printf("%-24s %14.0f %14.0f %7.2fx %8d -> %7d\n",
+			d.Name, d.Old, d.New, d.Ratio, d.OldAllocs, d.NewAllocs)
+	}
+}
+
+// runTrajectory folds the named snapshots into first-vs-last deltas and,
+// optionally, the SVG trend chart. Informational: it never exits non-zero
+// on a slowdown — history is reported, not gated.
+func runTrajectory(paths []string, svgOut string) {
+	tr, err := bench.LoadTrajectory(paths)
+	if err != nil {
+		log.Fatalf("hifi-bench: %v", err)
+	}
+	first, last := tr.Snapshots[0], tr.Snapshots[len(tr.Snapshots)-1]
+	fmt.Printf("trajectory over %d snapshots: %s (%s) -> %s (%s)\n",
+		len(tr.Snapshots), first.Path, first.DateUTC, last.Path, last.DateUTC)
+	printDeltas(tr.Deltas())
+	if svgOut != "" {
+		if err := os.WriteFile(svgOut, []byte(tr.SVG()), 0o644); err != nil {
+			log.Fatalf("hifi-bench: %v", err)
+		}
+		log.Infof("wrote %s", svgOut)
+	}
 }
 
 // runSuite executes the pinned suite and stamps provenance. Workload sizes

@@ -106,6 +106,7 @@ func main() {
 	}
 	for i, k := range keys {
 		log.Infof("running %s (%d/%d)", k, i+1, len(keys))
+		obs.Phase(k)
 		// One span per experiment; the generators are keyed closures that
 		// capture opts by value, so rebuild the index with this
 		// experiment's span context threaded in.

@@ -22,11 +22,15 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 
+	"racetrack/hifi/internal/bench"
 	"racetrack/hifi/internal/cliutil"
+	"racetrack/hifi/internal/engine"
 	"racetrack/hifi/internal/experiments"
 	"racetrack/hifi/internal/fidelity"
+	"racetrack/hifi/internal/profile"
 	"racetrack/hifi/internal/report"
 	"racetrack/hifi/internal/telemetry"
 	"racetrack/hifi/internal/telemetry/log"
@@ -41,10 +45,17 @@ func main() {
 		scaled       = flag.Bool("scaled", false, "scaled-down hierarchy")
 		accesses     = flag.Int("accesses", 0, "trace length per core (0 = default)")
 		seed         = flag.Uint64("seed", 1, "trace seed")
+		benchGlob    = flag.String("bench-glob", "BENCH_*.json",
+			"bench snapshots for the HTML report's trajectory section (empty disables)")
 	)
 	obs := cliutil.NewObs("hifi-report")
 	engFlags := cliutil.NewEngineFlags()
 	flag.Parse()
+	if *htmlOut != "" {
+		// The HTML report's Performance section folds the span tree into
+		// self-time tables, so spans are collected even without -spans-out.
+		obs.EnableSpans()
+	}
 	ctx := obs.Start()
 	eng, err := engFlags.Build(obs)
 	if err != nil {
@@ -67,6 +78,7 @@ func main() {
 	tables := make(map[string]experiments.Table, len(order))
 	for i, k := range order {
 		log.Infof("running %s (%d/%d)", k, i+1, len(order))
+		obs.Phase(k)
 		kctx, ksp := telemetry.StartSpan(ctx, "experiment:"+k)
 		opts.Ctx = kctx
 		tables[k] = experiments.All(opts)[k]()
@@ -104,7 +116,7 @@ func main() {
 	}
 
 	if *htmlOut != "" {
-		if err := writeReport(*htmlOut, string(buildHTML(obs, order, tables, scorecard, *scaled, opts))); err != nil {
+		if err := writeReport(*htmlOut, string(buildHTML(obs, eng, *benchGlob, order, tables, scorecard, *scaled, opts))); err != nil {
 			log.Fatalf("hifi-report: %v", err)
 		}
 		obs.AddOutput(*htmlOut)
@@ -123,9 +135,12 @@ func main() {
 }
 
 // buildHTML assembles the report.Data from everything the run
-// produced: tables, scorecard, sampled time-series, span tree, and the
-// manifest-so-far (finished separately by obs.Finish).
-func buildHTML(obs *cliutil.Obs, order []string, tables map[string]experiments.Table,
+// produced: tables, scorecard, sampled time-series, span tree, the
+// performance section (self-time analysis, bench trajectory, per-job
+// resources), and the manifest-so-far (finished separately by
+// obs.Finish).
+func buildHTML(obs *cliutil.Obs, eng *engine.Engine, benchGlob string,
+	order []string, tables map[string]experiments.Table,
 	sc fidelity.Scorecard, scaled bool, opts experiments.RunOpts) []byte {
 	d := report.Data{
 		Title: "Hi-fi Playback reproduction report",
@@ -144,12 +159,38 @@ func buildHTML(obs *cliutil.Obs, order []string, tables map[string]experiments.T
 	if obs.Col != nil {
 		e := obs.Col.Export()
 		d.Spans = &e
+		d.Perf = profile.Analyze(e)
+		d.Perf.Heap = profile.HeapHotspots(profile.DefaultHeapTop)
 	}
+	if eng != nil {
+		rs := eng.Resources()
+		d.Resources = &rs
+	}
+	d.Trajectory = loadTrajectory(benchGlob)
 	var mb bytes.Buffer
 	if err := obs.Man.WriteJSON(&mb); err == nil {
 		d.ManifestJSON = mb.Bytes()
 	}
 	return report.HTML(d)
+}
+
+// loadTrajectory folds the committed bench snapshots matching glob into
+// the report's trajectory. Fewer than two snapshots (or a bad glob) just
+// drops the subsection — the report must render on a fresh checkout.
+func loadTrajectory(glob string) *bench.Trajectory {
+	if glob == "" {
+		return nil
+	}
+	paths, err := filepath.Glob(glob)
+	if err != nil || len(paths) < 2 {
+		return nil
+	}
+	tr, err := bench.LoadTrajectory(paths)
+	if err != nil {
+		log.Errorf("hifi-report: bench trajectory: %v", err)
+		return nil
+	}
+	return tr
 }
 
 func renderMarkdown(order []string, tables map[string]experiments.Table,

@@ -20,6 +20,11 @@ const SchemaVersion = 1
 // (0.10 = 10% slower than the baseline).
 const DefaultThreshold = 0.10
 
+// DefaultAllocThreshold is the relative allocs/op growth treated as a
+// regression. Allocation counts are deterministic where timings are noisy,
+// so the gate can be tighter than the ns/op one.
+const DefaultAllocThreshold = 0.05
+
 // Result is one benchmark's measurement.
 type Result struct {
 	Name        string  `json:"name"`
@@ -83,6 +88,10 @@ type Delta struct {
 	Name string
 	// Old and New are ns/op; Ratio is New/Old (1.0 = unchanged).
 	Old, New, Ratio float64
+	// OldAllocs and NewAllocs are allocs/op; AllocRatio is new/old
+	// (0 when the baseline allocated nothing).
+	OldAllocs, NewAllocs int64
+	AllocRatio           float64
 	// MissingNew marks a baseline benchmark absent from the new snapshot
 	// (renamed or deleted — surfaced so a regression cannot hide behind a
 	// rename).
@@ -99,6 +108,19 @@ func (d Delta) Regressed(threshold float64) bool {
 	return d.Old > 0 && d.Ratio > 1+threshold
 }
 
+// AllocRegressed reports whether allocs/op grew beyond the threshold. A
+// missing benchmark is already caught by Regressed, so it is not repeated
+// here; a baseline of zero allocations regresses on any new allocation.
+func (d Delta) AllocRegressed(threshold float64) bool {
+	if d.MissingNew {
+		return false
+	}
+	if d.OldAllocs == 0 {
+		return d.NewAllocs > 0
+	}
+	return d.AllocRatio > 1+threshold
+}
+
 // Compare matches benchmarks by name and returns one delta per baseline
 // entry, sorted by name. Benchmarks only present in the new snapshot are
 // ignored (additions are not regressions).
@@ -109,11 +131,15 @@ func Compare(old, cur *Snapshot) []Delta {
 	}
 	deltas := make([]Delta, 0, len(old.Results))
 	for _, o := range old.Results {
-		d := Delta{Name: o.Name, Old: o.NsPerOp}
+		d := Delta{Name: o.Name, Old: o.NsPerOp, OldAllocs: o.AllocsPerOp}
 		if n, ok := newByName[o.Name]; ok {
 			d.New = n.NsPerOp
+			d.NewAllocs = n.AllocsPerOp
 			if o.NsPerOp > 0 {
 				d.Ratio = n.NsPerOp / o.NsPerOp
+			}
+			if o.AllocsPerOp > 0 {
+				d.AllocRatio = float64(n.AllocsPerOp) / float64(o.AllocsPerOp)
 			}
 		} else {
 			d.MissingNew = true
@@ -124,11 +150,13 @@ func Compare(old, cur *Snapshot) []Delta {
 	return deltas
 }
 
-// Regressions filters the deltas that breach the threshold.
-func Regressions(deltas []Delta, threshold float64) []Delta {
+// Regressions filters the deltas that breach either gate: the ns/op
+// slowdown threshold or the allocs/op growth threshold. An allocThreshold
+// < 0 disables the allocation gate (timing-only comparison).
+func Regressions(deltas []Delta, threshold, allocThreshold float64) []Delta {
 	var out []Delta
 	for _, d := range deltas {
-		if d.Regressed(threshold) {
+		if d.Regressed(threshold) || (allocThreshold >= 0 && d.AllocRegressed(allocThreshold)) {
 			out = append(out, d)
 		}
 	}

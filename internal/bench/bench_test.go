@@ -57,7 +57,7 @@ func TestCompareFlagsTwentyPercentSlowdown(t *testing.T) {
 		Result{Name: "pecc-decode", NsPerOp: 52.5},   // +5%
 	)
 	deltas := Compare(old, cur)
-	regs := Regressions(deltas, DefaultThreshold)
+	regs := Regressions(deltas, DefaultThreshold, DefaultAllocThreshold)
 	if len(regs) != 1 || regs[0].Name != "rtm-shift-loop" {
 		t.Fatalf("regressions = %+v, want only rtm-shift-loop", regs)
 	}
@@ -75,7 +75,7 @@ func TestCompareImprovementAndMissing(t *testing.T) {
 		Result{Name: "a", NsPerOp: 60}, // faster: never a regression
 		Result{Name: "new-one", NsPerOp: 999},
 	)
-	regs := Regressions(Compare(old, cur), DefaultThreshold)
+	regs := Regressions(Compare(old, cur), DefaultThreshold, DefaultAllocThreshold)
 	if len(regs) != 1 || regs[0].Name != "gone" || !regs[0].MissingNew {
 		t.Fatalf("regressions = %+v, want only the missing benchmark", regs)
 	}

@@ -1,0 +1,278 @@
+package bench
+
+// The bench trajectory: an ordered walk over the repository's committed
+// BENCH_*.json snapshots. Where Compare answers "did this change regress
+// the suite?", a Trajectory answers "how has the suite moved over the
+// project's history?" — per-benchmark ns/op and allocs/op series from the
+// oldest snapshot to the newest, a first-vs-last delta table, and a
+// dependency-free SVG trend chart the HTML report embeds.
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Point is one benchmark's measurement in one snapshot.
+type Point struct {
+	DateUTC     string  `json:"date_utc"`
+	GitSHA      string  `json:"git_sha,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Missing marks a snapshot that did not include this benchmark (added
+	// later or since removed); the chart breaks the line there.
+	Missing bool `json:"missing,omitempty"`
+}
+
+// Series is one benchmark's history across every loaded snapshot, in
+// snapshot order.
+type Series struct {
+	Name   string  `json:"name"`
+	Points []Point `json:"points"`
+}
+
+// SnapshotMeta identifies one loaded snapshot in trajectory order.
+type SnapshotMeta struct {
+	Path    string `json:"path"`
+	DateUTC string `json:"date_utc"`
+	GitSHA  string `json:"git_sha,omitempty"`
+	Quick   bool   `json:"quick,omitempty"`
+}
+
+// Trajectory is the ordered snapshot sequence folded into per-benchmark
+// series. Series are sorted by name; snapshots by DateUTC then path, so
+// the same file set always yields the same trajectory.
+type Trajectory struct {
+	Snapshots []SnapshotMeta `json:"snapshots"`
+	Series    []Series       `json:"series"`
+}
+
+// LoadTrajectory reads each path as a snapshot and builds the trajectory.
+// At least two snapshots are required — a single point has no direction.
+func LoadTrajectory(paths []string) (*Trajectory, error) {
+	if len(paths) < 2 {
+		return nil, fmt.Errorf("bench: trajectory needs >= 2 snapshots, have %d", len(paths))
+	}
+	type loaded struct {
+		path string
+		snap *Snapshot
+	}
+	snaps := make([]loaded, 0, len(paths))
+	for _, p := range paths {
+		s, err := ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		snaps = append(snaps, loaded{p, s})
+	}
+	sort.Slice(snaps, func(i, j int) bool {
+		if snaps[i].snap.DateUTC != snaps[j].snap.DateUTC {
+			return snaps[i].snap.DateUTC < snaps[j].snap.DateUTC
+		}
+		return snaps[i].path < snaps[j].path
+	})
+
+	t := &Trajectory{}
+	names := map[string]bool{}
+	for _, l := range snaps {
+		t.Snapshots = append(t.Snapshots, SnapshotMeta{
+			Path:    l.path,
+			DateUTC: l.snap.DateUTC,
+			GitSHA:  l.snap.GitSHA,
+			Quick:   l.snap.Quick,
+		})
+		for _, r := range l.snap.Results {
+			names[r.Name] = true
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	for _, name := range ordered {
+		s := Series{Name: name}
+		for _, l := range snaps {
+			pt := Point{DateUTC: l.snap.DateUTC, GitSHA: l.snap.GitSHA, Missing: true}
+			for _, r := range l.snap.Results {
+				if r.Name == name {
+					pt.NsPerOp, pt.AllocsPerOp, pt.Missing = r.NsPerOp, r.AllocsPerOp, false
+					break
+				}
+			}
+			s.Points = append(s.Points, pt)
+		}
+		t.Series = append(t.Series, s)
+	}
+	return t, nil
+}
+
+// Deltas compares each benchmark's oldest measurement against its newest
+// (skipping missing points at either end), reusing the Compare delta type
+// so gates and rendering are shared with two-snapshot comparisons.
+func (t *Trajectory) Deltas() []Delta {
+	var deltas []Delta
+	for _, s := range t.Series {
+		first, last := -1, -1
+		for i, p := range s.Points {
+			if p.Missing {
+				continue
+			}
+			if first < 0 {
+				first = i
+			}
+			last = i
+		}
+		if first < 0 || first == last {
+			continue // seen once or never: no direction
+		}
+		f, l := s.Points[first], s.Points[last]
+		d := Delta{
+			Name: s.Name,
+			Old:  f.NsPerOp, New: l.NsPerOp,
+			OldAllocs: f.AllocsPerOp, NewAllocs: l.AllocsPerOp,
+		}
+		if f.NsPerOp > 0 {
+			d.Ratio = l.NsPerOp / f.NsPerOp
+		}
+		if f.AllocsPerOp > 0 {
+			d.AllocRatio = float64(l.AllocsPerOp) / float64(f.AllocsPerOp)
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas
+}
+
+// SVG chart geometry. The chart plots each benchmark's ns/op normalised
+// to its own first measurement (1.0 = no change), because the suite spans
+// five orders of magnitude and an absolute axis would flatten everything
+// but the slowest benchmark.
+const (
+	svgW        = 720
+	svgH        = 300
+	svgPadL     = 56
+	svgPadR     = 160
+	svgPadT     = 16
+	svgPadB     = 36
+	svgMinRatio = 0.25 // clamp the y axis to [0.25x, 4x] around baseline
+	svgMaxRatio = 4.0
+)
+
+// svgPalette cycles per series; plain hex so the SVG needs no CSS.
+var svgPalette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b", "#17becf"}
+
+// SVG renders the normalised trend chart as a standalone SVG element.
+// Output is a pure function of the trajectory, so the report stays
+// byte-deterministic for a given snapshot set.
+func (t *Trajectory) SVG() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 %d %d" width="%d" height="%d" role="img" aria-label="benchmark ns/op trajectory">`,
+		svgW, svgH, svgW, svgH)
+	b.WriteString("\n")
+
+	n := len(t.Snapshots)
+	plotW := float64(svgW - svgPadL - svgPadR)
+	plotH := float64(svgH - svgPadT - svgPadB)
+	x := func(i int) float64 {
+		if n <= 1 {
+			return svgPadL + plotW/2
+		}
+		return svgPadL + plotW*float64(i)/float64(n-1)
+	}
+	// log2 scale: 1.0 in the middle band, clamped to the ratio window.
+	y := func(ratio float64) float64 {
+		if ratio < svgMinRatio {
+			ratio = svgMinRatio
+		}
+		if ratio > svgMaxRatio {
+			ratio = svgMaxRatio
+		}
+		span := math.Log2(svgMaxRatio) - math.Log2(svgMinRatio)
+		frac := (math.Log2(svgMaxRatio) - math.Log2(ratio)) / span
+		return svgPadT + plotH*frac
+	}
+
+	// Gridlines at 0.5x, 1x, 2x with the 1x baseline emphasised.
+	for _, g := range []struct {
+		ratio float64
+		label string
+	}{{0.5, "0.5x"}, {1, "1x"}, {2, "2x"}} {
+		gy := y(g.ratio)
+		stroke := "#ddd"
+		if g.ratio == 1 {
+			stroke = "#999"
+		}
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="%s" stroke-width="1"/>`,
+			svgPadL, gy, svgW-svgPadR, gy, stroke)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" fill="#666" text-anchor="end">%s</text>`,
+			svgPadL-6, gy+4, g.label)
+		b.WriteString("\n")
+	}
+	// X labels: snapshot dates (date part only), first/last always, the
+	// rest thinned to avoid overlap.
+	step := 1
+	if n > 6 {
+		step = (n + 5) / 6
+	}
+	for i, sm := range t.Snapshots {
+		if i%step != 0 && i != n-1 {
+			continue
+		}
+		label := sm.DateUTC
+		if len(label) > 10 {
+			label = label[:10]
+		}
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-size="11" fill="#666" text-anchor="middle">%s</text>`,
+			x(i), svgH-svgPadB+24, label)
+		b.WriteString("\n")
+	}
+
+	for si, s := range t.Series {
+		color := svgPalette[si%len(svgPalette)]
+		base := 0.0
+		for _, p := range s.Points {
+			if !p.Missing && p.NsPerOp > 0 {
+				base = p.NsPerOp
+				break
+			}
+		}
+		if base == 0 {
+			continue
+		}
+		var seg []string
+		flush := func() {
+			if len(seg) >= 2 {
+				fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.5"/>`,
+					strings.Join(seg, " "), color)
+				b.WriteString("\n")
+			}
+			seg = seg[:0]
+		}
+		lastRatio := 1.0
+		for i, p := range s.Points {
+			if p.Missing || p.NsPerOp <= 0 {
+				flush()
+				continue
+			}
+			ratio := p.NsPerOp / base
+			lastRatio = ratio
+			px, py := x(i), y(ratio)
+			seg = append(seg, fmt.Sprintf("%.1f,%.1f", px, py))
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="2.5" fill="%s"/>`, px, py, color)
+			b.WriteString("\n")
+		}
+		flush()
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" font-size="11" fill="%s">%s (%.2fx)</text>`,
+			svgW-svgPadR+8, svgPadT+14+float64(si)*14, color, svgEscape(s.Name), lastRatio)
+		b.WriteString("\n")
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// svgEscape covers the characters meaningful inside SVG text nodes.
+func svgEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}

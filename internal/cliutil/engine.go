@@ -105,6 +105,9 @@ func (ef *EngineFlags) Build(o *Obs) (*engine.Engine, error) {
 	if o != nil && o.Mux != nil {
 		o.Mux.Handle("/engine", eng.StatusHandler())
 	}
+	if o != nil {
+		o.SetPerfResources(func() any { return eng.Resources() })
+	}
 	return eng, nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"racetrack/hifi/internal/profile"
 	"racetrack/hifi/internal/telemetry"
 	"racetrack/hifi/internal/telemetry/log"
 	"racetrack/hifi/internal/telemetry/timeseries"
@@ -34,6 +35,10 @@ type Obs struct {
 	tsOut       *string
 	tsEvery     *int
 	tsWall      *time.Duration
+	profKinds   *string
+	profOut     *string
+	profPhases  *bool
+	perfOut     *string
 	verbose     *bool
 	quiet       *bool
 
@@ -55,7 +60,14 @@ type Obs struct {
 	// safe for Handle calls while serving.
 	Mux *http.ServeMux
 
-	root *telemetry.Span
+	// Cap is the automated pprof capture (nil unless -profile named at
+	// least one kind). Perf is the self-time analyzer behind /perf and
+	// -perf-out (nil unless spans are being collected).
+	Cap  *profile.Capture
+	Perf *profile.Handler
+
+	forceSpans bool
+	root       *telemetry.Span
 }
 
 // NewObs registers the shared observability flags on the default flag set.
@@ -79,6 +91,14 @@ func AddFlags(fs *flag.FlagSet, tool string) *Obs {
 		"time-series window width in simulated accesses")
 	o.tsWall = fs.Duration("timeseries-wall", 0,
 		"additionally cut a time-series window at this wall-clock interval (0 disables; nondeterministic)")
+	o.profKinds = fs.String("profile", "",
+		"capture pprof profiles: comma-separated cpu,heap,allocs,mutex,block or \"all\"")
+	o.profOut = fs.String("profile-out", "",
+		"profile base path; files land at <base>.<kind>.pprof (default: next to the manifest)")
+	o.profPhases = fs.Bool("profile-phases", false,
+		"rotate the CPU profile and snapshot the heap at each phase boundary")
+	o.perfOut = fs.String("perf-out", "",
+		"write the span self-time analysis (hifi_perf_v1 JSON) to this file")
 	o.verbose = fs.Bool("v", false, "debug logging (overrides HIFI_LOG)")
 	o.quiet = fs.Bool("q", false, "errors only (overrides HIFI_LOG)")
 	return o
@@ -96,6 +116,11 @@ func (o *Obs) EnableMetrics() {
 // on disk (as opposed to a registry forced by the tool itself).
 func (o *Obs) MetricsRequested() bool { return *o.metricsOut != "" }
 
+// EnableSpans forces span collection even when -spans-out is unset, for
+// tools that consume the span tree themselves (hifi-report's self-time
+// section). Call before Start.
+func (o *Obs) EnableSpans() { o.forceSpans = true }
+
 // Start applies the log level, builds the telemetry objects the parsed
 // flags call for, starts the status server, captures the resolved
 // configuration into the manifest, and opens the root span. The returned
@@ -111,8 +136,12 @@ func (o *Obs) Start() context.Context {
 	if *o.metricsOut != "" || *o.statusAddr != "" || *o.manifestOut != "" || *o.tsOut != "" {
 		o.EnableMetrics()
 	}
-	if *o.spansOut != "" || *o.statusAddr != "" {
+	if *o.spansOut != "" || *o.statusAddr != "" || *o.perfOut != "" || o.forceSpans {
 		o.Col = telemetry.NewSpanCollector(o.Reg)
+	}
+	if o.Col != nil {
+		col := o.Col
+		o.Perf = profile.NewHandler(func() telemetry.SpanExport { return col.Export() })
 	}
 	if *o.tsOut != "" || *o.statusAddr != "" {
 		o.TS = timeseries.New(o.Reg, timeseries.Options{
@@ -131,10 +160,24 @@ func (o *Obs) Start() context.Context {
 		}
 	}
 
+	if kinds, err := profile.ParseKinds(*o.profKinds); err != nil {
+		log.Fatalf("%s: -profile: %v", o.tool, err)
+	} else if len(kinds) > 0 {
+		o.Cap = profile.New(o.profileBase(), kinds, *o.profPhases)
+		if err := o.Cap.Start(); err != nil {
+			log.Errorf("profile: %v; continuing without capture", err)
+			o.Cap = nil
+		}
+	}
+
 	if *o.statusAddr != "" {
-		o.Mux = telemetry.NewStatusMux(o.Reg, o.Col, o.Man, o.TS.Handler())
+		var perf http.Handler
+		if o.Perf != nil {
+			perf = o.Perf
+		}
+		o.Mux = telemetry.NewStatusMux(o.Reg, o.Col, o.Man, o.TS.Handler(), perf)
 		go func(addr string, mux *http.ServeMux) {
-			log.Infof("status listening on http://%s/ (/metrics /spans /runinfo /debug/pprof)", addr)
+			log.Infof("status listening on http://%s/ (/metrics /spans /runinfo /perf /debug/pprof)", addr)
 			if err := http.ListenAndServe(addr, mux); err != nil {
 				log.Errorf("status server: %v", err)
 			}
@@ -155,17 +198,61 @@ func (o *Obs) manifestPath() string {
 	if *o.manifestOut != "" {
 		return *o.manifestOut
 	}
+	if base := o.artifactBase(); base != "" {
+		return base + ".manifest.json"
+	}
+	return ""
+}
+
+// artifactBase is the common output stem shared by the manifest and the
+// profile files: the metrics (or spans) output path with its extensions
+// stripped.
+func (o *Obs) artifactBase() string {
 	base := *o.metricsOut
 	if base == "" {
 		base = *o.spansOut
 	}
-	if base == "" {
-		return ""
-	}
 	for _, ext := range []string{".json", ".prom", ".txt", ".spans", ".folded"} {
 		base = strings.TrimSuffix(base, ext)
 	}
-	return base + ".manifest.json"
+	return base
+}
+
+// profileBase resolves the profile file stem: the explicit -profile-out,
+// else next to the manifest, else the tool name (files in the working
+// directory). Deterministic for a given flag set — the capture appends
+// ".<kind>.pprof" per profile.
+func (o *Obs) profileBase() string {
+	if *o.profOut != "" {
+		return *o.profOut
+	}
+	if base := o.artifactBase(); base != "" {
+		return base
+	}
+	if *o.manifestOut != "" {
+		return strings.TrimSuffix(*o.manifestOut, ".manifest.json")
+	}
+	return o.tool
+}
+
+// Phase marks a named run phase: the pprof capture rotates its CPU
+// profile and snapshots the heap there when -profile-phases is set.
+// Nil-safe and a no-op without an active capture.
+func (o *Obs) Phase(name string) {
+	if o == nil || o.Cap == nil {
+		return
+	}
+	if err := o.Cap.Phase(name); err != nil {
+		log.Errorf("profile: phase %s: %v", name, err)
+	}
+}
+
+// SetPerfResources attaches a resource-summary source (the experiment
+// engine's Resources snapshot) to the /perf export.
+func (o *Obs) SetPerfResources(f func() any) {
+	if o != nil && o.Perf != nil {
+		o.Perf.SetResources(f)
+	}
 }
 
 // Finish ends the root span and writes every requested artifact: metrics
@@ -192,6 +279,26 @@ func (o *Obs) Finish() error {
 		} else if err == nil {
 			o.Man.AddOutput(jsonPath, foldedPath)
 			log.Infof("wrote spans to %s and %s", jsonPath, foldedPath)
+		}
+	}
+	if o.Cap != nil {
+		files, err := o.Cap.Stop()
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if len(files) > 0 {
+			o.Man.AddOutput(files...)
+			log.Infof("wrote %d profile(s) to %s.*.pprof", len(files), o.profileBase())
+		}
+	}
+	if *o.perfOut != "" && o.Perf != nil {
+		if err := o.Perf.Export().WriteFile(*o.perfOut); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			o.Man.AddOutput(*o.perfOut)
+			log.Infof("wrote self-time analysis to %s", *o.perfOut)
 		}
 	}
 	o.TS.Stop()

@@ -5,6 +5,7 @@ import (
 	"flag"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"racetrack/hifi/internal/telemetry"
@@ -116,5 +117,131 @@ func TestManifestPathPrecedence(t *testing.T) {
 	}
 	if got := obs2.manifestPath(); got != "out/run.manifest.json" {
 		t.Errorf("manifestPath = %q, want out/run.manifest.json", got)
+	}
+}
+
+// TestObsProfileAndPerf drives the profiling flag surface: -profile
+// captures pprof files under the derived base, -perf-out writes the
+// hifi_perf_v1 analysis, and both land in the manifest's outputs.
+func TestObsProfileAndPerf(t *testing.T) {
+	defer log.SetLevel(log.GetLevel())
+	dir := t.TempDir()
+	base := filepath.Join(dir, "run")
+	perfPath := filepath.Join(dir, "perf.json")
+
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	obs := AddFlags(fs, "tool")
+	if err := fs.Parse([]string{
+		"-metrics-out", base, "-spans-out", base,
+		"-profile", "heap,allocs", "-perf-out", perfPath, "-q",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ctx := obs.Start()
+	if obs.Cap == nil {
+		t.Fatal("Start did not build the profile capture")
+	}
+	if obs.Perf == nil {
+		t.Fatal("Start did not build the perf handler")
+	}
+	_, sp := telemetry.StartSpan(ctx, "work")
+	sp.End()
+	if err := obs.Finish(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, f := range []string{"run.heap.pprof", "run.allocs.pprof"} {
+		if _, err := os.Stat(filepath.Join(dir, f)); err != nil {
+			t.Errorf("profile %s missing: %v", f, err)
+		}
+	}
+	data, err := os.ReadFile(perfPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perf struct {
+		Schema string `json:"schema"`
+		Spans  []struct {
+			Name string `json:"name"`
+		} `json:"spans"`
+	}
+	if err := json.Unmarshal(data, &perf); err != nil {
+		t.Fatal(err)
+	}
+	if perf.Schema != "hifi_perf_v1" {
+		t.Errorf("perf schema = %q", perf.Schema)
+	}
+	names := map[string]bool{}
+	for _, s := range perf.Spans {
+		names[s.Name] = true
+	}
+	if !names["work"] || !names["tool"] {
+		t.Errorf("perf spans = %v, want work and the root", names)
+	}
+
+	var man struct {
+		Outputs []string `json:"outputs"`
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "run.manifest.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &man); err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, out := range man.Outputs {
+		if strings.HasSuffix(out, ".pprof") || out == perfPath {
+			found++
+		}
+	}
+	if found != 3 {
+		t.Errorf("manifest outputs list %d profile/perf files, want 3: %v", found, man.Outputs)
+	}
+}
+
+// TestObsPerfOutForcesSpans: -perf-out alone must switch span collection
+// on, or the analysis would always be empty.
+func TestObsPerfOutForcesSpans(t *testing.T) {
+	defer log.SetLevel(log.GetLevel())
+	fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+	obs := AddFlags(fs, "tool")
+	perfPath := filepath.Join(t.TempDir(), "perf.json")
+	if err := fs.Parse([]string{"-perf-out", perfPath, "-q"}); err != nil {
+		t.Fatal(err)
+	}
+	obs.Start()
+	if obs.Col == nil {
+		t.Fatal("-perf-out did not enable the span collector")
+	}
+	if err := obs.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(perfPath); err != nil {
+		t.Errorf("perf export missing: %v", err)
+	}
+}
+
+// TestProfileBasePrecedence: explicit -profile-out wins; else profiles
+// share the manifest's stem; else the tool name.
+func TestProfileBasePrecedence(t *testing.T) {
+	cases := []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-profile-out", "p/base"}, "p/base"},
+		{[]string{"-metrics-out", "out/run.json"}, "out/run"},
+		{[]string{"-manifest-out", "m/run.manifest.json"}, "m/run"},
+		{nil, "tool"},
+	}
+	for _, c := range cases {
+		fs := flag.NewFlagSet("tool", flag.ContinueOnError)
+		obs := AddFlags(fs, "tool")
+		if err := fs.Parse(c.args); err != nil {
+			t.Fatal(err)
+		}
+		if got := obs.profileBase(); got != c.want {
+			t.Errorf("profileBase(%v) = %q, want %q", c.args, got, c.want)
+		}
 	}
 }

@@ -125,12 +125,37 @@ type Engine struct {
 	queued  atomic.Int64
 	running atomic.Int64
 
+	// Per-job resource totals (see JobResources): what the executed jobs
+	// of this engine's lifetime cost in wall, CPU, allocation, and GC
+	// work. Read through Resources().
+	jobWallMS  atomic.Int64
+	jobCPUMS   atomic.Int64
+	allocBytes atomic.Uint64
+	mallocs    atomic.Uint64
+	gcCycles   atomic.Uint64
+
 	putWarned atomic.Bool // cache writes failing: warn once, degrade
 
-	mu      sync.Mutex
-	inFlite map[int]runningJob // worker slot -> job
+	mu           sync.Mutex
+	inFlite      map[int]runningJob // worker slot -> job
+	maxJobWallMS int64
+	maxJobLabel  string
 
 	tel engineTelemetry
+}
+
+// JobResources is the measured cost of one executed job: wall time of
+// the successful attempt, plus the process-wide CPU, allocation, and GC
+// deltas over that attempt. With one worker the deltas are exact; under
+// parallel workers concurrent jobs bleed into each other's process-wide
+// counters, so per-job numbers are attributions, not isolations — their
+// sweep-wide totals remain meaningful either way.
+type JobResources struct {
+	WallMS     int64  `json:"wall_ms"`
+	CPUMS      int64  `json:"cpu_ms"`
+	AllocBytes uint64 `json:"alloc_bytes"`
+	Mallocs    uint64 `json:"mallocs"`
+	GCCycles   uint32 `json:"gc_cycles"`
 }
 
 type runningJob struct {
@@ -151,6 +176,10 @@ type engineTelemetry struct {
 	queue    *telemetry.Gauge
 	busy     *telemetry.Gauge
 	jobMS    *telemetry.Histogram
+	cpuMS    *telemetry.Counter
+	alloc    *telemetry.Counter
+	mallocs  *telemetry.Counter
+	gc       *telemetry.Counter
 }
 
 // New builds an engine. The zero Options value is a serial, uncached,
@@ -178,6 +207,10 @@ func New(opts Options) *Engine {
 			busy:     reg.Gauge(telemetry.MetricEngineBusy, "workers currently executing a job"),
 			jobMS: reg.Histogram(telemetry.MetricEngineJobMS,
 				"wall milliseconds per executed job", telemetry.LatencyCycleBuckets()),
+			cpuMS:   reg.Counter(telemetry.MetricEngineJobCPUMS, "process CPU milliseconds attributed to executed jobs"),
+			alloc:   reg.Counter(telemetry.MetricEngineJobAllocBytes, "heap bytes allocated over executed jobs"),
+			mallocs: reg.Counter(telemetry.MetricEngineJobMallocs, "heap objects allocated over executed jobs"),
+			gc:      reg.Counter(telemetry.MetricEngineJobGCCycles, "GC cycles completed during executed jobs"),
 		}
 	}
 	return e
@@ -321,7 +354,7 @@ func (e *Engine) process(ctx context.Context, slot int, j Job) (payload []byte, 
 		if p := e.cacheGet(j, hash); p != nil {
 			e.hits.Add(1)
 			e.tel.hits.Inc()
-			e.journal(j, hash, 0, 0)
+			e.journal(j, hash, 0, JobResources{})
 			o.hit = true
 			return p, o
 		}
@@ -358,6 +391,9 @@ func (e *Engine) process(ctx context.Context, slot int, j Job) (payload []byte, 
 				break
 			}
 		}
+		var ms0, ms1 runtime.MemStats
+		runtime.ReadMemStats(&ms0)
+		cpu0 := telemetry.CPUSeconds()
 		started := time.Now()
 		result, err := e.runAttempt(jctx, j)
 		if err != nil {
@@ -378,11 +414,20 @@ func (e *Engine) process(ctx context.Context, slot int, j Job) (payload []byte, 
 			break
 		}
 		dur := time.Since(started)
-		e.tel.jobMS.Observe(float64(dur.Milliseconds()))
+		runtime.ReadMemStats(&ms1)
+		res := JobResources{
+			WallMS:     dur.Milliseconds(),
+			CPUMS:      int64((telemetry.CPUSeconds() - cpu0) * 1e3),
+			AllocBytes: ms1.TotalAlloc - ms0.TotalAlloc,
+			Mallocs:    ms1.Mallocs - ms0.Mallocs,
+			GCCycles:   ms1.NumGC - ms0.NumGC,
+		}
+		e.account(label(j), res)
+		e.tel.jobMS.Observe(float64(res.WallMS))
 		e.cachePut(j, hash, payload)
 		e.executed.Add(1)
 		e.tel.executed.Inc()
-		e.journal(j, hash, attempt+1, dur)
+		e.journal(j, hash, attempt+1, res)
 		o.executed = true
 		return payload, o
 	}
@@ -488,18 +533,43 @@ func (e *Engine) runAttempt(ctx context.Context, j Job) (any, error) {
 	}
 }
 
+// account folds one executed job's resources into the engine-lifetime
+// totals and the telemetry counters.
+func (e *Engine) account(jobLabel string, r JobResources) {
+	e.jobWallMS.Add(r.WallMS)
+	e.jobCPUMS.Add(r.CPUMS)
+	e.allocBytes.Add(r.AllocBytes)
+	e.mallocs.Add(r.Mallocs)
+	e.gcCycles.Add(uint64(r.GCCycles))
+	e.tel.cpuMS.Add(float64(r.CPUMS))
+	e.tel.alloc.Add(float64(r.AllocBytes))
+	e.tel.mallocs.Add(float64(r.Mallocs))
+	e.tel.gc.Add(float64(r.GCCycles))
+	e.mu.Lock()
+	if r.WallMS > e.maxJobWallMS || e.maxJobLabel == "" {
+		e.maxJobWallMS = r.WallMS
+		e.maxJobLabel = jobLabel
+	}
+	e.mu.Unlock()
+}
+
 // journal appends a completion record, tolerating a nil journal.
-func (e *Engine) journal(j Job, hash string, attempts int, dur time.Duration) {
+func (e *Engine) journal(j Job, hash string, attempts int, res JobResources) {
 	if e.opts.Journal == nil {
 		return
 	}
-	if err := e.opts.Journal.Append(Entry{
+	entry := Entry{
 		Key:      j.Key,
 		Label:    label(j),
 		Hash:     hash,
 		Attempts: attempts,
-		DurMS:    dur.Milliseconds(),
-	}); err != nil {
+		DurMS:    res.WallMS,
+	}
+	if attempts > 0 {
+		// Cache hits cost nothing; only executed jobs carry an account.
+		entry.Resources = &res
+	}
+	if err := e.opts.Journal.Append(entry); err != nil {
 		log.Errorf("engine: journal %s: %v", label(j), err)
 	}
 }

@@ -362,3 +362,92 @@ func TestKeyJSONStable(t *testing.T) {
 		t.Error("HashKey is not a sha256 hex digest")
 	}
 }
+
+// TestResourceAccounting: executed jobs accumulate wall/CPU/alloc/GC
+// totals, cache hits do not, and journal entries carry the per-job
+// account only for executed jobs.
+func TestResourceAccounting(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	dir := t.TempDir()
+	cache, err := OpenCache(dir, "v-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal, err := OpenJournal(filepath.Join(dir, "journal.jsonl"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]Job, 4)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{
+			Key:   fmt.Sprintf("res-job|%d", i),
+			Label: fmt.Sprintf("res%d", i),
+			Fn: func(ctx context.Context) (any, error) {
+				buf := make([]byte, 1<<20) // force measurable allocation
+				for j := range buf {
+					buf[j] = byte(i + j)
+				}
+				return int(buf[len(buf)-1]), nil
+			},
+		}
+	}
+	e := New(Options{Workers: 2, Cache: cache, Journal: journal, Metrics: reg})
+	if _, err := e.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	rs := e.Resources()
+	if rs.Jobs != 4 || rs.Executed != 4 || rs.CacheHits != 0 {
+		t.Errorf("resources counts = %+v", rs)
+	}
+	if rs.AllocBytes < 4<<20 {
+		t.Errorf("alloc bytes = %d, want >= 4MiB", rs.AllocBytes)
+	}
+	if rs.Mallocs == 0 {
+		t.Errorf("mallocs = 0, want > 0")
+	}
+	if rs.MaxJobLabel == "" || rs.MaxJobWallMS < 0 {
+		t.Errorf("max job = %q/%d", rs.MaxJobLabel, rs.MaxJobWallMS)
+	}
+	if got := reg.Counter(telemetry.MetricEngineJobAllocBytes, "").Value(); got != float64(rs.AllocBytes) {
+		t.Errorf("alloc metric = %v, want %v", got, rs.AllocBytes)
+	}
+
+	// A warm re-run adds cache hits but no resource totals.
+	if _, err := e.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	warm := e.Resources()
+	if warm.Jobs != 8 || warm.CacheHits != 4 {
+		t.Errorf("warm counts = %+v", warm)
+	}
+	if warm.AllocBytes != rs.AllocBytes || warm.JobCPUMS != rs.JobCPUMS {
+		t.Errorf("cache hits accrued resources: cold %+v warm %+v", rs, warm)
+	}
+	if err := journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Journal: executed entries carry resources, cache-hit entries do not.
+	back, err := OpenJournal(filepath.Join(dir, "journal.jsonl"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = back.Close() }()
+	var withRes, without int
+	for _, en := range back.done {
+		if en.Resources != nil {
+			withRes++
+			if en.Resources.AllocBytes < 1<<20 {
+				t.Errorf("entry %s alloc = %d, want >= 1MiB", en.Label, en.Resources.AllocBytes)
+			}
+		} else {
+			without++
+		}
+	}
+	// done is keyed by hash, so the warm hits overwrote the executed
+	// entries; reloaded state reflects the latest record per job.
+	if withRes+without != 4 {
+		t.Errorf("journal entries = %d, want 4", withRes+without)
+	}
+}

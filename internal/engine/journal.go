@@ -43,6 +43,10 @@ type Entry struct {
 	Hash     string `json:"hash"`
 	Attempts int    `json:"attempts"` // 0 = served from cache
 	DurMS    int64  `json:"dur_ms"`
+	// Resources is the executed job's measured cost (absent for cache
+	// hits, which cost nothing). Older journals without the field load
+	// fine; resume ignores it.
+	Resources *JobResources `json:"resources,omitempty"`
 }
 
 // Journal is the on-disk completion log. Safe for concurrent Append

@@ -62,6 +62,43 @@ func (e *Engine) Status() Status {
 	return s
 }
 
+// ResourceSummary aggregates the per-job resource accounts over the
+// engine's lifetime: what the sweep's executed jobs cost in wall, CPU,
+// allocation, and GC work, plus the single most expensive job by wall
+// time. Cache hits contribute to Jobs/CacheHits but to no resource
+// total — a warm sweep's summary shows exactly the work the cache saved.
+type ResourceSummary struct {
+	Jobs         uint64 `json:"jobs"`
+	Executed     uint64 `json:"executed"`
+	CacheHits    uint64 `json:"cache_hits"`
+	JobWallMS    int64  `json:"job_wall_ms_total"`
+	JobCPUMS     int64  `json:"job_cpu_ms_total"`
+	AllocBytes   uint64 `json:"job_alloc_bytes_total"`
+	Mallocs      uint64 `json:"job_mallocs_total"`
+	GCCycles     uint64 `json:"job_gc_cycles_total"`
+	MaxJobWallMS int64  `json:"max_job_wall_ms"`
+	MaxJobLabel  string `json:"max_job_label,omitempty"`
+}
+
+// Resources snapshots the per-job resource totals.
+func (e *Engine) Resources() ResourceSummary {
+	rs := ResourceSummary{
+		Jobs:       e.total.Load(),
+		Executed:   e.executed.Load(),
+		CacheHits:  e.hits.Load(),
+		JobWallMS:  e.jobWallMS.Load(),
+		JobCPUMS:   e.jobCPUMS.Load(),
+		AllocBytes: e.allocBytes.Load(),
+		Mallocs:    e.mallocs.Load(),
+		GCCycles:   e.gcCycles.Load(),
+	}
+	e.mu.Lock()
+	rs.MaxJobWallMS = e.maxJobWallMS
+	rs.MaxJobLabel = e.maxJobLabel
+	e.mu.Unlock()
+	return rs
+}
+
 // StatusHandler serves the Status snapshot as indented JSON.
 func (e *Engine) StatusHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,73 @@
+package profile
+
+// The live /perf status route: the hifi_perf_v1 document assembled on
+// demand from whatever sources are wired in — the span collector's
+// export for self-time attribution, the runtime's heap samples, and an
+// optional resource provider (the experiment engine's per-job resource
+// summary). Sources may be attached after construction because the
+// engine is built after the status mux starts serving.
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"racetrack/hifi/internal/telemetry"
+)
+
+// DefaultHeapTop bounds the hotspot rows the live route and the perf
+// export carry.
+const DefaultHeapTop = 20
+
+// Handler serves the live perf document. The zero value serves an
+// empty-but-valid document, matching the other status routes' contract.
+type Handler struct {
+	mu        sync.Mutex
+	spans     func() telemetry.SpanExport
+	resources func() any
+}
+
+// NewHandler builds a handler over a span-export source; spans may be
+// nil (self-time tables stay empty).
+func NewHandler(spans func() telemetry.SpanExport) *Handler {
+	return &Handler{spans: spans}
+}
+
+// SetResources attaches (or replaces) the resource-summary provider.
+func (h *Handler) SetResources(f func() any) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.resources = f
+	h.mu.Unlock()
+}
+
+// Export assembles the current document.
+func (h *Handler) Export() *Export {
+	var spans func() telemetry.SpanExport
+	var resources func() any
+	if h != nil {
+		h.mu.Lock()
+		spans, resources = h.spans, h.resources
+		h.mu.Unlock()
+	}
+	var se telemetry.SpanExport
+	if spans != nil {
+		se = spans()
+	}
+	e := Analyze(se)
+	e.Heap = HeapHotspots(DefaultHeapTop)
+	if resources != nil {
+		e.Resources = resources()
+	}
+	return e
+}
+
+// ServeHTTP serves the document as indented JSON.
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(h.Export())
+}

@@ -1,0 +1,123 @@
+package profile
+
+// Heap hotspot summary straight from the runtime's sampled allocation
+// records (runtime.MemProfile), symbolized with the runtime's own frame
+// tables — no pprof-file parsing, no dependencies. The numbers are
+// unsampled the same way the pprof tool unsamples them, so a hotspot's
+// alloc_bytes approximates the true cumulative bytes allocated at that
+// call site since process start.
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Hotspot aggregates every allocation record attributed to one function.
+type Hotspot struct {
+	Func         string `json:"func"`
+	AllocBytes   int64  `json:"alloc_bytes"`
+	AllocObjects int64  `json:"alloc_objects"`
+	InUseBytes   int64  `json:"in_use_bytes"`
+	InUseObjects int64  `json:"in_use_objects"`
+}
+
+// HeapHotspots returns the top n allocation sites by cumulative
+// allocated bytes. Attribution picks the innermost non-runtime frame of
+// each record's stack, so rows name the package code that allocated, not
+// mallocgc. Returns nil when the runtime has no samples yet.
+func HeapHotspots(n int) []Hotspot {
+	records := memProfile()
+	if len(records) == 0 || n <= 0 {
+		return nil
+	}
+	byFunc := map[string]*Hotspot{}
+	for i := range records {
+		r := &records[i]
+		name := attribution(r.Stack())
+		h := byFunc[name]
+		if h == nil {
+			h = &Hotspot{Func: name}
+			byFunc[name] = h
+		}
+		ab, ao := unsample(r.AllocBytes, r.AllocObjects)
+		fb, fo := unsample(r.FreeBytes, r.FreeObjects)
+		h.AllocBytes += ab
+		h.AllocObjects += ao
+		h.InUseBytes += ab - fb
+		h.InUseObjects += ao - fo
+	}
+	out := make([]Hotspot, 0, len(byFunc))
+	for _, h := range byFunc {
+		out = append(out, *h)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].AllocBytes != out[j].AllocBytes {
+			return out[i].AllocBytes > out[j].AllocBytes
+		}
+		return out[i].Func < out[j].Func
+	})
+	if n < len(out) {
+		out = out[:n]
+	}
+	return out
+}
+
+// memProfile fetches the full record set, growing the buffer the way the
+// runtime documents (the record count can rise between the size probe
+// and the fill).
+func memProfile() []runtime.MemProfileRecord {
+	n, _ := runtime.MemProfile(nil, true)
+	for {
+		records := make([]runtime.MemProfileRecord, n+50)
+		got, ok := runtime.MemProfile(records, true)
+		if ok {
+			return records[:got]
+		}
+		n = got
+	}
+}
+
+// attribution resolves a record's innermost frame that is not runtime or
+// allocator plumbing.
+func attribution(stack []uintptr) string {
+	frames := runtime.CallersFrames(stack)
+	fallback := ""
+	for {
+		f, more := frames.Next()
+		name := f.Function
+		if name == "" {
+			if !more {
+				break
+			}
+			continue
+		}
+		if fallback == "" {
+			fallback = name
+		}
+		if !strings.HasPrefix(name, "runtime.") && !strings.HasPrefix(name, "runtime/") {
+			return name
+		}
+		if !more {
+			break
+		}
+	}
+	if fallback == "" {
+		return "unknown"
+	}
+	return fallback
+}
+
+// unsample scales one sampled (bytes, objects) pair to its statistical
+// estimate, compensating for the runtime's Poisson sampling at
+// MemProfileRate — the same correction the pprof tool applies.
+func unsample(bytes, objects int64) (int64, int64) {
+	rate := int64(runtime.MemProfileRate)
+	if objects == 0 || rate <= 1 {
+		return bytes, objects
+	}
+	avg := float64(bytes) / float64(objects)
+	scale := 1 / (1 - math.Exp(-avg/float64(rate)))
+	return int64(float64(bytes) * scale), int64(float64(objects) * scale)
+}

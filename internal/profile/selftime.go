@@ -1,0 +1,225 @@
+// Package profile is the performance-observability layer on top of the
+// telemetry spans and metrics: automated pprof capture with deterministic
+// file names (Capture), a span self-time analyzer that answers "where do
+// the nanoseconds go" (Analyze, exported as the hifi_perf_v1 schema), a
+// heap hotspot summary built from the runtime's own sampled allocation
+// records (HeapHotspots), and the live /perf status route (Handler).
+//
+// Like the rest of the observability stack it is dependency-free and
+// nil-safe: a nil *Capture is a no-op, and Analyze of an empty span
+// export yields an empty-but-valid document.
+package profile
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"racetrack/hifi/internal/telemetry"
+)
+
+// Schema identifies the perf export layout; consumers reject others.
+const Schema = "hifi_perf_v1"
+
+// SpanStat aggregates every span sharing one name: how often it ran, its
+// total (inclusive) duration, its self time (total minus the time spent
+// in child spans), and the summed registry counter deltas recorded over
+// those spans. Self time is the attribution currency: summing SelfNS
+// over all rows reproduces the run's instrumented wall time exactly
+// once, with no double counting across the hierarchy.
+type SpanStat struct {
+	Name    string                  `json:"name"`
+	Count   int                     `json:"count"`
+	TotalNS int64                   `json:"total_ns"`
+	SelfNS  int64                   `json:"self_ns"`
+	Metrics []telemetry.SeriesValue `json:"metrics,omitempty"`
+}
+
+// GroupStat folds SpanStats by group — the span-name prefix before the
+// first ':' ("job", "experiment", "memsim"), or the whole name when it
+// has none — approximating a per-package/per-phase self-time breakdown.
+type GroupStat struct {
+	Group  string  `json:"group"`
+	Count  int     `json:"count"`
+	SelfNS int64   `json:"self_ns"`
+	Share  float64 `json:"share"` // fraction of total self time
+}
+
+// Export is one hifi_perf_v1 document: the self-time attribution tables,
+// optionally a heap hotspot summary and the engine's per-job resource
+// summary (any JSON-marshalable value, so profile does not depend on the
+// engine package).
+type Export struct {
+	Schema    string      `json:"schema"`
+	WallNS    int64       `json:"wall_ns"` // summed root-span durations
+	SelfNS    int64       `json:"self_ns_total"`
+	Spans     []SpanStat  `json:"spans"`
+	Groups    []GroupStat `json:"groups"`
+	Heap      []Hotspot   `json:"heap_hotspots,omitempty"`
+	Resources any         `json:"resources,omitempty"`
+}
+
+// Analyze folds a hierarchical span export into per-name self-time and
+// metric-delta aggregates. Finished and in-flight spans both count (an
+// in-flight span's running duration is its duration-so-far). Rows sort
+// by self time descending, ties by name, so "the top of the table" is
+// always the answer to where the time went.
+func Analyze(e telemetry.SpanExport) *Export {
+	all := append(append([]telemetry.SpanRecord{}, e.Spans...), e.InFlight...)
+	childNS := make(map[uint64]int64, len(all))
+	childMetrics := make(map[uint64]map[string]float64)
+	rootNS := int64(0)
+	ids := make(map[uint64]bool, len(all))
+	for _, r := range all {
+		ids[r.ID] = true
+	}
+	for _, r := range all {
+		if r.Parent != 0 && ids[r.Parent] {
+			childNS[r.Parent] += r.DurNS
+			if len(r.Metrics) > 0 {
+				m := childMetrics[r.Parent]
+				if m == nil {
+					m = map[string]float64{}
+					childMetrics[r.Parent] = m
+				}
+				for _, sv := range r.Metrics {
+					m[sv.Name] += sv.Value
+				}
+			}
+		} else {
+			rootNS += r.DurNS
+		}
+	}
+
+	stats := map[string]*SpanStat{}
+	metricSums := map[string]map[string]float64{}
+	var selfTotal int64
+	for _, r := range all {
+		st := stats[r.Name]
+		if st == nil {
+			st = &SpanStat{Name: r.Name}
+			stats[r.Name] = st
+			metricSums[r.Name] = map[string]float64{}
+		}
+		self := r.DurNS - childNS[r.ID]
+		if self < 0 {
+			self = 0
+		}
+		st.Count++
+		st.TotalNS += r.DurNS
+		st.SelfNS += self
+		selfTotal += self
+		// Metric deltas are attributed as self deltas too: what the span
+		// recorded minus what its children already claimed.
+		for _, sv := range r.Metrics {
+			d := sv.Value - childMetrics[r.ID][sv.Name]
+			if d != 0 {
+				metricSums[r.Name][sv.Name] += d
+			}
+		}
+	}
+
+	out := &Export{Schema: Schema, WallNS: rootNS, SelfNS: selfTotal, Spans: []SpanStat{}, Groups: []GroupStat{}}
+	for name, st := range stats {
+		ms := metricSums[name]
+		keys := make([]string, 0, len(ms))
+		for k := range ms {
+			if ms[k] != 0 {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			st.Metrics = append(st.Metrics, telemetry.SeriesValue{Name: k, Value: ms[k]})
+		}
+		out.Spans = append(out.Spans, *st)
+	}
+	sort.Slice(out.Spans, func(i, j int) bool {
+		if out.Spans[i].SelfNS != out.Spans[j].SelfNS {
+			return out.Spans[i].SelfNS > out.Spans[j].SelfNS
+		}
+		return out.Spans[i].Name < out.Spans[j].Name
+	})
+
+	groups := map[string]*GroupStat{}
+	for _, st := range out.Spans {
+		g := st.Name
+		if i := strings.IndexByte(g, ':'); i > 0 {
+			g = g[:i]
+		}
+		gs := groups[g]
+		if gs == nil {
+			gs = &GroupStat{Group: g}
+			groups[g] = gs
+		}
+		gs.Count += st.Count
+		gs.SelfNS += st.SelfNS
+	}
+	for _, gs := range groups {
+		if selfTotal > 0 {
+			gs.Share = float64(gs.SelfNS) / float64(selfTotal)
+		}
+		out.Groups = append(out.Groups, *gs)
+	}
+	sort.Slice(out.Groups, func(i, j int) bool {
+		if out.Groups[i].SelfNS != out.Groups[j].SelfNS {
+			return out.Groups[i].SelfNS > out.Groups[j].SelfNS
+		}
+		return out.Groups[i].Group < out.Groups[j].Group
+	})
+	return out
+}
+
+// Top returns the first n self-time rows (all of them when n exceeds the
+// table).
+func (e *Export) Top(n int) []SpanStat {
+	if e == nil || n <= 0 {
+		return nil
+	}
+	if n > len(e.Spans) {
+		n = len(e.Spans)
+	}
+	return e.Spans[:n]
+}
+
+// WriteJSON emits the export as indented JSON.
+func (e *Export) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(e)
+}
+
+// WriteFile writes the export to path.
+func (e *Export) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := e.WriteJSON(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile loads a perf export, rejecting other schemas.
+func ReadFile(path string) (*Export, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var e Export
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, err
+	}
+	if e.Schema != Schema {
+		return nil, errSchema(e.Schema)
+	}
+	return &e, nil
+}
+
+type errSchema string
+
+func (e errSchema) Error() string { return "profile: schema " + string(e) + ", want " + Schema }

@@ -1,0 +1,157 @@
+package profile
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"racetrack/hifi/internal/telemetry"
+)
+
+// testExport is a small hand-built span tree:
+//
+//	tool (100ns, shift=10)
+//	├── job:a (60ns, shift=8)
+//	│   └── memsim:run (30ns)
+//	└── job:a (20ns, shift=1)
+func testExport() telemetry.SpanExport {
+	return telemetry.SpanExport{Spans: []telemetry.SpanRecord{
+		{ID: 1, Name: "tool", DurNS: 100,
+			Metrics: []telemetry.SeriesValue{{Name: "hifi_shift_steps_total", Value: 10}}},
+		{ID: 2, Parent: 1, Name: "job:a", DurNS: 60,
+			Metrics: []telemetry.SeriesValue{{Name: "hifi_shift_steps_total", Value: 8}}},
+		{ID: 3, Parent: 1, Name: "job:a", DurNS: 20,
+			Metrics: []telemetry.SeriesValue{{Name: "hifi_shift_steps_total", Value: 1}}},
+		{ID: 4, Parent: 2, Name: "memsim:run", DurNS: 30},
+	}}
+}
+
+func TestAnalyzeSelfTime(t *testing.T) {
+	e := Analyze(testExport())
+	if e.Schema != Schema {
+		t.Errorf("schema = %q", e.Schema)
+	}
+	if e.WallNS != 100 || e.SelfNS != 100 {
+		t.Errorf("wall/self = %d/%d, want 100/100", e.WallNS, e.SelfNS)
+	}
+	want := []struct {
+		name   string
+		count  int
+		selfNS int64
+	}{
+		{"job:a", 2, 50}, // 60-30 + 20
+		{"memsim:run", 1, 30},
+		{"tool", 1, 20}, // 100 - 80
+	}
+	if len(e.Spans) != len(want) {
+		t.Fatalf("spans = %d rows, want %d: %+v", len(e.Spans), len(want), e.Spans)
+	}
+	for i, w := range want {
+		got := e.Spans[i]
+		if got.Name != w.name || got.Count != w.count || got.SelfNS != w.selfNS {
+			t.Errorf("row %d = %s count=%d self=%d, want %s count=%d self=%d",
+				i, got.Name, got.Count, got.SelfNS, w.name, w.count, w.selfNS)
+		}
+	}
+	// Metric deltas attribute like self time: the parent's delta minus
+	// what its children already claimed.
+	if got := e.Spans[0].Metrics; len(got) != 1 || got[0].Value != 9 {
+		t.Errorf("job:a metrics = %+v, want shift delta 9", got)
+	}
+	if got := e.Spans[2].Metrics; len(got) != 1 || got[0].Value != 1 {
+		t.Errorf("tool metrics = %+v, want shift delta 1", got)
+	}
+}
+
+func TestAnalyzeGroups(t *testing.T) {
+	e := Analyze(testExport())
+	if len(e.Groups) != 3 {
+		t.Fatalf("groups = %+v", e.Groups)
+	}
+	if e.Groups[0].Group != "job" || e.Groups[0].SelfNS != 50 {
+		t.Errorf("top group = %+v, want job/50", e.Groups[0])
+	}
+	var share float64
+	for _, g := range e.Groups {
+		share += g.Share
+	}
+	if share < 0.999 || share > 1.001 {
+		t.Errorf("group shares sum to %f, want 1", share)
+	}
+}
+
+func TestAnalyzeEmptyAndOrphans(t *testing.T) {
+	e := Analyze(telemetry.SpanExport{})
+	if e.Schema != Schema || len(e.Spans) != 0 || len(e.Groups) != 0 {
+		t.Errorf("empty analyze = %+v", e)
+	}
+	// A span whose parent was dropped (capacity) counts as a root.
+	e = Analyze(telemetry.SpanExport{Spans: []telemetry.SpanRecord{
+		{ID: 9, Parent: 5, Name: "orphan", DurNS: 40},
+	}})
+	if e.WallNS != 40 {
+		t.Errorf("orphan wall = %d, want 40", e.WallNS)
+	}
+}
+
+func TestTop(t *testing.T) {
+	e := Analyze(testExport())
+	if got := e.Top(2); len(got) != 2 || got[0].Name != "job:a" {
+		t.Errorf("Top(2) = %+v", got)
+	}
+	if got := e.Top(99); len(got) != 3 {
+		t.Errorf("Top(99) = %d rows", len(got))
+	}
+	var nilExport *Export
+	if got := nilExport.Top(3); got != nil {
+		t.Errorf("nil Top = %+v", got)
+	}
+}
+
+func TestExportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "perf.json")
+	e := Analyze(testExport())
+	if err := e.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.SelfNS != e.SelfNS || len(back.Spans) != len(e.Spans) {
+		t.Errorf("round trip mismatch: %+v", back)
+	}
+	// Wrong schema is rejected.
+	if err := os.WriteFile(path, []byte(`{"schema":"hifi_perf_v99"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("wrong schema accepted")
+	}
+}
+
+func TestHeapHotspots(t *testing.T) {
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 64<<10))
+	}
+	_ = sink
+	hs := HeapHotspots(10)
+	if len(hs) == 0 {
+		t.Skip("runtime produced no heap samples (MemProfileRate disabled?)")
+	}
+	for i := 1; i < len(hs); i++ {
+		if hs[i].AllocBytes > hs[i-1].AllocBytes {
+			t.Errorf("hotspots not sorted: %d before %d", hs[i-1].AllocBytes, hs[i].AllocBytes)
+		}
+	}
+	for _, h := range hs {
+		if h.Func == "" {
+			t.Error("hotspot with empty function name")
+		}
+	}
+	if HeapHotspots(0) != nil {
+		t.Error("HeapHotspots(0) != nil")
+	}
+}

@@ -14,8 +14,11 @@ import (
 	"sort"
 	"strings"
 
+	"racetrack/hifi/internal/bench"
+	"racetrack/hifi/internal/engine"
 	"racetrack/hifi/internal/experiments"
 	"racetrack/hifi/internal/fidelity"
+	"racetrack/hifi/internal/profile"
 	"racetrack/hifi/internal/telemetry"
 	"racetrack/hifi/internal/telemetry/timeseries"
 )
@@ -38,8 +41,22 @@ type Data struct {
 	Scorecard *fidelity.Scorecard
 	Series    *timeseries.Series
 	Spans     *telemetry.SpanExport
+
+	// Performance section inputs: the span self-time analysis (with heap
+	// hotspots), the committed bench-snapshot trajectory, and the sweep's
+	// per-job resource summary. Any of them may be nil; the section is
+	// omitted when all three are.
+	Perf       *profile.Export
+	Trajectory *bench.Trajectory
+	Resources  *engine.ResourceSummary
+
 	// ManifestJSON is the rendered run manifest, shown verbatim.
 	ManifestJSON []byte
+}
+
+// hasPerf reports whether the Performance section has anything to show.
+func (d Data) hasPerf() bool {
+	return d.Perf != nil || d.Trajectory != nil || d.Resources != nil
 }
 
 // HTML renders the report. Identical Data yields identical bytes: all
@@ -82,6 +99,9 @@ func HTML(d Data) []byte {
 	}
 	if d.Spans != nil && (len(d.Spans.Spans) > 0 || len(d.Spans.InFlight) > 0) {
 		writeFlamegraph(&b, *d.Spans)
+	}
+	if d.hasPerf() {
+		writePerformance(&b, d)
 	}
 	if len(d.ManifestJSON) > 0 {
 		b.WriteString("<section id=\"manifest\">\n<h2>Run manifest</h2>\n<pre class=\"manifest\">")
@@ -127,6 +147,9 @@ func writeTOC(b *bytes.Buffer, d Data) {
 	}
 	if d.Spans != nil && len(d.Spans.Spans) > 0 {
 		b.WriteString("<a href=\"#flamegraph\">flamegraph</a>")
+	}
+	if d.hasPerf() {
+		b.WriteString("<a href=\"#performance\">performance</a>")
 	}
 	if len(d.ManifestJSON) > 0 {
 		b.WriteString("<a href=\"#manifest\">manifest</a>")
@@ -354,4 +377,107 @@ func spanColor(name string) string {
 	h := fnv.New32a()
 	h.Write([]byte(name))
 	return fmt.Sprintf("hsl(%d,65%%,72%%)", h.Sum32()%60)
+}
+
+// perfTopSpans bounds the self-time table: the head of the attribution
+// is the answer; the tail is noise.
+const perfTopSpans = 10
+
+// writePerformance renders the Performance section: the bench-snapshot
+// trajectory (chart + first-vs-last deltas), the top self-time spans,
+// the sweep's per-job resource summary, and the heap hotspots. Pure
+// function of d, like every other section.
+func writePerformance(b *bytes.Buffer, d Data) {
+	b.WriteString("<section id=\"performance\">\n<h2>Performance</h2>\n")
+
+	if tr := d.Trajectory; tr != nil && len(tr.Snapshots) > 0 {
+		first, last := tr.Snapshots[0], tr.Snapshots[len(tr.Snapshots)-1]
+		b.WriteString("<h3>Bench trajectory</h3>\n")
+		fmt.Fprintf(b, "<p class=\"note\">%d snapshots, %s to %s; lines plot ns/op relative to each "+
+			"benchmark's first snapshot (log scale, clamped to 0.25x..4x).</p>\n",
+			len(tr.Snapshots), esc(trimDate(first.DateUTC)), esc(trimDate(last.DateUTC)))
+		// The SVG is generated, not user text; embed it unescaped.
+		b.WriteString(tr.SVG())
+		if deltas := tr.Deltas(); len(deltas) > 0 {
+			b.WriteString("<table>\n<tr><th>benchmark</th><th>first ns/op</th><th>last ns/op</th>" +
+				"<th>ratio</th><th>first allocs/op</th><th>last allocs/op</th></tr>\n")
+			for _, dd := range deltas {
+				fmt.Fprintf(b, "<tr><td>%s</td><td>%.0f</td><td>%.0f</td><td>%.2fx</td><td>%d</td><td>%d</td></tr>\n",
+					esc(dd.Name), dd.Old, dd.New, dd.Ratio, dd.OldAllocs, dd.NewAllocs)
+			}
+			b.WriteString("</table>\n")
+		}
+	}
+
+	if p := d.Perf; p != nil && len(p.Spans) > 0 {
+		fmt.Fprintf(b, "<h3>Span self-time (top %d)</h3>\n", perfTopSpans)
+		fmt.Fprintf(b, "<p class=\"note\">Self time is a span's duration minus its children's; the %d rows "+
+			"below account for the largest share of %.3gs of instrumented self time.</p>\n",
+			perfTopSpans, float64(p.SelfNS)/1e9)
+		b.WriteString("<table>\n<tr><th>span</th><th>count</th><th>total ms</th><th>self ms</th><th>self share</th></tr>\n")
+		for _, s := range p.Top(perfTopSpans) {
+			share := 0.0
+			if p.SelfNS > 0 {
+				share = float64(s.SelfNS) / float64(p.SelfNS)
+			}
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%.2f</td><td>%.2f</td><td>%.1f%%</td></tr>\n",
+				esc(s.Name), s.Count, float64(s.TotalNS)/1e6, float64(s.SelfNS)/1e6, 100*share)
+		}
+		b.WriteString("</table>\n")
+		if len(p.Groups) > 0 {
+			b.WriteString("<table>\n<tr><th>group</th><th>spans</th><th>self ms</th><th>share</th></tr>\n")
+			for _, g := range p.Groups {
+				fmt.Fprintf(b, "<tr><td>%s</td><td>%d</td><td>%.2f</td><td>%.1f%%</td></tr>\n",
+					esc(g.Group), g.Count, float64(g.SelfNS)/1e6, 100*g.Share)
+			}
+			b.WriteString("</table>\n")
+		}
+	}
+
+	if rs := d.Resources; rs != nil && rs.Jobs > 0 {
+		b.WriteString("<h3>Per-job resources</h3>\n")
+		b.WriteString("<p class=\"note\">Totals over executed jobs; cache hits cost nothing, so a warm " +
+			"sweep's table shows exactly the work the cache saved. CPU and allocation are process-wide " +
+			"attributions, exact at -jobs=1.</p>\n")
+		b.WriteString("<table>\n<tr><th>jobs</th><th>executed</th><th>cache hits</th><th>wall ms</th>" +
+			"<th>cpu ms</th><th>alloc</th><th>mallocs</th><th>gc cycles</th><th>slowest job</th></tr>\n")
+		fmt.Fprintf(b, "<tr><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%d</td><td>%s</td><td>%d</td><td>%d</td><td>%s (%d ms)</td></tr>\n",
+			rs.Jobs, rs.Executed, rs.CacheHits, rs.JobWallMS, rs.JobCPUMS,
+			bytesHuman(rs.AllocBytes), rs.Mallocs, rs.GCCycles, esc(rs.MaxJobLabel), rs.MaxJobWallMS)
+		b.WriteString("</table>\n")
+	}
+
+	if p := d.Perf; p != nil && len(p.Heap) > 0 {
+		b.WriteString("<h3>Heap hotspots</h3>\n")
+		b.WriteString("<p class=\"note\">Cumulative allocation by allocating function, unsampled from the " +
+			"runtime's memory profile.</p>\n")
+		b.WriteString("<table>\n<tr><th>function</th><th>alloc</th><th>objects</th><th>in use</th></tr>\n")
+		for _, h := range p.Heap {
+			fmt.Fprintf(b, "<tr><td>%s</td><td>%s</td><td>%d</td><td>%s</td></tr>\n",
+				esc(h.Func), bytesHuman(uint64(h.AllocBytes)), h.AllocObjects, bytesHuman(uint64(h.InUseBytes)))
+		}
+		b.WriteString("</table>\n")
+	}
+	b.WriteString("</section>\n")
+}
+
+// trimDate reduces an RFC3339 stamp to its date part for labels.
+func trimDate(s string) string {
+	if len(s) > 10 {
+		return s[:10]
+	}
+	return s
+}
+
+// bytesHuman renders a byte count with a binary unit.
+func bytesHuman(n uint64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", n)
 }

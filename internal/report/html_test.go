@@ -5,8 +5,11 @@ import (
 	"strings"
 	"testing"
 
+	"racetrack/hifi/internal/bench"
+	"racetrack/hifi/internal/engine"
 	"racetrack/hifi/internal/experiments"
 	"racetrack/hifi/internal/fidelity"
+	"racetrack/hifi/internal/profile"
 	"racetrack/hifi/internal/telemetry"
 	"racetrack/hifi/internal/telemetry/timeseries"
 )
@@ -33,6 +36,25 @@ func sampleData() Data {
 		{ID: 1, Name: "run", StartNS: 0, DurNS: 1000000},
 		{ID: 2, Parent: 1, Name: "phase & co", StartNS: 100, DurNS: 500000},
 	}}
+	perf := profile.Analyze(spans)
+	perf.Heap = []profile.Hotspot{
+		{Func: "racetrack/hifi/internal/memsim.Run", AllocBytes: 3 << 20, AllocObjects: 42, InUseBytes: 1 << 10},
+	}
+	tr := &bench.Trajectory{
+		Snapshots: []bench.SnapshotMeta{
+			{Path: "BENCH_a.json", DateUTC: "2026-01-01T00:00:00Z"},
+			{Path: "BENCH_b.json", DateUTC: "2026-02-01T00:00:00Z"},
+		},
+		Series: []bench.Series{{Name: "memsim-replay", Points: []bench.Point{
+			{DateUTC: "2026-01-01T00:00:00Z", NsPerOp: 1e6, AllocsPerOp: 100},
+			{DateUTC: "2026-02-01T00:00:00Z", NsPerOp: 5e5, AllocsPerOp: 90},
+		}}},
+	}
+	rs := &engine.ResourceSummary{
+		Jobs: 12, Executed: 6, CacheHits: 6,
+		JobWallMS: 420, JobCPUMS: 400, AllocBytes: 7 << 20, Mallocs: 9000, GCCycles: 3,
+		MaxJobWallMS: 99, MaxJobLabel: "fig10/pecc<s>",
+	}
 	return Data{
 		Title:        "demo report",
 		Params:       []Param{{"scaled", "true"}, {"seed", "1"}},
@@ -41,6 +63,9 @@ func sampleData() Data {
 		Scorecard:    &sc,
 		Series:       &se,
 		Spans:        &spans,
+		Perf:         perf,
+		Trajectory:   tr,
+		Resources:    rs,
 		ManifestJSON: []byte(`{"tool":"test"}`),
 	}
 }
@@ -60,6 +85,16 @@ func TestHTMLSections(t *testing.T) {
 		"phase &amp; co",
 		"Run manifest",
 		`{&#34;tool&#34;:&#34;test&#34;}`,
+		"id=\"performance\"",
+		"Bench trajectory",
+		"memsim-replay",
+		"0.50x",
+		"Span self-time",
+		"Per-job resources",
+		"fig10/pecc&lt;s&gt;",
+		"Heap hotspots",
+		"memsim.Run",
+		"3.00 MiB",
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("report missing %q", want)
@@ -68,6 +103,9 @@ func TestHTMLSections(t *testing.T) {
 	// Cell content must be escaped, not interpreted.
 	if strings.Contains(out, "canneal <b>") {
 		t.Error("unescaped table cell")
+	}
+	if strings.Contains(out, "fig10/pecc<s>") {
+		t.Error("unescaped job label")
 	}
 }
 
@@ -93,8 +131,9 @@ func TestHTMLDeterministic(t *testing.T) {
 func TestHTMLOptionalSectionsOmitted(t *testing.T) {
 	d := sampleData()
 	d.Scorecard, d.Series, d.Spans, d.ManifestJSON = nil, nil, nil, nil
+	d.Perf, d.Trajectory, d.Resources = nil, nil, nil
 	out := string(HTML(d))
-	for _, absent := range []string{"fidelity", "timeseries", "flamegraph", "manifest"} {
+	for _, absent := range []string{"fidelity", "timeseries", "flamegraph", "manifest", "performance"} {
 		if strings.Contains(out, "id=\""+absent+"\"") {
 			t.Errorf("section %q rendered without data", absent)
 		}

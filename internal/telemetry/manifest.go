@@ -70,6 +70,11 @@ func NewManifest(tool string) *Manifest {
 	return m
 }
 
+// CPUSeconds returns the process's cumulative user+system CPU time (0
+// where unavailable). Exported for the per-job resource accounting in
+// internal/engine; the manifest uses the same reading at Finish.
+func CPUSeconds() float64 { return cpuSeconds() }
+
 // vcsInfo reads the VCS stamp the Go toolchain embeds into binaries built
 // from a checkout ("unknown" when stripped, e.g. go test binaries).
 func vcsInfo() (sha string, dirty bool) {

@@ -63,6 +63,13 @@ const (
 	MetricEngineCacheCorrupt   = "hifi_engine_cache_corrupt_total"
 	MetricEngineJournalSkipped = "hifi_engine_journal_skipped_total"
 	MetricEngineJobTimeouts    = "hifi_engine_job_timeouts_total"
+	// Per-job resource accounting: process CPU, allocation, and GC work
+	// attributed to executed jobs (approximate under parallel workers —
+	// the counters are process-global). See docs/perf.md.
+	MetricEngineJobCPUMS      = "hifi_engine_job_cpu_ms_total"
+	MetricEngineJobAllocBytes = "hifi_engine_job_alloc_bytes_total"
+	MetricEngineJobMallocs    = "hifi_engine_job_mallocs_total"
+	MetricEngineJobGCCycles   = "hifi_engine_job_gc_cycles_total"
 
 	// Fault injection (internal/faults): operations executed under an
 	// active (non-identity) modulation and outcomes forced by a stuck

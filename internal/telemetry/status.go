@@ -14,14 +14,15 @@ import (
 //	/spans        span export: finished spans plus the in-flight tree
 //	/runinfo      the manifest-so-far (config, provenance, progress)
 //	/timeseries   windowed time-series export (JSON), when a sampler runs
+//	/perf         self-time analysis + heap hotspots (hifi_perf_v1 JSON)
 //	/debug/pprof  the standard net/http/pprof handlers
 //
-// timeseries is the windowed sampler's live handler (it lives in the
-// telemetry/timeseries subpackage, which imports this one, so the mux
-// takes it as a plain http.Handler). Any of reg, col, man, timeseries
-// may be nil; the corresponding route then serves an empty document
-// rather than an error, so dashboards can poll uniformly.
-func NewStatusMux(reg *Registry, col *SpanCollector, man *Manifest, timeseries http.Handler) *http.ServeMux {
+// timeseries is the windowed sampler's live handler and perf the
+// self-time analyzer's (both live in subpackages that import this one,
+// so the mux takes them as plain http.Handlers). Any of reg, col, man,
+// timeseries, perf may be nil; the corresponding route then serves an
+// empty document rather than an error, so dashboards can poll uniformly.
+func NewStatusMux(reg *Registry, col *SpanCollector, man *Manifest, timeseries, perf http.Handler) *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -50,6 +51,14 @@ func NewStatusMux(reg *Registry, col *SpanCollector, man *Manifest, timeseries h
 			return
 		}
 		timeseries.ServeHTTP(w, r)
+	})
+	mux.HandleFunc("/perf", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if perf == nil {
+			io.WriteString(w, "{}\n")
+			return
+		}
+		perf.ServeHTTP(w, r)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -34,7 +34,10 @@ func TestStatusMuxRoutes(t *testing.T) {
 	ts := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, `{"schema":"hifi_timeseries_v1","windows":[]}`)
 	})
-	srv := httptest.NewServer(NewStatusMux(reg, col, man, ts))
+	perf := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"schema":"hifi_perf_v1","spans":[]}`)
+	})
+	srv := httptest.NewServer(NewStatusMux(reg, col, man, ts, perf))
 	defer srv.Close()
 
 	if code, got := get(t, srv, "/healthz"); code != 200 || !strings.Contains(got, "ok") {
@@ -53,6 +56,9 @@ func TestStatusMuxRoutes(t *testing.T) {
 	if _, got := get(t, srv, "/timeseries"); !strings.Contains(got, "hifi_timeseries_v1") {
 		t.Errorf("/timeseries = %s", got)
 	}
+	if _, got := get(t, srv, "/perf"); !strings.Contains(got, "hifi_perf_v1") {
+		t.Errorf("/perf = %s", got)
+	}
 	sp.End()
 }
 
@@ -60,7 +66,7 @@ func TestStatusMuxRoutes(t *testing.T) {
 // object is nil, so dashboards can poll any tool uniformly whether or
 // not that tool enabled the subsystem.
 func TestStatusMuxNilBackends(t *testing.T) {
-	srv := httptest.NewServer(NewStatusMux(nil, nil, nil, nil))
+	srv := httptest.NewServer(NewStatusMux(nil, nil, nil, nil, nil))
 	defer srv.Close()
 
 	code, body := get(t, srv, "/healthz")
@@ -70,7 +76,7 @@ func TestStatusMuxNilBackends(t *testing.T) {
 	if code, body = get(t, srv, "/metrics"); code != 200 || body != "" {
 		t.Errorf("/metrics on nil registry = %d %q, want empty 200", code, body)
 	}
-	for _, path := range []string{"/spans", "/runinfo", "/timeseries"} {
+	for _, path := range []string{"/spans", "/runinfo", "/timeseries", "/perf"} {
 		code, body := get(t, srv, path)
 		if code != 200 {
 			t.Errorf("%s = %d, want 200", path, code)
@@ -84,7 +90,7 @@ func TestStatusMuxNilBackends(t *testing.T) {
 }
 
 func TestStatusMuxContentTypes(t *testing.T) {
-	srv := httptest.NewServer(NewStatusMux(NewRegistry(), nil, nil, nil))
+	srv := httptest.NewServer(NewStatusMux(NewRegistry(), nil, nil, nil, nil))
 	defer srv.Close()
 	for path, want := range map[string]string{
 		"/healthz":    "text/plain",
@@ -92,6 +98,7 @@ func TestStatusMuxContentTypes(t *testing.T) {
 		"/spans":      "application/json",
 		"/runinfo":    "application/json",
 		"/timeseries": "application/json",
+		"/perf":       "application/json",
 	} {
 		resp, err := srv.Client().Get(srv.URL + path)
 		if err != nil {
@@ -106,7 +113,7 @@ func TestStatusMuxContentTypes(t *testing.T) {
 }
 
 func TestStatusMuxPprofIndex(t *testing.T) {
-	srv := httptest.NewServer(NewStatusMux(nil, nil, nil, nil))
+	srv := httptest.NewServer(NewStatusMux(nil, nil, nil, nil, nil))
 	defer srv.Close()
 	code, body := get(t, srv, "/debug/pprof/")
 	if code != 200 || !strings.Contains(body, "goroutine") {
