@@ -7,6 +7,7 @@
 #   make bench-smoke     quick suite + self-compare (CI regression gate dry run)
 #   make perf-smoke      profile capture + self-time export + trajectory check
 #   make engine-smoke    parallel-sweep determinism + cache-reuse check
+#   make watch-smoke     event stream end-to-end: -events-out log + hifi-watch -once
 #   make chaos           fault-injection tests + seeded campaign + off==nominal
 #   make fidelity        scaled sweep scored against the paper anchors
 #   make report          render the evaluation report (scaled)
@@ -14,7 +15,7 @@
 GO ?= go
 DATE := $(shell date -u +%F)
 
-.PHONY: all tier1 ci vet race test build bench bench-snapshot bench-smoke perf-smoke engine-smoke chaos fidelity report fmt clean
+.PHONY: all tier1 ci vet race test build bench bench-snapshot bench-smoke perf-smoke engine-smoke watch-smoke chaos fidelity report fmt clean
 
 all: tier1
 
@@ -90,6 +91,25 @@ engine-smoke:
 	$(GO) run ./cmd/hifi-experiments -run fig14 -scaled -accesses 1000 -jobs 8 -cache-dir /tmp/hifi-engine-cache >/dev/null
 	$(GO) run ./cmd/hifi-experiments -run fig14 -scaled -accesses 1000 -jobs 8 -cache-dir /tmp/hifi-engine-cache 2>&1 >/dev/null \
 		| grep -E 'engine: [0-9]+ jobs, 0 executed, [1-9][0-9]* cache hits'
+
+# watch-smoke is the local version of CI's events job (docs/events.md):
+# a scaled sweep writes the NDJSON event log, the run/job lifecycle
+# counts are asserted (one run.start/run.finish; every queued job
+# reaches a terminal event), and hifi-watch renders a non-empty
+# one-shot dashboard from the log.
+watch-smoke:
+	rm -rf /tmp/hifi-watch && mkdir -p /tmp/hifi-watch
+	$(GO) run ./cmd/hifi-experiments -run fig14 -scaled -accesses 1000 -q -jobs 4 \
+		-events-out /tmp/hifi-watch/events.ndjson >/dev/null
+	head -1 /tmp/hifi-watch/events.ndjson | grep -q hifi_events_v1
+	test "$$(grep -c '"type":"run.start"' /tmp/hifi-watch/events.ndjson)" = 1
+	test "$$(grep -c '"type":"run.finish"' /tmp/hifi-watch/events.ndjson)" = 1
+	q=$$(grep -c '"type":"job.queued"' /tmp/hifi-watch/events.ndjson); \
+	d=$$(grep -cE '"type":"job\.(finished|cache_hit|failed)"' /tmp/hifi-watch/events.ndjson); \
+	test "$$q" -ge 1 && test "$$q" = "$$d"
+	$(GO) run ./cmd/hifi-watch -once /tmp/hifi-watch/events.ndjson > /tmp/hifi-watch/frame.txt
+	grep -q 'hifi-experiments' /tmp/hifi-watch/frame.txt
+	grep -q 'jobs' /tmp/hifi-watch/frame.txt
 
 # chaos is the local version of CI's chaos job (docs/faults.md): the
 # storage-chaos tests under the race detector, a tiny seeded

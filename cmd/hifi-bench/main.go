@@ -24,6 +24,7 @@ import (
 
 	"racetrack/hifi/internal/bench"
 	"racetrack/hifi/internal/cache"
+	"racetrack/hifi/internal/cliutil"
 	"racetrack/hifi/internal/energy"
 	"racetrack/hifi/internal/engine"
 	"racetrack/hifi/internal/experiments"
@@ -31,6 +32,7 @@ import (
 	"racetrack/hifi/internal/pecc"
 	"racetrack/hifi/internal/shiftctrl"
 	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/events"
 	"racetrack/hifi/internal/telemetry/log"
 	"racetrack/hifi/internal/trace"
 )
@@ -47,6 +49,7 @@ func main() {
 		verbose    = flag.Bool("v", false, "debug logging (overrides HIFI_LOG)")
 		quiet      = flag.Bool("q", false, "errors only (overrides HIFI_LOG)")
 	)
+	ev := cliutil.AddEventsOut(flag.CommandLine, "hifi-bench")
 	flag.Parse()
 	switch {
 	case *quiet:
@@ -55,12 +58,30 @@ func main() {
 		log.SetLevel(log.Debug)
 	}
 
+	// hifi-bench does not carry the full Obs surface (it has no status
+	// server and must not measure its own telemetry), so it drives the
+	// event sink directly. bus is nil without -events-out; every Emit
+	// below is a no-op then.
+	bus, err := ev.Open()
+	if err != nil {
+		log.Fatalf("hifi-bench: %v", err)
+	}
+	start := time.Now()
+	bus.Emit(events.Event{Type: events.RunStart, Name: "hifi-bench"})
+	finish := func() {
+		bus.Emit(events.Event{Type: events.RunFinish, Name: "hifi-bench", MS: time.Since(start).Milliseconds()})
+		if err := ev.Close(); err != nil {
+			log.Fatalf("hifi-bench: events: %v", err)
+		}
+	}
+
 	if *compare {
-		runCompare(flag.Args(), *quick, *threshold, *allocThr)
+		runCompare(flag.Args(), *quick, *threshold, *allocThr, bus, finish)
 		return
 	}
 	if *trajectory {
 		runTrajectory(flag.Args(), *svgOut)
+		finish()
 		return
 	}
 
@@ -74,12 +95,16 @@ func main() {
 	}
 	log.Infof("wrote %s (%d benchmarks)", path, len(snap.Results))
 	printSnapshot(snap)
+	finish()
 }
 
 // runCompare loads the baseline, obtains the candidate (second file or a
 // fresh run), prints the per-benchmark deltas, and exits 1 if any exceeds
-// the ns/op or allocs/op threshold.
-func runCompare(args []string, quick bool, threshold, allocThr float64) {
+// the ns/op or allocs/op threshold. Each regression is also emitted as a
+// bench.regression event (Name=benchmark, V=ns/op ratio) before finish
+// seals the event log, so a CI gate failure leaves a machine-readable
+// trace alongside the human one.
+func runCompare(args []string, quick bool, threshold, allocThr float64, bus *events.Bus, finish func()) {
 	if len(args) < 1 || len(args) > 2 {
 		log.Errorf("hifi-bench: -compare needs OLD.json [NEW.json]")
 		os.Exit(2)
@@ -102,21 +127,28 @@ func runCompare(args []string, quick bool, threshold, allocThr float64) {
 	regs := bench.Regressions(deltas, threshold, allocThr)
 	if len(regs) > 0 {
 		for _, d := range regs {
+			var detail string
 			switch {
 			case d.MissingNew:
+				detail = "missing from new snapshot"
 				log.Errorf("hifi-bench: %s missing from new snapshot", d.Name)
 			case d.Regressed(threshold):
+				detail = fmt.Sprintf("ns/op regressed %.1f%%", 100*(d.Ratio-1))
 				log.Errorf("hifi-bench: %s regressed %.1f%% (threshold %.0f%%)",
 					d.Name, 100*(d.Ratio-1), 100*threshold)
 			default:
+				detail = fmt.Sprintf("allocs/op grew %d -> %d", d.OldAllocs, d.NewAllocs)
 				log.Errorf("hifi-bench: %s allocs/op grew %d -> %d (threshold %.0f%%)",
 					d.Name, d.OldAllocs, d.NewAllocs, 100*allocThr)
 			}
+			bus.Emit(events.Event{Type: events.BenchRegression, Name: d.Name, Detail: detail, V: d.Ratio})
 		}
+		finish()
 		os.Exit(1)
 	}
 	log.Infof("no regression beyond %.0f%% ns/op or %.0f%% allocs/op across %d benchmarks",
 		100*threshold, 100*allocThr, len(deltas))
+	finish()
 }
 
 // printDeltas renders the shared delta table for compare and trajectory.
@@ -173,6 +205,7 @@ func runSuite(quick bool) *bench.Snapshot {
 		{"memsim-replay", benchMemsimReplay},
 		{"sweep-small", benchSweep},
 		{"engine-parallel-sweep", benchEngineSweep},
+		{"events-emit", benchEventsEmit},
 	} {
 		log.Infof("benchmarking %s", b.name)
 		r := b.run(quick)
@@ -304,6 +337,22 @@ func benchMemsimReplay(quick bool) bench.Result {
 		"accesses_per_sec":    accesses,
 		"shift_steps_per_sec": shifts,
 	})
+}
+
+// benchEventsEmit measures one structured-event emit on a detached bus
+// (ring buffer only: no sink, no subscribers) — the cost every
+// instrumented hot path pays once an event plane is attached. The
+// nil-bus fast path is guarded separately by an allocs/op test in the
+// events package (must be exactly 0).
+func benchEventsEmit(quick bool) bench.Result {
+	bus := events.New(0)
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bus.Emit(events.Event{Type: events.JobFinished, Name: "bench", Worker: 1, N: int64(i)})
+		}
+	})
+	return toResult(res, map[string]float64{"events_per_sec": 1})
 }
 
 // benchSweep measures one small simulation-backed experiment sweep (Fig 14

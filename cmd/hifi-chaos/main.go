@@ -87,6 +87,7 @@ func main() {
 	}
 	run.Metrics = obs.Reg
 	run.Sampler = obs.TS
+	run.Events = obs.Events
 	run.Eng = eng
 	run.Ctx = ctx
 

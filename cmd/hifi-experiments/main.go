@@ -89,6 +89,7 @@ func main() {
 	}
 	opts.Metrics = obs.Reg
 	opts.Sampler = obs.TS
+	opts.Events = obs.Events
 	opts.Eng = eng
 	plan, err := faultFlags.Plan()
 	if err != nil {

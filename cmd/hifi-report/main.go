@@ -72,6 +72,7 @@ func main() {
 	opts.Seed = *seed
 	opts.Metrics = obs.Reg
 	opts.Sampler = obs.TS
+	opts.Events = obs.Events
 	opts.Eng = eng
 
 	order := experiments.Order()
@@ -93,6 +94,7 @@ func main() {
 	// engine's determinism: byte-identical at any -jobs setting and
 	// cache temperature.
 	scorecard := fidelity.Evaluate(fidelity.Anchors(), tables)
+	scorecard.Emit(obs.Events)
 	log.Infof("fidelity: %d pass, %d warn, %d fail, %d skip",
 		scorecard.Pass, scorecard.Warn, scorecard.Fail, scorecard.Skip)
 	if *fidelityOut != "" {

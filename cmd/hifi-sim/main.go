@@ -128,6 +128,7 @@ func main() {
 	cfg.Ideal = *ideal
 	cfg.Metrics = reg
 	cfg.Sampler = obs.TS
+	cfg.Events = obs.Events
 	cfg.FaultPlan = plan
 	if *traceOut != "" {
 		cfg.Tracer = telemetry.NewTracer(*traceCap)

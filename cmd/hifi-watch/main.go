@@ -1,0 +1,113 @@
+// Command hifi-watch renders a live terminal dashboard from the
+// structured event stream (hifi_events_v1): sweep progress, per-worker
+// utilization, cache hit rate, open fault windows, retry/timeout
+// counts, and an ETA. It consumes either the SSE /events route of a
+// running hifi-* process (started with -pprof) or an NDJSON event log
+// written with -events-out.
+//
+// Usage:
+//
+//	hifi-watch http://localhost:6060/events     # live, attached to a run
+//	hifi-watch events.ndjson                    # live, tailing a log file
+//	hifi-watch -once events.ndjson              # one frame, then exit
+//	hifi-watch -once http://host:6060/events    # one -interval of events, one frame
+//
+// In live mode the screen redraws every -interval; -once renders a
+// single frame and exits 0, which is what CI's watch-smoke uses. See
+// docs/events.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"racetrack/hifi/internal/telemetry/events"
+	"racetrack/hifi/internal/telemetry/log"
+	"racetrack/hifi/internal/watch"
+)
+
+func main() {
+	var (
+		once     = flag.Bool("once", false, "render one frame and exit (CI / snapshot mode)")
+		interval = flag.Duration("interval", time.Second, "live-mode redraw period (and the -once collection window for SSE sources)")
+		verbose  = flag.Bool("v", false, "debug logging (overrides HIFI_LOG)")
+		quiet    = flag.Bool("q", false, "errors only (overrides HIFI_LOG)")
+	)
+	flag.Parse()
+	switch {
+	case *quiet:
+		log.SetLevel(log.Error)
+	case *verbose:
+		log.SetLevel(log.Debug)
+	}
+	if flag.NArg() != 1 {
+		log.Errorf("hifi-watch: need exactly one source: an /events URL or an NDJSON file")
+		os.Exit(2)
+	}
+	source := flag.Arg(0)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var mu sync.Mutex
+	m := watch.NewModel()
+	apply := func(e events.Event) { mu.Lock(); m.Apply(e); mu.Unlock() }
+
+	switch {
+	case *once && !watch.IsURL(source):
+		if err := watch.ReadFileInto(m, source); err != nil {
+			log.Fatalf("hifi-watch: %v", err)
+		}
+		fmt.Print(m.Render())
+
+	case *once:
+		// Collect one interval's worth of replay + live events, then
+		// render a single frame.
+		cctx, cancel := context.WithTimeout(ctx, *interval)
+		_ = watch.FollowSSE(cctx, source, apply)
+		cancel()
+		mu.Lock()
+		fmt.Print(m.Render())
+		mu.Unlock()
+
+	default:
+		errc := make(chan error, 1)
+		go func() {
+			if watch.IsURL(source) {
+				errc <- watch.FollowSSE(ctx, source, apply)
+				return
+			}
+			errc <- watch.TailFile(ctx, source,
+				func(h events.Header) { mu.Lock(); m.SetTool(h.Tool); mu.Unlock() },
+				apply)
+		}()
+		tick := time.NewTicker(*interval)
+		defer tick.Stop()
+		for {
+			mu.Lock()
+			frame := m.Render()
+			mu.Unlock()
+			// Home the cursor and clear below, so short frames do not
+			// leave stale lines behind.
+			fmt.Print("\x1b[H\x1b[2J" + frame)
+			select {
+			case <-ctx.Done():
+				fmt.Println()
+				return
+			case err := <-errc:
+				if err != nil && ctx.Err() == nil {
+					log.Fatalf("hifi-watch: %v", err)
+				}
+				fmt.Println()
+				return
+			case <-tick.C:
+			}
+		}
+	}
+}

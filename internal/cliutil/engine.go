@@ -71,6 +71,7 @@ func (ef *EngineFlags) Build(o *Obs) (*engine.Engine, error) {
 	}
 	if o != nil {
 		opts.Metrics = o.Reg
+		opts.Events = o.Events
 	}
 	if *ef.resume && *ef.cacheDir == "" {
 		return nil, fmt.Errorf("-resume requires -cache-dir (the journal lives in the cache directory)")
@@ -107,6 +108,7 @@ func (ef *EngineFlags) Build(o *Obs) (*engine.Engine, error) {
 	}
 	if o != nil {
 		o.SetPerfResources(func() any { return eng.Resources() })
+		o.Health.SetInFlight(eng.InFlight)
 	}
 	return eng, nil
 }

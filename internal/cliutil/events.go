@@ -1,0 +1,87 @@
+package cliutil
+
+// The shared -events-out flag: every hifi-* binary can append its
+// structured event stream (hifi_events_v1 NDJSON, docs/events.md) to a
+// file. Obs threads this through its Start/Finish lifecycle; tools that
+// do not carry the full Obs surface (hifi-bench) use EventsOut
+// directly.
+
+import (
+	"bufio"
+	"flag"
+	"os"
+
+	"racetrack/hifi/internal/telemetry/events"
+)
+
+// EventsOut owns the -events-out flag and the NDJSON sink file it names.
+type EventsOut struct {
+	tool string
+	path *string
+
+	bus *events.Bus
+	f   *os.File
+	w   *bufio.Writer
+}
+
+// AddEventsOut registers -events-out on fs. Call before flag.Parse.
+func AddEventsOut(fs *flag.FlagSet, tool string) *EventsOut {
+	e := &EventsOut{tool: tool}
+	e.path = fs.String("events-out", "",
+		"write the structured event stream (hifi_events_v1 NDJSON) to this file")
+	return e
+}
+
+// Path returns the parsed -events-out value.
+func (e *EventsOut) Path() string { return *e.path }
+
+// Open builds an event bus with the NDJSON sink attached when
+// -events-out was given, nil otherwise — the one-call surface for tools
+// without the full Obs lifecycle. Pair with Close.
+func (e *EventsOut) Open() (*events.Bus, error) {
+	if *e.path == "" {
+		return nil, nil
+	}
+	bus := events.New(0)
+	if err := e.Attach(bus); err != nil {
+		return nil, err
+	}
+	return bus, nil
+}
+
+// Attach opens the sink file (when -events-out was given), writes the
+// schema header, and routes bus's events there. No-op without the flag.
+func (e *EventsOut) Attach(bus *events.Bus) error {
+	if *e.path == "" {
+		return nil
+	}
+	f, err := os.Create(*e.path)
+	if err != nil {
+		return err
+	}
+	w := bufio.NewWriter(f)
+	if err := events.WriteHeader(w, e.tool); err != nil {
+		_ = f.Close()
+		return err
+	}
+	bus.AttachSink(w)
+	e.bus, e.f, e.w = bus, f, w
+	return nil
+}
+
+// Close flushes and closes the sink file, surfacing any write error the
+// bus hit mid-run. Safe to call when no sink was opened.
+func (e *EventsOut) Close() error {
+	if e.f == nil {
+		return nil
+	}
+	err := e.bus.SinkErr()
+	if ferr := e.w.Flush(); err == nil {
+		err = ferr
+	}
+	if cerr := e.f.Close(); err == nil {
+		err = cerr
+	}
+	e.bus, e.f, e.w = nil, nil, nil
+	return err
+}

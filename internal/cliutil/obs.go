@@ -16,6 +16,7 @@ import (
 
 	"racetrack/hifi/internal/profile"
 	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/events"
 	"racetrack/hifi/internal/telemetry/log"
 	"racetrack/hifi/internal/telemetry/timeseries"
 )
@@ -66,7 +67,16 @@ type Obs struct {
 	Cap  *profile.Capture
 	Perf *profile.Handler
 
+	// Events is the structured event bus (nil unless -events-out or
+	// -pprof asked for an event surface). Thread it into the code being
+	// observed: engine.Options.Events, memsim.Config.Events,
+	// experiments.RunOpts.Events. Health backs the enriched /healthz.
+	Events *events.Bus
+	Health *telemetry.HealthState
+
+	ev         *EventsOut
 	forceSpans bool
+	started    time.Time
 	root       *telemetry.Span
 }
 
@@ -84,7 +94,7 @@ func AddFlags(fs *flag.FlagSet, tool string) *Obs {
 	o.manifestOut = fs.String("manifest-out", "",
 		"write the run manifest here (default: <metrics/spans base>.manifest.json)")
 	o.statusAddr = fs.String("pprof", "",
-		"serve /metrics /spans /runinfo /timeseries /healthz and /debug/pprof on this address (e.g. localhost:6060)")
+		"serve /metrics /spans /runinfo /timeseries /events /healthz and /debug/pprof on this address (e.g. localhost:6060)")
 	o.tsOut = fs.String("timeseries-out", "",
 		"write the windowed metrics time-series (JSON) to this file")
 	o.tsEvery = fs.Int("timeseries-every", timeseries.DefaultEvery,
@@ -99,6 +109,7 @@ func AddFlags(fs *flag.FlagSet, tool string) *Obs {
 		"rotate the CPU profile and snapshot the heap at each phase boundary")
 	o.perfOut = fs.String("perf-out", "",
 		"write the span self-time analysis (hifi_perf_v1 JSON) to this file")
+	o.ev = AddEventsOut(fs, tool)
 	o.verbose = fs.Bool("v", false, "debug logging (overrides HIFI_LOG)")
 	o.quiet = fs.Bool("q", false, "errors only (overrides HIFI_LOG)")
 	return o
@@ -170,19 +181,43 @@ func (o *Obs) Start() context.Context {
 		}
 	}
 
+	// The event bus exists whenever anything can consume it: an NDJSON
+	// sink (-events-out) or the SSE /events route (-pprof). Detached
+	// tools keep the nil bus and its zero-alloc Emit path.
+	if o.ev.Path() != "" || *o.statusAddr != "" {
+		o.Events = events.New(0)
+		o.Events.Instrument(o.Reg)
+		if err := o.ev.Attach(o.Events); err != nil {
+			log.Fatalf("%s: -events-out: %v", o.tool, err)
+		}
+	}
+	o.Health = telemetry.NewHealthState()
+	o.Health.SetEventsSeq(o.Events.Seq)
+
 	if *o.statusAddr != "" {
 		var perf http.Handler
 		if o.Perf != nil {
 			perf = o.Perf
 		}
-		o.Mux = telemetry.NewStatusMux(o.Reg, o.Col, o.Man, o.TS.Handler(), perf)
+		o.Mux = telemetry.NewStatusMux(telemetry.StatusBackends{
+			Registry:   o.Reg,
+			Spans:      o.Col,
+			Manifest:   o.Man,
+			Timeseries: o.TS.Handler(),
+			Perf:       perf,
+			Events:     events.Handler(o.Events),
+			Health:     o.Health,
+		})
 		go func(addr string, mux *http.ServeMux) {
-			log.Infof("status listening on http://%s/ (/metrics /spans /runinfo /perf /debug/pprof)", addr)
+			log.Infof("status listening on http://%s/ (/metrics /spans /runinfo /perf /events /debug/pprof)", addr)
 			if err := http.ListenAndServe(addr, mux); err != nil {
 				log.Errorf("status server: %v", err)
 			}
 		}(*o.statusAddr, o.Mux)
 	}
+
+	o.started = time.Now()
+	o.Events.Emit(events.Event{Type: events.RunStart, Name: o.tool})
 
 	ctx := context.Background()
 	if o.Col != nil {
@@ -235,11 +270,16 @@ func (o *Obs) profileBase() string {
 	return o.tool
 }
 
-// Phase marks a named run phase: the pprof capture rotates its CPU
-// profile and snapshots the heap there when -profile-phases is set.
-// Nil-safe and a no-op without an active capture.
+// Phase marks a named run phase: it lands in the event stream and the
+// /healthz body, and the pprof capture rotates its CPU profile and
+// snapshots the heap there when -profile-phases is set. Nil-safe.
 func (o *Obs) Phase(name string) {
-	if o == nil || o.Cap == nil {
+	if o == nil {
+		return
+	}
+	o.Health.SetPhase(name)
+	o.Events.Emit(events.Event{Type: events.RunPhase, Name: name})
+	if o.Cap == nil {
 		return
 	}
 	if err := o.Cap.Phase(name); err != nil {
@@ -261,6 +301,11 @@ func (o *Obs) SetPerfResources(f func() any) {
 // route it to log.Fatalf.
 func (o *Obs) Finish() error {
 	o.root.End()
+	o.Events.Emit(events.Event{
+		Type: events.RunFinish,
+		Name: o.tool,
+		MS:   time.Since(o.started).Milliseconds(),
+	})
 
 	var firstErr error
 	if *o.metricsOut != "" {
@@ -299,6 +344,17 @@ func (o *Obs) Finish() error {
 		} else {
 			o.Man.AddOutput(*o.perfOut)
 			log.Infof("wrote self-time analysis to %s", *o.perfOut)
+		}
+	}
+	if o.ev.Path() != "" {
+		seq := o.Events.Seq()
+		if err := o.ev.Close(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+		} else {
+			o.Man.AddOutput(o.ev.Path())
+			log.Infof("wrote %d event(s) to %s", seq, o.ev.Path())
 		}
 	}
 	o.TS.Stop()

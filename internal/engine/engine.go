@@ -27,11 +27,13 @@ import (
 	"fmt"
 	"io/fs"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/events"
 	"racetrack/hifi/internal/telemetry/log"
 )
 
@@ -102,6 +104,10 @@ type Options struct {
 	// Metrics optionally receives the engine counters and pool gauges
 	// named in telemetry/names.go. Nil disables instrumentation.
 	Metrics *telemetry.Registry
+	// Events optionally receives the job lifecycle as structured events
+	// (job.queued/started/finished/cache_hit/retry/timeout/panic/failed;
+	// see docs/events.md). Nil disables emission at zero cost.
+	Events *events.Bus
 }
 
 // Engine schedules jobs over a worker pool. One engine is typically
@@ -219,6 +225,10 @@ func New(opts Options) *Engine {
 // Workers returns the configured pool width.
 func (e *Engine) Workers() int { return e.opts.Workers }
 
+// InFlight returns how many jobs are executing right now (the /healthz
+// jobs_in_flight probe).
+func (e *Engine) InFlight() int { return int(e.running.Load()) }
+
 // Report summarizes one Run call. Payloads holds the canonical JSON
 // result of each job in submission order; decode with Decode/DecodeAll.
 type Report struct {
@@ -246,6 +256,14 @@ func (e *Engine) Run(ctx context.Context, jobs []Job) (*Report, error) {
 	e.tel.jobs.Add(float64(len(jobs)))
 	e.queued.Add(int64(len(jobs)))
 	e.tel.queue.Add(float64(len(jobs)))
+	// Queued events are emitted up front in submission order — the one
+	// part of the job lifecycle whose ordering is deterministic under any
+	// worker count.
+	for i := range jobs {
+		e.opts.Events.Emit(events.Event{
+			Type: events.JobQueued, Name: label(jobs[i]), N: int64(len(jobs)),
+		})
+	}
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -346,6 +364,9 @@ func (e *Engine) process(ctx context.Context, slot int, j Job) (payload []byte, 
 			e.hits.Add(1)
 			e.tel.resumed.Inc()
 			e.tel.hits.Inc()
+			e.opts.Events.Emit(events.Event{
+				Type: events.JobCacheHit, Name: label(j), Detail: "resumed",
+			})
 			o.hit, o.resumed = true, true
 			return p, o
 		}
@@ -355,6 +376,7 @@ func (e *Engine) process(ctx context.Context, slot int, j Job) (payload []byte, 
 			e.hits.Add(1)
 			e.tel.hits.Inc()
 			e.journal(j, hash, 0, JobResources{})
+			e.opts.Events.Emit(events.Event{Type: events.JobCacheHit, Name: label(j)})
 			o.hit = true
 			return p, o
 		}
@@ -377,6 +399,8 @@ func (e *Engine) process(ctx context.Context, slot int, j Job) (payload []byte, 
 
 	jctx, sp := telemetry.StartSpan(ctx, "job:"+label(j), telemetry.A("hash", hash[:12]))
 	defer sp.End()
+	e.opts.Events.Emit(events.Event{Type: events.JobStarted, Name: label(j), Worker: slot})
+	jobStart := time.Now()
 
 	var lastErr error
 	for attempt := 0; attempt <= e.opts.Retries; attempt++ {
@@ -386,6 +410,10 @@ func (e *Engine) process(ctx context.Context, slot int, j Job) (payload []byte, 
 			o.retried++
 			log.Infof("engine: retrying %s (attempt %d/%d): %v",
 				label(j), attempt+1, e.opts.Retries+1, lastErr)
+			e.opts.Events.Emit(events.Event{
+				Type: events.JobRetried, Name: label(j),
+				N: int64(attempt), Detail: firstLine(lastErr),
+			})
 			if err := e.backoff(ctx, hash, attempt); err != nil {
 				lastErr = err
 				break
@@ -401,6 +429,16 @@ func (e *Engine) process(ctx context.Context, slot int, j Job) (payload []byte, 
 			if errors.Is(err, errAttemptTimeout) {
 				e.timeouts.Add(1)
 				e.tel.timeouts.Inc()
+				e.opts.Events.Emit(events.Event{
+					Type: events.JobTimeout, Name: label(j),
+					MS: e.opts.JobTimeout.Milliseconds(),
+				})
+			}
+			var pe *panicError
+			if errors.As(err, &pe) {
+				e.opts.Events.Emit(events.Event{
+					Type: events.JobPanic, Name: label(j), Detail: pe.value,
+				})
 			}
 			if ctx.Err() != nil {
 				break // the sweep is being cancelled; stop burning retries
@@ -428,14 +466,34 @@ func (e *Engine) process(ctx context.Context, slot int, j Job) (payload []byte, 
 		e.executed.Add(1)
 		e.tel.executed.Inc()
 		e.journal(j, hash, attempt+1, res)
+		e.opts.Events.Emit(events.Event{
+			Type: events.JobFinished, Name: label(j), Worker: slot,
+			MS: time.Since(jobStart).Milliseconds(), N: int64(attempt + 1),
+		})
 		o.executed = true
 		return payload, o
 	}
 	e.failures.Add(1)
 	e.tel.failures.Inc()
 	sp.SetAttr("error", fmt.Sprint(lastErr))
+	e.opts.Events.Emit(events.Event{
+		Type: events.JobFailed, Name: label(j), Detail: firstLine(lastErr),
+	})
 	o.err = lastErr
 	return nil, o
+}
+
+// firstLine renders an error's first line — event Detail fields carry
+// the headline, not a panic's full stack trace.
+func firstLine(err error) string {
+	if err == nil {
+		return ""
+	}
+	s := err.Error()
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }
 
 // cacheGet resolves hash from the cache, mapping every failure to "not
@@ -581,6 +639,16 @@ func (e *Engine) version() string {
 	return CodeVersion()
 }
 
+// panicError is a recovered job panic: the panic value as a headline
+// plus the goroutine stack. Typed so the event plane can report the
+// isolation distinctly from ordinary job errors.
+type panicError struct {
+	value string
+	stack string
+}
+
+func (p *panicError) Error() string { return fmt.Sprintf("panic: %s\n%s", p.value, p.stack) }
+
 // runIsolated invokes the job function, converting a panic into an
 // error so a bad configuration fails one job, not the whole sweep.
 func runIsolated(ctx context.Context, j Job) (result any, err error) {
@@ -588,7 +656,7 @@ func runIsolated(ctx context.Context, j Job) (result any, err error) {
 		if r := recover(); r != nil {
 			buf := make([]byte, 4<<10)
 			buf = buf[:runtime.Stack(buf, false)]
-			err = fmt.Errorf("panic: %v\n%s", r, buf)
+			err = &panicError{value: fmt.Sprint(r), stack: string(buf)}
 		}
 	}()
 	return j.Fn(ctx)

@@ -3,12 +3,14 @@ package engine
 import (
 	"context"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"sync/atomic"
 	"testing"
 
 	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/events"
 )
 
 // testJobs builds n jobs whose Fn records execution counts in execs and
@@ -303,6 +305,54 @@ func TestMetricsAndStatus(t *testing.T) {
 	want := "engine: 12 jobs, 6 executed, 6 cache hits, 0 resumed, 0 retries, 0 failures, 0 corrupt, 0 timeouts"
 	if e.Summary() != want {
 		t.Errorf("summary = %q, want %q", e.Summary(), want)
+	}
+}
+
+func TestStatusHandlerHeaders(t *testing.T) {
+	e := New(Options{Workers: 1})
+	rr := httptest.NewRecorder()
+	e.StatusHandler().ServeHTTP(rr, httptest.NewRequest("GET", "/engine", nil))
+	if got := rr.Header().Get("Content-Type"); got != "application/json; charset=utf-8" {
+		t.Errorf("Content-Type = %q", got)
+	}
+	if got := rr.Header().Get("Cache-Control"); got != "no-store" {
+		t.Errorf("Cache-Control = %q", got)
+	}
+}
+
+// TestJobLifecycleEvents checks the engine's emissions on the event
+// bus: a job.queued prefix in submission order, one started/finished
+// pair per executed job, and cache_hit on the warm re-run.
+func TestJobLifecycleEvents(t *testing.T) {
+	bus := events.New(0)
+	dir := t.TempDir()
+	cache, _ := OpenCache(dir, "v-test")
+	var execs atomic.Int64
+	jobs := testJobs(3, &execs)
+	e := New(Options{Workers: 2, Cache: cache, Events: bus})
+	if _, err := e.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	warm := New(Options{Workers: 2, Cache: cache, Events: bus})
+	if _, err := warm.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+
+	all := bus.ReplaySince(0)
+	count := map[events.Type]int{}
+	for _, e := range all {
+		count[e.Type]++
+	}
+	if count[events.JobQueued] != 6 || count[events.JobStarted] != 3 ||
+		count[events.JobFinished] != 3 || count[events.JobCacheHit] != 3 {
+		t.Errorf("event counts = %v", count)
+	}
+	// The queued prefix precedes any execution and preserves submission
+	// order within each Run call.
+	for i := 0; i < 3; i++ {
+		if all[i].Type != events.JobQueued || all[i].Name != jobs[i].Label || all[i].N != 3 {
+			t.Errorf("event %d = %+v, want queued %q n=3", i, all[i], jobs[i].Label)
+		}
 	}
 }
 

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"sort"
 	"time"
+
+	"racetrack/hifi/internal/telemetry/log"
 )
 
 // RunningJob is one in-flight job as exposed by Status.
@@ -99,13 +101,17 @@ func (e *Engine) Resources() ResourceSummary {
 	return rs
 }
 
-// StatusHandler serves the Status snapshot as indented JSON.
+// StatusHandler serves the Status snapshot as indented JSON. Headers
+// match the status-mux contract: explicit charset, never cached.
 func (e *Engine) StatusHandler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		w.Header().Set("Cache-Control", "no-store")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(e.Status())
+		if err := enc.Encode(e.Status()); err != nil {
+			log.Debugf("engine: /engine write: %v", err)
+		}
 	})
 }
 

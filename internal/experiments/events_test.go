@@ -1,0 +1,132 @@
+package experiments
+
+// Golden test for the structured event stream: a seeded two-job sweep
+// must produce the same event payloads at any worker count. Raw NDJSON
+// lines differ run to run (sequence numbers interleave, timestamps and
+// worker slots are scheduling facts), so the comparison is over
+// Canonical() projections — identity fields only — sorted, which is
+// exactly the determinism contract docs/events.md documents. The sorted
+// canonical payloads are additionally pinned against a testdata golden
+// so schema drift in hifi_events_v1 is a reviewed change, not an
+// accident. Regenerate with HIFI_UPDATE_GOLDEN=1 go test ./internal/experiments -run TestEventLog.
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"racetrack/hifi/internal/energy"
+	"racetrack/hifi/internal/engine"
+	"racetrack/hifi/internal/shiftctrl"
+	"racetrack/hifi/internal/telemetry/events"
+)
+
+const eventsGolden = "testdata/events_golden.txt"
+
+// runTwoJobSweep executes a seeded two-workload simulation batch with
+// the event plane attached end to end — engine lifecycle events plus
+// the memsim phase events emitted from inside each job — writing the
+// NDJSON log to path through the real sink, then reads it back.
+func runTwoJobSweep(t *testing.T, workers int, path string) []events.Event {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := events.WriteHeader(f, "experiments-test"); err != nil {
+		t.Fatal(err)
+	}
+	bus := events.New(0)
+	bus.AttachSink(f)
+
+	o := quick()
+	o.Events = bus
+	eng := engine.New(engine.Options{Workers: workers, Events: bus})
+	ws := o.workloads()[:2]
+	cfg := o.config(energy.Racetrack, shiftctrl.PECCSAdaptive)
+	jobs := []engine.Job{
+		o.simJob(ws[0], cfg, "evt"),
+		o.simJob(ws[1], cfg, "evt"),
+	}
+	if _, err := eng.Run(context.Background(), jobs); err != nil {
+		t.Fatal(err)
+	}
+	if err := bus.SinkErr(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	hdr, evs, err := events.ReadLogFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Schema != events.SchemaV1 {
+		t.Fatalf("log schema = %q, want %q", hdr.Schema, events.SchemaV1)
+	}
+	return evs
+}
+
+// canonicals returns the sorted canonical payloads of evs.
+func canonicals(evs []events.Event) []string {
+	out := make([]string, len(evs))
+	for i, e := range evs {
+		out[i] = e.Canonical()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestEventLogDeterministicAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-backed experiment")
+	}
+	dir := t.TempDir()
+
+	serial := runTwoJobSweep(t, 1, filepath.Join(dir, "j1.ndjson"))
+	par := runTwoJobSweep(t, 4, filepath.Join(dir, "j4.ndjson"))
+
+	// Sequence numbers must be strictly monotonic in emit order in both
+	// logs — that is the ordering contract replay depends on.
+	for name, evs := range map[string][]events.Event{"jobs=1": serial, "jobs=4": par} {
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Seq <= evs[i-1].Seq {
+				t.Fatalf("%s: seq not monotonic at line %d: %d then %d",
+					name, i, evs[i-1].Seq, evs[i].Seq)
+			}
+		}
+	}
+
+	// job.queued events are emitted up front in submission order, before
+	// any worker runs — the prefix every consumer can rely on.
+	for i, evs := range [][]events.Event{serial, par} {
+		if len(evs) < 2 || evs[0].Type != events.JobQueued || evs[1].Type != events.JobQueued {
+			t.Errorf("log %d does not open with the queued prefix", i)
+		}
+	}
+
+	got, want := canonicals(par), canonicals(serial)
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("canonical payloads differ between -jobs=1 and -jobs=4:\nserial:\n%s\nparallel:\n%s",
+			strings.Join(want, "\n"), strings.Join(got, "\n"))
+	}
+
+	goldenBody := strings.Join(want, "\n") + "\n"
+	if os.Getenv("HIFI_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(eventsGolden, []byte(goldenBody), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(eventsGolden)
+	if err != nil {
+		t.Fatalf("missing golden (run with HIFI_UPDATE_GOLDEN=1 to create): %v", err)
+	}
+	if string(golden) != goldenBody {
+		t.Errorf("canonical event payloads drifted from %s (HIFI_UPDATE_GOLDEN=1 regenerates):\ngot:\n%s\ngolden:\n%s",
+			eventsGolden, goldenBody, golden)
+	}
+}

@@ -64,12 +64,14 @@ func (o RunOpts) engine() *engine.Engine {
 func (o RunOpts) simJob(w trace.Workload, cfg memsim.Config, tag string) engine.Job {
 	metrics := o.Metrics
 	sampler := o.Sampler
+	bus := o.Events
 	return engine.Job{
 		Key:   cfg.Fingerprint(w),
 		Label: fmt.Sprintf("%s:%s", tag, w.Name),
 		Fn: func(ctx context.Context) (any, error) {
 			cfg.Metrics = metrics
 			cfg.Sampler = sampler
+			cfg.Events = bus
 			r, err := memsim.RunCtx(ctx, w, cfg)
 			if err != nil {
 				return nil, err

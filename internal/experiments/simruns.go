@@ -10,6 +10,7 @@ import (
 	"racetrack/hifi/internal/memsim"
 	"racetrack/hifi/internal/shiftctrl"
 	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/events"
 	"racetrack/hifi/internal/telemetry/timeseries"
 	"racetrack/hifi/internal/trace"
 )
@@ -53,6 +54,11 @@ type RunOpts struct {
 	// to a plan-free run, and the plan participates in the engine cache
 	// fingerprint so injected and nominal results never mix.
 	FaultPlan *faults.Plan
+	// Events optionally receives the structured event stream: memsim
+	// phase boundaries and fault windows from every simulation (the
+	// engine's job lifecycle is wired separately through Eng; see
+	// docs/events.md). Nil disables emission.
+	Events *events.Bus
 }
 
 // ctx returns the configured context, defaulting to Background.
@@ -112,6 +118,7 @@ func (o RunOpts) config(t energy.Tech, s shiftctrl.Scheme) memsim.Config {
 	cfg.Metrics = o.Metrics
 	cfg.Sampler = o.Sampler
 	cfg.FaultPlan = o.FaultPlan.Norm()
+	cfg.Events = o.Events
 	return cfg
 }
 

@@ -3,6 +3,7 @@ package faults
 import (
 	"racetrack/hifi/internal/errmodel"
 	"racetrack/hifi/internal/sim"
+	"racetrack/hifi/internal/telemetry/events"
 )
 
 // referenceTempC mirrors the error model's characterization temperature.
@@ -60,6 +61,12 @@ type Device struct {
 	rng  *sim.RNG
 	ops  uint64
 	injs []injectorState
+
+	// Event-plane wiring (SetEvents): a fault window "opens" when the
+	// composed modulation leaves identity and "closes" when it returns.
+	bus       *events.Bus
+	scope     string
+	winActive bool
 }
 
 // injectorState is one injector's runtime state.
@@ -90,6 +97,18 @@ func New(p *Plan) (*Device, error) {
 		d.injs[i] = injectorState{cfg: in, factor: 1}
 	}
 	return d, nil
+}
+
+// SetEvents routes fault-window transitions to bus as fault.open /
+// fault.close events; scope names the run the device belongs to
+// ("memsim:ferret") since one sweep simulates many devices. Nil-safe on
+// both sides, and free per-op when no bus is attached.
+func (d *Device) SetEvents(bus *events.Bus, scope string) {
+	if d == nil {
+		return
+	}
+	d.bus = bus
+	d.scope = scope
 }
 
 // Ops returns how many operations have been advanced.
@@ -165,6 +184,20 @@ func (d *Device) Advance() Mod {
 				}
 			}
 			m.RateFactor *= st.factor
+		}
+	}
+	if d.bus != nil {
+		if active := !m.Identity(); active != d.winActive {
+			d.winActive = active
+			if active {
+				d.bus.Emit(events.Event{
+					Type: events.FaultOpen, Name: d.scope, N: int64(op), V: m.RateFactor,
+				})
+			} else {
+				d.bus.Emit(events.Event{
+					Type: events.FaultClose, Name: d.scope, N: int64(op),
+				})
+			}
 		}
 	}
 	return m

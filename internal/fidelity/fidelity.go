@@ -17,6 +17,7 @@ import (
 	"strconv"
 
 	"racetrack/hifi/internal/experiments"
+	"racetrack/hifi/internal/telemetry/events"
 )
 
 // SchemaV1 identifies the scorecard JSON layout.
@@ -175,6 +176,21 @@ func (sc Scorecard) Err() error {
 		}
 	}
 	return fmt.Errorf("fidelity: %d anchor(s) failed, first: %s", sc.Fail, first)
+}
+
+// Emit publishes one fidelity.verdict event per evaluated anchor to
+// bus: Name is the anchor ID, Detail the status (pass/warn/fail/skip),
+// V the measured value. Anchor declaration order, so the event stream
+// carries the verdicts deterministically. Nil-safe.
+func (sc Scorecard) Emit(bus *events.Bus) {
+	for _, r := range sc.Anchors {
+		bus.Emit(events.Event{
+			Type:   events.FidelityVerdict,
+			Name:   r.ID,
+			Detail: string(r.Status),
+			V:      r.Measured,
+		})
+	}
 }
 
 // WriteJSON marshals the scorecard with stable indentation.

@@ -14,8 +14,8 @@ const FingerprintSchema = 1
 
 // fingerprint is the canonical, JSON-stable projection of a resolved
 // Config plus its workload: every field that affects a Result and
-// nothing that does not (Metrics, Tracer, Sampler, and the span context
-// are observability-only). Field order is fixed by the struct
+// nothing that does not (Metrics, Tracer, Sampler, Events, and the span
+// context are observability-only). Field order is fixed by the struct
 // declaration, so equal inputs marshal to equal bytes.
 type fingerprint struct {
 	Schema   int     `json:"schema"`

@@ -18,6 +18,7 @@ import (
 	"racetrack/hifi/internal/mttf"
 	"racetrack/hifi/internal/shiftctrl"
 	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/events"
 	"racetrack/hifi/internal/telemetry/timeseries"
 	"racetrack/hifi/internal/trace"
 )
@@ -94,6 +95,11 @@ type Config struct {
 	// share a window (see docs/observability.md). Nil disables
 	// windowed sampling at one branch per access.
 	Sampler *timeseries.Sampler
+	// Events optionally receives run.phase events at the warmup/measure
+	// boundaries and fault-window transitions from the device plane
+	// (docs/events.md). Nil disables emission. Like the other
+	// observability fields, Events is excluded from the fingerprint.
+	Events *events.Bus
 }
 
 // Source is any per-core access stream: the synthetic trace.Generator and
@@ -377,6 +383,7 @@ func newSystem(ctx context.Context, w trace.Workload, cfg Config) *system {
 		// The plan was validated by RunCtx; New on a valid plan cannot
 		// fail, and a nil plan yields a nil (free) device.
 		s.faults, _ = faults.New(cfg.FaultPlan)
+		s.faults.SetEvents(cfg.Events, "memsim:"+w.Name)
 		maxDist := cfg.Geometry.SegLen - 1
 		if maxDist < 1 {
 			maxDist = 1
@@ -421,6 +428,10 @@ func (s *system) run(ctx context.Context) {
 	if warm > 0 {
 		s.tel.phase.Set(0)
 		s.sampler.Mark("memsim:" + s.w.Name + ":warmup")
+		s.cfg.Events.Emit(events.Event{
+			Type: events.RunPhase, Name: "memsim:" + s.w.Name + "/warmup",
+			N: int64(warm * s.cfg.Cores),
+		})
 		_, sp := telemetry.StartSpan(ctx, "warmup",
 			telemetry.AInt("accesses", int64(warm*s.cfg.Cores)))
 		s.setBudget(warm)
@@ -433,6 +444,10 @@ func (s *system) run(ctx context.Context) {
 	}
 	s.tel.phase.Set(1)
 	s.sampler.Mark("memsim:" + s.w.Name + ":measure")
+	s.cfg.Events.Emit(events.Event{
+		Type: events.RunPhase, Name: "memsim:" + s.w.Name + "/measure",
+		N: int64((s.cfg.AccessesPerCore - warm) * s.cfg.Cores),
+	})
 	_, sp := telemetry.StartSpan(ctx, "measure",
 		telemetry.AInt("accesses", int64((s.cfg.AccessesPerCore-warm)*s.cfg.Cores)))
 	s.setBudget(s.cfg.AccessesPerCore - warm)

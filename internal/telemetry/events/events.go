@@ -1,0 +1,328 @@
+// Package events is the push-based structured event plane of the
+// observability stack: a nil-safe, bounded, lock-cheap bus emitting
+// sequence-numbered events for run lifecycle, engine job lifecycle,
+// fault-plan windows, fidelity verdicts, and bench regressions.
+//
+// Where the metrics registry answers "how much so far" by polling, the
+// bus answers "what just happened" by pushing: every Emit assigns the
+// next sequence number, appends the event to a bounded replay ring,
+// fans it out to live subscribers (the SSE /events route), and appends
+// one NDJSON line to the optional sink (-events-out). This is the
+// streaming substrate the planned hifi-serve sweep daemon reuses
+// verbatim (ROADMAP item 1); cmd/hifi-watch is its first consumer.
+//
+// Three contracts, mirroring the rest of internal/telemetry:
+//
+//   - Nil-safe and free when detached: every method on a nil *Bus is a
+//     no-op, and the nil Emit path performs zero allocations (guarded
+//     by an allocs/op test and the events-emit bench case).
+//   - Bounded: the replay ring holds the last RingCap events; a slow
+//     SSE subscriber drops events (counted in
+//     hifi_events_dropped_total) rather than blocking Emit.
+//   - Deterministic payloads: an Event separates identity (Type, Name,
+//     Detail, N, V — reproducible for a seeded sweep at any worker
+//     count) from timing (Seq, TMS, MS, Worker — wall-clock and
+//     scheduling facts). Canonical() renders only the identity, which
+//     is what the golden event-log test compares across -jobs settings.
+//
+// See docs/events.md for the hifi_events_v1 schema and the SSE
+// protocol.
+package events
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"racetrack/hifi/internal/telemetry"
+)
+
+// SchemaV1 identifies the event stream layout, stamped into the NDJSON
+// header line and the SSE handshake comment.
+const SchemaV1 = "hifi_events_v1"
+
+// Type names one event kind. The dotted families group related events
+// for subscribers that filter ("job.*" is the engine lifecycle).
+type Type string
+
+const (
+	// Run lifecycle, emitted by the CLI plumbing (internal/cliutil) and
+	// the memsim phase boundaries.
+	RunStart  Type = "run.start"  // Name: tool
+	RunPhase  Type = "run.phase"  // Name: phase ("fig14", "memsim:ferret/measure")
+	RunFinish Type = "run.finish" // MS: run wall time
+
+	// Engine job lifecycle (internal/engine). Name is the job label.
+	JobQueued   Type = "job.queued"    // N: batch size the job arrived in
+	JobStarted  Type = "job.started"   // Worker: pool slot
+	JobFinished Type = "job.finished"  // Worker, MS: wall ms, N: attempts
+	JobCacheHit Type = "job.cache_hit" // Detail: "resumed" when via the journal
+	JobRetried  Type = "job.retry"     // N: attempt number, Detail: error
+	JobTimeout  Type = "job.timeout"   // MS: the deadline that fired
+	JobPanic    Type = "job.panic"     // Detail: first line of the panic value
+	JobFailed   Type = "job.failed"    // Detail: the permanent error
+
+	// Device fault-plan windows (internal/faults): a window opens when
+	// the composed modulation leaves identity and closes when it
+	// returns. Name scopes the run ("memsim:ferret"), N is the shift
+	// operation index on the device's own clock.
+	FaultOpen  Type = "fault.open" // V: rate factor at opening
+	FaultClose Type = "fault.close"
+
+	// Fidelity verdicts (internal/fidelity): one per evaluated anchor.
+	FidelityVerdict Type = "fidelity.verdict" // Name: anchor ID, Detail: status, V: measured
+
+	// Bench regressions (cmd/hifi-bench -compare): one per breached gate.
+	BenchRegression Type = "bench.regression" // Name: benchmark, Detail: reason, V: ratio
+)
+
+// Event is one structured occurrence. The zero value of every optional
+// field is omitted from the JSON, so payloads stay small and the
+// canonical form is stable.
+type Event struct {
+	// Seq is the bus-assigned sequence number: strictly increasing,
+	// starting at 1, unique across the whole run. It doubles as the SSE
+	// event id, so Last-Event-ID replay is exact.
+	Seq uint64 `json:"seq"`
+	// TMS is the emit wall-clock time in Unix milliseconds.
+	TMS int64 `json:"t_ms"`
+
+	Type Type `json:"type"`
+	// Name identifies the subject: job label, phase name, anchor ID,
+	// benchmark name, fault scope.
+	Name string `json:"name,omitempty"`
+	// Detail carries free-text context: an error, a verdict status.
+	Detail string `json:"detail,omitempty"`
+	// Worker is the engine pool slot (job.started / job.finished).
+	Worker int `json:"worker,omitempty"`
+	// N is a small integer fact: attempts, batch size, operation index.
+	N int64 `json:"n,omitempty"`
+	// MS is a duration in milliseconds (job wall time, run wall time).
+	MS int64 `json:"ms,omitempty"`
+	// V is a float fact: a measured value, a ratio, a rate factor.
+	V float64 `json:"v,omitempty"`
+}
+
+// canonical is the deterministic projection of an Event: identity
+// fields only, no sequence numbers, timestamps, durations, or worker
+// slots — the parts of a seeded sweep that are byte-identical at any
+// -jobs setting or cache temperature.
+type canonical struct {
+	Type   Type    `json:"type"`
+	Name   string  `json:"name,omitempty"`
+	Detail string  `json:"detail,omitempty"`
+	N      int64   `json:"n,omitempty"`
+	V      float64 `json:"v,omitempty"`
+}
+
+// Canonical renders the event's deterministic identity as compact JSON.
+// The golden event-log test sorts these lines and compares runs; see
+// docs/events.md ("determinism").
+func (e Event) Canonical() string {
+	b, err := json.Marshal(canonical{e.Type, e.Name, e.Detail, e.N, e.V})
+	if err != nil {
+		// Event is plain data; a marshal failure is a programming error.
+		panic(fmt.Sprintf("events: Canonical: %v", err))
+	}
+	return string(b)
+}
+
+// DefaultRingCap is the replay ring capacity when New is given none:
+// enough for every event of a scaled CI sweep and several minutes of a
+// full one, at ~100 bytes an event about 400 KB.
+const DefaultRingCap = 4096
+
+// Bus is the event fan-out point. One bus serves a whole process: the
+// CLIs build one in cliutil.Obs when -events-out or -pprof asks for an
+// event surface, and thread it through the engine, memsim, and the
+// fault plane. A nil *Bus is the detached state — every method is a
+// nil-safe no-op and Emit costs one branch and zero allocations.
+type Bus struct {
+	mu   sync.Mutex
+	seq  uint64
+	ring []Event // fixed-capacity circular buffer
+	head int     // next write position
+	n    int     // live events in ring
+
+	subs   map[int]chan Event
+	nextID int
+
+	sink    io.Writer
+	sinkErr error // first sink write failure; later writes are skipped
+
+	dropped atomic.Uint64
+	dropCtr *telemetry.Counter
+}
+
+// New builds a bus with the given replay-ring capacity (<= 0 means
+// DefaultRingCap).
+func New(ringCap int) *Bus {
+	if ringCap <= 0 {
+		ringCap = DefaultRingCap
+	}
+	return &Bus{
+		ring: make([]Event, ringCap),
+		subs: map[int]chan Event{},
+	}
+}
+
+// Instrument registers the slow-client drop counter on reg. Nil-safe on
+// both sides.
+func (b *Bus) Instrument(reg *telemetry.Registry) {
+	if b == nil || reg == nil {
+		return
+	}
+	b.mu.Lock()
+	b.dropCtr = reg.Counter(telemetry.MetricEventsDropped,
+		"events dropped because a subscriber's buffer was full")
+	b.mu.Unlock()
+}
+
+// AttachSink routes every subsequent event to w as one NDJSON line.
+// The caller owns w's lifetime (buffering, flush, close); cliutil
+// flushes and closes it at Finish. The first write error detaches the
+// sink logically — later events skip it — and is returned by SinkErr.
+func (b *Bus) AttachSink(w io.Writer) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.sink = w
+	b.sinkErr = nil
+	b.mu.Unlock()
+}
+
+// SinkErr returns the first NDJSON sink write failure, or nil.
+func (b *Bus) SinkErr() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sinkErr
+}
+
+// Seq returns the high-water sequence number: how many events have been
+// emitted over the bus's lifetime. Nil-safe (0).
+func (b *Bus) Seq() uint64 {
+	if b == nil {
+		return 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.seq
+}
+
+// Dropped returns how many subscriber deliveries were dropped because a
+// buffer was full. Nil-safe (0).
+func (b *Bus) Dropped() uint64 {
+	if b == nil {
+		return 0
+	}
+	return b.dropped.Load()
+}
+
+// Emit stamps the event with the next sequence number and the current
+// wall clock, stores it in the replay ring, appends it to the NDJSON
+// sink, and offers it to every live subscriber without blocking: a
+// subscriber whose buffer is full misses the event (counted in
+// hifi_events_dropped_total) and can recover the gap by reconnecting
+// with Last-Event-ID. Safe for concurrent use; a nil bus is a free
+// no-op.
+func (b *Bus) Emit(e Event) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.seq++
+	e.Seq = b.seq
+	e.TMS = time.Now().UnixMilli()
+
+	b.ring[b.head] = e
+	b.head = (b.head + 1) % len(b.ring)
+	if b.n < len(b.ring) {
+		b.n++
+	}
+
+	if b.sink != nil && b.sinkErr == nil {
+		if err := writeNDJSON(b.sink, e); err != nil {
+			b.sinkErr = err
+		}
+	}
+
+	var drops uint64
+	for _, ch := range b.subs {
+		select {
+		case ch <- e:
+		default:
+			drops++
+		}
+	}
+	ctr := b.dropCtr
+	b.mu.Unlock()
+
+	if drops > 0 {
+		b.dropped.Add(drops)
+		ctr.Add(float64(drops))
+	}
+}
+
+// Subscribe registers a live subscriber with the given channel buffer
+// (<= 0 means 64) after replaying the ring's events newer than afterSeq
+// into the returned slice. Replay and registration are atomic, so the
+// caller sees every event exactly once (or a counted drop): replayed
+// events end at some sequence number s, and the channel carries s+1
+// onward. The cancel function unregisters and closes the channel.
+func (b *Bus) Subscribe(afterSeq uint64, buf int) (replay []Event, ch <-chan Event, cancel func()) {
+	if b == nil {
+		return nil, nil, func() {}
+	}
+	if buf <= 0 {
+		buf = 64
+	}
+	c := make(chan Event, buf)
+	b.mu.Lock()
+	replay = b.replayLocked(afterSeq)
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = c
+	b.mu.Unlock()
+	return replay, c, func() {
+		b.mu.Lock()
+		if _, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(c)
+		}
+		b.mu.Unlock()
+	}
+}
+
+// ReplaySince returns the ring's events with Seq > afterSeq, oldest
+// first. Events older than the ring's capacity are gone; the caller can
+// detect the gap by comparing the first returned Seq with afterSeq+1.
+func (b *Bus) ReplaySince(afterSeq uint64) []Event {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.replayLocked(afterSeq)
+}
+
+func (b *Bus) replayLocked(afterSeq uint64) []Event {
+	if b.n == 0 {
+		return nil
+	}
+	start := (b.head - b.n + len(b.ring)) % len(b.ring)
+	out := make([]Event, 0, b.n)
+	for i := 0; i < b.n; i++ {
+		e := b.ring[(start+i)%len(b.ring)]
+		if e.Seq > afterSeq {
+			out = append(out, e)
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// HealthState carries the live process facts behind the enriched
+// /healthz body: uptime, the current run phase, jobs in flight, and the
+// event stream's sequence high-water mark. The probe contract stays a
+// bare 200 whose body contains "ok"; the JSON fields ride along for
+// humans and dashboards.
+//
+// Phase is pushed by the CLI plumbing at each phase boundary; jobs in
+// flight and the events high-water mark are pulled through settable
+// funcs because their owners (the engine, the event bus) are built
+// after the status mux starts serving. A nil *HealthState is a valid
+// no-op, and every setter is safe for concurrent use with serving.
+type HealthState struct {
+	start time.Time
+
+	mu        sync.Mutex
+	phase     string
+	inFlight  func() int
+	eventsSeq func() uint64
+}
+
+// NewHealthState starts the uptime clock now.
+func NewHealthState() *HealthState {
+	return &HealthState{start: time.Now()}
+}
+
+// SetPhase records the current run phase. Nil-safe.
+func (h *HealthState) SetPhase(phase string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.phase = phase
+	h.mu.Unlock()
+}
+
+// SetInFlight supplies the jobs-in-flight probe (the engine's running
+// count). Nil-safe; f may be nil to detach.
+func (h *HealthState) SetInFlight(f func() int) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.inFlight = f
+	h.mu.Unlock()
+}
+
+// SetEventsSeq supplies the event-stream high-water probe (the bus's
+// Seq). Nil-safe; f may be nil to detach.
+func (h *HealthState) SetEventsSeq(f func() uint64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.eventsSeq = f
+	h.mu.Unlock()
+}
+
+// healthBody is the /healthz JSON document.
+type healthBody struct {
+	Status   string `json:"status"`
+	UptimeMS int64  `json:"uptime_ms"`
+	Phase    string `json:"phase,omitempty"`
+	InFlight int    `json:"jobs_in_flight"`
+	Events   uint64 `json:"events_seq"`
+}
+
+// WriteJSON renders the health document. A nil state still writes a
+// valid body (status ok, zero uptime), preserving the probe contract
+// for tools that never built one.
+func (h *HealthState) WriteJSON(w io.Writer) error {
+	body := healthBody{Status: "ok"}
+	if h != nil {
+		body.UptimeMS = time.Since(h.start).Milliseconds()
+		h.mu.Lock()
+		body.Phase = h.phase
+		inFlight, eventsSeq := h.inFlight, h.eventsSeq
+		h.mu.Unlock()
+		if inFlight != nil {
+			body.InFlight = inFlight()
+		}
+		if eventsSeq != nil {
+			body.Events = eventsSeq()
+		}
+	}
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}

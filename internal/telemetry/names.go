@@ -77,6 +77,11 @@ const (
 	MetricFaultsActiveOps = "hifi_faults_active_ops_total"
 	MetricFaultsForced    = "hifi_faults_forced_total"
 
+	// Structured event plane (internal/telemetry/events): deliveries
+	// dropped because an SSE subscriber's buffer was full. See
+	// docs/events.md.
+	MetricEventsDropped = "hifi_events_dropped_total"
+
 	// Run progress (gauges, readable while a run is in flight).
 	MetricSimAccessesDone  = "hifi_sim_accesses_done"
 	MetricSimAccessesTotal = "hifi_sim_accesses_total"

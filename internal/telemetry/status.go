@@ -6,59 +6,93 @@ import (
 	"net/http/pprof"
 )
 
+// StatusBackends collects the data sources behind the status mux. Any
+// field may be nil/zero; the corresponding route then serves an
+// empty-but-valid document rather than an error, so dashboards can poll
+// any tool uniformly whether or not that tool enabled the subsystem.
+//
+// Timeseries, Perf, and Events are plain http.Handlers because their
+// owners live in subpackages that import this one (the windowed
+// sampler, the self-time analyzer, the event bus).
+type StatusBackends struct {
+	Registry   *Registry
+	Spans      *SpanCollector
+	Manifest   *Manifest
+	Timeseries http.Handler
+	Perf       http.Handler
+	// Events streams the structured event plane (SSE; see
+	// internal/telemetry/events and docs/events.md).
+	Events http.Handler
+	// Health enriches /healthz beyond the bare-200 probe contract.
+	Health *HealthState
+}
+
 // NewStatusMux builds the live observability surface served on the CLIs'
 // -pprof address:
 //
-//	/healthz      liveness probe ("ok")
+//	/healthz      liveness probe (JSON: status, uptime, phase, jobs in flight, events seq)
 //	/metrics      current registry snapshot, Prometheus text format
 //	/spans        span export: finished spans plus the in-flight tree
 //	/runinfo      the manifest-so-far (config, provenance, progress)
 //	/timeseries   windowed time-series export (JSON), when a sampler runs
 //	/perf         self-time analysis + heap hotspots (hifi_perf_v1 JSON)
+//	/events       live structured event stream (SSE, replay via Last-Event-ID)
 //	/debug/pprof  the standard net/http/pprof handlers
 //
-// timeseries is the windowed sampler's live handler and perf the
-// self-time analyzer's (both live in subpackages that import this one,
-// so the mux takes them as plain http.Handlers). Any of reg, col, man,
-// timeseries, perf may be nil; the corresponding route then serves an
-// empty document rather than an error, so dashboards can poll uniformly.
-func NewStatusMux(reg *Registry, col *SpanCollector, man *Manifest, timeseries, perf http.Handler) *http.ServeMux {
+// Every response carries Cache-Control: no-store — these are live
+// snapshots of a running process, and a proxy serving a stale /metrics
+// or /timeseries body would silently corrupt a dashboard — and an
+// explicit charset on the text/plain routes.
+func NewStatusMux(b StatusBackends) *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		io.WriteString(w, "ok\n")
+	handle := func(pattern, contentType string, f http.HandlerFunc) {
+		mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+			h := w.Header()
+			h.Set("Content-Type", contentType)
+			h.Set("Cache-Control", "no-store")
+			f(w, r)
+		})
+	}
+	handle("/healthz", "application/json; charset=utf-8", func(w http.ResponseWriter, r *http.Request) {
+		// WriteJSON is nil-safe and always says "ok": the probe contract
+		// (200 + "ok" somewhere in the body) predates the JSON shape.
+		_ = b.Health.WriteJSON(w)
 	})
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		reg.Snapshot().WritePrometheus(w)
+	handle("/metrics", "text/plain; version=0.0.4; charset=utf-8", func(w http.ResponseWriter, r *http.Request) {
+		b.Registry.Snapshot().WritePrometheus(w)
 	})
-	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		col.Export().WriteJSON(w)
+	handle("/spans", "application/json; charset=utf-8", func(w http.ResponseWriter, r *http.Request) {
+		b.Spans.Export().WriteJSON(w)
 	})
-	mux.HandleFunc("/runinfo", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if man == nil {
+	handle("/runinfo", "application/json; charset=utf-8", func(w http.ResponseWriter, r *http.Request) {
+		if b.Manifest == nil {
 			io.WriteString(w, "{}\n")
 			return
 		}
-		man.WriteJSON(w)
+		b.Manifest.WriteJSON(w)
 	})
-	mux.HandleFunc("/timeseries", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if timeseries == nil {
-			io.WriteString(w, "{}\n")
+	proxy := func(pattern string, inner http.Handler) {
+		handle(pattern, "application/json; charset=utf-8", func(w http.ResponseWriter, r *http.Request) {
+			if inner == nil {
+				io.WriteString(w, "{}\n")
+				return
+			}
+			inner.ServeHTTP(w, r)
+		})
+	}
+	proxy("/timeseries", b.Timeseries)
+	proxy("/perf", b.Perf)
+	mux.HandleFunc("/events", func(w http.ResponseWriter, r *http.Request) {
+		if b.Events == nil {
+			// Empty-but-valid: an SSE stream that never emits. Matches the
+			// nil-bus behaviour of the events handler itself.
+			h := w.Header()
+			h.Set("Content-Type", "text/event-stream; charset=utf-8")
+			h.Set("Cache-Control", "no-store")
+			w.WriteHeader(http.StatusOK)
 			return
 		}
-		timeseries.ServeHTTP(w, r)
-	})
-	mux.HandleFunc("/perf", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "application/json")
-		if perf == nil {
-			io.WriteString(w, "{}\n")
-			return
-		}
-		perf.ServeHTTP(w, r)
+		b.Events.ServeHTTP(w, r)
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

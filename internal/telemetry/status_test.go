@@ -37,7 +37,9 @@ func TestStatusMuxRoutes(t *testing.T) {
 	perf := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		io.WriteString(w, `{"schema":"hifi_perf_v1","spans":[]}`)
 	})
-	srv := httptest.NewServer(NewStatusMux(reg, col, man, ts, perf))
+	srv := httptest.NewServer(NewStatusMux(StatusBackends{
+		Registry: reg, Spans: col, Manifest: man, Timeseries: ts, Perf: perf,
+	}))
 	defer srv.Close()
 
 	if code, got := get(t, srv, "/healthz"); code != 200 || !strings.Contains(got, "ok") {
@@ -62,11 +64,43 @@ func TestStatusMuxRoutes(t *testing.T) {
 	sp.End()
 }
 
+// /healthz keeps the bare-200-with-"ok" probe contract but now carries
+// the live process facts as JSON.
+func TestStatusMuxHealthzJSON(t *testing.T) {
+	h := NewHealthState()
+	h.SetPhase("fig14")
+	h.SetInFlight(func() int { return 3 })
+	h.SetEventsSeq(func() uint64 { return 42 })
+	srv := httptest.NewServer(NewStatusMux(StatusBackends{Health: h}))
+	defer srv.Close()
+
+	code, body := get(t, srv, "/healthz")
+	if code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz = %d %q, want 200 containing ok", code, body)
+	}
+	var got struct {
+		Status   string `json:"status"`
+		UptimeMS int64  `json:"uptime_ms"`
+		Phase    string `json:"phase"`
+		InFlight int    `json:"jobs_in_flight"`
+		Events   uint64 `json:"events_seq"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatalf("/healthz body is not JSON: %v\n%s", err, body)
+	}
+	if got.Status != "ok" || got.Phase != "fig14" || got.InFlight != 3 || got.Events != 42 {
+		t.Errorf("/healthz = %+v", got)
+	}
+	if got.UptimeMS < 0 {
+		t.Errorf("negative uptime %d", got.UptimeMS)
+	}
+}
+
 // Every route must serve an empty-but-valid document when its backing
 // object is nil, so dashboards can poll any tool uniformly whether or
 // not that tool enabled the subsystem.
 func TestStatusMuxNilBackends(t *testing.T) {
-	srv := httptest.NewServer(NewStatusMux(nil, nil, nil, nil, nil))
+	srv := httptest.NewServer(NewStatusMux(StatusBackends{}))
 	defer srv.Close()
 
 	code, body := get(t, srv, "/healthz")
@@ -76,7 +110,7 @@ func TestStatusMuxNilBackends(t *testing.T) {
 	if code, body = get(t, srv, "/metrics"); code != 200 || body != "" {
 		t.Errorf("/metrics on nil registry = %d %q, want empty 200", code, body)
 	}
-	for _, path := range []string{"/spans", "/runinfo", "/timeseries", "/perf"} {
+	for _, path := range []string{"/spans", "/runinfo", "/timeseries", "/perf", "/healthz"} {
 		code, body := get(t, srv, path)
 		if code != 200 {
 			t.Errorf("%s = %d, want 200", path, code)
@@ -87,33 +121,44 @@ func TestStatusMuxNilBackends(t *testing.T) {
 			t.Errorf("%s body is not JSON: %v\n%s", path, err, body)
 		}
 	}
+	if code, body := get(t, srv, "/events"); code != 200 || body != "" {
+		t.Errorf("/events with no bus = %d %q, want empty 200", code, body)
+	}
 }
 
+// Live endpoints must never be cached by an intermediary (a stale
+// /metrics snapshot silently corrupts a dashboard), and text routes
+// declare their charset explicitly.
 func TestStatusMuxContentTypes(t *testing.T) {
-	srv := httptest.NewServer(NewStatusMux(NewRegistry(), nil, nil, nil, nil))
+	srv := httptest.NewServer(NewStatusMux(StatusBackends{Registry: NewRegistry()}))
 	defer srv.Close()
 	for path, want := range map[string]string{
-		"/healthz":    "text/plain",
-		"/metrics":    "text/plain",
-		"/spans":      "application/json",
-		"/runinfo":    "application/json",
-		"/timeseries": "application/json",
-		"/perf":       "application/json",
+		"/healthz":    "application/json; charset=utf-8",
+		"/metrics":    "text/plain; version=0.0.4; charset=utf-8",
+		"/spans":      "application/json; charset=utf-8",
+		"/runinfo":    "application/json; charset=utf-8",
+		"/timeseries": "application/json; charset=utf-8",
+		"/perf":       "application/json; charset=utf-8",
+		"/events":     "text/event-stream; charset=utf-8",
 	} {
 		resp, err := srv.Client().Get(srv.URL + path)
 		if err != nil {
 			t.Fatalf("GET %s: %v", path, err)
 		}
 		ct := resp.Header.Get("Content-Type")
+		cc := resp.Header.Get("Cache-Control")
 		resp.Body.Close()
-		if !strings.HasPrefix(ct, want) {
-			t.Errorf("%s Content-Type = %q, want prefix %q", path, ct, want)
+		if ct != want {
+			t.Errorf("%s Content-Type = %q, want %q", path, ct, want)
+		}
+		if cc != "no-store" {
+			t.Errorf("%s Cache-Control = %q, want no-store", path, cc)
 		}
 	}
 }
 
 func TestStatusMuxPprofIndex(t *testing.T) {
-	srv := httptest.NewServer(NewStatusMux(nil, nil, nil, nil, nil))
+	srv := httptest.NewServer(NewStatusMux(StatusBackends{}))
 	defer srv.Close()
 	code, body := get(t, srv, "/debug/pprof/")
 	if code != 200 || !strings.Contains(body, "goroutine") {
