@@ -8,6 +8,7 @@
 #   make perf-smoke      profile capture + self-time export + trajectory check
 #   make engine-smoke    parallel-sweep determinism + cache-reuse check
 #   make watch-smoke     event stream end-to-end: -events-out log + hifi-watch -once
+#   make serve-smoke     hifi-serve daemon end-to-end: submit, stream, drain
 #   make chaos           fault-injection tests + seeded campaign + off==nominal
 #   make fidelity        scaled sweep scored against the paper anchors
 #   make report          render the evaluation report (scaled)
@@ -15,7 +16,7 @@
 GO ?= go
 DATE := $(shell date -u +%F)
 
-.PHONY: all tier1 ci vet race test build bench bench-snapshot bench-smoke perf-smoke engine-smoke watch-smoke chaos fidelity report fmt clean
+.PHONY: all tier1 ci vet race test build bench bench-snapshot bench-smoke perf-smoke engine-smoke watch-smoke serve-smoke chaos fidelity report fmt clean
 
 all: tier1
 
@@ -110,6 +111,16 @@ watch-smoke:
 	$(GO) run ./cmd/hifi-watch -once /tmp/hifi-watch/events.ndjson > /tmp/hifi-watch/frame.txt
 	grep -q 'hifi-experiments' /tmp/hifi-watch/frame.txt
 	grep -q 'jobs' /tmp/hifi-watch/frame.txt
+
+# serve-smoke is the local version of CI's serve job (docs/serve.md):
+# boot a real hifi-serve daemon, submit a sweep over HTTP, follow it
+# with hifi-watch's client mode, diff the served tables byte-for-byte
+# against a direct hifi-experiments run, prove an identical
+# resubmission executes zero new simulations (shared cache + metrics),
+# and drain cleanly on SIGTERM. All the choreography lives in
+# scripts/serve_smoke.sh.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # chaos is the local version of CI's chaos job (docs/faults.md): the
 # storage-chaos tests under the race detector, a tiny seeded

@@ -1,9 +1,10 @@
 // Command hifi-bench runs the pinned benchmark suite and writes a
 // versioned snapshot, or compares two snapshots and fails on regression.
 // The suite covers the hot paths of the reproduction: the RTM shift loop,
-// p-ECC decode, a full memsim replay, one small experiment sweep, and the
-// parallel experiment engine (serial vs 4-worker vs warm-cache) — micro
-// and macro, so both a slow decoder and a slow simulator trip the gate.
+// p-ECC decode, a full memsim replay, one small experiment sweep, the
+// parallel experiment engine (serial vs 4-worker vs warm-cache), and the
+// serve daemon's submit-to-first-event path — micro and macro, so a slow
+// decoder, a slow simulator, or a slow job API all trip the gate.
 //
 // Usage:
 //
@@ -16,9 +17,16 @@
 package main
 
 import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -30,6 +38,7 @@ import (
 	"racetrack/hifi/internal/experiments"
 	"racetrack/hifi/internal/memsim"
 	"racetrack/hifi/internal/pecc"
+	"racetrack/hifi/internal/serve"
 	"racetrack/hifi/internal/shiftctrl"
 	"racetrack/hifi/internal/telemetry"
 	"racetrack/hifi/internal/telemetry/events"
@@ -206,6 +215,7 @@ func runSuite(quick bool) *bench.Snapshot {
 		{"sweep-small", benchSweep},
 		{"engine-parallel-sweep", benchEngineSweep},
 		{"events-emit", benchEventsEmit},
+		{"serve-submit", benchServeSubmit},
 	} {
 		log.Infof("benchmarking %s", b.name)
 		r := b.run(quick)
@@ -423,4 +433,80 @@ func benchEngineSweep(quick bool) bench.Result {
 		NsPerOp:    float64(parT.Nanoseconds()),
 		Rates:      rates,
 	}
+}
+
+// benchServeSubmit measures the daemon's admission hot path over real HTTP:
+// one op is a POST /v1/jobs of a small analytic spec followed by reading the
+// first frame off the job's SSE stream — the submit-to-first-event latency a
+// client observes. Every op uses a fresh seed so no submission coalesces
+// onto a live twin; table3 is analytic, so the runners drain jobs faster
+// than the client can submit them and the queue never backs up.
+func benchServeSubmit(quick bool) bench.Result {
+	dir, err := os.MkdirTemp("", "hifi-bench-serve-*")
+	if err != nil {
+		log.Fatalf("hifi-bench: %v", err)
+	}
+	defer os.RemoveAll(dir)
+	srv := serve.New(serve.Options{
+		CacheDir: dir,
+		Runners:  4,
+		Queue:    256,
+		Metrics:  telemetry.NewRegistry(),
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if _, err := srv.Drain(ctx); err != nil {
+			log.Errorf("hifi-bench: serve drain: %v", err)
+		}
+	}()
+
+	client := ts.Client()
+	seed := uint64(0)
+	submitAndAwaitEvent := func() error {
+		seed++
+		body, err := json.Marshal(serve.Spec{Run: []string{"table3"}, Scaled: true, Seed: seed})
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		var st struct {
+			ID string `json:"id"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		_ = resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusAccepted {
+			return fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+		}
+		ev, err := client.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+		if err != nil {
+			return err
+		}
+		defer ev.Body.Close()
+		sc := bufio.NewScanner(ev.Body)
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), "data:") {
+				return nil // first event frame landed
+			}
+		}
+		return fmt.Errorf("stream for %s closed before the first event", st.ID)
+	}
+
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := submitAndAwaitEvent(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	return toResult(res, map[string]float64{"submits_per_sec": 1})
 }

@@ -69,6 +69,11 @@ func main() {
 	}
 
 	ctx := obs.Start()
+	// SIGINT/SIGTERM cancels the run context: the engine drains, the loop
+	// below stops before its next experiment, and the observability
+	// artifacts still flush through obs.Finish.
+	ctx, stopSignals := cliutil.SignalContext(ctx, "hifi-experiments")
+	defer stopSignals()
 	eng, err := engFlags.Build(obs)
 	if err != nil {
 		log.Fatalf("hifi-experiments: %v", err)
@@ -105,7 +110,13 @@ func main() {
 			log.Fatalf("hifi-experiments: %v", err)
 		}
 	}
+	interrupted := false
 	for i, k := range keys {
+		if ctx.Err() != nil {
+			log.Errorf("hifi-experiments: interrupted; skipping %d remaining experiment(s)", len(keys)-i)
+			interrupted = true
+			break
+		}
 		log.Infof("running %s (%d/%d)", k, i+1, len(keys))
 		obs.Phase(k)
 		// One span per experiment; the generators are keyed closures that
@@ -113,8 +124,18 @@ func main() {
 		// experiment's span context threaded in.
 		kctx, ksp := telemetry.StartSpan(ctx, "experiment:"+k)
 		opts.Ctx = kctx
-		tab := experiments.All(opts)[k]()
+		tab, err := experiments.Run(k, opts)
 		ksp.End()
+		if err != nil {
+			if ctx.Err() != nil {
+				// The cancellation surfaced inside the experiment; still
+				// flush artifacts below.
+				log.Errorf("hifi-experiments: %s interrupted; skipping %d remaining experiment(s)", k, len(keys)-i-1)
+				interrupted = true
+				break
+			}
+			log.Fatalf("hifi-experiments: %s: %v", k, err)
+		}
 		if el := ksp.Duration(); el > 0 {
 			log.Infof("finished %s in %v", k, el.Round(time.Millisecond))
 		} else {
@@ -141,6 +162,9 @@ func main() {
 	engFlags.Finish(eng)
 	if err := obs.Finish(); err != nil {
 		log.Fatalf("hifi-experiments: %v", err)
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 }
 

@@ -1,0 +1,114 @@
+// Command hifi-serve is the multi-tenant sweep daemon: a long-running
+// HTTP/JSON service that accepts experiment sweep specs, runs them on
+// the parallel engine over one shared content-addressed result cache,
+// and streams per-job lifecycle events over SSE.
+//
+//	hifi-serve -listen localhost:8777
+//	curl -s -X POST localhost:8777/v1/jobs -d '{"run":["table3"],"scaled":true}'
+//	curl -N localhost:8777/v1/jobs/j0001/events
+//	hifi-watch -server http://localhost:8777 -job j0001
+//
+// Identical specs dedup across clients: a spec equal to one already
+// queued or running coalesces onto that job, and a spec resubmitted
+// after completion re-runs through the shared cache and executes
+// nothing. Admission control is a bounded queue (429 + Retry-After)
+// plus optional per-client token buckets (-rate/-burst, keyed by
+// Authorization: Bearer / X-API-Key / remote address). On SIGINT or
+// SIGTERM the daemon drains: it stops admitting, journals still-queued
+// specs for -resume, and lets running jobs finish (bounded by
+// -drain-timeout). See docs/serve.md.
+package main
+
+import (
+	"context"
+	"flag"
+	"net/http"
+	"time"
+
+	"racetrack/hifi/internal/cliutil"
+	"racetrack/hifi/internal/serve"
+	"racetrack/hifi/internal/telemetry/log"
+)
+
+func main() {
+	var (
+		listen       = flag.String("listen", "localhost:8777", "HTTP listen address for the job API")
+		cacheDir     = flag.String("cache-dir", ".hifi-serve-cache", "shared result-cache directory (\"\" disables caching and cross-client reuse)")
+		version      = flag.String("cache-version", "", "override the cache code-version tag (default: built-in engine version)")
+		workers      = flag.Int("workers", 0, "engine worker-pool width per job (0 = all cores)")
+		runners      = flag.Int("runners", 2, "jobs allowed to run concurrently")
+		queueCap     = flag.Int("queue", 16, "jobs accepted but not yet running before submissions get 429")
+		rate         = flag.Float64("rate", 0, "per-client submissions per second (0 disables quotas)")
+		burst        = flag.Int("burst", 4, "per-client token-bucket size")
+		requireToken = flag.Bool("require-token", false, "reject submissions without Authorization: Bearer or X-API-Key")
+		maxAccesses  = flag.Int("max-accesses", 0, "reject specs asking for more than this many accesses per core (0 = unbounded)")
+		retries      = flag.Int("retries", 0, "engine retries per failed experiment job")
+		jobTimeout   = flag.Duration("job-timeout", 0, "engine per-job timeout (0 = none)")
+		resume       = flag.Bool("resume", false, "re-admit specs journaled by a previous drain before serving")
+		drainTO      = flag.Duration("drain-timeout", time.Minute, "how long a shutdown waits for running jobs before canceling them")
+	)
+	obs := cliutil.NewObs("hifi-serve")
+	obs.EnableMetrics() // /metrics must work without -metrics-out
+	obs.EnableEvents()  // /events and per-job SSE need the bus
+	flag.Parse()
+	_ = obs.Start()
+
+	srv := serve.New(serve.Options{
+		Workers:      *workers,
+		CacheDir:     *cacheDir,
+		Version:      *version,
+		Runners:      *runners,
+		Queue:        *queueCap,
+		Rate:         *rate,
+		Burst:        *burst,
+		RequireToken: *requireToken,
+		MaxAccesses:  *maxAccesses,
+		Retries:      *retries,
+		JobTimeout:   *jobTimeout,
+		Metrics:      obs.Reg,
+		Events:       obs.Events,
+	})
+	if *resume {
+		n, err := srv.Resume()
+		if err != nil {
+			log.Fatalf("hifi-serve: -resume: %v", err)
+		}
+		if n > 0 {
+			log.Infof("hifi-serve: resumed %d journaled spec(s)", n)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *listen, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Infof("hifi-serve: job API on http://%s/v1/jobs (cache %q, %d runner(s), queue %d)",
+		*listen, *cacheDir, *runners, *queueCap)
+
+	ctx, stop := cliutil.SignalContext(context.Background(), "hifi-serve")
+	defer stop()
+	select {
+	case err := <-errc:
+		log.Fatalf("hifi-serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting and journal the queue first (new
+	// submissions get 503 while in-flight jobs finish), then close the
+	// HTTP server outright — SSE streams never go idle, so a polite
+	// Shutdown would always ride out the full timeout.
+	shCtx, shCancel := context.WithTimeout(context.Background(), *drainTO)
+	defer shCancel()
+	journaled, err := srv.Drain(shCtx)
+	if err != nil {
+		log.Errorf("hifi-serve: drain: %v", err)
+	}
+	if err := httpSrv.Close(); err != nil {
+		log.Errorf("hifi-serve: http close: %v", err)
+	}
+	if journaled > 0 {
+		log.Infof("hifi-serve: %d spec(s) journaled; restart with -resume to run them", journaled)
+	}
+	if err := obs.Finish(); err != nil {
+		log.Fatalf("hifi-serve: %v", err)
+	}
+}

@@ -1,32 +1,38 @@
 // Command hifi-watch renders a live terminal dashboard from the
 // structured event stream (hifi_events_v1): sweep progress, per-worker
 // utilization, cache hit rate, open fault windows, retry/timeout
-// counts, and an ETA. It consumes either the SSE /events route of a
-// running hifi-* process (started with -pprof) or an NDJSON event log
-// written with -events-out.
+// counts, and an ETA. It consumes the SSE /events route of a running
+// hifi-* process (started with -pprof), an NDJSON event log written
+// with -events-out, or — in client mode — one job's stream on a
+// hifi-serve daemon.
 //
 // Usage:
 //
 //	hifi-watch http://localhost:6060/events     # live, attached to a run
 //	hifi-watch events.ndjson                    # live, tailing a log file
 //	hifi-watch -once events.ndjson              # one frame, then exit
-//	hifi-watch -once http://host:6060/events    # one -interval of events, one frame
+//	hifi-watch -server http://localhost:8777 -job j0001   # follow a serve job
 //
-// In live mode the screen redraws every -interval; -once renders a
-// single frame and exits 0, which is what CI's watch-smoke uses. See
-// docs/events.md.
+// In client mode the dashboard follows the job until its terminal
+// event; if the server's SSE replay ring has already dropped events
+// (detected by a sequence-number gap), it falls back to polling
+// GET /v1/jobs/{id} and says so in the frame. In live mode the screen
+// redraws every -interval; -once renders a single frame and exits 0,
+// which is what CI's smoke jobs use. See docs/events.md and
+// docs/serve.md.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"sync"
-	"syscall"
 	"time"
 
+	"racetrack/hifi/internal/cliutil"
+	"racetrack/hifi/internal/serve"
 	"racetrack/hifi/internal/telemetry/events"
 	"racetrack/hifi/internal/telemetry/log"
 	"racetrack/hifi/internal/watch"
@@ -36,6 +42,8 @@ func main() {
 	var (
 		once     = flag.Bool("once", false, "render one frame and exit (CI / snapshot mode)")
 		interval = flag.Duration("interval", time.Second, "live-mode redraw period (and the -once collection window for SSE sources)")
+		server   = flag.String("server", "", "hifi-serve base URL for client mode (use with -job)")
+		jobID    = flag.String("job", "", "job ID on -server to follow")
 		verbose  = flag.Bool("v", false, "debug logging (overrides HIFI_LOG)")
 		quiet    = flag.Bool("q", false, "errors only (overrides HIFI_LOG)")
 	)
@@ -46,31 +54,50 @@ func main() {
 	case *verbose:
 		log.SetLevel(log.Debug)
 	}
-	if flag.NArg() != 1 {
-		log.Errorf("hifi-watch: need exactly one source: an /events URL or an NDJSON file")
+	jobMode := *server != "" || *jobID != ""
+	if jobMode && (*server == "" || *jobID == "") {
+		log.Errorf("hifi-watch: -server and -job go together")
 		os.Exit(2)
 	}
-	source := flag.Arg(0)
+	if jobMode != (flag.NArg() == 0) {
+		log.Errorf("hifi-watch: need exactly one source: an /events URL, an NDJSON file, or -server/-job")
+		os.Exit(2)
+	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext(context.Background(), "hifi-watch")
 	defer stop()
 
 	var mu sync.Mutex
 	m := watch.NewModel()
 	apply := func(e events.Event) { mu.Lock(); m.Apply(e); mu.Unlock() }
+	applyStatus := func(st serve.JobStatus) { mu.Lock(); m.ApplyStatus(st); mu.Unlock() }
+
+	// followJob streams the job and degrades to polling on a replay gap.
+	followJob := func(fctx context.Context) error {
+		err := watch.FollowJob(fctx, *server, *jobID, apply)
+		if errors.Is(err, watch.ErrReplayGap) {
+			log.Infof("hifi-watch: %v", err)
+			err = watch.PollJob(fctx, *server, *jobID, *interval, applyStatus)
+		}
+		return err
+	}
 
 	switch {
-	case *once && !watch.IsURL(source):
-		if err := watch.ReadFileInto(m, source); err != nil {
+	case *once && !jobMode && !watch.IsURL(flag.Arg(0)):
+		if err := watch.ReadFileInto(m, flag.Arg(0)); err != nil {
 			log.Fatalf("hifi-watch: %v", err)
 		}
 		fmt.Print(m.Render())
 
 	case *once:
-		// Collect one interval's worth of replay + live events, then
-		// render a single frame.
+		// Collect one interval's worth of replay + live events (less if
+		// the job finishes first), then render a single frame.
 		cctx, cancel := context.WithTimeout(ctx, *interval)
-		_ = watch.FollowSSE(cctx, source, apply)
+		if jobMode {
+			_ = followJob(cctx)
+		} else {
+			_ = watch.FollowSSE(cctx, flag.Arg(0), apply)
+		}
 		cancel()
 		mu.Lock()
 		fmt.Print(m.Render())
@@ -79,28 +106,37 @@ func main() {
 	default:
 		errc := make(chan error, 1)
 		go func() {
-			if watch.IsURL(source) {
-				errc <- watch.FollowSSE(ctx, source, apply)
-				return
+			switch {
+			case jobMode:
+				errc <- followJob(ctx)
+			case watch.IsURL(flag.Arg(0)):
+				errc <- watch.FollowSSE(ctx, flag.Arg(0), apply)
+			default:
+				errc <- watch.TailFile(ctx, flag.Arg(0),
+					func(h events.Header) { mu.Lock(); m.SetTool(h.Tool); mu.Unlock() },
+					apply)
 			}
-			errc <- watch.TailFile(ctx, source,
-				func(h events.Header) { mu.Lock(); m.SetTool(h.Tool); mu.Unlock() },
-				apply)
 		}()
 		tick := time.NewTicker(*interval)
 		defer tick.Stop()
-		for {
+		frame := func() {
 			mu.Lock()
-			frame := m.Render()
+			f := m.Render()
 			mu.Unlock()
 			// Home the cursor and clear below, so short frames do not
 			// leave stale lines behind.
-			fmt.Print("\x1b[H\x1b[2J" + frame)
+			fmt.Print("\x1b[H\x1b[2J" + f)
+		}
+		for {
+			frame()
 			select {
 			case <-ctx.Done():
 				fmt.Println()
 				return
 			case err := <-errc:
+				// Render what arrived since the last tick (the terminal
+				// event, usually) before exiting.
+				frame()
 				if err != nil && ctx.Err() == nil {
 					log.Fatalf("hifi-watch: %v", err)
 				}

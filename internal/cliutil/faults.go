@@ -39,29 +39,23 @@ func AddFaultFlags(fs *flag.FlagSet) *FaultFlags {
 // Plan resolves the flags into a fault plan: an explicit -fault-plan
 // file wins over the -faults preset, and -fault-intensity scales the
 // result. Returns nil (the nominal device) when injection is off.
+// Resolution itself lives in faults.Resolve so the serve API's spec
+// path composes the sources with exactly the same precedence.
 func (ff *FaultFlags) Plan() (*faults.Plan, error) {
-	var plan *faults.Plan
+	var planJSON []byte
 	if *ff.planPath != "" {
 		b, err := os.ReadFile(*ff.planPath)
 		if err != nil {
 			return nil, fmt.Errorf("-fault-plan: %w", err)
 		}
-		plan, err = faults.Parse(b)
-		if err != nil {
+		planJSON = b
+	}
+	plan, err := faults.Resolve(*ff.preset, planJSON, *ff.intensity)
+	if err != nil {
+		if *ff.planPath != "" {
 			return nil, fmt.Errorf("-fault-plan %s: %w", *ff.planPath, err)
 		}
-	} else {
-		p, err := faults.Preset(*ff.preset)
-		if err != nil {
-			return nil, err
-		}
-		plan = p
+		return nil, err
 	}
-	if plan != nil && *ff.intensity != 1 {
-		plan = plan.Scale(*ff.intensity)
-		if err := plan.Validate(); err != nil {
-			return nil, fmt.Errorf("-fault-intensity %g: %w", *ff.intensity, err)
-		}
-	}
-	return plan.Norm(), nil
+	return plan, nil
 }

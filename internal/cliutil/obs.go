@@ -74,10 +74,11 @@ type Obs struct {
 	Events *events.Bus
 	Health *telemetry.HealthState
 
-	ev         *EventsOut
-	forceSpans bool
-	started    time.Time
-	root       *telemetry.Span
+	ev          *EventsOut
+	forceSpans  bool
+	forceEvents bool
+	started     time.Time
+	root        *telemetry.Span
 }
 
 // NewObs registers the shared observability flags on the default flag set.
@@ -132,6 +133,11 @@ func (o *Obs) MetricsRequested() bool { return *o.metricsOut != "" }
 // section). Call before Start.
 func (o *Obs) EnableSpans() { o.forceSpans = true }
 
+// EnableEvents forces an event bus even when neither -events-out nor
+// -pprof asked for one, for tools that serve the stream themselves
+// (hifi-serve's /events and per-job SSE routes). Call before Start.
+func (o *Obs) EnableEvents() { o.forceEvents = true }
+
 // Start applies the log level, builds the telemetry objects the parsed
 // flags call for, starts the status server, captures the resolved
 // configuration into the manifest, and opens the root span. The returned
@@ -184,7 +190,7 @@ func (o *Obs) Start() context.Context {
 	// The event bus exists whenever anything can consume it: an NDJSON
 	// sink (-events-out) or the SSE /events route (-pprof). Detached
 	// tools keep the nil bus and its zero-alloc Emit path.
-	if o.ev.Path() != "" || *o.statusAddr != "" {
+	if o.ev.Path() != "" || *o.statusAddr != "" || o.forceEvents {
 		o.Events = events.New(0)
 		o.Events.Instrument(o.Reg)
 		if err := o.ev.Attach(o.Events); err != nil {

@@ -1,0 +1,61 @@
+package cliutil
+
+// Shared graceful-shutdown plumbing: every long-lived hifi-* binary
+// (hifi-serve, hifi-watch, and an interrupted hifi-experiments sweep)
+// reacts to SIGINT/SIGTERM the same way — cancel the run context, let
+// the tool drain, and flush its observability artifacts through
+// Obs.Finish on the way out. A second signal skips the drain and exits
+// immediately, so a wedged shutdown can always be escalated by hand.
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+
+	"racetrack/hifi/internal/telemetry/log"
+)
+
+// SignalContext derives a context from parent that is canceled on the
+// first SIGINT or SIGTERM. The first signal logs and cancels — the
+// tool's main loop sees ctx.Done(), stops starting new work, and falls
+// through to its flush path (event sinks, metrics snapshots, the run
+// manifest via Obs.Finish). A second signal exits the process with
+// status 130 immediately.
+//
+// The returned stop function releases the signal registration and the
+// watcher goroutine; call it (usually via defer) once shutdown handling
+// is no longer wanted.
+func SignalContext(parent context.Context, tool string) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(parent)
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	// stopped — not ctx.Done(), which the first signal itself closes —
+	// is what retires the watcher, so the escalation arm stays armed
+	// through the whole drain.
+	stopped := make(chan struct{})
+	go func() {
+		defer signal.Stop(ch)
+		select {
+		case sig := <-ch:
+			log.Infof("%s: received %v; draining (signal again to exit immediately)", tool, sig)
+			cancel()
+		case <-stopped:
+			return
+		case <-parent.Done():
+			return
+		}
+		select {
+		case sig := <-ch:
+			log.Errorf("%s: received second %v; exiting without draining", tool, sig)
+			os.Exit(130)
+		case <-stopped:
+		}
+	}()
+	var once sync.Once
+	return ctx, func() {
+		once.Do(func() { close(stopped) })
+		cancel()
+	}
+}

@@ -191,6 +191,16 @@ func (c *Cache) quarantine(hash, path string) {
 
 // Put stores payload under hash atomically, framed with the checksum
 // header Get verifies.
+//
+// The temp-file name mixes the PID and a per-Cache sequence number, and
+// the temp file is created exclusively (O_CREATE|O_EXCL): two processes
+// sharing the cache directory — a daemon and a CLI pointed at the same
+// -cache-dir, or a crashed writer's PID reused by a live one — can
+// therefore never interleave writes into the same temp file and rename
+// a torn hybrid into the addressable tree. A name collision just means
+// someone else holds that claim; we take a fresh sequence number and
+// try again. The final rename stays last-writer-wins, which is safe
+// because equal hashes carry equal payloads.
 func (c *Cache) Put(hash string, payload []byte) error {
 	path := c.path(hash)
 	if err := c.fsys.MkdirAll(filepath.Dir(path)); err != nil {
@@ -202,9 +212,16 @@ func (c *Cache) Put(hash string, payload []byte) error {
 	obj = append(obj, hex.EncodeToString(sum[:])...)
 	obj = append(obj, '\n')
 	obj = append(obj, payload...)
-	tmp := fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), c.seq.Add(1))
-	if err := c.fsys.WriteFile(tmp, obj); err != nil {
-		return err
+	var tmp string
+	for attempt := 0; ; attempt++ {
+		tmp = fmt.Sprintf("%s.tmp.%d.%d", path, os.Getpid(), c.seq.Add(1))
+		err := c.fsys.WriteFileExcl(tmp, obj)
+		if err == nil {
+			break
+		}
+		if !errors.Is(err, fs.ErrExist) || attempt >= 8 {
+			return err
+		}
 	}
 	if err := c.fsys.Rename(tmp, path); err != nil {
 		c.fsys.Remove(tmp)

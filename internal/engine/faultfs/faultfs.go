@@ -126,6 +126,25 @@ func (f *FS) WriteFile(path string, data []byte) error {
 	return f.base.WriteFile(path, data)
 }
 
+// WriteFileExcl shares WriteFile's fault schedule (both are "a write of
+// a whole file"): a scheduled torn write persists half the data through
+// the base's exclusive create and then reports the error.
+func (f *FS) WriteFileExcl(path string, data []byte) error {
+	if f.opts.ReadOnly {
+		return fmt.Errorf("faultfs: write %s: %w", path, fs.ErrPermission)
+	}
+	n := f.writes.Add(1)
+	if f.opts.StallFor > 0 && nth(n, f.opts.StallWriteEveryNth) {
+		time.Sleep(f.opts.StallFor)
+	}
+	if nth(n, f.opts.TornWriteEveryNth) {
+		f.torn.Add(1)
+		f.base.WriteFileExcl(path, data[:len(data)/2])
+		return fmt.Errorf("faultfs: write %s: injected torn write", path)
+	}
+	return f.base.WriteFileExcl(path, data)
+}
+
 func (f *FS) Rename(oldpath, newpath string) error {
 	if f.opts.ReadOnly {
 		return fmt.Errorf("faultfs: rename %s: %w", oldpath, fs.ErrPermission)

@@ -17,6 +17,12 @@ type FS interface {
 	MkdirAll(dir string) error
 	ReadFile(path string) ([]byte, error)
 	WriteFile(path string, data []byte) error
+	// WriteFileExcl creates path exclusively (O_CREATE|O_EXCL) and
+	// writes data; an existing file fails with an error matching
+	// fs.ErrExist. The cache uses it to claim temp-file names, so two
+	// processes sharing a cache directory can never interleave writes
+	// into the same temp file.
+	WriteFileExcl(path string, data []byte) error
 	Rename(oldpath, newpath string) error
 	Remove(path string) error
 	// OpenAppend opens path for appending (creating it if needed);
@@ -29,8 +35,19 @@ type osFS struct{}
 func (osFS) MkdirAll(dir string) error                { return os.MkdirAll(dir, 0o755) }
 func (osFS) ReadFile(path string) ([]byte, error)     { return os.ReadFile(path) }
 func (osFS) WriteFile(path string, data []byte) error { return os.WriteFile(path, data, 0o644) }
-func (osFS) Rename(oldpath, newpath string) error     { return os.Rename(oldpath, newpath) }
-func (osFS) Remove(path string) error                 { return os.Remove(path) }
+func (osFS) WriteFileExcl(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, werr := f.Write(data); werr != nil {
+		_ = f.Close()
+		return werr
+	}
+	return f.Close()
+}
+func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(path string) error             { return os.Remove(path) }
 func (osFS) OpenAppend(path string, truncate bool) (io.WriteCloser, error) {
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
 	if truncate {

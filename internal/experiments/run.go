@@ -1,0 +1,25 @@
+package experiments
+
+import "fmt"
+
+// Run executes one experiment by key and converts the generators'
+// panic-on-error convention into an error return. The Fig*/Table*
+// generators predate the engine and panic on simulation failure
+// (including context cancellation surfaced by the engine); callers that
+// must survive a failed or interrupted experiment — the hifi-serve job
+// runner, a SIGINT-ed hifi-experiments sweep that still wants to flush
+// its manifest — go through here instead of calling the generator
+// directly. The table bytes are identical to a direct All(opts)[key]()
+// call; only the failure mode changes.
+func Run(key string, opts RunOpts) (t Table, err error) {
+	gen, ok := All(opts)[key]
+	if !ok {
+		return Table{}, fmt.Errorf("experiments: unknown experiment %q", key)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("experiments: %s: %v", key, r)
+		}
+	}()
+	return gen(), nil
+}

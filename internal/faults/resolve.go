@@ -1,0 +1,41 @@
+package faults
+
+import "fmt"
+
+// Resolve composes the three plan sources every entry point shares —
+// a named preset, explicit plan JSON, and an intensity multiplier —
+// with one precedence rule: plan JSON wins over the preset, and the
+// intensity scales whichever was chosen. An empty preset means "off"
+// (the nominal device), and the result is normalized, so two callers
+// describing the same regime get byte-identical canonical plans — the
+// property the serve API needs for its spec fingerprints to match the
+// CLI flags byte-for-byte (cliutil.FaultFlags and serve.Spec both
+// resolve through here).
+//
+// Returns nil (no injection) for the nominal device.
+func Resolve(preset string, planJSON []byte, intensity float64) (*Plan, error) {
+	var plan *Plan
+	if len(planJSON) > 0 {
+		p, err := Parse(planJSON)
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+	} else {
+		if preset == "" {
+			preset = "off"
+		}
+		p, err := Preset(preset)
+		if err != nil {
+			return nil, err
+		}
+		plan = p
+	}
+	if plan != nil && intensity != 1 {
+		plan = plan.Scale(intensity)
+		if err := plan.Validate(); err != nil {
+			return nil, fmt.Errorf("intensity %g: %w", intensity, err)
+		}
+	}
+	return plan.Norm(), nil
+}

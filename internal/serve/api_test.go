@@ -1,0 +1,312 @@
+package serve
+
+// HTTP-surface tests: the full client lifecycle over a real listener —
+// concurrent submit/stream/cancel from several clients (run under -race
+// in CI), admission-rejection status codes, and the REST plumbing
+// (tables formats, scorecard, 404s, auth).
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"racetrack/hifi/internal/telemetry/events"
+)
+
+func postJSON(t *testing.T, url, body string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+func getBody(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = resp.Body.Close() }()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, b
+}
+
+// streamUntilTerminal reads a job's SSE stream to its end and returns
+// the event types seen, verifying the terminal-event-last contract.
+func streamUntilTerminal(ctx context.Context, base, id string) ([]events.Type, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("events: %s", resp.Status)
+	}
+	var types []events.Type
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data:") {
+			continue
+		}
+		var e events.Event
+		if err := json.Unmarshal([]byte(strings.TrimSpace(strings.TrimPrefix(line, "data:"))), &e); err != nil {
+			return types, err
+		}
+		types = append(types, e.Type)
+		switch e.Type {
+		case events.ServeJobFinished, events.ServeJobFailed, events.ServeJobCanceled:
+			// The contract says nothing follows; drain to EOF and verify.
+			for sc.Scan() {
+				rest := sc.Text()
+				if strings.HasPrefix(rest, "data:") {
+					return types, fmt.Errorf("event after terminal: %s", rest)
+				}
+			}
+			return types, sc.Err()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return types, err
+	}
+	return types, fmt.Errorf("stream ended without a terminal event (saw %d)", len(types))
+}
+
+// Four-plus concurrent clients submitting, streaming, and canceling
+// against one daemon — the acceptance scenario CI runs under -race.
+func TestHTTPConcurrentClients(t *testing.T) {
+	srv := newTestServer(t, testOptions(t))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	specs := []string{
+		`{"run":["fig14"],"scaled":true,"accesses":300}`,
+		`{"run":["fig14"],"scaled":true,"accesses":300}`, // dedup pair with client 0
+		`{"run":["fig14"],"scaled":true,"accesses":300,"seed":2}`,
+		`{"run":["table3"],"scaled":true}`,
+		`{"run":["fig14"],"scaled":true,"accesses":50000,"seed":3}`, // client 4 cancels this
+	}
+	ids := make([]string, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i := range specs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = func() error {
+				resp, body := postJSON(t, ts.URL+"/v1/jobs", specs[i], nil)
+				if resp.StatusCode != http.StatusAccepted {
+					return fmt.Errorf("submit %d: %s: %s", i, resp.Status, body)
+				}
+				var st JobStatus
+				if err := json.Unmarshal(body, &st); err != nil {
+					return err
+				}
+				ids[i] = st.ID
+				if i == 4 {
+					req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+st.ID, nil)
+					dresp, err := http.DefaultClient.Do(req)
+					if err != nil {
+						return err
+					}
+					_ = dresp.Body.Close()
+					// 202 normally; 409 if the job already finished.
+					if dresp.StatusCode != http.StatusAccepted && dresp.StatusCode != http.StatusConflict {
+						return fmt.Errorf("cancel: %s", dresp.Status)
+					}
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+				defer cancel()
+				types, err := streamUntilTerminal(ctx, ts.URL, st.ID)
+				if err != nil {
+					return fmt.Errorf("stream %d: %w", i, err)
+				}
+				if len(types) == 0 {
+					return fmt.Errorf("stream %d: empty", i)
+				}
+				return nil
+			}()
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("client %d: %v", i, err)
+		}
+	}
+
+	// Every job is terminal; the dedup pair rendered identical bytes.
+	for i, id := range ids {
+		resp, body := getBody(t, ts.URL+"/v1/jobs/"+id)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %s: %s", id, resp.Status)
+		}
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if !st.State.Terminal() {
+			t.Fatalf("job %s (client %d) not terminal: %s", id, i, st.State)
+		}
+	}
+	r0, text0 := getBody(t, ts.URL+"/v1/jobs/"+ids[0]+"/tables")
+	r1, text1 := getBody(t, ts.URL+"/v1/jobs/"+ids[1]+"/tables")
+	if r0.StatusCode != http.StatusOK || r1.StatusCode != http.StatusOK {
+		t.Fatalf("tables: %s / %s", r0.Status, r1.Status)
+	}
+	if !bytes.Equal(text0, text1) {
+		t.Fatalf("dedup pair rendered different tables")
+	}
+
+	// The rest of the read surface answers on a completed job.
+	if resp, _ := getBody(t, ts.URL+"/v1/jobs/"+ids[0]+"/tables?format=csv"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("tables csv: %s", resp.Status)
+	}
+	if resp, body := getBody(t, ts.URL+"/v1/jobs/"+ids[0]+"/tables?format=json"); resp.StatusCode != http.StatusOK ||
+		!bytes.Contains(body, []byte("hifi_serve_tables_v1")) {
+		t.Fatalf("tables json: %s: %s", resp.Status, body)
+	}
+	if resp, _ := getBody(t, ts.URL+"/v1/jobs/"+ids[0]+"/scorecard"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("scorecard: %s", resp.Status)
+	}
+	if resp, body := getBody(t, ts.URL+"/v1/jobs"); resp.StatusCode != http.StatusOK ||
+		!bytes.Contains(body, []byte(ids[0])) {
+		t.Fatalf("job list: %s: %s", resp.Status, body)
+	}
+	if resp, _ := getBody(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+	if resp, body := getBody(t, ts.URL+"/metrics"); resp.StatusCode != http.StatusOK ||
+		!bytes.Contains(body, []byte("hifi_serve_jobs_submitted_total")) {
+		t.Fatalf("metrics: %s: %s", resp.Status, body)
+	}
+}
+
+func TestHTTPAdmissionStatusCodes(t *testing.T) {
+	opts := testOptions(t)
+	opts.Queue = 1
+	opts.RequireToken = true
+	hold := make(chan struct{})
+	opts.hold = hold
+	srv := newTestServer(t, opts)
+	release := closeOnce(t, hold)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	auth := map[string]string{"Authorization": "Bearer tok-a"}
+
+	// 401: no token on a require-token server.
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs", `{"run":["fig14"],"scaled":true,"accesses":300}`, nil); resp.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("anonymous: %s, want 401", resp.Status)
+	}
+	// 400: invalid spec.
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs", `{"run":["fig99"]}`, auth); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad spec: %s, want 400", resp.Status)
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/jobs", `{"nope":1}`, auth); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field: %s, want 400", resp.Status)
+	}
+	// 202 fills the queue (held runners never dequeue).
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", `{"run":["fig14"],"scaled":true,"accesses":300}`, auth)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first: %s: %s", resp.Status, body)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	// 409: tables before the job is done.
+	if resp, _ := getBody(t, ts.URL+"/v1/jobs/"+st.ID+"/tables"); resp.StatusCode != http.StatusConflict {
+		t.Fatalf("early tables: %s, want 409", resp.Status)
+	}
+	// 429 + Retry-After: queue full.
+	resp, _ = postJSON(t, ts.URL+"/v1/jobs", `{"run":["fig14"],"scaled":true,"accesses":300,"seed":2}`, auth)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("queue full: %s, want 429", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("queue-full 429 without Retry-After")
+	}
+	// 404: unknown job.
+	if resp, _ := getBody(t, ts.URL+"/v1/jobs/j9999"); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: %s, want 404", resp.Status)
+	}
+
+	// 503 while draining.
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		_, _ = srv.Drain(ctx)
+	}()
+	for {
+		if _, _, err := srv.Submit(quickSpec(), "tok-a"); errors.Is(err, ErrDraining) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	resp, _ = postJSON(t, ts.URL+"/v1/jobs", `{"run":["fig14"],"scaled":true,"accesses":300,"seed":3}`, auth)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining: %s, want 503", resp.Status)
+	}
+	release()
+	<-drained
+}
+
+func TestHTTPQuotaRetryAfterHeader(t *testing.T) {
+	opts := testOptions(t)
+	opts.Rate = 0.25
+	opts.Burst = 1
+	hold := make(chan struct{})
+	opts.hold = hold
+	srv := newTestServer(t, opts)
+	closeOnce(t, hold)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	auth := map[string]string{"X-API-Key": "key-1"}
+	if resp, body := postJSON(t, ts.URL+"/v1/jobs", `{"run":["fig14"],"scaled":true,"accesses":300}`, auth); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first: %s: %s", resp.Status, body)
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/jobs", `{"run":["fig14"],"scaled":true,"accesses":300,"seed":2}`, auth)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("quota: %s, want 429", resp.Status)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("quota 429 without Retry-After")
+	}
+}

@@ -1,0 +1,264 @@
+package serve
+
+// Job state: one accepted sweep, from queued through its terminal
+// state, with its own event bus (the per-job SSE stream) and its own
+// engine (sharing the server-wide cache and metrics registry). State
+// transitions are guarded by the job's mutex; the server is the only
+// writer, handlers and the poll route are concurrent readers.
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"time"
+
+	"racetrack/hifi/internal/engine"
+	"racetrack/hifi/internal/experiments"
+	"racetrack/hifi/internal/telemetry/events"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// Job is one accepted sweep.
+type Job struct {
+	// ID is the server-assigned handle ("j0001"); Fingerprint is the
+	// normalized spec's content address (the dedup key).
+	ID          string
+	Fingerprint string
+	// Spec is the normalized spec the job runs.
+	Spec Spec
+
+	// Bus is the job's own event stream: serve.job.* lifecycle,
+	// run.phase per experiment, and the engine/memsim/fault events of
+	// the sweep. GET /v1/jobs/{id}/events serves it over SSE; the
+	// serve.job.* terminal event is always the stream's last event.
+	Bus *events.Bus
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+
+	mu       sync.Mutex
+	state    State
+	detail   string // error text (failed) or cancel reason (canceled)
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	eng      *engine.Engine // live while running; snapshot survives in engStatus
+	engFinal *engine.Status
+	tables   map[string]experiments.Table
+	text     string // rendered tables, byte-identical to the CLI's stdout
+	subs     int    // submissions coalesced onto this job (1 = no dedup)
+}
+
+func newJob(id, fingerprint string, spec Spec, parent context.Context, ringCap int) *Job {
+	ctx, cancel := context.WithCancelCause(parent)
+	return &Job{
+		ID:          id,
+		Fingerprint: fingerprint,
+		Spec:        spec,
+		Bus:         events.New(ringCap),
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        make(chan struct{}),
+		state:       StateQueued,
+		created:     time.Now(),
+		tables:      map[string]experiments.Table{},
+		subs:        1,
+	}
+}
+
+// State returns the current lifecycle position.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Tables returns the per-experiment tables of a completed job (nil
+// until done) keyed by experiment name, plus the run order.
+func (j *Job) Tables() (map[string]experiments.Table, []string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone {
+		return nil, nil
+	}
+	out := make(map[string]experiments.Table, len(j.tables))
+	for k, v := range j.tables {
+		out[k] = v
+	}
+	return out, append([]string(nil), j.Spec.Run...)
+}
+
+// Text returns the rendered tables of a completed job — the exact bytes
+// `hifi-experiments -run <keys> <flags>` prints to stdout — or "" until
+// the job is done.
+func (j *Job) Text() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.text
+}
+
+// markStarted moves queued → running. Returns false when the job was
+// canceled while queued (the runner skips it).
+func (j *Job) markStarted(eng *engine.Engine) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.eng = eng
+	return true
+}
+
+// markDone finalizes a successful run.
+func (j *Job) markDone(st engine.Status, tables map[string]experiments.Table) {
+	var b strings.Builder
+	for i, k := range j.Spec.Run {
+		// Exactly the CLI's default rendering: one blank line between
+		// tables, none at the end (hifi-experiments prints tab.String()
+		// with fmt.Println() separators).
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(tables[k].String())
+	}
+	j.mu.Lock()
+	j.state = StateDone
+	j.finished = time.Now()
+	j.tables = tables
+	j.text = b.String()
+	j.engFinal = &st
+	j.eng = nil
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// markFailed finalizes an errored run.
+func (j *Job) markFailed(st engine.Status, errText string) {
+	j.mu.Lock()
+	j.state = StateFailed
+	j.detail = errText
+	j.finished = time.Now()
+	j.engFinal = &st
+	j.eng = nil
+	j.mu.Unlock()
+	close(j.done)
+}
+
+// markCanceled finalizes a canceled job. st may be nil for a job that
+// never started. Returns false if the job was already terminal.
+func (j *Job) markCanceled(st *engine.Status, reason string) bool {
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		return false
+	}
+	j.state = StateCanceled
+	j.detail = reason
+	j.finished = time.Now()
+	j.engFinal = st
+	j.eng = nil
+	j.mu.Unlock()
+	close(j.done)
+	return true
+}
+
+// coalesce counts one more submission deduped onto this job. Returns
+// false when the job is already terminal (the caller must start a fresh
+// job so the new client gets a fresh cache-served run).
+func (j *Job) coalesce() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
+	j.subs++
+	return true
+}
+
+// JobStatus is the wire form of a job — the GET /v1/jobs/{id} body.
+type JobStatus struct {
+	ID          string `json:"id"`
+	State       State  `json:"state"`
+	Fingerprint string `json:"fingerprint"`
+	// Deduped is set on the submit response when this submission
+	// coalesced onto an already-live job.
+	Deduped bool `json:"deduped,omitempty"`
+	// Subscribers counts submissions coalesced onto this job.
+	Subscribers int  `json:"subscribers"`
+	Spec        Spec `json:"spec"`
+
+	CreatedTMS  int64 `json:"created_t_ms"`
+	StartedTMS  int64 `json:"started_t_ms,omitempty"`
+	FinishedTMS int64 `json:"finished_t_ms,omitempty"`
+	WallMS      int64 `json:"wall_ms,omitempty"`
+
+	// Error is the failure text (state failed) or cancel reason
+	// (state canceled).
+	Error string `json:"error,omitempty"`
+
+	// Engine is the sweep's job ledger: live while running, final
+	// afterwards. A resubmitted spec served entirely from the shared
+	// cache shows executed == 0 here — the zero-new-computation proof.
+	Engine *engine.Status `json:"engine,omitempty"`
+
+	// EventsSeq is the job bus's high-water mark; with the replay ring
+	// size it bounds what an SSE reconnect can still recover.
+	EventsSeq uint64 `json:"events_seq"`
+}
+
+// Status snapshots the job's wire form.
+func (j *Job) Status() JobStatus {
+	j.mu.Lock()
+	s := JobStatus{
+		ID:          j.ID,
+		State:       j.state,
+		Fingerprint: j.Fingerprint,
+		Subscribers: j.subs,
+		Spec:        j.Spec,
+		CreatedTMS:  j.created.UnixMilli(),
+		Error:       j.detail,
+	}
+	if !j.started.IsZero() {
+		s.StartedTMS = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		s.FinishedTMS = j.finished.UnixMilli()
+		if !j.started.IsZero() {
+			s.WallMS = j.finished.Sub(j.started).Milliseconds()
+		}
+	}
+	eng, final := j.eng, j.engFinal
+	j.mu.Unlock()
+
+	switch {
+	case final != nil:
+		s.Engine = final
+	case eng != nil:
+		st := eng.Status()
+		s.Engine = &st
+	}
+	s.EventsSeq = j.Bus.Seq()
+	return s
+}

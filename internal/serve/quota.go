@@ -1,0 +1,71 @@
+package serve
+
+// Per-client admission quotas: a classic token bucket per client key.
+// The key is whatever identity the API layer extracted (Bearer token,
+// X-API-Key, or the remote address as a fallback), so one noisy client
+// is throttled without starving the others. Buckets refill continuously
+// at Rate tokens per second up to Burst; a submission costs one token,
+// and a client that is out of tokens gets a 429 with a Retry-After
+// telling it exactly when the next token lands.
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// quotas tracks one token bucket per client key. The zero-value nil
+// pointer disables quota enforcement entirely (allow always succeeds).
+type quotas struct {
+	rate  float64 // tokens per second
+	burst float64 // bucket capacity (and the initial fill)
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newQuotas builds the bucket table, or nil (unlimited) when rate <= 0.
+func newQuotas(rate float64, burst int) *quotas {
+	if rate <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = 1
+	}
+	return &quotas{rate: rate, burst: float64(burst), buckets: map[string]*bucket{}}
+}
+
+// allow spends one token from key's bucket. When the bucket is empty it
+// reports false and how long until one token will have accumulated —
+// the Retry-After the API layer returns. Nil-safe: a nil quotas always
+// allows.
+func (q *quotas) allow(key string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[key]
+	if b == nil {
+		b = &bucket{tokens: q.burst, last: now}
+		q.buckets[key] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(q.burst, b.tokens+dt*q.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	deficit := 1 - b.tokens
+	secs := deficit / q.rate
+	// Round up to whole seconds: Retry-After is an integer header, and
+	// "come back in 0s" would invite an immediate re-rejection.
+	return false, time.Duration(math.Ceil(secs)) * time.Second
+}

@@ -1,0 +1,564 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"racetrack/hifi/internal/engine"
+	"racetrack/hifi/internal/experiments"
+	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/events"
+	"racetrack/hifi/internal/telemetry/log"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the engine worker-pool width each job runs with
+	// (<= 0 means runtime.NumCPU via the engine default).
+	Workers int
+	// CacheDir roots the shared content-addressed result cache — the
+	// cross-client dedup substrate. Empty disables caching (every job
+	// recomputes), which defeats the daemon's main value; the CLI
+	// defaults it on.
+	CacheDir string
+	// Version overrides the cache code-version ("" = engine.CodeVersion).
+	Version string
+	// Runners bounds concurrently running jobs (<= 0 means 2). Each job
+	// gets its own engine, so total sim parallelism is Runners×Workers.
+	Runners int
+	// Queue bounds jobs accepted but not yet running (<= 0 means 16).
+	// A full queue rejects submissions with 429 + Retry-After.
+	Queue int
+	// Rate and Burst shape the per-client token bucket (submissions per
+	// second and bucket size). Rate <= 0 disables quotas.
+	Rate  float64
+	Burst int
+	// RequireToken rejects submissions that carry no client token
+	// (Authorization: Bearer or X-API-Key) instead of falling back to
+	// the remote address as the quota key.
+	RequireToken bool
+	// MaxAccesses caps Spec.Accesses at admission (0 = unbounded), so a
+	// public daemon can refuse arbitrarily large sweeps outright.
+	MaxAccesses int
+	// Retries and JobTimeout pass through to each job's engine.
+	Retries    int
+	JobTimeout time.Duration
+	// RingCap sizes each job bus's SSE replay ring (0 = events default).
+	// Tests shrink it to force replay gaps.
+	RingCap int
+	// JournalPath is where a drain journals its not-yet-started specs
+	// for -resume ("" = <CacheDir>/serve.journal.json; no cache dir and
+	// no explicit path means drained queue entries are lost).
+	JournalPath string
+	// Metrics receives the hifi_serve_* admission/lifecycle series and
+	// every job's engine/sim series. Nil disables instrumentation.
+	Metrics *telemetry.Registry
+	// Events is the daemon-wide bus narrating all tenants' lifecycle
+	// (the /events route). Nil means the server creates its own.
+	Events *events.Bus
+
+	// hold gates each runner before it dequeues a job (one receive per
+	// job; closing it releases the runners for good). In-package tests
+	// use it to freeze jobs in a known state; it is unexported so
+	// production callers cannot.
+	hold chan struct{}
+}
+
+// Submission errors the API layer maps to status codes.
+var (
+	// ErrDraining rejects submissions after Drain started (503).
+	ErrDraining = errors.New("serve: draining, not accepting jobs")
+	// ErrQueueFull rejects submissions when the bounded queue is at
+	// capacity (429 + Retry-After).
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrTokenRequired rejects anonymous submissions under
+	// RequireToken (401).
+	ErrTokenRequired = errors.New("serve: client token required (Authorization: Bearer or X-API-Key)")
+)
+
+// QuotaError rejects a submission that exhausted its client's token
+// bucket (429); RetryAfter is when the next token lands.
+type QuotaError struct{ RetryAfter time.Duration }
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("serve: client quota exhausted; retry in %s", e.RetryAfter)
+}
+
+// Server is the sweep daemon: a bounded job queue, a fixed pool of job
+// runners, the shared result cache, and the job table the API reads.
+type Server struct {
+	opts   Options
+	cache  *engine.Cache
+	bus    *events.Bus // daemon-wide lifecycle stream
+	health *telemetry.HealthState
+	quota  *quotas
+	tel    serveTelemetry
+
+	baseCtx    context.Context
+	baseCancel context.CancelCauseFunc
+
+	queue chan *Job
+	wg    sync.WaitGroup
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*Job // by ID
+	order    []string        // IDs in acceptance order
+	active   map[string]*Job // fingerprint → queued/running job
+	nextID   int
+	running  int
+
+	// hold, when non-nil, gates each runner before it executes a job:
+	// the runner receives one token per job. Tests use it to freeze
+	// jobs in a known state; production never sets it.
+	hold chan struct{}
+}
+
+type serveTelemetry struct {
+	submitted  *telemetry.Counter
+	deduped    *telemetry.Counter
+	rejQueue   *telemetry.Counter
+	rejQuota   *telemetry.Counter
+	completed  *telemetry.Counter
+	failed     *telemetry.Counter
+	canceled   *telemetry.Counter
+	queueDepth *telemetry.Gauge
+	running    *telemetry.Gauge
+}
+
+// New builds and starts a server: the runner pool is live on return.
+// An unusable cache directory degrades to cache-less operation with a
+// warning, mirroring the CLI engine flags.
+func New(opts Options) *Server {
+	if opts.Runners <= 0 {
+		opts.Runners = 2
+	}
+	if opts.Queue <= 0 {
+		opts.Queue = 16
+	}
+	s := &Server{
+		opts:   opts,
+		bus:    opts.Events,
+		health: telemetry.NewHealthState(),
+		quota:  newQuotas(opts.Rate, opts.Burst),
+		queue:  make(chan *Job, opts.Queue),
+		jobs:   map[string]*Job{},
+		active: map[string]*Job{},
+		hold:   opts.hold,
+	}
+	if s.bus == nil {
+		s.bus = events.New(0)
+		s.bus.Instrument(opts.Metrics)
+	}
+	if opts.CacheDir != "" {
+		cache, err := engine.OpenCache(opts.CacheDir, opts.Version)
+		if err != nil {
+			log.Errorf("serve: %v; continuing without cache (no cross-client result reuse)", err)
+		} else {
+			s.cache = cache
+		}
+	}
+	reg := opts.Metrics
+	s.tel = serveTelemetry{
+		submitted:  reg.Counter(telemetry.MetricServeSubmitted, "sweep specs accepted (including deduped)"),
+		deduped:    reg.Counter(telemetry.MetricServeDeduped, "submissions coalesced onto a live identical job"),
+		rejQueue:   reg.Counter(telemetry.MetricServeRejectedQueue, "submissions rejected because the job queue was full"),
+		rejQuota:   reg.Counter(telemetry.MetricServeRejectedQuota, "submissions rejected by a client quota"),
+		completed:  reg.Counter(telemetry.MetricServeCompleted, "jobs that completed successfully"),
+		failed:     reg.Counter(telemetry.MetricServeFailed, "jobs that failed"),
+		canceled:   reg.Counter(telemetry.MetricServeCanceled, "jobs canceled by a client or a drain"),
+		queueDepth: reg.Gauge(telemetry.MetricServeQueueDepth, "jobs accepted but not yet running"),
+		running:    reg.Gauge(telemetry.MetricServeRunning, "jobs currently running"),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
+	s.health.SetEventsSeq(s.bus.Seq)
+	s.health.SetInFlight(func() int {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.running
+	})
+	for i := 0; i < opts.Runners; i++ {
+		s.wg.Add(1)
+		go s.runner()
+	}
+	return s
+}
+
+// Cache exposes the shared result cache (nil when disabled).
+func (s *Server) Cache() *engine.Cache { return s.cache }
+
+// Bus exposes the daemon-wide event bus.
+func (s *Server) Bus() *events.Bus { return s.bus }
+
+// Job looks up a job by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs returns every job in acceptance order.
+func (s *Server) Jobs() []*Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Job, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.jobs[id])
+	}
+	return out
+}
+
+// Submit validates and admits one spec for client (the quota key).
+// Returns the job — possibly an existing live one the submission
+// coalesced onto (deduped true) — or a typed admission error.
+func (s *Server) Submit(spec Spec, client string) (*Job, bool, error) {
+	if s.opts.RequireToken && client == "" {
+		return nil, false, ErrTokenRequired
+	}
+	if ok, retry := s.quota.allow(client, time.Now()); !ok {
+		s.tel.rejQuota.Add(1)
+		s.bus.Emit(events.Event{Type: events.ServeJobRejected, Name: client, Detail: "quota"})
+		return nil, false, &QuotaError{RetryAfter: retry}
+	}
+	norm, err := spec.Normalize()
+	if err != nil {
+		return nil, false, err
+	}
+	if s.opts.MaxAccesses > 0 && norm.Accesses > s.opts.MaxAccesses {
+		return nil, false, fmt.Errorf("serve: accesses %d exceeds this server's limit of %d",
+			norm.Accesses, s.opts.MaxAccesses)
+	}
+	return s.admit(norm)
+}
+
+// admit enqueues a normalized spec: the dedup check and the bounded
+// queue, under one lock so a drain can never race a send onto a closed
+// queue.
+func (s *Server) admit(norm Spec) (*Job, bool, error) {
+	fp := norm.Fingerprint()
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.bus.Emit(events.Event{Type: events.ServeJobRejected, Detail: "draining"})
+		return nil, false, ErrDraining
+	}
+	if live := s.active[fp]; live != nil && live.coalesce() {
+		s.mu.Unlock()
+		s.tel.submitted.Add(1)
+		s.tel.deduped.Add(1)
+		s.bus.Emit(events.Event{Type: events.ServeJobDeduped, Name: live.ID, Detail: fp})
+		live.Bus.Emit(events.Event{Type: events.ServeJobDeduped, Name: live.ID, Detail: fp})
+		return live, true, nil
+	}
+	s.nextID++
+	id := fmt.Sprintf("j%04d", s.nextID)
+	j := newJob(id, fp, norm, s.baseCtx, s.opts.RingCap)
+	j.Bus.Instrument(s.opts.Metrics)
+	select {
+	case s.queue <- j:
+	default:
+		s.mu.Unlock()
+		s.tel.rejQueue.Add(1)
+		s.bus.Emit(events.Event{Type: events.ServeJobRejected, Detail: "queue"})
+		return nil, false, ErrQueueFull
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.active[fp] = j
+	s.mu.Unlock()
+
+	s.tel.submitted.Add(1)
+	s.tel.queueDepth.Add(1)
+	s.bus.Emit(events.Event{Type: events.ServeJobAccepted, Name: id, Detail: fp})
+	j.Bus.Emit(events.Event{Type: events.ServeJobAccepted, Name: id, Detail: fp})
+	return j, false, nil
+}
+
+// Cancel requests cancellation of a job: a queued job is finalized
+// immediately, a running one has its context canceled and finalizes
+// when the engine unwinds. Returns false when the job is already
+// terminal.
+func (s *Server) Cancel(id string) bool {
+	j, ok := s.Job(id)
+	if !ok {
+		return false
+	}
+	switch j.State() {
+	case StateQueued:
+		if !j.markCanceled(nil, "client") {
+			return false
+		}
+		// The job is still in the queue channel; the runner that
+		// eventually dequeues it sees the terminal state and skips it
+		// (and owns the queue-depth decrement).
+		s.finalize(j, events.Event{Type: events.ServeJobCanceled, Name: j.ID, Detail: "client"}, s.tel.canceled)
+		return true
+	case StateRunning:
+		j.cancel(errors.New("serve: canceled by client"))
+		return true
+	default:
+		return false
+	}
+}
+
+// runner is one job-execution loop; Drain stops it by closing the
+// queue.
+func (s *Server) runner() {
+	defer s.wg.Done()
+	for {
+		if s.hold != nil {
+			// The gate precedes the dequeue so a held runner leaves jobs
+			// observable in the queue (deterministic queue-full tests).
+			// Tests close the channel to release the runner for good.
+			<-s.hold
+		}
+		j, ok := <-s.queue
+		if !ok {
+			return
+		}
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job: its own engine over the shared cache, the
+// experiments in spec order, and exactly one terminal event on the job
+// bus.
+func (s *Server) runJob(j *Job) {
+	s.tel.queueDepth.Add(-1)
+	if j.State() != StateQueued {
+		// Canceled while queued; already finalized.
+		return
+	}
+	eng := engine.New(engine.Options{
+		Workers:    s.opts.Workers,
+		Cache:      s.cache,
+		Retries:    s.opts.Retries,
+		JobTimeout: s.opts.JobTimeout,
+		Metrics:    s.opts.Metrics,
+		Events:     j.Bus,
+	})
+	if !j.markStarted(eng) {
+		return
+	}
+	s.setRunning(+1)
+	start := time.Now()
+	s.bus.Emit(events.Event{Type: events.ServeJobStarted, Name: j.ID, Detail: j.Fingerprint})
+	j.Bus.Emit(events.Event{Type: events.ServeJobStarted, Name: j.ID})
+
+	opts, err := j.Spec.RunOpts()
+	tables := map[string]experiments.Table{}
+	if err == nil {
+		opts.Metrics = s.opts.Metrics
+		opts.Events = j.Bus
+		opts.Eng = eng
+		opts.Ctx = j.ctx
+		for _, k := range j.Spec.Run {
+			if cerr := j.ctx.Err(); cerr != nil {
+				err = context.Cause(j.ctx)
+				break
+			}
+			j.Bus.Emit(events.Event{Type: events.RunPhase, Name: k})
+			tab, rerr := experiments.Run(k, opts)
+			if rerr != nil {
+				err = rerr
+				break
+			}
+			tables[k] = tab
+		}
+	}
+
+	st := eng.Status()
+	wall := time.Since(start).Milliseconds()
+	s.setRunning(-1)
+	switch {
+	case err == nil:
+		j.markDone(st, tables)
+		s.finalize(j, events.Event{
+			Type: events.ServeJobFinished, Name: j.ID,
+			MS: wall, N: int64(len(j.Spec.Run)),
+		}, s.tel.completed)
+	case j.ctx.Err() != nil:
+		j.markCanceled(&st, err.Error())
+		s.finalize(j, events.Event{
+			Type: events.ServeJobCanceled, Name: j.ID, Detail: err.Error(), MS: wall,
+		}, s.tel.canceled)
+	default:
+		j.markFailed(st, err.Error())
+		s.finalize(j, events.Event{
+			Type: events.ServeJobFailed, Name: j.ID, Detail: err.Error(), MS: wall,
+		}, s.tel.failed)
+	}
+}
+
+// finalize retires a job from the dedup table and emits its terminal
+// event on both buses — on the job bus it is by contract the last
+// event of the stream.
+func (s *Server) finalize(j *Job, terminal events.Event, ctr *telemetry.Counter) {
+	s.mu.Lock()
+	if s.active[j.Fingerprint] == j {
+		delete(s.active, j.Fingerprint)
+	}
+	s.mu.Unlock()
+	ctr.Add(1)
+	s.bus.Emit(terminal)
+	j.Bus.Emit(terminal)
+}
+
+func (s *Server) setRunning(delta int) {
+	s.mu.Lock()
+	s.running += delta
+	s.mu.Unlock()
+	s.tel.running.Add(float64(delta))
+}
+
+// journalPath resolves where drained specs are journaled.
+func (s *Server) journalPath() string {
+	if s.opts.JournalPath != "" {
+		return s.opts.JournalPath
+	}
+	if s.opts.CacheDir != "" {
+		return filepath.Join(s.opts.CacheDir, "serve.journal.json")
+	}
+	return ""
+}
+
+// Drain is the graceful-shutdown protocol: stop admitting, journal
+// every job still queued (for a later -resume), let running jobs
+// finish, and — if ctx expires first — cancel them and wait for the
+// unwind. Returns how many specs were journaled.
+func (s *Server) Drain(ctx context.Context) (int, error) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return 0, nil
+	}
+	s.draining = true
+	var leftovers []*Job
+drain:
+	for {
+		select {
+		case j := <-s.queue:
+			leftovers = append(leftovers, j)
+		default:
+			break drain
+		}
+	}
+	close(s.queue)
+	s.mu.Unlock()
+
+	specs := make([]Spec, 0, len(leftovers))
+	for _, j := range leftovers {
+		if j.markCanceled(nil, "drain") {
+			specs = append(specs, j.Spec)
+			s.finalize(j, events.Event{Type: events.ServeJobCanceled, Name: j.ID, Detail: "drain"}, s.tel.canceled)
+			s.tel.queueDepth.Add(-1)
+		}
+	}
+
+	var journalErr error
+	if len(specs) > 0 {
+		if path := s.journalPath(); path != "" {
+			journalErr = writeJournal(path, specs)
+			if journalErr == nil {
+				log.Infof("serve: journaled %d queued spec(s) to %s (submit with -resume)", len(specs), path)
+			}
+		} else {
+			journalErr = fmt.Errorf("serve: %d queued spec(s) dropped: no journal path (set -cache-dir)", len(specs))
+		}
+	}
+
+	finished := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		// Deadline: abort in-flight jobs and wait for the unwind — the
+		// engine honors cancellation, so this is bounded.
+		s.baseCancel(fmt.Errorf("serve: drain deadline: %w", context.Cause(ctx)))
+		<-finished
+	}
+	return len(specs), journalErr
+}
+
+// Resume re-admits the specs a previous drain journaled and removes the
+// journal. Call before serving traffic.
+func (s *Server) Resume() (int, error) {
+	path := s.journalPath()
+	if path == "" {
+		return 0, nil
+	}
+	specs, err := readJournal(path)
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, err
+	}
+	if err := os.Remove(path); err != nil {
+		return 0, fmt.Errorf("serve: remove journal: %w", err)
+	}
+	n := 0
+	for _, spec := range specs {
+		norm, err := spec.Normalize()
+		if err != nil {
+			log.Errorf("serve: resume: dropping journaled spec: %v", err)
+			continue
+		}
+		if _, _, err := s.admit(norm); err != nil {
+			log.Errorf("serve: resume: dropping journaled spec: %v", err)
+			continue
+		}
+		n++
+	}
+	return n, nil
+}
+
+// journalFile is the on-disk drain journal (hifi_serve_journal_v1).
+type journalFile struct {
+	Schema string `json:"schema"`
+	Jobs   []Spec `json:"jobs"`
+}
+
+// JournalSchemaV1 stamps the drain journal.
+const JournalSchemaV1 = "hifi_serve_journal_v1"
+
+func writeJournal(path string, specs []Spec) error {
+	b, err := json.MarshalIndent(journalFile{Schema: JournalSchemaV1, Jobs: specs}, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(b, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readJournal(path string) ([]Spec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var jf journalFile
+	if err := json.Unmarshal(b, &jf); err != nil {
+		return nil, fmt.Errorf("serve: journal %s: %w", path, err)
+	}
+	if jf.Schema != JournalSchemaV1 {
+		return nil, fmt.Errorf("serve: journal %s: unknown schema %q", path, jf.Schema)
+	}
+	return jf.Jobs, nil
+}

@@ -1,0 +1,438 @@
+package serve
+
+// The daemon's acceptance tests: byte-identity with the CLI, cross-client
+// dedup through the shared cache, admission control, cancellation, and
+// the drain/journal/resume protocol. All run under -race in CI. Tests
+// that need jobs frozen in the queue set Options.hold — the runner gate
+// that precedes the dequeue — and release it by closing the channel.
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"racetrack/hifi/internal/experiments"
+	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/events"
+)
+
+// quickSpec is the test workhorse: a scaled fig14 sweep short enough for
+// unit tests but real enough to exercise the engine and the cache.
+func quickSpec() Spec {
+	return Spec{Run: []string{"fig14"}, Scaled: true, Accesses: 300}
+}
+
+func testOptions(t *testing.T) Options {
+	t.Helper()
+	return Options{
+		CacheDir: t.TempDir(),
+		Runners:  2,
+		Queue:    16,
+		Metrics:  telemetry.NewRegistry(),
+	}
+}
+
+// newTestServer starts a server and tears it down through Drain, the
+// production shutdown path. Tests that set opts.hold must close it
+// before the cleanup runs (closeOnce makes that idempotent).
+func newTestServer(t *testing.T, opts Options) *Server {
+	t.Helper()
+	s := New(opts)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if _, err := s.Drain(ctx); err != nil {
+			t.Logf("drain: %v", err)
+		}
+	})
+	return s
+}
+
+// closeOnce returns an idempotent closer for a hold channel, registered
+// as a cleanup so held runners are always released before Drain.
+func closeOnce(t *testing.T, ch chan struct{}) func() {
+	t.Helper()
+	done := false
+	release := func() {
+		if !done {
+			done = true
+			close(ch)
+		}
+	}
+	t.Cleanup(release)
+	return release
+}
+
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(120 * time.Second):
+		t.Fatalf("job %s did not reach a terminal state (still %s)", j.ID, j.State())
+	}
+}
+
+// The core determinism claim: the daemon's rendered tables are
+// byte-identical to a direct experiments run with the same knobs, and a
+// spec resubmitted after completion runs entirely from the shared cache
+// — a fresh job whose engine ledger shows zero executed simulations.
+func TestSubmitByteIdenticalAndCacheServedResubmit(t *testing.T) {
+	srv := newTestServer(t, testOptions(t))
+
+	j1, deduped, err := srv.Submit(quickSpec(), "client-a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped {
+		t.Fatalf("first submission reported deduped")
+	}
+	waitDone(t, j1)
+	if st := j1.State(); st != StateDone {
+		t.Fatalf("job 1 state %s, error %q", st, j1.Status().Error)
+	}
+
+	// The CLI-equivalent run, built the way cmd/hifi-experiments builds
+	// it from -scaled -run fig14 -accesses 300.
+	opts := experiments.QuickRunOpts()
+	opts.AccessesPerCore = 300
+	tab, err := experiments.Run("fig14", opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := tab.String(); j1.Text() != want {
+		t.Fatalf("served tables differ from a direct run:\nserved:\n%s\ndirect:\n%s", j1.Text(), want)
+	}
+	st1 := j1.Status()
+	if st1.Engine == nil || st1.Engine.Executed == 0 {
+		t.Fatalf("first run executed nothing: %+v", st1.Engine)
+	}
+
+	// Resubmit after completion: a fresh job (the finished one left the
+	// dedup table) that the shared cache serves without recomputing.
+	j2, deduped, err := srv.Submit(quickSpec(), "client-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped || j2.ID == j1.ID {
+		t.Fatalf("resubmission after completion coalesced onto the finished job")
+	}
+	waitDone(t, j2)
+	if st := j2.State(); st != StateDone {
+		t.Fatalf("job 2 state %s, error %q", st, j2.Status().Error)
+	}
+	if j2.Text() != j1.Text() {
+		t.Fatalf("cache-served run rendered different bytes")
+	}
+	st2 := j2.Status()
+	if st2.Engine == nil {
+		t.Fatalf("job 2 has no engine ledger")
+	}
+	if st2.Engine.Executed != 0 {
+		t.Fatalf("resubmission executed %d simulation(s); want 0 (all cache hits)", st2.Engine.Executed)
+	}
+	if st2.Engine.CacheHits == 0 || st2.Engine.CacheHits != st2.Engine.Jobs {
+		t.Fatalf("resubmission ledger %+v; want every job a cache hit", st2.Engine)
+	}
+}
+
+// A spec equal to a queued/running one coalesces onto that job instead
+// of spawning a second computation.
+func TestDedupCoalescesOntoLiveJob(t *testing.T) {
+	opts := testOptions(t)
+	hold := make(chan struct{})
+	opts.hold = hold
+	srv := newTestServer(t, opts)
+	release := closeOnce(t, hold)
+
+	j1, deduped, err := srv.Submit(quickSpec(), "client-a")
+	if err != nil || deduped {
+		t.Fatalf("first submit: deduped=%v err=%v", deduped, err)
+	}
+	j2, deduped, err := srv.Submit(quickSpec(), "client-b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !deduped || j2 != j1 {
+		t.Fatalf("identical live spec did not coalesce: deduped=%v j1=%s j2=%s", deduped, j1.ID, j2.ID)
+	}
+	if subs := j1.Status().Subscribers; subs != 2 {
+		t.Fatalf("subscribers = %d, want 2", subs)
+	}
+	if got, _ := srv.opts.Metrics.Snapshot().Lookup(telemetry.MetricServeDeduped); got != 1 {
+		t.Fatalf("%s = %v, want 1", telemetry.MetricServeDeduped, got)
+	}
+
+	release()
+	waitDone(t, j1)
+	if st := j1.State(); st != StateDone {
+		t.Fatalf("coalesced job ended %s", st)
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	opts := testOptions(t)
+	opts.Queue = 2
+	hold := make(chan struct{})
+	opts.hold = hold
+	srv := newTestServer(t, opts)
+	closeOnce(t, hold)
+
+	a := quickSpec()
+	b := quickSpec()
+	b.Seed = 2
+	c := quickSpec()
+	c.Seed = 3
+	if _, _, err := srv.Submit(a, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.Submit(b, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.Submit(c, "c"); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("third submit: %v, want ErrQueueFull", err)
+	}
+	if got, _ := srv.opts.Metrics.Snapshot().Lookup(telemetry.MetricServeRejectedQueue); got != 1 {
+		t.Fatalf("%s = %v, want 1", telemetry.MetricServeRejectedQueue, got)
+	}
+}
+
+func TestQuotaRejectsPerClient(t *testing.T) {
+	opts := testOptions(t)
+	opts.Rate = 0.5
+	opts.Burst = 2
+	hold := make(chan struct{})
+	opts.hold = hold
+	srv := newTestServer(t, opts)
+	closeOnce(t, hold)
+
+	spec := func(seed uint64) Spec {
+		s := quickSpec()
+		s.Seed = seed
+		return s
+	}
+	if _, _, err := srv.Submit(spec(1), "alice"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.Submit(spec(2), "alice"); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := srv.Submit(spec(3), "alice")
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("third submit: %v, want QuotaError", err)
+	}
+	if qe.RetryAfter < time.Second {
+		t.Fatalf("RetryAfter %s, want at least a whole second", qe.RetryAfter)
+	}
+	// Another client's bucket is untouched.
+	if _, _, err := srv.Submit(spec(4), "bob"); err != nil {
+		t.Fatalf("bob rejected: %v", err)
+	}
+}
+
+func TestRequireToken(t *testing.T) {
+	opts := testOptions(t)
+	opts.RequireToken = true
+	hold := make(chan struct{})
+	opts.hold = hold
+	srv := newTestServer(t, opts)
+	closeOnce(t, hold)
+
+	if _, _, err := srv.Submit(quickSpec(), ""); !errors.Is(err, ErrTokenRequired) {
+		t.Fatalf("anonymous submit: %v, want ErrTokenRequired", err)
+	}
+	if _, _, err := srv.Submit(quickSpec(), "tok-1"); err != nil {
+		t.Fatalf("tokened submit: %v", err)
+	}
+}
+
+func TestMaxAccessesCap(t *testing.T) {
+	opts := testOptions(t)
+	opts.MaxAccesses = 1000
+	hold := make(chan struct{})
+	opts.hold = hold
+	srv := newTestServer(t, opts)
+	closeOnce(t, hold)
+
+	big := quickSpec()
+	big.Accesses = 5000
+	if _, _, err := srv.Submit(big, "c"); err == nil {
+		t.Fatalf("oversized spec admitted")
+	}
+	if _, _, err := srv.Submit(quickSpec(), "c"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Canceling a queued job finalizes it immediately; the runner that later
+// dequeues it skips it. The terminal event is the job stream's last.
+func TestCancelQueued(t *testing.T) {
+	opts := testOptions(t)
+	hold := make(chan struct{})
+	opts.hold = hold
+	srv := newTestServer(t, opts)
+	release := closeOnce(t, hold)
+
+	j, _, err := srv.Submit(quickSpec(), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Cancel(j.ID) {
+		t.Fatalf("cancel of queued job returned false")
+	}
+	waitDone(t, j)
+	if st := j.State(); st != StateCanceled {
+		t.Fatalf("state %s, want canceled", st)
+	}
+	if srv.Cancel(j.ID) {
+		t.Fatalf("second cancel of a terminal job returned true")
+	}
+	replay := j.Bus.ReplaySince(0)
+	if len(replay) == 0 || replay[len(replay)-1].Type != events.ServeJobCanceled {
+		t.Fatalf("job stream does not end with the terminal event: %+v", replay)
+	}
+	release() // runner dequeues the corpse and must skip it quietly
+}
+
+// Canceling a running job cancels its context; the engine unwinds and
+// the job finalizes as canceled.
+func TestCancelRunning(t *testing.T) {
+	srv := newTestServer(t, testOptions(t))
+
+	long := quickSpec()
+	long.Accesses = 50_000 // a few seconds of simulation: a wide cancel window
+	j, _, err := srv.Submit(long, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for j.State() != StateRunning {
+		if time.Now().After(deadline) {
+			t.Fatalf("job never started (state %s)", j.State())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !srv.Cancel(j.ID) {
+		t.Fatalf("cancel of running job returned false")
+	}
+	waitDone(t, j)
+	if st := j.State(); st != StateCanceled {
+		t.Fatalf("state %s, want canceled", st)
+	}
+	replay := j.Bus.ReplaySince(0)
+	if replay[len(replay)-1].Type != events.ServeJobCanceled {
+		t.Fatalf("job stream does not end with the terminal event")
+	}
+}
+
+// Drain journals still-queued specs and a fresh server re-admits them
+// with -resume semantics.
+func TestDrainJournalsQueueAndResumeReplays(t *testing.T) {
+	opts := testOptions(t)
+	hold := make(chan struct{})
+	opts.hold = hold
+	release := closeOnce(t, hold)
+	srv := New(opts) // not newTestServer: this test drives Drain itself
+
+	a := quickSpec()
+	b := quickSpec()
+	b.Seed = 2
+	ja, _, err := srv.Submit(a, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, _, err := srv.Submit(b, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type drainRes struct {
+		n   int
+		err error
+	}
+	resc := make(chan drainRes, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		n, err := srv.Drain(ctx)
+		resc <- drainRes{n, err}
+	}()
+	// Drain sets draining, empties the queue, and closes it inside one
+	// critical section; once a submit sees ErrDraining all of that has
+	// happened, so releasing the held runners afterwards cannot race the
+	// leftover collection.
+	for {
+		if _, _, err := srv.Submit(quickSpec(), "late"); errors.Is(err, ErrDraining) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	release()
+	res := <-resc
+	if res.err != nil {
+		t.Fatalf("drain: %v", res.err)
+	}
+	if res.n != 2 {
+		t.Fatalf("drain journaled %d spec(s), want 2", res.n)
+	}
+	if ja.State() != StateCanceled || jb.State() != StateCanceled {
+		t.Fatalf("drained jobs not canceled: %s %s", ja.State(), jb.State())
+	}
+
+	// Same cache dir → same journal path; the successor re-admits both.
+	opts2 := testOptions(t)
+	opts2.CacheDir = opts.CacheDir
+	srv2 := newTestServer(t, opts2)
+	n, err := srv2.Resume()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("resume re-admitted %d spec(s), want 2", n)
+	}
+	jobs := srv2.Jobs()
+	if len(jobs) != 2 {
+		t.Fatalf("successor has %d job(s), want 2", len(jobs))
+	}
+	for _, j := range jobs {
+		waitDone(t, j)
+		if st := j.State(); st != StateDone {
+			t.Fatalf("resumed job %s ended %s (%s)", j.ID, st, j.Status().Error)
+		}
+	}
+	// The journal is consumed: a second resume finds nothing.
+	if n, err := srv2.Resume(); err != nil || n != 0 {
+		t.Fatalf("second resume: n=%d err=%v, want 0,nil", n, err)
+	}
+}
+
+// A canceled queued job must not leave its fingerprint claimed: the next
+// identical submission gets a fresh job, not a corpse.
+func TestResubmitAfterQueuedCancel(t *testing.T) {
+	opts := testOptions(t)
+	hold := make(chan struct{})
+	opts.hold = hold
+	srv := newTestServer(t, opts)
+	release := closeOnce(t, hold)
+
+	j1, _, err := srv.Submit(quickSpec(), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Cancel(j1.ID) {
+		t.Fatal("cancel failed")
+	}
+	j2, deduped, err := srv.Submit(quickSpec(), "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deduped || j2 == j1 {
+		t.Fatalf("resubmission coalesced onto a canceled job")
+	}
+	release()
+	waitDone(t, j2)
+	if st := j2.State(); st != StateDone {
+		t.Fatalf("fresh job ended %s", st)
+	}
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"racetrack/hifi/internal/experiments"
+)
+
+// Equivalent specs — different spelling, same run — must fingerprint
+// identically; that equality is the cross-client dedup key.
+func TestFingerprintNormalization(t *testing.T) {
+	a := Spec{Run: []string{" FIG14 "}, Scaled: true}
+	b := Spec{Run: []string{"fig14"}, Scaled: true, Seed: 1, Faults: "off", FaultIntensity: 1}
+	na, err := a.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := b.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na.Fingerprint() != nb.Fingerprint() {
+		t.Fatalf("equivalent specs fingerprint differently:\n%+v\n%+v", na, nb)
+	}
+
+	c := b
+	c.Seed = 2
+	nc, err := c.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nc.Fingerprint() == nb.Fingerprint() {
+		t.Fatalf("different seeds share a fingerprint")
+	}
+}
+
+func TestFingerprintFaultPlanWhitespace(t *testing.T) {
+	a := Spec{Run: []string{"fig14"}, FaultPlan: json.RawMessage(`{ "seed": 3,   "injectors": [] }`)}
+	b := Spec{Run: []string{"fig14"}, FaultPlan: json.RawMessage(`{"seed":3,"injectors":[]}`)}
+	na, err := a.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, err := b.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if na.Fingerprint() != nb.Fingerprint() {
+		t.Fatalf("fault-plan whitespace changed the fingerprint")
+	}
+}
+
+func TestNormalizeEmptyRunMeansAll(t *testing.T) {
+	n, err := Spec{}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(n.Run, ","), strings.Join(experiments.Order(), ","); got != want {
+		t.Fatalf("empty run normalized to %q, want every experiment", got)
+	}
+	if n.Seed != 1 || n.Faults != "off" || n.FaultIntensity != 1 {
+		t.Fatalf("defaults not made explicit: %+v", n)
+	}
+}
+
+func TestNormalizeRejects(t *testing.T) {
+	cases := []Spec{
+		{Run: []string{"fig99"}},                             // unknown experiment
+		{Run: []string{"fig14"}, Accesses: -1},               // negative accesses
+		{Run: []string{"fig14"}, MCTrials: -2},               // negative trials
+		{Run: []string{"fig14"}, Faults: "no-such-preset"},   // bad preset
+		{Run: []string{"fig14"}, FaultPlan: []byte(`{nope`)}, // bad plan JSON
+	}
+	for i, spec := range cases {
+		if _, err := spec.Normalize(); err == nil {
+			t.Errorf("case %d: %+v normalized without error", i, spec)
+		}
+	}
+}
+
+// RunOpts must mirror the CLI's flag application: a scaled spec starts
+// from QuickRunOpts, overrides land on top.
+func TestRunOptsMirrorsCLI(t *testing.T) {
+	n, err := Spec{Run: []string{"fig14"}, Scaled: true, Accesses: 300, Seed: 7, MCTrials: 9}.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := n.RunOpts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := experiments.QuickRunOpts()
+	want.AccessesPerCore = 300
+	want.Seed = 7
+	want.MCTrials = 9
+	if got.AccessesPerCore != want.AccessesPerCore || got.Seed != want.Seed ||
+		got.MCTrials != want.MCTrials || got.Scaled != want.Scaled {
+		t.Fatalf("RunOpts mismatch: got %+v want %+v", got, want)
+	}
+	if got.FaultPlan != nil {
+		t.Fatalf("faults off resolved to a non-nil plan")
+	}
+}

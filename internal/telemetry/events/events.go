@@ -75,6 +75,19 @@ const (
 	// Fidelity verdicts (internal/fidelity): one per evaluated anchor.
 	FidelityVerdict Type = "fidelity.verdict" // Name: anchor ID, Detail: status, V: measured
 
+	// Sweep-daemon job lifecycle (internal/serve, cmd/hifi-serve). Name
+	// is the serve job ID. On the daemon's global bus these narrate all
+	// tenants; on a job's own bus the serve.job.* terminal event is the
+	// last event of the stream, which is how a per-job SSE client knows
+	// the stream is complete (see docs/serve.md).
+	ServeJobAccepted Type = "serve.job.accepted" // Detail: spec fingerprint
+	ServeJobDeduped  Type = "serve.job.deduped"  // Detail: spec fingerprint (a submission coalesced onto a live job)
+	ServeJobRejected Type = "serve.job.rejected" // Detail: "queue" | "quota" | "draining"
+	ServeJobStarted  Type = "serve.job.started"
+	ServeJobFinished Type = "serve.job.finished" // MS: job wall time, N: experiments run
+	ServeJobFailed   Type = "serve.job.failed"   // Detail: the error
+	ServeJobCanceled Type = "serve.job.canceled" // Detail: "client" | "drain"
+
 	// Bench regressions (cmd/hifi-bench -compare): one per breached gate.
 	BenchRegression Type = "bench.regression" // Name: benchmark, Detail: reason, V: ratio
 )

@@ -77,6 +77,18 @@ const (
 	MetricFaultsActiveOps = "hifi_faults_active_ops_total"
 	MetricFaultsForced    = "hifi_faults_forced_total"
 
+	// Sweep daemon (internal/serve, cmd/hifi-serve): the multi-tenant
+	// job API's admission and lifecycle ledger. See docs/serve.md.
+	MetricServeSubmitted     = "hifi_serve_jobs_submitted_total"
+	MetricServeDeduped       = "hifi_serve_jobs_deduped_total"
+	MetricServeRejectedQueue = "hifi_serve_rejected_queue_total"
+	MetricServeRejectedQuota = "hifi_serve_rejected_quota_total"
+	MetricServeCompleted     = "hifi_serve_jobs_completed_total"
+	MetricServeFailed        = "hifi_serve_jobs_failed_total"
+	MetricServeCanceled      = "hifi_serve_jobs_canceled_total"
+	MetricServeQueueDepth    = "hifi_serve_queue_depth"
+	MetricServeRunning       = "hifi_serve_jobs_running"
+
 	// Structured event plane (internal/telemetry/events): deliveries
 	// dropped because an SSE subscriber's buffer was full. See
 	// docs/events.md.

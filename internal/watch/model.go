@@ -52,6 +52,12 @@ type Model struct {
 	Finished bool   // run.finish seen
 	RunMS    int64  // run.finish wall time
 
+	// Serve-job attachment (a hifi-serve per-job stream or poll).
+	JobID    string // serve.job.* Name
+	JobState string // queued/running/done/failed/canceled
+	JobNote  string // failure text or cancel reason from the terminal event
+	Polling  bool   // fell back to status polling after an SSE replay gap
+
 	// Engine job lifecycle. Queued counts job.queued events and is the
 	// sweep's job total: every job is announced exactly once, up front,
 	// even across multiple engine batches.
@@ -114,6 +120,23 @@ func (m *Model) Apply(e events.Event) {
 		m.Finished = true
 		m.RunMS = e.MS
 
+	case events.ServeJobAccepted:
+		m.setJob(e.Name, "queued", "")
+	case events.ServeJobStarted:
+		m.setJob(e.Name, "running", "")
+	case events.ServeJobFinished:
+		m.setJob(e.Name, "done", "")
+		m.Finished = true
+		m.RunMS = e.MS
+	case events.ServeJobFailed:
+		m.setJob(e.Name, "failed", e.Detail)
+		m.Finished = true
+		m.RunMS = e.MS
+	case events.ServeJobCanceled:
+		m.setJob(e.Name, "canceled", e.Detail)
+		m.Finished = true
+		m.RunMS = e.MS
+
 	case events.JobQueued:
 		m.Queued++
 	case events.JobStarted:
@@ -150,6 +173,15 @@ func (m *Model) Apply(e events.Event) {
 	case events.BenchRegression:
 		m.Regressions = append(m.Regressions, Regression{Name: e.Name, Detail: e.Detail, Ratio: e.V})
 	}
+}
+
+// setJob records the serve-job lifecycle position.
+func (m *Model) setJob(id, state, note string) {
+	if id != "" {
+		m.JobID = id
+	}
+	m.JobState = state
+	m.JobNote = note
 }
 
 func (m *Model) worker(slot int) *WorkerState {

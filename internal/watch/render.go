@@ -33,6 +33,17 @@ func (m *Model) Render() string {
 	}
 	b.WriteByte('\n')
 
+	if m.JobID != "" {
+		fmt.Fprintf(&b, "job   %s %s", m.JobID, m.JobState)
+		if m.JobNote != "" {
+			fmt.Fprintf(&b, " (%s)", m.JobNote)
+		}
+		if m.Polling {
+			b.WriteString("  [SSE replay gap: polling status]")
+		}
+		b.WriteByte('\n')
+	}
+
 	if m.Queued > 0 {
 		done := m.Completed()
 		fmt.Fprintf(&b, "jobs  %s %d/%d (%.0f%%)", bar(done, m.Queued), done, m.Queued,

@@ -1,0 +1,118 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke for the hifi-serve daemon (docs/serve.md).
+#
+# Boots a real daemon on a scratch cache, then walks the whole client
+# contract over HTTP:
+#
+#   1. POST a small scaled sweep and poll /v1/jobs/{id} to completion.
+#   2. Render the job with `hifi-watch -once -server ... -job ...`.
+#   3. GET /v1/jobs/{id}/tables and diff it byte-for-byte against the
+#      same sweep run directly through hifi-experiments.
+#   4. Resubmit the identical spec: the second job must report
+#      "executed": 0 (every simulation served from the shared cache),
+#      and /metrics must show hifi_engine_ cache hits plus both
+#      submissions.
+#   5. SIGTERM the daemon and require a clean drain (exit 0).
+#
+# Used by `make serve-smoke` and CI's serve job. Needs curl; everything
+# else is the repo's own binaries.
+set -euo pipefail
+
+GO=${GO:-go}
+ADDR=${ADDR:-localhost:8791}
+BASE="http://$ADDR"
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/hifi-serve-smoke.XXXXXX")
+
+SERVE_PID=""
+cleanup() {
+	if [[ -n "$SERVE_PID" ]] && kill -0 "$SERVE_PID" 2>/dev/null; then
+		kill -TERM "$SERVE_PID" 2>/dev/null || true
+		wait "$SERVE_PID" 2>/dev/null || true
+	fi
+	rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+# jget FILE KEY — pull a scalar out of the daemon's indented JSON
+# without depending on jq.
+jget() {
+	sed -n 's/^ *"'"$2"'": *"\{0,1\}\([^",]*\)"\{0,1\},\{0,1\}$/\1/p' "$1" | head -1
+}
+
+echo "== build"
+$GO build -o "$WORK/hifi-serve" ./cmd/hifi-serve
+$GO build -o "$WORK/hifi-experiments" ./cmd/hifi-experiments
+$GO build -o "$WORK/hifi-watch" ./cmd/hifi-watch
+
+echo "== start daemon on $ADDR"
+"$WORK/hifi-serve" -listen "$ADDR" -cache-dir "$WORK/cache" -runners 2 \
+	>"$WORK/serve.log" 2>&1 &
+SERVE_PID=$!
+for i in $(seq 1 50); do
+	if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then
+		break
+	fi
+	if [[ "$i" == 50 ]]; then
+		echo "daemon never became healthy" >&2
+		cat "$WORK/serve.log" >&2
+		exit 1
+	fi
+	sleep 0.2
+done
+
+SPEC='{"run":["fig14"],"scaled":true,"accesses":1000}'
+
+# wait_done JOB — poll the status route until the job is terminal.
+wait_done() {
+	for i in $(seq 1 300); do
+		curl -fsS "$BASE/v1/jobs/$1" >"$WORK/job.json"
+		case "$(jget "$WORK/job.json" state)" in
+		done) return 0 ;;
+		failed | canceled)
+			echo "job $1 ended $(jget "$WORK/job.json" state): $(jget "$WORK/job.json" error)" >&2
+			return 1
+			;;
+		esac
+		sleep 0.2
+	done
+	echo "job $1 never finished" >&2
+	return 1
+}
+
+echo "== submit sweep"
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$SPEC" \
+	"$BASE/v1/jobs" >"$WORK/submit1.json"
+JOB1=$(jget "$WORK/submit1.json" id)
+test -n "$JOB1"
+wait_done "$JOB1"
+
+echo "== hifi-watch client mode"
+"$WORK/hifi-watch" -once -server "$BASE" -job "$JOB1" >"$WORK/frame.txt"
+grep -q "$JOB1" "$WORK/frame.txt"
+grep -q 'done' "$WORK/frame.txt"
+
+echo "== tables byte-identical to a direct run"
+curl -fsS "$BASE/v1/jobs/$JOB1/tables" >"$WORK/served.txt"
+"$WORK/hifi-experiments" -run fig14 -scaled -accesses 1000 -q >"$WORK/direct.txt"
+diff -u "$WORK/direct.txt" "$WORK/served.txt"
+
+echo "== identical resubmission runs zero new simulations"
+curl -fsS -X POST -H 'Content-Type: application/json' -d "$SPEC" \
+	"$BASE/v1/jobs" >"$WORK/submit2.json"
+JOB2=$(jget "$WORK/submit2.json" id)
+test -n "$JOB2" && test "$JOB2" != "$JOB1"
+wait_done "$JOB2"
+grep -q '"executed": 0' "$WORK/job.json"
+grep -qE '"cache_hits": [1-9]' "$WORK/job.json"
+
+curl -fsS "$BASE/metrics" >"$WORK/metrics.txt"
+grep -qE '^hifi_engine_cache_hits_total [1-9]' "$WORK/metrics.txt"
+grep -qE '^hifi_serve_jobs_submitted_total 2$' "$WORK/metrics.txt"
+grep -qE '^hifi_serve_jobs_completed_total 2$' "$WORK/metrics.txt"
+
+echo "== graceful drain on SIGTERM"
+kill -TERM "$SERVE_PID"
+wait "$SERVE_PID"
+SERVE_PID=""
+
+echo "serve smoke OK"
