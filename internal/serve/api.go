@@ -204,8 +204,11 @@ func (s *Server) handleJobEvents(w http.ResponseWriter, r *http.Request) {
 	// The per-job stream ends shortly after the job does: the SSE
 	// handler itself streams until the request context cancels, so
 	// derive one that cancels a grace period after the terminal event.
-	// Clients treat the serve.job.* terminal event as end-of-stream;
-	// the grace only exists so a live subscriber's channel drains.
+	// j.Done() closes only after the terminal event is on the job bus
+	// (finalize emits, then closes), so the grace strictly follows
+	// terminal-event delivery. Clients treat the serve.job.* terminal
+	// event as end-of-stream; the grace only exists so a live
+	// subscriber's channel drains.
 	ctx, cancel := context.WithCancel(r.Context())
 	defer cancel()
 	go func() {

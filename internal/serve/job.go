@@ -50,7 +50,9 @@ type Job struct {
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
-	// done closes when the job reaches a terminal state.
+	// done closes when the job is terminal AND its terminal event is on
+	// the job bus (finalize calls finish after the Emit), so waiters
+	// released by Done() can rely on the event being deliverable.
 	done chan struct{}
 
 	mu       sync.Mutex
@@ -90,8 +92,14 @@ func (j *Job) State() State {
 	return j.state
 }
 
-// Done returns a channel closed when the job reaches a terminal state.
+// Done returns a channel closed when the job has reached a terminal
+// state and its terminal event has been emitted on the job bus.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// finish closes done. Only the server's finalize calls it, strictly
+// after emitting the terminal event, so the SSE drain grace that starts
+// at Done() always follows terminal-event delivery.
+func (j *Job) finish() { close(j.done) }
 
 // Tables returns the per-experiment tables of a completed job (nil
 // until done) keyed by experiment name, plus the run order.
@@ -131,8 +139,10 @@ func (j *Job) markStarted(eng *engine.Engine) bool {
 	return true
 }
 
-// markDone finalizes a successful run.
-func (j *Job) markDone(st engine.Status, tables map[string]experiments.Table) {
+// markDone finalizes a successful run. Returns false if the job was
+// already terminal — the winner of the terminal transition owns the
+// finalize, so exactly one terminal event is ever emitted.
+func (j *Job) markDone(st engine.Status, tables map[string]experiments.Table) bool {
 	var b strings.Builder
 	for i, k := range j.Spec.Run {
 		// Exactly the CLI's default rendering: one blank line between
@@ -144,34 +154,41 @@ func (j *Job) markDone(st engine.Status, tables map[string]experiments.Table) {
 		b.WriteString(tables[k].String())
 	}
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
 	j.state = StateDone
 	j.finished = time.Now()
 	j.tables = tables
 	j.text = b.String()
 	j.engFinal = &st
 	j.eng = nil
-	j.mu.Unlock()
-	close(j.done)
+	return true
 }
 
-// markFailed finalizes an errored run.
-func (j *Job) markFailed(st engine.Status, errText string) {
+// markFailed finalizes an errored run. Returns false if the job was
+// already terminal.
+func (j *Job) markFailed(st engine.Status, errText string) bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false
+	}
 	j.state = StateFailed
 	j.detail = errText
 	j.finished = time.Now()
 	j.engFinal = &st
 	j.eng = nil
-	j.mu.Unlock()
-	close(j.done)
+	return true
 }
 
-// markCanceled finalizes a canceled job. st may be nil for a job that
-// never started. Returns false if the job was already terminal.
+// markCanceled finalizes a canceled running job (st is the engine
+// snapshot at unwind). Returns false if the job was already terminal.
 func (j *Job) markCanceled(st *engine.Status, reason string) bool {
 	j.mu.Lock()
+	defer j.mu.Unlock()
 	if j.state.Terminal() {
-		j.mu.Unlock()
 		return false
 	}
 	j.state = StateCanceled
@@ -179,14 +196,33 @@ func (j *Job) markCanceled(st *engine.Status, reason string) bool {
 	j.finished = time.Now()
 	j.engFinal = st
 	j.eng = nil
-	j.mu.Unlock()
-	close(j.done)
+	return true
+}
+
+// markCanceledIfQueued finalizes a job that never started. It requires
+// state == queued under j.mu — the same mutex markStarted takes — so a
+// queued-cancel can never race the queued→running transition: either
+// this wins and the runner's markStarted returns false, or the runner
+// wins and the caller must cancel via the job's context instead.
+func (j *Job) markCanceledIfQueued(reason string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateCanceled
+	j.detail = reason
+	j.finished = time.Now()
+	j.eng = nil
 	return true
 }
 
 // coalesce counts one more submission deduped onto this job. Returns
 // false when the job is already terminal (the caller must start a fresh
-// job so the new client gets a fresh cache-served run).
+// job so the new client gets a fresh cache-served run). On success it
+// emits the job-bus deduped event while still holding j.mu: a terminal
+// transition needs the same mutex and its event is emitted after, so
+// the deduped event always precedes the stream's terminal event.
 func (j *Job) coalesce() bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -194,6 +230,7 @@ func (j *Job) coalesce() bool {
 		return false
 	}
 	j.subs++
+	j.Bus.Emit(events.Event{Type: events.ServeJobDeduped, Name: j.ID, Detail: j.Fingerprint})
 	return true
 }
 

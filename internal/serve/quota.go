@@ -69,3 +69,19 @@ func (q *quotas) allow(key string, now time.Time) (ok bool, retryAfter time.Dura
 	// "come back in 0s" would invite an immediate re-rejection.
 	return false, time.Duration(math.Ceil(secs)) * time.Second
 }
+
+// refund returns one token to key's bucket (capped at burst). The
+// server calls it when a submission that passed the quota gate is
+// rejected downstream anyway (queue full, draining), so rejections that
+// did no work cannot throttle the client out of its own retries.
+// Nil-safe.
+func (q *quotas) refund(key string) {
+	if q == nil {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if b := q.buckets[key]; b != nil {
+		b.tokens = math.Min(q.burst, b.tokens+1)
+	}
+}

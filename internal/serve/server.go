@@ -223,11 +223,8 @@ func (s *Server) Submit(spec Spec, client string) (*Job, bool, error) {
 	if s.opts.RequireToken && client == "" {
 		return nil, false, ErrTokenRequired
 	}
-	if ok, retry := s.quota.allow(client, time.Now()); !ok {
-		s.tel.rejQuota.Add(1)
-		s.bus.Emit(events.Event{Type: events.ServeJobRejected, Name: client, Detail: "quota"})
-		return nil, false, &QuotaError{RetryAfter: retry}
-	}
+	// Validate before spending quota: a malformed or oversized spec is a
+	// client error that did no work, and must not drain the bucket.
 	norm, err := spec.Normalize()
 	if err != nil {
 		return nil, false, err
@@ -236,7 +233,18 @@ func (s *Server) Submit(spec Spec, client string) (*Job, bool, error) {
 		return nil, false, fmt.Errorf("serve: accesses %d exceeds this server's limit of %d",
 			norm.Accesses, s.opts.MaxAccesses)
 	}
-	return s.admit(norm)
+	if ok, retry := s.quota.allow(client, time.Now()); !ok {
+		s.tel.rejQuota.Add(1)
+		s.bus.Emit(events.Event{Type: events.ServeJobRejected, Name: client, Detail: "quota"})
+		return nil, false, &QuotaError{RetryAfter: retry}
+	}
+	j, deduped, err := s.admit(norm)
+	if err != nil {
+		// Queue-full / draining rejections did no work either: return
+		// the token so the rejection itself cannot throttle the client.
+		s.quota.refund(client)
+	}
+	return j, deduped, err
 }
 
 // admit enqueues a normalized spec: the dedup check and the bounded
@@ -250,12 +258,14 @@ func (s *Server) admit(norm Spec) (*Job, bool, error) {
 		s.bus.Emit(events.Event{Type: events.ServeJobRejected, Detail: "draining"})
 		return nil, false, ErrDraining
 	}
+	// coalesce emits the job-bus deduped event itself, under j.mu, so it
+	// can never land after the stream's terminal event; only the
+	// daemon-bus copy is emitted here.
 	if live := s.active[fp]; live != nil && live.coalesce() {
 		s.mu.Unlock()
 		s.tel.submitted.Add(1)
 		s.tel.deduped.Add(1)
 		s.bus.Emit(events.Event{Type: events.ServeJobDeduped, Name: live.ID, Detail: fp})
-		live.Bus.Emit(events.Event{Type: events.ServeJobDeduped, Name: live.ID, Detail: fp})
 		return live, true, nil
 	}
 	s.nextID++
@@ -291,22 +301,22 @@ func (s *Server) Cancel(id string) bool {
 	if !ok {
 		return false
 	}
-	switch j.State() {
-	case StateQueued:
-		if !j.markCanceled(nil, "client") {
-			return false
-		}
+	// markCanceledIfQueued is atomic with the queued→running transition
+	// (both hold j.mu), so a job a runner has already claimed can only
+	// be canceled through its context — never by a state overwrite that
+	// would race the runner's own terminal transition.
+	if j.markCanceledIfQueued("client") {
 		// The job is still in the queue channel; the runner that
 		// eventually dequeues it sees the terminal state and skips it
 		// (and owns the queue-depth decrement).
 		s.finalize(j, events.Event{Type: events.ServeJobCanceled, Name: j.ID, Detail: "client"}, s.tel.canceled)
 		return true
-	case StateRunning:
+	}
+	if j.State() == StateRunning {
 		j.cancel(errors.New("serve: canceled by client"))
 		return true
-	default:
-		return false
 	}
+	return false
 }
 
 // runner is one job-execution loop; Drain stops it by closing the
@@ -378,29 +388,38 @@ func (s *Server) runJob(j *Job) {
 	st := eng.Status()
 	wall := time.Since(start).Milliseconds()
 	s.setRunning(-1)
+	// Each mark* reports whether this goroutine won the terminal
+	// transition; only the winner finalizes, so the job's done channel
+	// is closed exactly once and exactly one terminal event is emitted.
 	switch {
 	case err == nil:
-		j.markDone(st, tables)
-		s.finalize(j, events.Event{
-			Type: events.ServeJobFinished, Name: j.ID,
-			MS: wall, N: int64(len(j.Spec.Run)),
-		}, s.tel.completed)
+		if j.markDone(st, tables) {
+			s.finalize(j, events.Event{
+				Type: events.ServeJobFinished, Name: j.ID,
+				MS: wall, N: int64(len(j.Spec.Run)),
+			}, s.tel.completed)
+		}
 	case j.ctx.Err() != nil:
-		j.markCanceled(&st, err.Error())
-		s.finalize(j, events.Event{
-			Type: events.ServeJobCanceled, Name: j.ID, Detail: err.Error(), MS: wall,
-		}, s.tel.canceled)
+		if j.markCanceled(&st, err.Error()) {
+			s.finalize(j, events.Event{
+				Type: events.ServeJobCanceled, Name: j.ID, Detail: err.Error(), MS: wall,
+			}, s.tel.canceled)
+		}
 	default:
-		j.markFailed(st, err.Error())
-		s.finalize(j, events.Event{
-			Type: events.ServeJobFailed, Name: j.ID, Detail: err.Error(), MS: wall,
-		}, s.tel.failed)
+		if j.markFailed(st, err.Error()) {
+			s.finalize(j, events.Event{
+				Type: events.ServeJobFailed, Name: j.ID, Detail: err.Error(), MS: wall,
+			}, s.tel.failed)
+		}
 	}
 }
 
-// finalize retires a job from the dedup table and emits its terminal
+// finalize retires a job from the dedup table, emits its terminal
 // event on both buses — on the job bus it is by contract the last
-// event of the stream.
+// event of the stream — and only then closes the job's done channel,
+// so the SSE drain grace that starts at Done() strictly follows
+// terminal-event delivery. Called exactly once per job, by whichever
+// goroutine won the terminal mark* transition.
 func (s *Server) finalize(j *Job, terminal events.Event, ctr *telemetry.Counter) {
 	s.mu.Lock()
 	if s.active[j.Fingerprint] == j {
@@ -410,6 +429,7 @@ func (s *Server) finalize(j *Job, terminal events.Event, ctr *telemetry.Counter)
 	ctr.Add(1)
 	s.bus.Emit(terminal)
 	j.Bus.Emit(terminal)
+	j.finish()
 }
 
 func (s *Server) setRunning(delta int) {
@@ -456,10 +476,13 @@ drain:
 
 	specs := make([]Spec, 0, len(leftovers))
 	for _, j := range leftovers {
-		if j.markCanceled(nil, "drain") {
+		// Drain popped these from the queue, so the runner's usual -1
+		// never happens; Drain owns the decrement for every popped job,
+		// including ones a client already canceled while queued.
+		s.tel.queueDepth.Add(-1)
+		if j.markCanceledIfQueued("drain") {
 			specs = append(specs, j.Spec)
 			s.finalize(j, events.Event{Type: events.ServeJobCanceled, Name: j.ID, Detail: "drain"}, s.tel.canceled)
-			s.tel.queueDepth.Add(-1)
 		}
 	}
 

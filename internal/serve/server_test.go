@@ -168,6 +168,21 @@ func TestDedupCoalescesOntoLiveJob(t *testing.T) {
 	if st := j1.State(); st != StateDone {
 		t.Fatalf("coalesced job ended %s", st)
 	}
+	// The job-bus deduped event precedes the terminal event, which is
+	// still the stream's last — the per-job-stream ordering contract.
+	replay := j1.Bus.ReplaySince(0)
+	dedupAt := -1
+	for i, e := range replay {
+		if e.Type == events.ServeJobDeduped {
+			dedupAt = i
+		}
+	}
+	if dedupAt < 0 {
+		t.Fatalf("job bus never saw the deduped event: %+v", replay)
+	}
+	if last := replay[len(replay)-1].Type; last != events.ServeJobFinished {
+		t.Fatalf("job stream ends with %s, want the terminal event", last)
+	}
 }
 
 func TestQueueFullRejects(t *testing.T) {
@@ -404,6 +419,150 @@ func TestDrainJournalsQueueAndResumeReplays(t *testing.T) {
 	// The journal is consumed: a second resume finds nothing.
 	if n, err := srv2.Resume(); err != nil || n != 0 {
 		t.Fatalf("second resume: n=%d err=%v, want 0,nil", n, err)
+	}
+}
+
+// Regression: a cancel landing in the instant a runner claims the job
+// must resolve atomically — either the queued-cancel wins (the runner
+// skips the corpse) or the runner wins (the cancel goes through the
+// job's context). The old two-step State()-then-mark allowed both to
+// win, double-closing the done channel. Exercised under -race in CI;
+// every job must end with exactly one terminal event, stream-last.
+func TestCancelRacesRunnerStart(t *testing.T) {
+	opts := testOptions(t)
+	opts.Runners = 4
+	opts.Queue = 64
+	srv := newTestServer(t, opts)
+
+	const jobs = 16
+	for i := 0; i < jobs; i++ {
+		sp := quickSpec()
+		sp.Seed = uint64(i + 1) // distinct fingerprints: no coalescing
+		j, _, err := srv.Submit(sp, "c")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Cancel(j.ID) // races the runner's dequeue + markStarted
+	}
+	terminal := map[events.Type]bool{
+		events.ServeJobFinished: true,
+		events.ServeJobFailed:   true,
+		events.ServeJobCanceled: true,
+	}
+	for _, j := range srv.Jobs() {
+		waitDone(t, j)
+		if st := j.State(); !st.Terminal() {
+			t.Fatalf("job %s not terminal: %s", j.ID, st)
+		}
+		replay := j.Bus.ReplaySince(0)
+		n := 0
+		for _, e := range replay {
+			if terminal[e.Type] {
+				n++
+			}
+		}
+		if n != 1 {
+			t.Fatalf("job %s emitted %d terminal events: %+v", j.ID, n, replay)
+		}
+		if last := replay[len(replay)-1].Type; !terminal[last] {
+			t.Fatalf("job %s stream ends with %s, want its terminal event", j.ID, last)
+		}
+	}
+}
+
+// Drain owns the queue-depth decrement for every job it pops — including
+// a corpse a client canceled while queued (the runner that normally owns
+// the -1 never dequeues it), so the gauge returns to zero.
+func TestDrainAccountsCanceledQueuedJobs(t *testing.T) {
+	opts := testOptions(t)
+	hold := make(chan struct{})
+	opts.hold = hold
+	release := closeOnce(t, hold)
+	srv := New(opts) // drives Drain itself
+
+	a := quickSpec()
+	b := quickSpec()
+	b.Seed = 2
+	ja, _, err := srv.Submit(a, "c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := srv.Submit(b, "c"); err != nil {
+		t.Fatal(err)
+	}
+	if !srv.Cancel(ja.ID) { // finalized but still in the queue channel
+		t.Fatal("cancel of queued job failed")
+	}
+
+	resc := make(chan int, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		n, err := srv.Drain(ctx)
+		if err != nil {
+			t.Errorf("drain: %v", err)
+		}
+		resc <- n
+	}()
+	// Probe with b's spec: until draining it coalesces onto the queued
+	// jb (no new queue entries); ErrDraining means the queue is emptied
+	// and closed. a's spec would enqueue fresh jobs — ja's fingerprint
+	// was freed by the cancel.
+	for {
+		if _, _, err := srv.Submit(b, "late"); errors.Is(err, ErrDraining) {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	release()
+	if n := <-resc; n != 1 {
+		t.Fatalf("drain journaled %d spec(s), want 1 (the corpse is not journaled)", n)
+	}
+	if got, _ := opts.Metrics.Snapshot().Lookup(telemetry.MetricServeQueueDepth); got != 0 {
+		t.Fatalf("%s = %v after drain, want 0", telemetry.MetricServeQueueDepth, got)
+	}
+}
+
+// Rejections that did no work must not drain the client's token bucket:
+// invalid and oversized specs are rejected before the quota gate, and a
+// queue-full rejection refunds the token it took.
+func TestQuotaNotSpentByRejectedSubmissions(t *testing.T) {
+	opts := testOptions(t)
+	opts.Rate = 0.001 // no meaningful refill within the test
+	opts.Burst = 2
+	opts.Queue = 1
+	opts.MaxAccesses = 1000
+	hold := make(chan struct{})
+	opts.hold = hold
+	srv := newTestServer(t, opts)
+	closeOnce(t, hold)
+
+	bad := quickSpec()
+	bad.Accesses = -1
+	big := quickSpec()
+	big.Accesses = 5000
+	for i := 0; i < 5; i++ {
+		if _, _, err := srv.Submit(bad, "alice"); err == nil {
+			t.Fatal("invalid spec admitted")
+		}
+		if _, _, err := srv.Submit(big, "alice"); err == nil {
+			t.Fatal("oversized spec admitted")
+		}
+	}
+	// Both tokens survive the rejections: one admits, and the queue-full
+	// rejection refunds, so retries keep hitting 429-queue, never quota.
+	if _, _, err := srv.Submit(quickSpec(), "alice"); err != nil {
+		t.Fatalf("first real submit: %v", err)
+	}
+	overflow := quickSpec()
+	overflow.Seed = 2
+	for i := 0; i < 5; i++ {
+		if _, _, err := srv.Submit(overflow, "alice"); !errors.Is(err, ErrQueueFull) {
+			t.Fatalf("overflow submit %d: %v, want ErrQueueFull", i, err)
+		}
+	}
+	if got, _ := srv.opts.Metrics.Snapshot().Lookup(telemetry.MetricServeRejectedQuota); got != 0 {
+		t.Fatalf("%s = %v, want 0 (no rejection should have spent quota)", telemetry.MetricServeRejectedQuota, got)
 	}
 }
 
