@@ -30,13 +30,16 @@ test:
 
 ci: build vet race
 
-# vet runs go vet plus the repo's errcheck-style checker: no Close/Flush
-# error may be silently dropped (write `_ = x.Close()` for an
-# intentional discard), and no select on ctx.Done() may return nil
-# without consulting ctx.Err()/context.Cause (see internal/tools/errvet).
+# vet runs go vet plus the repo's own checkers: errvet (no Close/Flush
+# error silently dropped; no select on ctx.Done() returning nil without
+# consulting ctx.Err()/context.Cause) and metriclint (every hifi_*
+# series literal must match a constant in internal/telemetry/names.go,
+# and every constant there must be used — names.go stays the single
+# naming authority; see internal/tools/metriclint).
 vet:
 	$(GO) vet ./...
 	$(GO) run ./internal/tools/errvet .
+	$(GO) run ./internal/tools/metriclint .
 
 race:
 	$(GO) test -race ./...
@@ -52,8 +55,10 @@ bench:
 #   go run ./cmd/hifi-bench -compare BENCH_old.json BENCH_new.json
 # and render the whole history with:
 #   go run ./cmd/hifi-bench -trajectory BENCH_*.json
+# HIFI_GIT_SHA backfills the manifest's git_sha: `go run` binaries carry
+# no VCS build stamp, so without it committed snapshots say "unknown".
 bench-snapshot:
-	$(GO) run ./cmd/hifi-bench -out BENCH_$(DATE).json
+	HIFI_GIT_SHA=$$(git rev-parse HEAD 2>/dev/null) $(GO) run ./cmd/hifi-bench -out BENCH_$(DATE).json
 
 # bench-smoke is the CI shape: quick suite, then a self-compare to prove
 # the gate machinery works (always passes; the regression gate proper runs

@@ -22,7 +22,9 @@ package main
 import (
 	"context"
 	"flag"
+	"io"
 	"net/http"
+	"os"
 	"time"
 
 	"racetrack/hifi/internal/cliutil"
@@ -46,12 +48,28 @@ func main() {
 		jobTimeout   = flag.Duration("job-timeout", 0, "engine per-job timeout (0 = none)")
 		resume       = flag.Bool("resume", false, "re-admit specs journaled by a previous drain before serving")
 		drainTO      = flag.Duration("drain-timeout", time.Minute, "how long a shutdown waits for running jobs before canceling them")
+		accessLog    = flag.String("access-log", "-", "hifi_access_v1 NDJSON access-log destination: \"-\" = stderr, \"\" disables, else a file path (appended)")
+		traceSeed    = flag.Uint64("trace-seed", 0, "seed for minted trace IDs (0 = unpredictable; fixed seeds make correlation IDs reproducible)")
 	)
 	obs := cliutil.NewObs("hifi-serve")
 	obs.EnableMetrics() // /metrics must work without -metrics-out
 	obs.EnableEvents()  // /events and per-job SSE need the bus
 	flag.Parse()
 	_ = obs.Start()
+
+	var accessW io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		accessW = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("hifi-serve: -access-log: %v", err)
+		}
+		defer func() { _ = f.Close() }()
+		accessW = f
+	}
 
 	srv := serve.New(serve.Options{
 		Workers:      *workers,
@@ -67,6 +85,8 @@ func main() {
 		JobTimeout:   *jobTimeout,
 		Metrics:      obs.Reg,
 		Events:       obs.Events,
+		AccessLog:    accessW,
+		TraceSeed:    *traceSeed,
 	})
 	if *resume {
 		n, err := srv.Resume()

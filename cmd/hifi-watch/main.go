@@ -16,9 +16,11 @@
 // In client mode the dashboard follows the job until its terminal
 // event; if the server's SSE replay ring has already dropped events
 // (detected by a sequence-number gap), it falls back to polling
-// GET /v1/jobs/{id} and says so in the frame. In live mode the screen
-// redraws every -interval; -once renders a single frame and exits 0,
-// which is what CI's smoke jobs use. See docs/events.md and
+// GET /v1/jobs/{id} and says so in the frame. When the source is a
+// hifi-serve daemon (client mode, or its /events URL), the dashboard
+// also polls GET /slo and renders the burn-rate panel. In live mode
+// the screen redraws every -interval; -once renders a single frame and
+// exits 0, which is what CI's smoke jobs use. See docs/events.md and
 // docs/serve.md.
 package main
 
@@ -35,6 +37,7 @@ import (
 	"racetrack/hifi/internal/serve"
 	"racetrack/hifi/internal/telemetry/events"
 	"racetrack/hifi/internal/telemetry/log"
+	"racetrack/hifi/internal/telemetry/slo"
 	"racetrack/hifi/internal/watch"
 )
 
@@ -71,6 +74,18 @@ func main() {
 	m := watch.NewModel()
 	apply := func(e events.Event) { mu.Lock(); m.Apply(e); mu.Unlock() }
 	applyStatus := func(st serve.JobStatus) { mu.Lock(); m.ApplyStatus(st); mu.Unlock() }
+	applySLO := func(rep slo.Report) { mu.Lock(); m.ApplySLO(rep); mu.Unlock() }
+
+	// The SLO panel rides along whenever the source is a hifi-serve
+	// daemon: client mode knows the base URL outright, and a daemon
+	// /events URL yields one. Other sources (files, per-run SSE routes)
+	// have no /slo and no panel.
+	sloServer := *server
+	if !jobMode && flag.NArg() == 1 {
+		if base, ok := watch.ServerFromEventsURL(flag.Arg(0)); ok {
+			sloServer = base
+		}
+	}
 
 	// followJob streams the job and degrades to polling on a replay gap.
 	followJob := func(fctx context.Context) error {
@@ -93,6 +108,11 @@ func main() {
 		// Collect one interval's worth of replay + live events (less if
 		// the job finishes first), then render a single frame.
 		cctx, cancel := context.WithTimeout(ctx, *interval)
+		if sloServer != "" {
+			if rep, err := watch.FetchSLO(cctx, sloServer); err == nil {
+				applySLO(rep)
+			}
+		}
 		if jobMode {
 			_ = followJob(cctx)
 		} else {
@@ -104,6 +124,9 @@ func main() {
 		mu.Unlock()
 
 	default:
+		if sloServer != "" {
+			go watch.PollSLO(ctx, sloServer, *interval, applySLO)
+		}
 		errc := make(chan error, 1)
 		go func() {
 			switch {

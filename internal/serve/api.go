@@ -12,6 +12,7 @@ package serve
 //	GET    /events              daemon-wide lifecycle SSE stream
 //	GET    /healthz             enriched health (uptime, phase, in-flight)
 //	GET    /metrics             Prometheus text exposition
+//	GET    /slo                 SLO evaluation (hifi_slo_v1 burn-rate report)
 //
 // Admission maps typed Submit errors onto status codes: 400 invalid
 // spec, 401 missing token (when required), 429 + Retry-After for quota
@@ -32,6 +33,7 @@ import (
 	"racetrack/hifi/internal/fidelity"
 	"racetrack/hifi/internal/telemetry/events"
 	"racetrack/hifi/internal/telemetry/log"
+	"racetrack/hifi/internal/telemetry/tracectx"
 )
 
 // maxSpecBody bounds a POST /v1/jobs body; real specs are tiny.
@@ -42,7 +44,10 @@ const maxSpecBody = 1 << 20
 // the server closes the stream.
 const drainGrace = 200 * time.Millisecond
 
-// Handler builds the daemon's HTTP mux.
+// Handler builds the daemon's HTTP mux, wrapped in the observability
+// middleware (middleware.go): every route — the mux's 404s included —
+// gets a trace context, traceparent/X-Request-Id response headers, an
+// access-log line, and RED metrics.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -55,7 +60,8 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /events", events.Handler(s.bus))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	mux.HandleFunc("GET /slo", s.handleSLO)
+	return s.withObservability(mux)
 }
 
 // clientToken extracts the client identity a request carries: a Bearer
@@ -92,7 +98,10 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.opts.RequireToken && clientToken(r) == "" {
 		client = ""
 	}
-	job, deduped, err := s.Submit(spec, client)
+	// The middleware put the request's trace context — ingested or
+	// minted — into the context; the job inherits it.
+	tc, _ := tracectx.From(r.Context())
+	job, deduped, err := s.SubmitTraced(spec, client, tc)
 	if err != nil {
 		var qe *QuotaError
 		switch {
@@ -254,8 +263,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.opts.Metrics == nil {
 		return
 	}
+	// Burn-rate gauges are computed, not incremented: refresh them so a
+	// scrape always reads windows evaluated at scrape time.
+	s.slo.Evaluate()
 	if err := s.opts.Metrics.Snapshot().WritePrometheus(w); err != nil {
 		log.Debugf("serve: /metrics write: %v", err)
+	}
+}
+
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	if err := s.SLOReport().WriteJSON(w); err != nil {
+		log.Debugf("serve: /slo write: %v", err)
 	}
 }
 

@@ -15,6 +15,7 @@ import (
 	"racetrack/hifi/internal/engine"
 	"racetrack/hifi/internal/experiments"
 	"racetrack/hifi/internal/telemetry/events"
+	"racetrack/hifi/internal/telemetry/tracectx"
 )
 
 // State is a job's lifecycle position.
@@ -39,6 +40,12 @@ type Job struct {
 	// normalized spec's content address (the dedup key).
 	ID          string
 	Fingerprint string
+	// TraceID is the 32-hex W3C trace ID of the submission that created
+	// the job: the correlation key across the access log, the event
+	// streams (the job bus stamps it on every event), the span export,
+	// and the drain journal. Unlike Fingerprint it is per-request, not
+	// per-content — a deduped submission keeps the original job's trace.
+	TraceID string
 	// Spec is the normalized spec the job runs.
 	Spec Spec
 
@@ -68,13 +75,19 @@ type Job struct {
 	subs     int    // submissions coalesced onto this job (1 = no dedup)
 }
 
-func newJob(id, fingerprint string, spec Spec, parent context.Context, ringCap int) *Job {
-	ctx, cancel := context.WithCancelCause(parent)
+func newJob(id, fingerprint string, spec Spec, parent context.Context, ringCap int, tc tracectx.Context) *Job {
+	// The job context carries the trace, so spans the engine opens under
+	// it (telemetry.StartSpan) self-annotate with the trace ID; the bus
+	// default stamps it onto every event the job's engine emits.
+	ctx, cancel := context.WithCancelCause(tracectx.Into(parent, tc))
+	bus := events.New(ringCap)
+	bus.SetTraceID(tc.TraceID.String())
 	return &Job{
 		ID:          id,
 		Fingerprint: fingerprint,
+		TraceID:     tc.TraceID.String(),
 		Spec:        spec,
-		Bus:         events.New(ringCap),
+		Bus:         bus,
 		ctx:         ctx,
 		cancel:      cancel,
 		done:        make(chan struct{}),
@@ -239,6 +252,9 @@ type JobStatus struct {
 	ID          string `json:"id"`
 	State       State  `json:"state"`
 	Fingerprint string `json:"fingerprint"`
+	// TraceID correlates the job with the access log, event streams,
+	// and span export: the 32-hex trace ID of the creating submission.
+	TraceID string `json:"trace_id,omitempty"`
 	// Deduped is set on the submit response when this submission
 	// coalesced onto an already-live job.
 	Deduped bool `json:"deduped,omitempty"`
@@ -272,6 +288,7 @@ func (j *Job) Status() JobStatus {
 		ID:          j.ID,
 		State:       j.state,
 		Fingerprint: j.Fingerprint,
+		TraceID:     j.TraceID,
 		Subscribers: j.subs,
 		Spec:        j.Spec,
 		CreatedTMS:  j.created.UnixMilli(),

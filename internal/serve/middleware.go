@@ -1,0 +1,267 @@
+package serve
+
+// HTTP observability middleware: the single wrapper around the daemon's
+// mux that (1) ingests or mints a W3C trace context per request and
+// threads it through context.Context, (2) echoes traceparent and
+// X-Request-Id on every response — including errors, 429s, and the
+// mux's own 404s, (3) records per-route RED metrics (rate, errors,
+// duration), (4) appends one hifi_access_v1 NDJSON line per request to
+// the access log, and (5) feeds the availability and submit-latency
+// SLOs. It is the only place a request's trace ID is decided; every
+// layer below (handlers, jobs, engines, buses, spans) inherits it.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/log"
+	"racetrack/hifi/internal/telemetry/tracectx"
+)
+
+// AccessSchemaV1 stamps the access log's NDJSON header line.
+const AccessSchemaV1 = "hifi_access_v1"
+
+// RequestIDHeader carries the bare 32-hex trace ID on every response —
+// the greppable handle; traceparent carries the full W3C context.
+const RequestIDHeader = "X-Request-Id"
+
+// accessRecord is one hifi_access_v1 line.
+type accessRecord struct {
+	TMS     int64  `json:"t_ms"`
+	TraceID string `json:"trace_id"`
+	Client  string `json:"client,omitempty"`
+	Route   string `json:"route"`
+	Method  string `json:"method"`
+	Path    string `json:"path"`
+	Status  int    `json:"status"`
+	Bytes   int64  `json:"bytes"`
+	DurMS   int64  `json:"dur_ms"`
+}
+
+// accessHeader is the first line of the access log, mirroring the
+// events/timeseries NDJSON convention: a schema stamp before any data.
+type accessHeader struct {
+	Schema string `json:"schema"`
+	Tool   string `json:"tool"`
+}
+
+// accessLog serializes NDJSON lines onto one writer and writes the
+// schema header before the first record. A nil *accessLog is a no-op.
+type accessLog struct {
+	mu     sync.Mutex
+	w      io.Writer
+	headed bool
+	err    error // first write failure; later lines are skipped
+}
+
+func newAccessLog(w io.Writer) *accessLog {
+	if w == nil {
+		return nil
+	}
+	return &accessLog{w: w}
+}
+
+func (l *accessLog) record(rec accessRecord) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return
+	}
+	if !l.headed {
+		l.headed = true
+		if l.err = writeJSONLine(l.w, accessHeader{Schema: AccessSchemaV1, Tool: "hifi-serve"}); l.err != nil {
+			log.Errorf("serve: access log: %v; disabling", l.err)
+			return
+		}
+	}
+	if l.err = writeJSONLine(l.w, rec); l.err != nil {
+		log.Errorf("serve: access log: %v; disabling", l.err)
+	}
+}
+
+func writeJSONLine(w io.Writer, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(b, '\n'))
+	return err
+}
+
+// statusRecorder captures the status code and body size flowing through
+// the middleware. Unwrap keeps http.NewResponseController working — the
+// SSE handlers flush through it — and WriteHeader/Write record
+// first-wins status like net/http itself.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if r.status == 0 {
+		r.status = code
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	if r.status == 0 {
+		r.status = http.StatusOK
+	}
+	n, err := r.ResponseWriter.Write(b)
+	r.bytes += int64(n)
+	return n, err
+}
+
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
+
+// routeLabel maps a request onto the bounded route vocabulary used as
+// the metrics "route" label and the access log's route field. It must
+// stay bounded — arbitrary request paths must not mint new series — so
+// anything off the route table collapses to "other". (The mux pattern
+// via http.Request.Pattern would be the natural source, but that API
+// postdates this module's language version.)
+func routeLabel(r *http.Request) string {
+	p := r.URL.Path
+	switch p {
+	case "/v1/jobs", "/events", "/healthz", "/metrics", "/slo":
+		return r.Method + " " + p
+	}
+	if rest, ok := strings.CutPrefix(p, "/v1/jobs/"); ok && rest != "" {
+		if i := strings.IndexByte(rest, '/'); i >= 0 {
+			switch sub := rest[i:]; sub {
+			case "/tables", "/scorecard", "/events":
+				return r.Method + " /v1/jobs/{id}" + sub
+			}
+			return r.Method + " other"
+		}
+		return r.Method + " /v1/jobs/{id}"
+	}
+	return r.Method + " other"
+}
+
+// httpLatencyBuckets spans sub-millisecond status reads through
+// multi-second sweep submissions (upper bounds in milliseconds).
+func httpLatencyBuckets() []float64 {
+	return []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+}
+
+// httpTelemetry lazily interns the per-route RED instruments so the
+// hot path is two map lookups under one mutex, not two fmt.Sprintf
+// label renders per request.
+type httpTelemetry struct {
+	reg *telemetry.Registry
+
+	mu       sync.Mutex
+	requests map[string]*telemetry.Counter   // route+code
+	errors   map[string]*telemetry.Counter   // route
+	latency  map[string]*telemetry.Histogram // route
+}
+
+func newHTTPTelemetry(reg *telemetry.Registry) *httpTelemetry {
+	return &httpTelemetry{
+		reg:      reg,
+		requests: map[string]*telemetry.Counter{},
+		errors:   map[string]*telemetry.Counter{},
+		latency:  map[string]*telemetry.Histogram{},
+	}
+}
+
+func (t *httpTelemetry) observe(route string, status int, durMS float64) {
+	if t == nil || t.reg == nil {
+		return
+	}
+	code := fmt.Sprintf("%d", status)
+	t.mu.Lock()
+	req, ok := t.requests[route+" "+code]
+	if !ok {
+		name := telemetry.Label(telemetry.Label(telemetry.MetricServeHTTPRequests, "route", route), "code", code)
+		req = t.reg.Counter(name, "HTTP requests served, by route and status code")
+		t.requests[route+" "+code] = req
+	}
+	lat, ok := t.latency[route]
+	if !ok {
+		lat = t.reg.Histogram(telemetry.Label(telemetry.MetricServeHTTPLatency, "route", route),
+			"HTTP request latency in milliseconds", httpLatencyBuckets())
+		t.latency[route] = lat
+	}
+	var errC *telemetry.Counter
+	if status >= 500 {
+		if errC, ok = t.errors[route]; !ok {
+			errC = t.reg.Counter(telemetry.Label(telemetry.MetricServeHTTPErrors, "route", route),
+				"HTTP requests that failed server-side (5xx)")
+			t.errors[route] = errC
+		}
+	}
+	t.mu.Unlock()
+	req.Add(1)
+	lat.Observe(durMS)
+	if errC != nil {
+		errC.Add(1)
+	}
+}
+
+// withObservability wraps next (the daemon mux) in the trace/access-log/
+// RED/SLO layer. See the package comment at the top of this file.
+func (s *Server) withObservability(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		// Ingest the caller's traceparent and continue its trace through
+		// a fresh span, or mint a whole new trace. A malformed header is
+		// treated as absent, per the W3C processing rules.
+		var tc tracectx.Context
+		if parent, ok := tracectx.FromRequest(r); ok {
+			tc = s.tgen.Child(parent)
+		} else {
+			tc = s.tgen.NewContext()
+		}
+		// Headers go out before the handler runs so every response —
+		// errors, 429s, SSE streams, the mux's 404s — carries them.
+		w.Header().Set(tracectx.Header, tc.Traceparent())
+		w.Header().Set(RequestIDHeader, tc.TraceID.String())
+
+		rec := &statusRecorder{ResponseWriter: w}
+		r = r.WithContext(tracectx.Into(r.Context(), tc))
+		next.ServeHTTP(rec, r)
+
+		if rec.status == 0 {
+			// Handler wrote nothing (e.g. 200 with an empty body).
+			rec.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		route := routeLabel(r)
+		s.httpTel.observe(route, rec.status, float64(dur.Nanoseconds())/1e6)
+
+		// Availability SLO: any response the daemon answered without a
+		// server-side failure is good; only 5xx burns budget.
+		s.slo.Observe(sloAvailability, rec.status < 500)
+		// Submit latency SLO: an accepted POST /v1/jobs returns only
+		// after the job's accepted event is on its bus, so the handler
+		// duration bounds submit-to-first-SSE-event.
+		if route == "POST /v1/jobs" && rec.status == http.StatusAccepted {
+			s.slo.ObserveLatency(sloSubmitLatency, dur.Milliseconds())
+		}
+
+		s.accessLog.record(accessRecord{
+			TMS:     start.UnixMilli(),
+			TraceID: tc.TraceID.String(),
+			Client:  clientKey(r),
+			Route:   route,
+			Method:  r.Method,
+			Path:    r.URL.Path,
+			Status:  rec.status,
+			Bytes:   rec.bytes,
+			DurMS:   dur.Milliseconds(),
+		})
+	})
+}

@@ -1,0 +1,348 @@
+package serve
+
+// End-to-end request correlation: one trace ID, minted or ingested at
+// the HTTP edge, must appear in the response headers, the job status,
+// the access log, and every event on the job's SSE stream.
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"racetrack/hifi/internal/telemetry"
+	"racetrack/hifi/internal/telemetry/events"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the access log writes
+// from handler goroutines while the test reads.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// waitTerminal polls GET /v1/jobs/{id} until the job is terminal and
+// returns the final status.
+func waitTerminal(t *testing.T, base, id string) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		_, body := getBody(t, base+"/v1/jobs/"+id)
+		var st JobStatus
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatalf("status decode: %v: %s", err, body)
+		}
+		if st.State.Terminal() {
+			return st
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return JobStatus{}
+}
+
+func TestTraceCorrelationEndToEnd(t *testing.T) {
+	alog := &syncBuffer{}
+	opts := testOptions(t)
+	opts.AccessLog = alog
+	opts.TraceSeed = 42 // deterministic minted IDs
+	srv := newTestServer(t, opts)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", `{"run":["fig14"],"scaled":true,"accesses":300}`, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s: %s", resp.Status, body)
+	}
+	trace := resp.Header.Get(RequestIDHeader)
+	if len(trace) != 32 {
+		t.Fatalf("X-Request-Id %q: want a 32-hex trace ID", trace)
+	}
+	if tp := resp.Header.Get("traceparent"); !strings.HasPrefix(tp, "00-"+trace+"-") {
+		t.Fatalf("traceparent %q does not carry trace ID %s", tp, trace)
+	}
+
+	// The submit response's job status carries the same trace ID.
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID != trace {
+		t.Fatalf("job status trace_id %q, want %q", st.TraceID, trace)
+	}
+
+	// ...and so does the status after completion.
+	final := waitTerminal(t, ts.URL, st.ID)
+	if final.TraceID != trace {
+		t.Fatalf("final status trace_id %q, want %q", final.TraceID, trace)
+	}
+	if final.State != StateDone {
+		t.Fatalf("job state %s (%s), want done", final.State, final.Error)
+	}
+
+	// Every event on the job's SSE stream — serve lifecycle AND the
+	// engine's own events — is stamped with the trace ID.
+	sresp, err := http.Get(ts.URL + "/v1/jobs/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = sresp.Body.Close() }()
+	n := 0
+	for _, line := range strings.Split(readAllString(t, sresp), "\n") {
+		if !strings.HasPrefix(line, "data:") {
+			continue
+		}
+		var e events.Event
+		if err := json.Unmarshal([]byte(strings.TrimSpace(strings.TrimPrefix(line, "data:"))), &e); err != nil {
+			t.Fatalf("event decode: %v: %s", err, line)
+		}
+		if e.TraceID != trace {
+			t.Fatalf("event %s seq %d carries trace %q, want %q", e.Type, e.Seq, e.TraceID, trace)
+		}
+		n++
+	}
+	if n < 3 { // at least accepted, started, finished
+		t.Fatalf("SSE replay yielded only %d events", n)
+	}
+
+	// The access log: a schema header line, then the submit line keyed
+	// by the same trace ID.
+	lines := strings.Split(strings.TrimSpace(alog.String()), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("access log has %d lines, want header + records:\n%s", len(lines), alog.String())
+	}
+	var hdr accessHeader
+	if err := json.Unmarshal([]byte(lines[0]), &hdr); err != nil || hdr.Schema != AccessSchemaV1 {
+		t.Fatalf("access log header %q (err %v), want schema %s", lines[0], err, AccessSchemaV1)
+	}
+	found := false
+	for _, line := range lines[1:] {
+		var rec accessRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("access record decode: %v: %s", err, line)
+		}
+		if rec.TraceID == trace {
+			found = true
+			if rec.Route != "POST /v1/jobs" || rec.Status != http.StatusAccepted {
+				t.Fatalf("submit access record %+v: want route 'POST /v1/jobs' status 202", rec)
+			}
+			if rec.DurMS < 0 || rec.Bytes <= 0 {
+				t.Fatalf("submit access record %+v: want positive bytes, non-negative duration", rec)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no access-log record carries trace %s:\n%s", trace, alog.String())
+	}
+}
+
+func readAllString(t *testing.T, resp *http.Response) string {
+	t.Helper()
+	var sb strings.Builder
+	buf := make([]byte, 32<<10)
+	for {
+		n, err := resp.Body.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			return sb.String()
+		}
+	}
+}
+
+// A client-supplied traceparent is ingested: the daemon continues that
+// trace instead of minting its own, and the job inherits it.
+func TestTraceparentIngested(t *testing.T) {
+	srv := newTestServer(t, testOptions(t))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	const callerTrace = "4bf92f3577b34da6a3ce929d0e0e4736"
+	hdr := map[string]string{"traceparent": "00-" + callerTrace + "-00f067aa0ba902b7-01"}
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", `{"run":["fig14"],"scaled":true,"accesses":300}`, hdr)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s: %s", resp.Status, body)
+	}
+	if got := resp.Header.Get(RequestIDHeader); got != callerTrace {
+		t.Fatalf("X-Request-Id %q, want the caller's trace %q", got, callerTrace)
+	}
+	// The returned traceparent continues the trace through a NEW span.
+	tp := resp.Header.Get("traceparent")
+	if !strings.HasPrefix(tp, "00-"+callerTrace+"-") || strings.Contains(tp, "00f067aa0ba902b7") {
+		t.Fatalf("response traceparent %q: want same trace, fresh span", tp)
+	}
+	var st JobStatus
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.TraceID != callerTrace {
+		t.Fatalf("job trace_id %q, want ingested %q", st.TraceID, callerTrace)
+	}
+	// A malformed traceparent is treated as absent, not an error.
+	bad := map[string]string{"traceparent": "00-bogus"}
+	resp, body = postJSON(t, ts.URL+"/v1/jobs", `{"run":["fig14"],"scaled":true,"accesses":300,"seed":9}`, bad)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("malformed traceparent: %s: %s", resp.Status, body)
+	}
+	if got := resp.Header.Get(RequestIDHeader); len(got) != 32 || got == callerTrace {
+		t.Fatalf("malformed traceparent: X-Request-Id %q, want a fresh minted ID", got)
+	}
+}
+
+// Correlation headers ride every response: errors, auth failures, and
+// the mux's own 404s.
+func TestHeadersOnErrorResponses(t *testing.T) {
+	opts := testOptions(t)
+	opts.RequireToken = true
+	srv := newTestServer(t, opts)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	check := func(resp *http.Response, wantCode int, what string) {
+		t.Helper()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("%s: %s, want %d", what, resp.Status, wantCode)
+		}
+		if len(resp.Header.Get(RequestIDHeader)) != 32 {
+			t.Fatalf("%s: missing/short X-Request-Id %q", what, resp.Header.Get(RequestIDHeader))
+		}
+		if resp.Header.Get("traceparent") == "" {
+			t.Fatalf("%s: missing traceparent", what)
+		}
+	}
+	resp, _ := postJSON(t, ts.URL+"/v1/jobs", `{"run":["fig14"],"scaled":true,"accesses":300}`, nil)
+	check(resp, http.StatusUnauthorized, "anonymous submit")
+	resp, _ = getBody(t, ts.URL+"/v1/jobs/j9999")
+	check(resp, http.StatusNotFound, "missing job")
+	resp, _ = getBody(t, ts.URL+"/no/such/route")
+	check(resp, http.StatusNotFound, "mux 404")
+}
+
+func TestRouteLabel(t *testing.T) {
+	cases := []struct {
+		method, path, want string
+	}{
+		{"POST", "/v1/jobs", "POST /v1/jobs"},
+		{"GET", "/v1/jobs", "GET /v1/jobs"},
+		{"GET", "/v1/jobs/j0001", "GET /v1/jobs/{id}"},
+		{"DELETE", "/v1/jobs/j0001", "DELETE /v1/jobs/{id}"},
+		{"GET", "/v1/jobs/j0001/tables", "GET /v1/jobs/{id}/tables"},
+		{"GET", "/v1/jobs/j0001/scorecard", "GET /v1/jobs/{id}/scorecard"},
+		{"GET", "/v1/jobs/j0001/events", "GET /v1/jobs/{id}/events"},
+		{"GET", "/events", "GET /events"},
+		{"GET", "/healthz", "GET /healthz"},
+		{"GET", "/metrics", "GET /metrics"},
+		{"GET", "/slo", "GET /slo"},
+		// Unknown shapes collapse — path cardinality must stay bounded.
+		{"GET", "/v1/jobs/j0001/nope", "GET other"},
+		{"GET", "/v1/jobs/", "GET other"},
+		{"GET", "/anything/else", "GET other"},
+	}
+	for _, c := range cases {
+		r := httptest.NewRequest(c.method, c.path, nil)
+		if got := routeLabel(r); got != c.want {
+			t.Errorf("routeLabel(%s %s) = %q, want %q", c.method, c.path, got, c.want)
+		}
+	}
+}
+
+// RED metrics land on /metrics under the bounded route labels, and /slo
+// serves the burn-rate report fed by the same requests.
+func TestREDMetricsAndSLORoute(t *testing.T) {
+	srv := newTestServer(t, testOptions(t))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		if resp, _ := getBody(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("healthz: %s", resp.Status)
+		}
+	}
+	getBody(t, ts.URL+"/v1/jobs/j9999") // a 404, still counted
+
+	_, metrics := getBody(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		`hifi_serve_http_requests_total{route="GET /healthz",code="200"} 3`,
+		`hifi_serve_http_requests_total{route="GET /v1/jobs/{id}",code="404"} 1`,
+		`hifi_serve_http_request_ms_count{route="GET /healthz"} 3`,
+		`hifi_slo_burn_rate{slo="availability",window="5m"}`,
+	} {
+		if !strings.Contains(string(metrics), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, metrics)
+		}
+	}
+
+	resp, body := getBody(t, ts.URL+"/slo")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/slo: %s", resp.Status)
+	}
+	var rep struct {
+		Schema     string `json:"schema"`
+		Objectives []struct {
+			Name    string `json:"name"`
+			Windows []struct {
+				Window   string  `json:"window"`
+				Good     int     `json:"good"`
+				BurnRate float64 `json:"burn_rate"`
+			} `json:"windows"`
+		} `json:"objectives"`
+	}
+	if err := json.Unmarshal(body, &rep); err != nil {
+		t.Fatalf("/slo decode: %v: %s", err, body)
+	}
+	if rep.Schema != "hifi_slo_v1" {
+		t.Fatalf("/slo schema %q", rep.Schema)
+	}
+	byName := map[string]bool{}
+	for _, o := range rep.Objectives {
+		byName[o.Name] = true
+		if len(o.Windows) != 2 {
+			t.Fatalf("objective %s has %d windows, want 2", o.Name, len(o.Windows))
+		}
+	}
+	for _, want := range []string{"availability", "submit_latency", "job_completion"} {
+		if !byName[want] {
+			t.Fatalf("/slo missing objective %s: %v", want, byName)
+		}
+	}
+	// All traffic so far was non-5xx: availability must not be burning.
+	for _, o := range rep.Objectives {
+		if o.Name != sloAvailability {
+			continue
+		}
+		if w := o.Windows[0]; w.Good < 4 || w.BurnRate != 0 {
+			t.Fatalf("availability 5m window %+v: want >=4 good, burn 0", w)
+		}
+	}
+}
+
+// The submit-latency SLO observes accepted submissions.
+func TestSubmitLatencySLOObserved(t *testing.T) {
+	srv := newTestServer(t, testOptions(t))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	resp, body := postJSON(t, ts.URL+"/v1/jobs", `{"run":["fig14"],"scaled":true,"accesses":300}`, nil)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %s: %s", resp.Status, body)
+	}
+	name := telemetry.Label(telemetry.MetricSLOGood, "slo", sloSubmitLatency)
+	if got, ok := srv.opts.Metrics.Snapshot().Lookup(name); !ok || got != 1 {
+		t.Fatalf("%s = %v (ok=%v), want 1", name, got, ok)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -16,6 +17,8 @@ import (
 	"racetrack/hifi/internal/telemetry"
 	"racetrack/hifi/internal/telemetry/events"
 	"racetrack/hifi/internal/telemetry/log"
+	"racetrack/hifi/internal/telemetry/slo"
+	"racetrack/hifi/internal/telemetry/tracectx"
 )
 
 // Options configures a Server.
@@ -63,6 +66,18 @@ type Options struct {
 	// Events is the daemon-wide bus narrating all tenants' lifecycle
 	// (the /events route). Nil means the server creates its own.
 	Events *events.Bus
+	// AccessLog receives one hifi_access_v1 NDJSON line per HTTP
+	// request (after a schema header line). Nil disables the access
+	// log; cmd/hifi-serve defaults it to stderr.
+	AccessLog io.Writer
+	// TraceSeed seeds the trace/span ID generator. 0 (the production
+	// default) draws unpredictable IDs from crypto/rand; a fixed seed
+	// makes the daemon's minted trace IDs reproducible for tests and
+	// replayable incident drills.
+	TraceSeed uint64
+	// SLOObjectives overrides the served SLO set (nil = the defaults in
+	// slo.go: availability, submit_latency, job_completion).
+	SLOObjectives []slo.Objective
 
 	// hold gates each runner before it dequeues a job (one receive per
 	// job; closing it releases the runners for good). In-package tests
@@ -100,6 +115,12 @@ type Server struct {
 	health *telemetry.HealthState
 	quota  *quotas
 	tel    serveTelemetry
+
+	// Request-correlation and SLO plane (middleware.go, slo.go).
+	tgen      *tracectx.Gen
+	httpTel   *httpTelemetry
+	accessLog *accessLog
+	slo       *slo.Set
 
 	baseCtx    context.Context
 	baseCancel context.CancelCauseFunc
@@ -177,6 +198,14 @@ func New(opts Options) *Server {
 		queueDepth: reg.Gauge(telemetry.MetricServeQueueDepth, "jobs accepted but not yet running"),
 		running:    reg.Gauge(telemetry.MetricServeRunning, "jobs currently running"),
 	}
+	s.tgen = tracectx.NewGen(opts.TraceSeed)
+	s.httpTel = newHTTPTelemetry(opts.Metrics)
+	s.accessLog = newAccessLog(opts.AccessLog)
+	objectives := opts.SLOObjectives
+	if objectives == nil {
+		objectives = defaultObjectives()
+	}
+	s.slo = slo.New(opts.Metrics, objectives, nil)
 	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
 	s.health.SetEventsSeq(s.bus.Seq)
 	s.health.SetInFlight(func() int {
@@ -216,10 +245,23 @@ func (s *Server) Jobs() []*Job {
 	return out
 }
 
-// Submit validates and admits one spec for client (the quota key).
-// Returns the job — possibly an existing live one the submission
-// coalesced onto (deduped true) — or a typed admission error.
+// Submit validates and admits one spec for client (the quota key) under
+// a freshly minted trace. The HTTP path goes through SubmitTraced with
+// the request's trace context instead.
 func (s *Server) Submit(spec Spec, client string) (*Job, bool, error) {
+	return s.SubmitTraced(spec, client, tracectx.Context{})
+}
+
+// SubmitTraced validates and admits one spec for client (the quota
+// key), correlating the job and every event it emits with tc (an
+// invalid tc mints a fresh trace). Returns the job — possibly an
+// existing live one the submission coalesced onto (deduped true) — or a
+// typed admission error.
+func (s *Server) SubmitTraced(spec Spec, client string, tc tracectx.Context) (*Job, bool, error) {
+	if !tc.Valid() {
+		tc = s.tgen.NewContext()
+	}
+	trace := tc.TraceID.String()
 	if s.opts.RequireToken && client == "" {
 		return nil, false, ErrTokenRequired
 	}
@@ -235,10 +277,10 @@ func (s *Server) Submit(spec Spec, client string) (*Job, bool, error) {
 	}
 	if ok, retry := s.quota.allow(client, time.Now()); !ok {
 		s.tel.rejQuota.Add(1)
-		s.bus.Emit(events.Event{Type: events.ServeJobRejected, Name: client, Detail: "quota"})
+		s.bus.Emit(events.Event{Type: events.ServeJobRejected, Name: client, Detail: "quota", TraceID: trace})
 		return nil, false, &QuotaError{RetryAfter: retry}
 	}
-	j, deduped, err := s.admit(norm)
+	j, deduped, err := s.admit(norm, tc)
 	if err != nil {
 		// Queue-full / draining rejections did no work either: return
 		// the token so the rejection itself cannot throttle the client.
@@ -249,35 +291,40 @@ func (s *Server) Submit(spec Spec, client string) (*Job, bool, error) {
 
 // admit enqueues a normalized spec: the dedup check and the bounded
 // queue, under one lock so a drain can never race a send onto a closed
-// queue.
-func (s *Server) admit(norm Spec) (*Job, bool, error) {
+// queue. tc must be valid (SubmitTraced mints one); the job and its
+// whole event stream inherit its trace ID.
+func (s *Server) admit(norm Spec, tc tracectx.Context) (*Job, bool, error) {
+	trace := tc.TraceID.String()
 	fp := norm.Fingerprint()
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		s.bus.Emit(events.Event{Type: events.ServeJobRejected, Detail: "draining"})
+		s.bus.Emit(events.Event{Type: events.ServeJobRejected, Detail: "draining", TraceID: trace})
 		return nil, false, ErrDraining
 	}
 	// coalesce emits the job-bus deduped event itself, under j.mu, so it
 	// can never land after the stream's terminal event; only the
-	// daemon-bus copy is emitted here.
+	// daemon-bus copy is emitted here. The deduped daemon event carries
+	// the REJECTED submission's trace ID — the job keeps the trace of
+	// the submission that created it — so the coalesced client's trace
+	// still has a daemon-log footprint pointing at the live job.
 	if live := s.active[fp]; live != nil && live.coalesce() {
 		s.mu.Unlock()
 		s.tel.submitted.Add(1)
 		s.tel.deduped.Add(1)
-		s.bus.Emit(events.Event{Type: events.ServeJobDeduped, Name: live.ID, Detail: fp})
+		s.bus.Emit(events.Event{Type: events.ServeJobDeduped, Name: live.ID, Detail: fp, TraceID: trace})
 		return live, true, nil
 	}
 	s.nextID++
 	id := fmt.Sprintf("j%04d", s.nextID)
-	j := newJob(id, fp, norm, s.baseCtx, s.opts.RingCap)
+	j := newJob(id, fp, norm, s.baseCtx, s.opts.RingCap, tc)
 	j.Bus.Instrument(s.opts.Metrics)
 	select {
 	case s.queue <- j:
 	default:
 		s.mu.Unlock()
 		s.tel.rejQueue.Add(1)
-		s.bus.Emit(events.Event{Type: events.ServeJobRejected, Detail: "queue"})
+		s.bus.Emit(events.Event{Type: events.ServeJobRejected, Detail: "queue", TraceID: trace})
 		return nil, false, ErrQueueFull
 	}
 	s.jobs[id] = j
@@ -287,7 +334,7 @@ func (s *Server) admit(norm Spec) (*Job, bool, error) {
 
 	s.tel.submitted.Add(1)
 	s.tel.queueDepth.Add(1)
-	s.bus.Emit(events.Event{Type: events.ServeJobAccepted, Name: id, Detail: fp})
+	s.bus.Emit(events.Event{Type: events.ServeJobAccepted, Name: id, Detail: fp, TraceID: trace})
 	j.Bus.Emit(events.Event{Type: events.ServeJobAccepted, Name: id, Detail: fp})
 	return j, false, nil
 }
@@ -360,7 +407,7 @@ func (s *Server) runJob(j *Job) {
 	}
 	s.setRunning(+1)
 	start := time.Now()
-	s.bus.Emit(events.Event{Type: events.ServeJobStarted, Name: j.ID, Detail: j.Fingerprint})
+	s.bus.Emit(events.Event{Type: events.ServeJobStarted, Name: j.ID, Detail: j.Fingerprint, TraceID: j.TraceID})
 	j.Bus.Emit(events.Event{Type: events.ServeJobStarted, Name: j.ID})
 
 	opts, err := j.Spec.RunOpts()
@@ -426,10 +473,20 @@ func (s *Server) finalize(j *Job, terminal events.Event, ctr *telemetry.Counter)
 		delete(s.active, j.Fingerprint)
 	}
 	s.mu.Unlock()
+	terminal.TraceID = j.TraceID
 	ctr.Add(1)
 	s.bus.Emit(terminal)
 	j.Bus.Emit(terminal)
 	j.finish()
+	// Job-completion SLO: a finished job is good when its wall time met
+	// the threshold, a failed job is bad, and a cancellation — client's
+	// choice or a drain — is nobody's breach and is not observed.
+	switch terminal.Type {
+	case events.ServeJobFinished:
+		s.slo.ObserveLatency(sloJobCompletion, terminal.MS)
+	case events.ServeJobFailed:
+		s.slo.Observe(sloJobCompletion, false)
+	}
 }
 
 func (s *Server) setRunning(delta int) {
@@ -474,14 +531,14 @@ drain:
 	close(s.queue)
 	s.mu.Unlock()
 
-	specs := make([]Spec, 0, len(leftovers))
+	specs := make([]journalEntry, 0, len(leftovers))
 	for _, j := range leftovers {
 		// Drain popped these from the queue, so the runner's usual -1
 		// never happens; Drain owns the decrement for every popped job,
 		// including ones a client already canceled while queued.
 		s.tel.queueDepth.Add(-1)
 		if j.markCanceledIfQueued("drain") {
-			specs = append(specs, j.Spec)
+			specs = append(specs, journalEntry{Spec: j.Spec, TraceID: j.TraceID})
 			s.finalize(j, events.Event{Type: events.ServeJobCanceled, Name: j.ID, Detail: "drain"}, s.tel.canceled)
 		}
 	}
@@ -532,13 +589,21 @@ func (s *Server) Resume() (int, error) {
 		return 0, fmt.Errorf("serve: remove journal: %w", err)
 	}
 	n := 0
-	for _, spec := range specs {
-		norm, err := spec.Normalize()
+	for _, entry := range specs {
+		norm, err := entry.Normalize()
 		if err != nil {
 			log.Errorf("serve: resume: dropping journaled spec: %v", err)
 			continue
 		}
-		if _, _, err := s.admit(norm); err != nil {
+		// Resume the original trace: the re-admitted job's events carry
+		// the trace ID of the submission the drain interrupted, through
+		// a fresh span of this process. A missing or mangled trace ID
+		// (an old-schema journal) just mints a new one.
+		tc := s.tgen.NewContext()
+		if tid, err := tracectx.ParseTraceID(entry.TraceID); err == nil {
+			tc.TraceID = tid
+		}
+		if _, _, err := s.admit(norm, tc); err != nil {
 			log.Errorf("serve: resume: dropping journaled spec: %v", err)
 			continue
 		}
@@ -547,16 +612,24 @@ func (s *Server) Resume() (int, error) {
 	return n, nil
 }
 
+// journalEntry is one drained job: its spec plus the correlation trace
+// ID the resume re-attaches. Spec embeds flat, so a v1 journal written
+// before trace IDs existed still parses (TraceID stays "").
+type journalEntry struct {
+	Spec
+	TraceID string `json:"trace_id,omitempty"`
+}
+
 // journalFile is the on-disk drain journal (hifi_serve_journal_v1).
 type journalFile struct {
-	Schema string `json:"schema"`
-	Jobs   []Spec `json:"jobs"`
+	Schema string         `json:"schema"`
+	Jobs   []journalEntry `json:"jobs"`
 }
 
 // JournalSchemaV1 stamps the drain journal.
 const JournalSchemaV1 = "hifi_serve_journal_v1"
 
-func writeJournal(path string, specs []Spec) error {
+func writeJournal(path string, specs []journalEntry) error {
 	b, err := json.MarshalIndent(journalFile{Schema: JournalSchemaV1, Jobs: specs}, "", "  ")
 	if err != nil {
 		return err
@@ -571,7 +644,7 @@ func writeJournal(path string, specs []Spec) error {
 	return os.Rename(tmp, path)
 }
 
-func readJournal(path string) ([]Spec, error) {
+func readJournal(path string) ([]journalEntry, error) {
 	b, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err

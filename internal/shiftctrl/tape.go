@@ -89,7 +89,7 @@ type Tape struct {
 func (t *Tape) Instrument(reg *telemetry.Registry, tr *telemetry.Tracer) {
 	t.mOps = reg.Counter(telemetry.MetricShiftOps, "shift operations issued")
 	t.mCycles = reg.Counter(telemetry.MetricShiftCycles, "cycles spent shifting and checking")
-	t.mCorrections = reg.Counter("hifi_tape_corrections_total", "corrective shifts applied after p-ECC hits")
+	t.mCorrections = reg.Counter(telemetry.MetricTapeCorrections, "corrective shifts applied after p-ECC hits")
 	t.mDUEs = reg.Counter(telemetry.MetricPECCDUEs, "detected unrecoverable position errors")
 	if reg != nil {
 		t.em.Tel = errmodel.NewSampleTelemetry(reg)

@@ -109,6 +109,12 @@ type Event struct {
 	Name string `json:"name,omitempty"`
 	// Detail carries free-text context: an error, a verdict status.
 	Detail string `json:"detail,omitempty"`
+	// TraceID correlates the event with the request that caused it: the
+	// 32-hex-char W3C trace ID minted or ingested at the hifi-serve HTTP
+	// layer (internal/telemetry/tracectx). Empty outside a served
+	// request. Events emitted without one inherit the bus's default
+	// (SetTraceID) — how a serve job's entire stream gets stamped.
+	TraceID string `json:"trace_id,omitempty"`
 	// Worker is the engine pool slot (job.started / job.finished).
 	Worker int `json:"worker,omitempty"`
 	// N is a small integer fact: attempts, batch size, operation index.
@@ -124,18 +130,19 @@ type Event struct {
 // slots — the parts of a seeded sweep that are byte-identical at any
 // -jobs setting or cache temperature.
 type canonical struct {
-	Type   Type    `json:"type"`
-	Name   string  `json:"name,omitempty"`
-	Detail string  `json:"detail,omitempty"`
-	N      int64   `json:"n,omitempty"`
-	V      float64 `json:"v,omitempty"`
+	Type    Type    `json:"type"`
+	Name    string  `json:"name,omitempty"`
+	Detail  string  `json:"detail,omitempty"`
+	TraceID string  `json:"trace_id,omitempty"`
+	N       int64   `json:"n,omitempty"`
+	V       float64 `json:"v,omitempty"`
 }
 
 // Canonical renders the event's deterministic identity as compact JSON.
 // The golden event-log test sorts these lines and compares runs; see
 // docs/events.md ("determinism").
 func (e Event) Canonical() string {
-	b, err := json.Marshal(canonical{e.Type, e.Name, e.Detail, e.N, e.V})
+	b, err := json.Marshal(canonical{e.Type, e.Name, e.Detail, e.TraceID, e.N, e.V})
 	if err != nil {
 		// Event is plain data; a marshal failure is a programming error.
 		panic(fmt.Sprintf("events: Canonical: %v", err))
@@ -165,6 +172,11 @@ type Bus struct {
 
 	sink    io.Writer
 	sinkErr error // first sink write failure; later writes are skipped
+
+	// defaultTrace, when set, stamps every emitted event that carries no
+	// TraceID of its own. A per-job serve bus sets it once at admission
+	// so the whole engine event stream inherits the request's trace ID.
+	defaultTrace string
 
 	dropped atomic.Uint64
 	dropCtr *telemetry.Counter
@@ -205,6 +217,21 @@ func (b *Bus) AttachSink(w io.Writer) {
 	b.mu.Lock()
 	b.sink = w
 	b.sinkErr = nil
+	b.mu.Unlock()
+}
+
+// SetTraceID sets the bus's default trace ID: every subsequently
+// emitted event that carries no TraceID of its own is stamped with it.
+// hifi-serve calls this on each job's private bus at admission, which
+// is how engine events — emitted by code that knows nothing about
+// traces — end up correlated with the HTTP request that queued the
+// job. Nil-safe.
+func (b *Bus) SetTraceID(id string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.defaultTrace = id
 	b.mu.Unlock()
 }
 
@@ -253,6 +280,9 @@ func (b *Bus) Emit(e Event) {
 	b.seq++
 	e.Seq = b.seq
 	e.TMS = time.Now().UnixMilli()
+	if e.TraceID == "" {
+		e.TraceID = b.defaultTrace
+	}
 
 	b.ring[b.head] = e
 	b.head = (b.head + 1) % len(b.ring)

@@ -75,20 +75,27 @@ func NewManifest(tool string) *Manifest {
 // internal/engine; the manifest uses the same reading at Finish.
 func CPUSeconds() float64 { return cpuSeconds() }
 
-// vcsInfo reads the VCS stamp the Go toolchain embeds into binaries built
-// from a checkout ("unknown" when stripped, e.g. go test binaries).
+// vcsInfo reads the VCS stamp the Go toolchain embeds into binaries
+// built from a checkout. The stamp is absent from `go run` and `go
+// test` binaries and from builds outside a checkout — there the
+// HIFI_GIT_SHA environment variable (exported by the Makefile's
+// bench-snapshot target) fills in, so committed benchmark baselines
+// carry a real commit instead of "unknown".
 func vcsInfo() (sha string, dirty bool) {
 	sha = "unknown"
-	bi, ok := debug.ReadBuildInfo()
-	if !ok {
-		return sha, false
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				sha = s.Value
+			case "vcs.modified":
+				dirty = s.Value == "true"
+			}
+		}
 	}
-	for _, s := range bi.Settings {
-		switch s.Key {
-		case "vcs.revision":
-			sha = s.Value
-		case "vcs.modified":
-			dirty = s.Value == "true"
+	if sha == "unknown" {
+		if env := os.Getenv("HIFI_GIT_SHA"); env != "" {
+			sha = env
 		}
 	}
 	return sha, dirty

@@ -89,6 +89,25 @@ const (
 	MetricServeQueueDepth    = "hifi_serve_queue_depth"
 	MetricServeRunning       = "hifi_serve_jobs_running"
 
+	// HTTP request plane (internal/serve middleware): per-route RED
+	// metrics — request counters labelled {route,code}, error counters
+	// labelled {route}, and a latency histogram labelled {route}. See
+	// docs/serve.md ("Access log and request metrics").
+	MetricServeHTTPRequests = "hifi_serve_http_requests_total"
+	MetricServeHTTPErrors   = "hifi_serve_http_errors_total"
+	MetricServeHTTPLatency  = "hifi_serve_http_request_ms"
+
+	// SLO plane (internal/telemetry/slo): windowed good/bad counters
+	// labelled {slo} and burn-rate gauges labelled {slo,window},
+	// refreshed on every /slo evaluation. See docs/serve.md ("SLOs").
+	MetricSLOGood     = "hifi_slo_good_total"
+	MetricSLOBad      = "hifi_slo_bad_total"
+	MetricSLOBurnRate = "hifi_slo_burn_rate"
+
+	// Playback tape (internal/shiftctrl): misalignment corrections
+	// applied during verified playback.
+	MetricTapeCorrections = "hifi_tape_corrections_total"
+
 	// Structured event plane (internal/telemetry/events): deliveries
 	// dropped because an SSE subscriber's buffer was full. See
 	// docs/events.md.

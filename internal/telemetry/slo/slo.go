@@ -1,0 +1,266 @@
+// Package slo evaluates declarative service-level objectives over
+// windowed good/bad counters and exposes the result as burn-rate
+// gauges and a JSON report (the hifi-serve /slo route).
+//
+// An Objective declares a target good-ratio ("99.9% of requests
+// succeed", "99% of jobs complete within 60s"). The instrumented code
+// reports each outcome as good or bad; the Set keeps a bounded ring of
+// timestamped observations per objective and, on evaluation, computes
+// the error rate over each configured window and divides it by the
+// objective's error budget (1 - target). The quotient is the burn
+// rate — the SRE-workbook quantity: 1.0 means the budget is being
+// consumed exactly as fast as it accrues; 14.4 over a short window
+// means a page-worthy fast burn. Burn rates land in
+// hifi_slo_burn_rate{slo,window} gauges on every evaluation, so the
+// same numbers are scrapeable from /metrics and renderable by
+// hifi-watch's SLO panel.
+//
+// Like the rest of the telemetry stack, a nil *Set is a valid no-op
+// handle.
+package slo
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+
+	"racetrack/hifi/internal/telemetry"
+)
+
+// SchemaV1 identifies the /slo report layout.
+const SchemaV1 = "hifi_slo_v1"
+
+// Objective is one declarative target.
+type Objective struct {
+	// Name keys the objective ("availability", "job_completion").
+	Name string `json:"name"`
+	// Help is the one-line human description.
+	Help string `json:"help,omitempty"`
+	// Target is the good-ratio target in (0,1), e.g. 0.999. The error
+	// budget is 1 - Target.
+	Target float64 `json:"target"`
+	// LatencyMS, when non-zero, documents the latency threshold that
+	// separates good from bad for latency objectives; ObserveLatency
+	// classifies against it.
+	LatencyMS int64 `json:"latency_ms,omitempty"`
+}
+
+// Window is one evaluation horizon.
+type Window struct {
+	Name string
+	Dur  time.Duration
+}
+
+// DefaultWindows are the classic multi-window pair: a short window that
+// catches fast burns and a long one that catches slow leaks.
+func DefaultWindows() []Window {
+	return []Window{{"5m", 5 * time.Minute}, {"1h", time.Hour}}
+}
+
+// ringCap bounds retained observations per objective. At one request
+// per second that is over two hours of history — more than the default
+// long window needs.
+const ringCap = 8192
+
+// obs is one timestamped outcome.
+type obs struct {
+	tms  int64
+	good bool
+}
+
+// track is one objective's state: lifetime counters plus the
+// observation ring.
+type track struct {
+	objective Objective
+	good, bad uint64
+	ring      []obs // circular
+	head, n   int
+
+	goodCtr *telemetry.Counter
+	badCtr  *telemetry.Counter
+	burn    []*telemetry.Gauge // parallel to Set.windows
+}
+
+// Set owns a group of objectives evaluated over shared windows.
+type Set struct {
+	mu      sync.Mutex
+	windows []Window
+	tracks  []*track
+	byName  map[string]*track
+}
+
+// New builds a Set over the given objectives and windows (nil windows
+// means DefaultWindows). reg may be nil; when set, each objective
+// registers hifi_slo_good_total/hifi_slo_bad_total{slo} counters and a
+// hifi_slo_burn_rate{slo,window} gauge per window, refreshed by every
+// Evaluate.
+func New(reg *telemetry.Registry, objectives []Objective, windows []Window) *Set {
+	if len(windows) == 0 {
+		windows = DefaultWindows()
+	}
+	s := &Set{windows: windows, byName: make(map[string]*track, len(objectives))}
+	for _, o := range objectives {
+		t := &track{
+			objective: o,
+			ring:      make([]obs, ringCap),
+			goodCtr: reg.Counter(telemetry.Label(telemetry.MetricSLOGood, "slo", o.Name),
+				"observations meeting the SLO"),
+			badCtr: reg.Counter(telemetry.Label(telemetry.MetricSLOBad, "slo", o.Name),
+				"observations violating the SLO"),
+		}
+		for _, w := range windows {
+			name := telemetry.Label(telemetry.Label(telemetry.MetricSLOBurnRate, "slo", o.Name), "window", w.Name)
+			t.burn = append(t.burn, reg.Gauge(name,
+				"error-budget burn rate over the window (1.0 = budget consumed exactly at accrual rate)"))
+		}
+		s.tracks = append(s.tracks, t)
+		s.byName[o.Name] = t
+	}
+	return s
+}
+
+// Observe records one outcome for the named objective at time.Now.
+// Unknown names are dropped. Nil-safe.
+func (s *Set) Observe(name string, good bool) { s.ObserveAt(name, good, time.Now()) }
+
+// ObserveAt is Observe with an explicit timestamp (tests pin the clock).
+func (s *Set) ObserveAt(name string, good bool, at time.Time) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	t := s.byName[name]
+	if t == nil {
+		s.mu.Unlock()
+		return
+	}
+	if good {
+		t.good++
+	} else {
+		t.bad++
+	}
+	t.ring[t.head] = obs{tms: at.UnixMilli(), good: good}
+	t.head = (t.head + 1) % len(t.ring)
+	if t.n < len(t.ring) {
+		t.n++
+	}
+	goodCtr, badCtr := t.goodCtr, t.badCtr
+	s.mu.Unlock()
+	if good {
+		goodCtr.Inc()
+	} else {
+		badCtr.Inc()
+	}
+}
+
+// ObserveLatency records a latency sample against the named objective's
+// LatencyMS threshold: good when ms <= threshold (or when the objective
+// declares no threshold). Nil-safe.
+func (s *Set) ObserveLatency(name string, ms int64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	t := s.byName[name]
+	var thr int64
+	if t != nil {
+		thr = t.objective.LatencyMS
+	}
+	s.mu.Unlock()
+	if t == nil {
+		return
+	}
+	s.Observe(name, thr == 0 || ms <= thr)
+}
+
+// WindowReport is one objective × window evaluation.
+type WindowReport struct {
+	Window string `json:"window"`
+	Good   int    `json:"good"`
+	Bad    int    `json:"bad"`
+	// Ratio is good/(good+bad); 1 with no observations (no traffic
+	// burns no budget).
+	Ratio float64 `json:"ratio"`
+	// BurnRate is the error rate divided by the error budget.
+	BurnRate float64 `json:"burn_rate"`
+	// Clipped marks a window wider than the observation ring's reach:
+	// old outcomes have been overwritten, so Good/Bad undercount.
+	Clipped bool `json:"clipped,omitempty"`
+}
+
+// ObjectiveReport is one objective's evaluation.
+type ObjectiveReport struct {
+	Objective
+	// GoodTotal/BadTotal are lifetime counts (not windowed).
+	GoodTotal uint64         `json:"good_total"`
+	BadTotal  uint64         `json:"bad_total"`
+	Windows   []WindowReport `json:"windows"`
+}
+
+// Report is the /slo body.
+type Report struct {
+	Schema     string            `json:"schema"`
+	Objectives []ObjectiveReport `json:"objectives"`
+}
+
+// Evaluate computes every objective over every window as of time.Now,
+// refreshes the burn-rate gauges, and returns the report. Nil-safe
+// (empty report).
+func (s *Set) Evaluate() Report { return s.EvaluateAt(time.Now()) }
+
+// EvaluateAt is Evaluate with an explicit "now" (tests pin the clock).
+func (s *Set) EvaluateAt(now time.Time) Report {
+	rep := Report{Schema: SchemaV1}
+	if s == nil {
+		return rep
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	nowMS := now.UnixMilli()
+	for _, t := range s.tracks {
+		or := ObjectiveReport{Objective: t.objective, GoodTotal: t.good, BadTotal: t.bad}
+		budget := 1 - t.objective.Target
+		if budget <= 0 {
+			budget = 1e-9 // a 100% target has no budget; any error burns "infinitely" fast
+		}
+		start := (t.head - t.n + len(t.ring)) % len(t.ring)
+		var oldest int64
+		if t.n > 0 {
+			oldest = t.ring[start].tms
+		}
+		for wi, w := range s.windows {
+			cut := nowMS - w.Dur.Milliseconds()
+			wr := WindowReport{Window: w.Name, Ratio: 1}
+			for i := 0; i < t.n; i++ {
+				o := t.ring[(start+i)%len(t.ring)]
+				if o.tms < cut {
+					continue
+				}
+				if o.good {
+					wr.Good++
+				} else {
+					wr.Bad++
+				}
+			}
+			// The ring wrapped inside this window: observations at least
+			// as old as the window start have been overwritten.
+			wr.Clipped = t.n == len(t.ring) && oldest > cut
+			if total := wr.Good + wr.Bad; total > 0 {
+				wr.Ratio = float64(wr.Good) / float64(total)
+				wr.BurnRate = (1 - wr.Ratio) / budget
+			}
+			t.burn[wi].Set(wr.BurnRate)
+			or.Windows = append(or.Windows, wr)
+		}
+		rep.Objectives = append(rep.Objectives, or)
+	}
+	return rep
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

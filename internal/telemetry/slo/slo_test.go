@@ -1,0 +1,125 @@
+package slo
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"racetrack/hifi/internal/telemetry"
+)
+
+var t0 = time.UnixMilli(1_754_000_000_000)
+
+func testSet(reg *telemetry.Registry) *Set {
+	return New(reg, []Objective{
+		{Name: "availability", Target: 0.9},
+		{Name: "latency", Target: 0.5, LatencyMS: 100},
+	}, []Window{{"5m", 5 * time.Minute}, {"1h", time.Hour}})
+}
+
+func TestBurnRateOverWindows(t *testing.T) {
+	s := testSet(nil)
+	// One bad among nine good inside the 5m window: error rate 10%,
+	// budget 10% -> burn exactly 1.0.
+	for i := 0; i < 9; i++ {
+		s.ObserveAt("availability", true, t0)
+	}
+	s.ObserveAt("availability", false, t0)
+	// An hour-old burst of 10 good: inside 1h only.
+	for i := 0; i < 10; i++ {
+		s.ObserveAt("availability", true, t0.Add(-50*time.Minute))
+	}
+	rep := s.EvaluateAt(t0.Add(time.Second))
+	if len(rep.Objectives) != 2 {
+		t.Fatalf("objectives: %d, want 2", len(rep.Objectives))
+	}
+	av := rep.Objectives[0]
+	if av.GoodTotal != 19 || av.BadTotal != 1 {
+		t.Fatalf("lifetime good/bad = %d/%d, want 19/1", av.GoodTotal, av.BadTotal)
+	}
+	w5, w1h := av.Windows[0], av.Windows[1]
+	if w5.Good != 9 || w5.Bad != 1 {
+		t.Fatalf("5m good/bad = %d/%d, want 9/1", w5.Good, w5.Bad)
+	}
+	if math.Abs(w5.BurnRate-1.0) > 1e-9 {
+		t.Fatalf("5m burn rate %g, want 1.0", w5.BurnRate)
+	}
+	if w1h.Good != 19 || w1h.Bad != 1 {
+		t.Fatalf("1h good/bad = %d/%d, want 19/1", w1h.Good, w1h.Bad)
+	}
+	if math.Abs(w1h.BurnRate-0.5) > 1e-9 {
+		t.Fatalf("1h burn rate %g, want 0.5", w1h.BurnRate)
+	}
+}
+
+func TestNoTrafficBurnsNothing(t *testing.T) {
+	rep := testSet(nil).EvaluateAt(t0)
+	for _, o := range rep.Objectives {
+		for _, w := range o.Windows {
+			if w.BurnRate != 0 || w.Ratio != 1 {
+				t.Fatalf("%s/%s: burn %g ratio %g, want 0 and 1", o.Name, w.Window, w.BurnRate, w.Ratio)
+			}
+		}
+	}
+}
+
+func TestObserveLatencyClassifies(t *testing.T) {
+	s := testSet(nil)
+	// Threshold is 100ms: <= is good, > is bad.
+	for _, ms := range []int64{10, 100, 101, 5000} {
+		s.ObserveLatency("latency", ms)
+	}
+	got := s.Evaluate().Objectives[1]
+	if got.GoodTotal != 2 || got.BadTotal != 2 {
+		t.Fatalf("latency split %d/%d, want 2/2", got.GoodTotal, got.BadTotal)
+	}
+}
+
+func TestGaugesAndCounters(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := testSet(reg)
+	s.ObserveAt("availability", true, t0)
+	s.ObserveAt("availability", false, t0)
+	s.EvaluateAt(t0.Add(time.Second))
+	snap := reg.Snapshot()
+	var buf bytes.Buffer
+	if err := snap.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`hifi_slo_good_total{slo="availability"} 1`,
+		`hifi_slo_bad_total{slo="availability"} 1`,
+		`hifi_slo_burn_rate{slo="availability",window="5m"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestUnknownObjectiveAndNilSet(t *testing.T) {
+	var nilSet *Set
+	nilSet.Observe("availability", true)
+	nilSet.ObserveLatency("latency", 1)
+	if rep := nilSet.Evaluate(); len(rep.Objectives) != 0 {
+		t.Fatal("nil set produced objectives")
+	}
+	s := testSet(nil)
+	s.Observe("no-such-objective", true) // dropped, not panicked
+	if rep := s.EvaluateAt(t0); rep.Objectives[0].GoodTotal != 0 {
+		t.Fatal("unknown objective leaked into a real one")
+	}
+}
+
+func TestReportJSONSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := testSet(nil).EvaluateAt(t0).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), SchemaV1) {
+		t.Fatalf("report missing schema stamp:\n%s", buf.String())
+	}
+}

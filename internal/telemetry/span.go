@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"racetrack/hifi/internal/telemetry/tracectx"
 )
 
 // Attr is one key/value annotation on a span. Values are strings so the
@@ -128,6 +130,15 @@ func StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context
 		return ctx, nil
 	}
 	parent, _ := ctx.Value(spanKey{}).(*Span)
+	// Root spans inherit the request correlation ID from the context
+	// (set by the hifi-serve HTTP layer via tracectx.Into), so a span
+	// export greps by the same trace ID as the access and event logs.
+	// Child spans skip the attr: the root anchors the whole tree.
+	if parent == nil {
+		if tc, ok := tracectx.From(ctx); ok {
+			attrs = append(attrs, A("trace_id", tc.TraceID.String()))
+		}
+	}
 	sp := col.start(parent, name, attrs)
 	return context.WithValue(ctx, spanKey{}, sp), sp
 }

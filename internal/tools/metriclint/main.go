@@ -1,0 +1,206 @@
+// Command metriclint keeps internal/telemetry/names.go the single
+// naming authority for hifi_* metric series. It flags, in both
+// directions:
+//
+//  1. A hifi_* series name appearing as a string literal anywhere
+//     outside names.go that does not match the VALUE of a names.go
+//     constant — a metric registered (or looked up) under a name the
+//     docs and dashboards have never heard of. Instrumentation must
+//     register through the constants; lookups may repeat a declared
+//     value verbatim (examples do), but never invent one.
+//  2. A names.go constant no non-test code references — a dead name
+//     that would let docs drift from reality.
+//
+// Schema stamps (hifi_events_v1, hifi_access_v1, ...) end in a _vN
+// version suffix by repo convention and are exempt: they name wire
+// formats, not metric series.
+//
+// Usage: metriclint [dir ...]   (default ".", recursing; _test.go
+// files and testdata/ are skipped). Exits 1 on any finding, so it
+// slots into `make vet` and CI next to errvet.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// seriesRE recognizes a metric-series-shaped literal; versionRE exempts
+// schema stamps.
+var (
+	seriesRE  = regexp.MustCompile(`^hifi_[a-z0-9_]+$`)
+	versionRE = regexp.MustCompile(`_v[0-9]+$`)
+)
+
+func main() {
+	roots := os.Args[1:]
+	if len(roots) == 0 {
+		roots = []string{"."}
+	}
+	bad := 0
+	for _, root := range roots {
+		n, err := lintTree(root)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "metriclint: %v\n", err)
+			os.Exit(2)
+		}
+		bad += n
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "metriclint: %d finding(s); declare series in internal/telemetry/names.go and register through the constants\n", bad)
+		os.Exit(1)
+	}
+}
+
+// lintTree lints one directory tree rooted at root. The tree must
+// contain a names.go declaring the constants (internal/telemetry/
+// names.go in the real repo); a tree without one has nothing to check.
+func lintTree(root string) (int, error) {
+	files, namesPath, err := goFiles(root)
+	if err != nil {
+		return 0, err
+	}
+	if namesPath == "" {
+		return 0, nil
+	}
+	consts, err := declaredSeries(namesPath)
+	if err != nil {
+		return 0, err
+	}
+	values := map[string]string{} // series value → const name
+	for name, v := range consts {
+		values[v] = name
+	}
+	used := map[string]bool{} // const name → referenced somewhere
+	bad := 0
+	for _, path := range files {
+		if path == namesPath {
+			continue
+		}
+		n, err := lintFile(path, values, consts, used)
+		if err != nil {
+			return bad, err
+		}
+		bad += n
+	}
+	var unused []string
+	for name := range consts {
+		if !used[name] {
+			unused = append(unused, name)
+		}
+	}
+	sort.Strings(unused)
+	for _, name := range unused {
+		fmt.Printf("%s: constant %s (%q) is never referenced outside names.go\n", namesPath, name, consts[name])
+		bad++
+	}
+	return bad, nil
+}
+
+// declaredSeries parses names.go and returns constName → series value
+// for every string constant whose value looks like a hifi_* series.
+func declaredSeries(path string) (map[string]string, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string]string{}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i >= len(vs.Values) {
+					continue
+				}
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				v, err := strconv.Unquote(lit.Value)
+				if err != nil || !seriesRE.MatchString(v) {
+					continue
+				}
+				out[name.Name] = v
+			}
+		}
+	}
+	return out, nil
+}
+
+// lintFile flags undeclared hifi_* literals in one file and marks which
+// constants it references.
+func lintFile(path string, values map[string]string, consts map[string]string, used map[string]bool) (int, error) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		return 0, err
+	}
+	bad := 0
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.BasicLit:
+			if v.Kind != token.STRING {
+				return true
+			}
+			s, err := strconv.Unquote(v.Value)
+			if err != nil || !seriesRE.MatchString(s) || versionRE.MatchString(s) {
+				return true
+			}
+			if _, ok := values[s]; !ok {
+				pos := fset.Position(v.Pos())
+				fmt.Printf("%s:%d: series %q is not declared in telemetry/names.go\n", pos.Filename, pos.Line, s)
+				bad++
+			}
+		case *ast.Ident:
+			if _, ok := consts[v.Name]; ok {
+				used[v.Name] = true
+			}
+		}
+		return true
+	})
+	return bad, nil
+}
+
+// goFiles walks root collecting non-test .go files (skipping vendor,
+// testdata, and hidden directories) and locates the names.go of the
+// telemetry package.
+func goFiles(root string) (files []string, namesPath string, err error) {
+	err = filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if name != "." && (strings.HasPrefix(name, ".") || name == "vendor" || name == "testdata") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			return nil
+		}
+		files = append(files, path)
+		if name == "names.go" && filepath.Base(filepath.Dir(path)) == "telemetry" {
+			namesPath = path
+		}
+		return nil
+	})
+	return files, namesPath, err
+}

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// tree writes a miniature repo: a telemetry/names.go plus source files,
+// and returns its root.
+func tree(t *testing.T, names string, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	write := func(rel, src string) {
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("telemetry/names.go", names)
+	for rel, src := range files {
+		write(rel, src)
+	}
+	return root
+}
+
+const names = `package telemetry
+const (
+	MetricShiftOps = "hifi_shift_ops_total"
+	MetricQueue    = "hifi_queue_depth"
+)`
+
+func TestAcceptsConstantRegistrationAndDeclaredLiteral(t *testing.T) {
+	root := tree(t, names, map[string]string{
+		"a/a.go": `package a
+const x = MetricShiftOps
+const y = MetricQueue
+const z = "hifi_shift_ops_total" // lookup of a declared value: fine
+`,
+	})
+	if n, err := lintTree(root); err != nil || n != 0 {
+		t.Fatalf("lintTree = %d, %v; want 0 findings", n, err)
+	}
+}
+
+func TestFlagsUndeclaredLiteral(t *testing.T) {
+	root := tree(t, names, map[string]string{
+		"a/a.go": `package a
+const x = MetricShiftOps
+const y = MetricQueue
+const rogue = "hifi_rogue_series_total"
+`,
+	})
+	if n, err := lintTree(root); err != nil || n != 1 {
+		t.Fatalf("lintTree = %d, %v; want 1 finding", n, err)
+	}
+}
+
+func TestFlagsUnusedConstant(t *testing.T) {
+	root := tree(t, names, map[string]string{
+		"a/a.go": `package a
+const x = MetricShiftOps // MetricQueue is never referenced
+`,
+	})
+	if n, err := lintTree(root); err != nil || n != 1 {
+		t.Fatalf("lintTree = %d, %v; want 1 finding", n, err)
+	}
+}
+
+func TestSchemaStampsExempt(t *testing.T) {
+	root := tree(t, names, map[string]string{
+		"a/a.go": `package a
+const x = MetricShiftOps
+const y = MetricQueue
+const schema = "hifi_access_v1" // wire format, not a series
+`,
+	})
+	if n, err := lintTree(root); err != nil || n != 0 {
+		t.Fatalf("lintTree = %d, %v; want 0 findings", n, err)
+	}
+}
+
+func TestTestFilesSkipped(t *testing.T) {
+	root := tree(t, names, map[string]string{
+		"a/a.go": `package a
+const x = MetricShiftOps
+const y = MetricQueue
+`,
+		"a/a_test.go": `package a
+const rogue = "hifi_testonly_total"
+`,
+	})
+	if n, err := lintTree(root); err != nil || n != 0 {
+		t.Fatalf("lintTree = %d, %v; want 0 findings", n, err)
+	}
+}
+
+// The real repo must be clean — this is the same invocation `make vet`
+// runs, so a regression fails here first.
+func TestRealRepoClean(t *testing.T) {
+	root := "../../.."
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Skip("repo root not found")
+	}
+	if n, err := lintTree(root); err != nil || n != 0 {
+		t.Fatalf("lintTree(repo) = %d findings, err %v; want clean", n, err)
+	}
+}

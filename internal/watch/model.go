@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"racetrack/hifi/internal/telemetry/events"
+	"racetrack/hifi/internal/telemetry/slo"
 )
 
 // WorkerState tracks one engine pool slot.
@@ -79,6 +80,11 @@ type Model struct {
 	Verdicts map[string]int
 
 	Regressions []Regression
+
+	// SLO is the daemon's latest burn-rate report, polled from GET /slo
+	// in the -server client mode and when watching a daemon /events URL;
+	// nil when the source has no SLO plane (a file, a per-run stream).
+	SLO *slo.Report
 }
 
 // NewModel returns an empty model.

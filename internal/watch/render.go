@@ -94,6 +94,8 @@ func (m *Model) Render() string {
 		fmt.Fprintf(&b, "fidelity  %s\n", m.verdictLine())
 	}
 
+	b.WriteString(m.sloPanel())
+
 	for _, r := range m.Regressions {
 		fmt.Fprintf(&b, "REGRESSION  %s %.2fx (%s)\n", r.Name, r.Ratio, r.Detail)
 	}

@@ -1,0 +1,129 @@
+package watch
+
+// SLO panel: hifi-watch polls a hifi-serve daemon's GET /slo route and
+// renders the burn-rate report alongside the event-derived dashboard —
+// in client mode (-server/-job) and in daemon-watch mode (an /events
+// URL on a serve daemon, from which the base URL is derived). A server
+// without the route (an older daemon) just means no panel.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"racetrack/hifi/internal/telemetry/slo"
+)
+
+// SLOURL builds the SLO route on a hifi-serve server.
+func SLOURL(server string) string {
+	return strings.TrimRight(server, "/") + "/slo"
+}
+
+// ServerFromEventsURL derives a hifi-serve base URL from its daemon
+// /events SSE URL ("http://host:8777/events" → "http://host:8777").
+// ok is false for any other source (a file path, a per-run /events
+// route on a different mux — the panel is then simply absent).
+func ServerFromEventsURL(url string) (string, bool) {
+	base, found := strings.CutSuffix(strings.TrimRight(url, "/"), "/events")
+	if !found || base == "" || !IsURL(base) {
+		return "", false
+	}
+	return base, true
+}
+
+// FetchSLO fetches and decodes one GET /slo report.
+func FetchSLO(ctx context.Context, server string) (slo.Report, error) {
+	var rep slo.Report
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, SLOURL(server), nil)
+	if err != nil {
+		return rep, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return rep, err
+	}
+	defer func() { _ = resp.Body.Close() }()
+	if resp.StatusCode != http.StatusOK {
+		return rep, fmt.Errorf("watch: %s: %s", SLOURL(server), resp.Status)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("watch: %s: %w", SLOURL(server), err)
+	}
+	if rep.Schema != slo.SchemaV1 {
+		return rep, fmt.Errorf("watch: %s: unknown schema %q", SLOURL(server), rep.Schema)
+	}
+	return rep, nil
+}
+
+// PollSLO fetches the report every interval into onReport until ctx
+// ends. A server without the route stops the loop silently after the
+// first 404 (an older daemon); transient errors keep polling.
+func PollSLO(ctx context.Context, server string, every time.Duration, onReport func(slo.Report)) {
+	if every <= 0 {
+		every = time.Second
+	}
+	fetch := func() bool {
+		rep, err := FetchSLO(ctx, server)
+		if err != nil {
+			return !strings.Contains(err.Error(), "404")
+		}
+		onReport(rep)
+		return true
+	}
+	if !fetch() {
+		return
+	}
+	tick := time.NewTicker(every)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-tick.C:
+			if !fetch() {
+				return
+			}
+		}
+	}
+}
+
+// ApplySLO folds a fetched report into the model.
+func (m *Model) ApplySLO(rep slo.Report) { m.SLO = &rep }
+
+// sloPanel renders the burn-rate panel, one objective per line:
+//
+//	slo   availability     ok      burn 5m 0.00 · 1h 0.00  (99.9% target)
+//	      job_completion   BURN!   burn 5m 3.20 · 1h 0.40  (95.0% target)
+//
+// An objective is flagged when any window burns at or above 1.0 —
+// budget consumed faster than it accrues.
+func (m *Model) sloPanel() string {
+	if m.SLO == nil || len(m.SLO.Objectives) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, o := range m.SLO.Objectives {
+		head := "slo  "
+		if i > 0 {
+			head = "     "
+		}
+		burning := false
+		var wins []string
+		for _, w := range o.Windows {
+			if w.BurnRate >= 1 {
+				burning = true
+			}
+			wins = append(wins, fmt.Sprintf("%s %.2f", w.Window, w.BurnRate))
+		}
+		verdict := "ok"
+		if burning {
+			verdict = "BURN!"
+		}
+		fmt.Fprintf(&b, "%s %-16s %-5s burn %s  (%.4g%% target)\n",
+			head, o.Name, verdict, strings.Join(wins, " · "), o.Target*100)
+	}
+	return b.String()
+}

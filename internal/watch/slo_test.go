@@ -1,0 +1,97 @@
+package watch
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"racetrack/hifi/internal/telemetry/slo"
+)
+
+func TestServerFromEventsURL(t *testing.T) {
+	cases := []struct {
+		in   string
+		base string
+		ok   bool
+	}{
+		{"http://localhost:8777/events", "http://localhost:8777", true},
+		{"http://localhost:8777/events/", "http://localhost:8777", true},
+		{"https://host/events", "https://host", true},
+		{"http://localhost:8777/v1/jobs/j0001/events", "http://localhost:8777/v1/jobs/j0001", true},
+		{"http://localhost:6060/debug/events", "http://localhost:6060/debug", true},
+		{"events.ndjson", "", false},
+		{"http://localhost:8777/metrics", "", false},
+		{"/events", "", false},
+	}
+	for _, c := range cases {
+		base, ok := ServerFromEventsURL(c.in)
+		if base != c.base || ok != c.ok {
+			t.Errorf("ServerFromEventsURL(%q) = %q, %v; want %q, %v", c.in, base, ok, c.base, c.ok)
+		}
+	}
+}
+
+func TestFetchSLOAndPanel(t *testing.T) {
+	rep := slo.Report{
+		Schema: slo.SchemaV1,
+		Objectives: []slo.ObjectiveReport{
+			{
+				Objective: slo.Objective{Name: "availability", Target: 0.999},
+				Windows: []slo.WindowReport{
+					{Window: "5m", Ratio: 1, BurnRate: 0},
+					{Window: "1h", Ratio: 1, BurnRate: 0},
+				},
+			},
+			{
+				Objective: slo.Objective{Name: "job_completion", Target: 0.95},
+				Windows: []slo.WindowReport{
+					{Window: "5m", Good: 1, Bad: 1, Ratio: 0.5, BurnRate: 10},
+					{Window: "1h", Good: 3, Bad: 1, Ratio: 0.75, BurnRate: 5},
+				},
+			},
+		},
+	}
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/slo" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := rep.WriteJSON(w); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer srv.Close()
+
+	got, err := FetchSLO(context.Background(), srv.URL)
+	if err != nil {
+		t.Fatalf("FetchSLO: %v", err)
+	}
+	if len(got.Objectives) != 2 || got.Objectives[1].Windows[0].BurnRate != 10 {
+		t.Fatalf("FetchSLO report mismatch: %+v", got)
+	}
+
+	m := NewModel()
+	if panel := m.sloPanel(); panel != "" {
+		t.Fatalf("empty model rendered an SLO panel: %q", panel)
+	}
+	m.ApplySLO(got)
+	frame := m.Render()
+	for _, want := range []string{"slo", "availability", "ok", "job_completion", "BURN!", "5m 10.00", "95% target"} {
+		if !strings.Contains(frame, want) {
+			t.Errorf("frame missing %q:\n%s", want, frame)
+		}
+	}
+}
+
+func TestFetchSLORejectsUnknownSchema(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		_, _ = w.Write([]byte(`{"schema":"hifi_slo_v9","objectives":[]}`))
+	}))
+	defer srv.Close()
+	if _, err := FetchSLO(context.Background(), srv.URL); err == nil {
+		t.Fatal("FetchSLO accepted an unknown schema")
+	}
+}

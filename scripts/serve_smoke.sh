@@ -5,14 +5,20 @@
 # contract over HTTP:
 #
 #   1. POST a small scaled sweep and poll /v1/jobs/{id} to completion.
-#   2. Render the job with `hifi-watch -once -server ... -job ...`.
+#      The submit response must carry X-Request-Id and traceparent
+#      headers, and the job status must echo the same trace_id.
+#   2. Render the job with `hifi-watch -once -server ... -job ...`;
+#      the frame must include the daemon's SLO burn-rate panel.
 #   3. GET /v1/jobs/{id}/tables and diff it byte-for-byte against the
 #      same sweep run directly through hifi-experiments.
 #   4. Resubmit the identical spec: the second job must report
 #      "executed": 0 (every simulation served from the shared cache),
 #      and /metrics must show hifi_engine_ cache hits plus both
 #      submissions.
-#   5. SIGTERM the daemon and require a clean drain (exit 0).
+#   5. Check the observability plane: the hifi_access_v1 access log
+#      carries the submit's trace_id, /slo reports hifi_slo_v1 burn
+#      rates, and the burn gauges appear on /metrics.
+#   6. SIGTERM the daemon and require a clean drain (exit 0).
 #
 # Used by `make serve-smoke` and CI's serve job. Needs curl; everything
 # else is the repo's own binaries.
@@ -46,6 +52,7 @@ $GO build -o "$WORK/hifi-watch" ./cmd/hifi-watch
 
 echo "== start daemon on $ADDR"
 "$WORK/hifi-serve" -listen "$ADDR" -cache-dir "$WORK/cache" -runners 2 \
+	-access-log "$WORK/access.ndjson" \
 	>"$WORK/serve.log" 2>&1 &
 SERVE_PID=$!
 for i in $(seq 1 50); do
@@ -80,16 +87,25 @@ wait_done() {
 }
 
 echo "== submit sweep"
-curl -fsS -X POST -H 'Content-Type: application/json' -d "$SPEC" \
-	"$BASE/v1/jobs" >"$WORK/submit1.json"
+curl -fsS -D "$WORK/submit1.hdr" -X POST -H 'Content-Type: application/json' \
+	-d "$SPEC" "$BASE/v1/jobs" >"$WORK/submit1.json"
 JOB1=$(jget "$WORK/submit1.json" id)
 test -n "$JOB1"
+
+echo "== trace headers on the submit response"
+TRACE=$(tr -d '\r' <"$WORK/submit1.hdr" | sed -n 's/^[Xx]-[Rr]equest-[Ii]d: //p' | head -1)
+echo "$TRACE" | grep -qE '^[0-9a-f]{32}$'
+tr -d '\r' <"$WORK/submit1.hdr" | grep -qiE "^traceparent: 00-$TRACE-[0-9a-f]{16}-[0-9a-f]{2}$"
+
 wait_done "$JOB1"
+test "$(jget "$WORK/job.json" trace_id)" = "$TRACE"
 
 echo "== hifi-watch client mode"
 "$WORK/hifi-watch" -once -server "$BASE" -job "$JOB1" >"$WORK/frame.txt"
 grep -q "$JOB1" "$WORK/frame.txt"
 grep -q 'done' "$WORK/frame.txt"
+grep -q '^slo' "$WORK/frame.txt"
+grep -q 'availability' "$WORK/frame.txt"
 
 echo "== tables byte-identical to a direct run"
 curl -fsS "$BASE/v1/jobs/$JOB1/tables" >"$WORK/served.txt"
@@ -109,6 +125,20 @@ curl -fsS "$BASE/metrics" >"$WORK/metrics.txt"
 grep -qE '^hifi_engine_cache_hits_total [1-9]' "$WORK/metrics.txt"
 grep -qE '^hifi_serve_jobs_submitted_total 2$' "$WORK/metrics.txt"
 grep -qE '^hifi_serve_jobs_completed_total 2$' "$WORK/metrics.txt"
+
+echo "== access log carries the trace"
+head -1 "$WORK/access.ndjson" | grep -q hifi_access_v1
+grep -q '"route":"POST /v1/jobs"' "$WORK/access.ndjson"
+grep -q "\"trace_id\":\"$TRACE\"" "$WORK/access.ndjson"
+
+echo "== slo plane"
+curl -fsS "$BASE/slo" >"$WORK/slo.json"
+grep -q '"schema": "hifi_slo_v1"' "$WORK/slo.json"
+grep -q '"name": "availability"' "$WORK/slo.json"
+grep -q '"name": "submit_latency"' "$WORK/slo.json"
+grep -q '"name": "job_completion"' "$WORK/slo.json"
+grep -qE '^hifi_slo_burn_rate\{slo="availability",window="5m"\} ' "$WORK/metrics.txt"
+grep -qE '^hifi_serve_http_requests_total\{route="POST /v1/jobs",code="202"\} 2$' "$WORK/metrics.txt"
 
 echo "== graceful drain on SIGTERM"
 kill -TERM "$SERVE_PID"
