@@ -9,6 +9,7 @@
 #   make engine-smoke    parallel-sweep determinism + cache-reuse check
 #   make watch-smoke     event stream end-to-end: -events-out log + hifi-watch -once
 #   make serve-smoke     hifi-serve daemon end-to-end: submit, stream, drain
+#   make serve-crash-smoke  kill -9 mid-job, restart -resume, recovery checks
 #   make chaos           fault-injection tests + seeded campaign + off==nominal
 #   make fidelity        scaled sweep scored against the paper anchors
 #   make report          render the evaluation report (scaled)
@@ -16,7 +17,7 @@
 GO ?= go
 DATE := $(shell date -u +%F)
 
-.PHONY: all tier1 ci vet race test build bench bench-snapshot bench-smoke perf-smoke engine-smoke watch-smoke serve-smoke chaos fidelity report fmt clean
+.PHONY: all tier1 ci vet race test build bench bench-snapshot bench-smoke perf-smoke engine-smoke watch-smoke serve-smoke serve-crash-smoke chaos fidelity report fmt clean
 
 all: tier1
 
@@ -126,6 +127,15 @@ watch-smoke:
 # scripts/serve_smoke.sh.
 serve-smoke:
 	bash scripts/serve_smoke.sh
+
+# serve-crash-smoke is the kill -9 story (docs/serve.md, "Restart
+# recovery & the job index"): boot a daemon, SIGKILL it mid-job, restart
+# with -resume against the same cache dir, and assert the completed
+# job's status and byte-identical tables survive (executed=0) while the
+# interrupted job re-queues under its original id. The choreography
+# lives in scripts/serve_crash_smoke.sh.
+serve-crash-smoke:
+	bash scripts/serve_crash_smoke.sh
 
 # chaos is the local version of CI's chaos job (docs/faults.md): the
 # storage-chaos tests under the race detector, a tiny seeded

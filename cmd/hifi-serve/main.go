@@ -36,6 +36,7 @@ func main() {
 	var (
 		listen       = flag.String("listen", "localhost:8777", "HTTP listen address for the job API")
 		cacheDir     = flag.String("cache-dir", ".hifi-serve-cache", "shared result-cache directory (\"\" disables caching and cross-client reuse)")
+		cacheMax     = flag.Int64("cache-max-bytes", 0, "result-cache size budget; least-recently-accessed objects are evicted above it (0 = unlimited)")
 		version      = flag.String("cache-version", "", "override the cache code-version tag (default: built-in engine version)")
 		workers      = flag.Int("workers", 0, "engine worker-pool width per job (0 = all cores)")
 		runners      = flag.Int("runners", 2, "jobs allowed to run concurrently")
@@ -46,7 +47,7 @@ func main() {
 		maxAccesses  = flag.Int("max-accesses", 0, "reject specs asking for more than this many accesses per core (0 = unbounded)")
 		retries      = flag.Int("retries", 0, "engine retries per failed experiment job")
 		jobTimeout   = flag.Duration("job-timeout", 0, "engine per-job timeout (0 = none)")
-		resume       = flag.Bool("resume", false, "re-admit specs journaled by a previous drain before serving")
+		resume       = flag.Bool("resume", false, "recover jobs from the crash-safe index (completed jobs restored, interrupted jobs re-queued) and re-admit drain-journaled specs before serving")
 		drainTO      = flag.Duration("drain-timeout", time.Minute, "how long a shutdown waits for running jobs before canceling them")
 		accessLog    = flag.String("access-log", "-", "hifi_access_v1 NDJSON access-log destination: \"-\" = stderr, \"\" disables, else a file path (appended)")
 		traceSeed    = flag.Uint64("trace-seed", 0, "seed for minted trace IDs (0 = unpredictable; fixed seeds make correlation IDs reproducible)")
@@ -72,21 +73,22 @@ func main() {
 	}
 
 	srv := serve.New(serve.Options{
-		Workers:      *workers,
-		CacheDir:     *cacheDir,
-		Version:      *version,
-		Runners:      *runners,
-		Queue:        *queueCap,
-		Rate:         *rate,
-		Burst:        *burst,
-		RequireToken: *requireToken,
-		MaxAccesses:  *maxAccesses,
-		Retries:      *retries,
-		JobTimeout:   *jobTimeout,
-		Metrics:      obs.Reg,
-		Events:       obs.Events,
-		AccessLog:    accessW,
-		TraceSeed:    *traceSeed,
+		Workers:       *workers,
+		CacheDir:      *cacheDir,
+		CacheMaxBytes: *cacheMax,
+		Version:       *version,
+		Runners:       *runners,
+		Queue:         *queueCap,
+		Rate:          *rate,
+		Burst:         *burst,
+		RequireToken:  *requireToken,
+		MaxAccesses:   *maxAccesses,
+		Retries:       *retries,
+		JobTimeout:    *jobTimeout,
+		Metrics:       obs.Reg,
+		Events:        obs.Events,
+		AccessLog:     accessW,
+		TraceSeed:     *traceSeed,
 	})
 	if *resume {
 		n, err := srv.Resume()
@@ -94,7 +96,7 @@ func main() {
 			log.Fatalf("hifi-serve: -resume: %v", err)
 		}
 		if n > 0 {
-			log.Infof("hifi-serve: resumed %d journaled spec(s)", n)
+			log.Infof("hifi-serve: %d recovered job(s) re-queued for execution", n)
 		}
 	}
 

@@ -20,12 +20,13 @@ import (
 
 // EngineFlags holds the parsed engine flags for one CLI.
 type EngineFlags struct {
-	jobs       *int
-	cacheDir   *string
-	resume     *bool
-	retries    *int
-	backoff    *time.Duration
-	jobTimeout *time.Duration
+	jobs          *int
+	cacheDir      *string
+	cacheMaxBytes *int64
+	resume        *bool
+	retries       *int
+	backoff       *time.Duration
+	jobTimeout    *time.Duration
 
 	journal *engine.Journal
 }
@@ -41,6 +42,8 @@ func AddEngineFlags(fs *flag.FlagSet) *EngineFlags {
 		"parallel simulation jobs (worker pool size)")
 	ef.cacheDir = fs.String("cache-dir", "",
 		"content-addressed result cache directory (empty disables caching)")
+	ef.cacheMaxBytes = fs.Int64("cache-max-bytes", 0,
+		"size budget for the result cache; least-recently-accessed objects are evicted above it (0 = unlimited)")
 	ef.resume = fs.Bool("resume", false,
 		"resume an interrupted sweep from the journal in -cache-dir")
 	ef.retries = fs.Int("job-retries", 1,
@@ -82,6 +85,12 @@ func (ef *EngineFlags) Build(o *Obs) (*engine.Engine, error) {
 			log.Errorf("engine: %v; continuing without cache or journal (results will not be reused)", err)
 		} else {
 			opts.Cache = cache
+			if o != nil {
+				cache.Instrument(o.Reg)
+			}
+			if *ef.cacheMaxBytes > 0 {
+				cache.SetMaxBytes(*ef.cacheMaxBytes)
+			}
 			journal, err := engine.OpenJournal(filepath.Join(*ef.cacheDir, "journal.jsonl"), *ef.resume)
 			if err != nil {
 				log.Errorf("engine: %v; continuing without journal (sweep will not be resumable)", err)

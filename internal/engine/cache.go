@@ -32,6 +32,7 @@ import (
 	"runtime/debug"
 	"sync/atomic"
 
+	"racetrack/hifi/internal/telemetry"
 	"racetrack/hifi/internal/telemetry/log"
 )
 
@@ -93,6 +94,19 @@ type Cache struct {
 	fsys    FS
 	seq     atomic.Uint64 // unique temp-file suffixes
 	corrupt atomic.Uint64 // objects quarantined by Get
+
+	// Size-budget state (evict.go). maxBytes <= 0 means unlimited;
+	// bytes is the accounted usage (exact at the last scan, plus Puts
+	// since); sweeping serializes eviction sweeps.
+	maxBytes atomic.Int64
+	bytes    atomic.Int64
+	evicted  atomic.Uint64
+	sweeping atomic.Bool
+
+	// Optional instrumentation (Instrument); the telemetry types are
+	// nil-safe, so an uninstrumented cache pays only a nil check.
+	telEvictions *telemetry.Counter
+	telBytes     *telemetry.Gauge
 }
 
 // OpenCache opens (creating if needed) a cache rooted at dir. An empty
@@ -146,6 +160,9 @@ func (c *Cache) Get(hash string) ([]byte, error) {
 		c.quarantine(hash, path)
 		return nil, fmt.Errorf("%w: %s: %v", ErrCorrupt, hash[:12], err)
 	}
+	// Under a size budget, a served object is a recently-useful object:
+	// refresh its mtime so eviction order is access order.
+	c.touch(path)
 	return payload, nil
 }
 
@@ -227,6 +244,7 @@ func (c *Cache) Put(hash string, payload []byte) error {
 		c.fsys.Remove(tmp)
 		return err
 	}
+	c.accountPut(int64(len(obj)))
 	return nil
 }
 

@@ -1,0 +1,153 @@
+package engine
+
+// Size-budget eviction tests: access-ordered removal under an explicit
+// budget, safety of the never-evicted classes (quarantine, in-flight
+// temp claims), and Put/Get/evict running concurrently under -race.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// payload builds a distinct valid-JSON payload of roughly n bytes.
+func payload(i, n int) []byte {
+	b, _ := json.Marshal(map[string]any{"i": i, "pad": string(make([]byte, n))})
+	return b
+}
+
+func hashOf(i int) string {
+	sum := sha256.Sum256([]byte(fmt.Sprintf("evict-test-%d", i)))
+	return hex.EncodeToString(sum[:])
+}
+
+func TestEvictionRemovesLeastRecentlyAccessed(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 8
+	for i := 0; i < n; i++ {
+		if err := c.Put(hashOf(i), payload(i, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Deterministic access order: object i was last touched at base+i,
+	// so 0 is the coldest. (Explicit Chtimes, not sleeps.)
+	base := time.Now().Add(-time.Hour)
+	var perObj int64
+	for i := 0; i < n; i++ {
+		path := c.path(hashOf(i))
+		if err := os.Chtimes(path, base.Add(time.Duration(i)*time.Minute), base.Add(time.Duration(i)*time.Minute)); err != nil {
+			t.Fatal(err)
+		}
+		info, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		perObj = info.Size()
+	}
+
+	// Budget for ~4 objects; the low-water sweep keeps <= 3.6 → 3.
+	c.SetMaxBytes(4 * perObj)
+
+	if got := c.EvictedCount(); got == 0 {
+		t.Fatalf("eviction removed nothing under a %d-byte budget", 4*perObj)
+	}
+	if got := c.SizeBytes(); got > 4*perObj {
+		t.Fatalf("accounted size %d still above budget %d", got, 4*perObj)
+	}
+	// The coldest objects are gone, the hottest survive.
+	if _, err := c.Get(hashOf(0)); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("coldest object survived eviction (err=%v)", err)
+	}
+	if _, err := c.Get(hashOf(n - 1)); err != nil {
+		t.Fatalf("hottest object evicted: %v", err)
+	}
+}
+
+func TestEvictionSparesQuarantineAndTempClaims(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A quarantined object (post-mortem evidence) and an in-flight temp
+	// claim must both survive any sweep.
+	qdir := c.QuarantineDir()
+	if err := os.MkdirAll(qdir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	qfile := filepath.Join(qdir, hashOf(100)+".json")
+	if err := os.WriteFile(qfile, []byte("corrupt evidence"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	claim := c.path(hashOf(101)) + ".tmp.1234.1"
+	if err := os.MkdirAll(filepath.Dir(claim), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(claim, []byte("half-written claim"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-24 * time.Hour)
+	_ = os.Chtimes(qfile, old, old)
+	_ = os.Chtimes(claim, old, old)
+
+	if err := c.Put(hashOf(0), payload(0, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	c.SetMaxBytes(1) // evict everything evictable
+
+	if _, err := os.Stat(qfile); err != nil {
+		t.Fatalf("quarantined object evicted: %v", err)
+	}
+	if _, err := os.Stat(claim); err != nil {
+		t.Fatalf("in-flight temp claim evicted: %v", err)
+	}
+}
+
+// Concurrent writers and readers race the sweeper; no Get may ever see
+// a torn object (ErrCorrupt) — missing is fine, wrong is not.
+func TestEvictionConcurrentWithPutsAndGets(t *testing.T) {
+	dir := t.TempDir()
+	c, err := OpenCache(dir, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetMaxBytes(16 * 1024)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := w*50 + i
+				if err := c.Put(hashOf(k), payload(k, 512)); err != nil {
+					t.Errorf("put %d: %v", k, err)
+					return
+				}
+				if _, err := c.Get(hashOf(k)); err != nil && !errors.Is(err, fs.ErrNotExist) {
+					t.Errorf("get %d after put: %v", k, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.CorruptCount() != 0 {
+		t.Fatalf("eviction corrupted %d object(s)", c.CorruptCount())
+	}
+	if got, max := c.SizeBytes(), c.MaxBytes(); got > 2*max {
+		t.Fatalf("accounted size %d ran far past the %d budget", got, max)
+	}
+}

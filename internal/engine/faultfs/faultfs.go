@@ -164,6 +164,13 @@ func (f *FS) Remove(path string) error {
 	return f.base.Remove(path)
 }
 
+func (f *FS) Chtimes(path string, t time.Time) error {
+	if f.opts.ReadOnly {
+		return fmt.Errorf("faultfs: chtimes %s: %w", path, fs.ErrPermission)
+	}
+	return f.base.Chtimes(path, t)
+}
+
 func (f *FS) OpenAppend(path string, truncate bool) (io.WriteCloser, error) {
 	if f.opts.ReadOnly {
 		return nil, fmt.Errorf("faultfs: append %s: %w", path, fs.ErrPermission)

@@ -9,6 +9,7 @@ package engine
 import (
 	"io"
 	"os"
+	"time"
 )
 
 // FS is the slice of filesystem behaviour the engine needs. All paths
@@ -25,6 +26,10 @@ type FS interface {
 	WriteFileExcl(path string, data []byte) error
 	Rename(oldpath, newpath string) error
 	Remove(path string) error
+	// Chtimes sets path's access and modification times. The cache uses
+	// it to touch objects on read, so eviction under a size budget is
+	// access-ordered rather than write-ordered.
+	Chtimes(path string, t time.Time) error
 	// OpenAppend opens path for appending (creating it if needed);
 	// truncate discards existing content first.
 	OpenAppend(path string, truncate bool) (io.WriteCloser, error)
@@ -48,6 +53,9 @@ func (osFS) WriteFileExcl(path string, data []byte) error {
 }
 func (osFS) Rename(oldpath, newpath string) error { return os.Rename(oldpath, newpath) }
 func (osFS) Remove(path string) error             { return os.Remove(path) }
+func (osFS) Chtimes(path string, t time.Time) error {
+	return os.Chtimes(path, t, t)
+}
 func (osFS) OpenAppend(path string, truncate bool) (io.WriteCloser, error) {
 	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
 	if truncate {

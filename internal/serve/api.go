@@ -151,7 +151,13 @@ func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no such job"))
 		return
 	}
-	tables, runs := j.Tables()
+	// tablesFor re-materializes a restored job's tables through the
+	// shared cache first (executed=0 when nothing was evicted).
+	tables, runs, err := s.tablesFor(j)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	if tables == nil {
 		writeError(w, http.StatusConflict,
 			fmt.Errorf("job %s is %s; tables exist once it is done", j.ID, j.State()))
@@ -190,7 +196,11 @@ func (s *Server) handleScorecard(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no such job"))
 		return
 	}
-	tables, _ := j.Tables()
+	tables, _, err := s.tablesFor(j)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
 	if tables == nil {
 		writeError(w, http.StatusConflict,
 			fmt.Errorf("job %s is %s; the scorecard exists once it is done", j.ID, j.State()))

@@ -73,6 +73,14 @@ type Job struct {
 	tables   map[string]experiments.Table
 	text     string // rendered tables, byte-identical to the CLI's stdout
 	subs     int    // submissions coalesced onto this job (1 = no dedup)
+	// restored marks a job rebuilt from the crash-safe index rather than
+	// run by this process. A restored done job holds no tables until a
+	// results read re-materializes them through the shared cache.
+	restored bool
+
+	// rematMu single-flights re-materialization of a restored job's
+	// tables; it is never held together with j.mu.
+	rematMu sync.Mutex
 }
 
 func newJob(id, fingerprint string, spec Spec, parent context.Context, ringCap int, tc tracectx.Context) *Job {
@@ -96,6 +104,43 @@ func newJob(id, fingerprint string, spec Spec, parent context.Context, ringCap i
 		tables:      map[string]experiments.Table{},
 		subs:        1,
 	}
+}
+
+// newRestoredJob rebuilds a terminal job from its crash-safe index
+// record. The job is immediately queryable: state, timings, and error
+// text are exactly what the index recorded; the done channel starts
+// closed (the terminal event predates this process, so there is nothing
+// to wait for). Tables are absent until a results read re-materializes
+// them through the shared cache.
+func newRestoredJob(r restoredJob, ringCap int, tc tracectx.Context) *Job {
+	ctx, cancel := context.WithCancelCause(tracectx.Into(context.Background(), tc))
+	bus := events.New(ringCap)
+	bus.SetTraceID(tc.TraceID.String())
+	done := make(chan struct{})
+	close(done)
+	j := &Job{
+		ID:          r.id,
+		Fingerprint: r.fingerprint,
+		TraceID:     tc.TraceID.String(),
+		Spec:        r.spec,
+		Bus:         bus,
+		ctx:         ctx,
+		cancel:      cancel,
+		done:        done,
+		state:       State(r.state),
+		detail:      r.detail,
+		created:     time.UnixMilli(r.createdTMS),
+		tables:      map[string]experiments.Table{},
+		subs:        1,
+		restored:    true,
+	}
+	if r.startedTMS != 0 {
+		j.started = time.UnixMilli(r.startedTMS)
+	}
+	if r.finishedTMS != 0 {
+		j.finished = time.UnixMilli(r.finishedTMS)
+	}
+	return j
 }
 
 // State returns the current lifecycle position.
@@ -156,16 +201,7 @@ func (j *Job) markStarted(eng *engine.Engine) bool {
 // already terminal — the winner of the terminal transition owns the
 // finalize, so exactly one terminal event is ever emitted.
 func (j *Job) markDone(st engine.Status, tables map[string]experiments.Table) bool {
-	var b strings.Builder
-	for i, k := range j.Spec.Run {
-		// Exactly the CLI's default rendering: one blank line between
-		// tables, none at the end (hifi-experiments prints tab.String()
-		// with fmt.Println() separators).
-		if i > 0 {
-			b.WriteByte('\n')
-		}
-		b.WriteString(tables[k].String())
-	}
+	text := renderTables(j.Spec.Run, tables)
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {
@@ -174,10 +210,76 @@ func (j *Job) markDone(st engine.Status, tables map[string]experiments.Table) bo
 	j.state = StateDone
 	j.finished = time.Now()
 	j.tables = tables
-	j.text = b.String()
+	j.text = text
 	j.engFinal = &st
 	j.eng = nil
 	return true
+}
+
+// renderTables produces the CLI's default rendering: one blank line
+// between tables, none at the end (hifi-experiments prints tab.String()
+// with fmt.Println() separators). markDone and re-materialization share
+// it so restored results stay byte-identical to a direct run.
+func renderTables(run []string, tables map[string]experiments.Table) string {
+	var b strings.Builder
+	for i, k := range run {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(tables[k].String())
+	}
+	return b.String()
+}
+
+// needsMaterialize reports whether a results read must first re-run the
+// spec through the shared cache: the job is a restored done job whose
+// tables have not been rebuilt in this process yet.
+func (j *Job) needsMaterialize() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.restored && j.state == StateDone && len(j.tables) == 0
+}
+
+// setMaterialized installs re-computed tables on a restored done job
+// without disturbing its recorded timings or terminal state. The engine
+// status (executed == 0 when the shared cache held every result) becomes
+// the job's final ledger.
+func (j *Job) setMaterialized(st engine.Status, tables map[string]experiments.Table) {
+	text := renderTables(j.Spec.Run, tables)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateDone || len(j.tables) > 0 {
+		return
+	}
+	j.tables = tables
+	j.text = text
+	j.engFinal = &st
+}
+
+// indexSnapshot renders the job's current state as one self-contained
+// index record — what compaction writes so a replay needs only one line
+// per job.
+func (j *Job) indexSnapshot() indexRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	spec := j.Spec
+	r := indexRecord{
+		Op:          opSnapshot,
+		ID:          j.ID,
+		Fingerprint: j.Fingerprint,
+		TraceID:     j.TraceID,
+		Spec:        &spec,
+		State:       j.state,
+		Detail:      j.detail,
+		CreatedTMS:  j.created.UnixMilli(),
+	}
+	if !j.started.IsZero() {
+		r.StartedTMS = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		r.FinishedTMS = j.finished.UnixMilli()
+	}
+	return r
 }
 
 // markFailed finalizes an errored run. Returns false if the job was
@@ -261,6 +363,9 @@ type JobStatus struct {
 	// Subscribers counts submissions coalesced onto this job.
 	Subscribers int  `json:"subscribers"`
 	Spec        Spec `json:"spec"`
+	// Restored marks a job rebuilt from the crash-safe index after a
+	// restart rather than run by this process.
+	Restored bool `json:"restored,omitempty"`
 
 	CreatedTMS  int64 `json:"created_t_ms"`
 	StartedTMS  int64 `json:"started_t_ms,omitempty"`
@@ -291,6 +396,7 @@ func (j *Job) Status() JobStatus {
 		TraceID:     j.TraceID,
 		Subscribers: j.subs,
 		Spec:        j.Spec,
+		Restored:    j.restored,
 		CreatedTMS:  j.created.UnixMilli(),
 		Error:       j.detail,
 	}

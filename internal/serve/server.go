@@ -9,6 +9,7 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -33,6 +34,11 @@ type Options struct {
 	CacheDir string
 	// Version overrides the cache code-version ("" = engine.CodeVersion).
 	Version string
+	// CacheMaxBytes arms the shared cache's size budget: once the
+	// objects tree exceeds it, least-recently-accessed results are
+	// evicted (engine/evict.go). 0 = unlimited — fine for a sweep,
+	// unwise for a daemon that lives for weeks.
+	CacheMaxBytes int64
 	// Runners bounds concurrently running jobs (<= 0 means 2). Each job
 	// gets its own engine, so total sim parallelism is Runners×Workers.
 	Runners int
@@ -60,6 +66,11 @@ type Options struct {
 	// for -resume ("" = <CacheDir>/serve.journal.json; no cache dir and
 	// no explicit path means drained queue entries are lost).
 	JournalPath string
+	// IndexPath overrides where the crash-safe job index WAL lives
+	// ("" = <CacheDir>/serve.index.ndjson; no cache dir and no explicit
+	// path disables the index — job state is in-memory only, as before
+	// the index existed). See index.go and docs/serve.md.
+	IndexPath string
 	// Metrics receives the hifi_serve_* admission/lifecycle series and
 	// every job's engine/sim series. Nil disables instrumentation.
 	Metrics *telemetry.Registry
@@ -84,6 +95,14 @@ type Options struct {
 	// use it to freeze jobs in a known state; it is unexported so
 	// production callers cannot.
 	hold chan struct{}
+	// indexFS interposes the job index's filesystem (faultfs chaos
+	// tests); nil means the real filesystem. Unexported: production
+	// always writes through engine.OS().
+	indexFS engine.FS
+	// indexCompactEvery overrides the compaction cadence (appended
+	// records between compactions); <= 0 means the default. Tests
+	// shrink it to force compactions.
+	indexCompactEvery int
 }
 
 // Submission errors the API layer maps to status codes.
@@ -121,6 +140,11 @@ type Server struct {
 	httpTel   *httpTelemetry
 	accessLog *accessLog
 	slo       *slo.Set
+
+	// Durability plane (index.go): the crash-safe job-index WAL, plus
+	// the jobs replayed from it, held until Resume applies them.
+	index     *jobIndex
+	recovered []restoredJob
 
 	baseCtx    context.Context
 	baseCancel context.CancelCauseFunc
@@ -184,6 +208,10 @@ func New(opts Options) *Server {
 			log.Errorf("serve: %v; continuing without cache (no cross-client result reuse)", err)
 		} else {
 			s.cache = cache
+			cache.Instrument(opts.Metrics)
+			if opts.CacheMaxBytes > 0 {
+				cache.SetMaxBytes(opts.CacheMaxBytes)
+			}
 		}
 	}
 	reg := opts.Metrics
@@ -206,7 +234,28 @@ func New(opts Options) *Server {
 		objectives = defaultObjectives()
 	}
 	s.slo = slo.New(opts.Metrics, objectives, nil)
+	if path := s.indexPath(); path != "" {
+		ix, recovered := openIndex(path, opts.indexFS, opts.indexCompactEvery,
+			newIndexTelemetry(opts.Metrics),
+			func(ok bool) { s.slo.Observe(sloIndexDurability, ok) })
+		s.index = ix
+		s.recovered = recovered
+		// Mint above every recovered ID so new and recovered jobs never
+		// collide in the table or the WAL — even when the operator skips
+		// -resume and the recovered jobs stay on disk only.
+		s.nextID = maxRecoveredID(recovered)
+	}
 	s.baseCtx, s.baseCancel = context.WithCancelCause(context.Background())
+	s.health.SetDegraded(func() []string {
+		var d []string
+		if s.opts.CacheDir != "" && s.cache == nil {
+			d = append(d, "result-cache")
+		}
+		if s.index.Degraded() {
+			d = append(d, "job-index")
+		}
+		return d
+	})
 	s.health.SetEventsSeq(s.bus.Seq)
 	s.health.SetInFlight(func() int {
 		s.mu.Lock()
@@ -336,6 +385,10 @@ func (s *Server) admit(norm Spec, tc tracectx.Context) (*Job, bool, error) {
 	s.tel.queueDepth.Add(1)
 	s.bus.Emit(events.Event{Type: events.ServeJobAccepted, Name: id, Detail: fp, TraceID: trace})
 	j.Bus.Emit(events.Event{Type: events.ServeJobAccepted, Name: id, Detail: fp})
+	s.index.append(indexRecord{
+		Op: opAdmitted, ID: id, Fingerprint: fp, TraceID: trace,
+		Spec: &norm, TMS: j.created.UnixMilli(),
+	})
 	return j, false, nil
 }
 
@@ -409,6 +462,7 @@ func (s *Server) runJob(j *Job) {
 	start := time.Now()
 	s.bus.Emit(events.Event{Type: events.ServeJobStarted, Name: j.ID, Detail: j.Fingerprint, TraceID: j.TraceID})
 	j.Bus.Emit(events.Event{Type: events.ServeJobStarted, Name: j.ID})
+	s.index.append(indexRecord{Op: opStarted, ID: j.ID, TMS: start.UnixMilli()})
 
 	opts, err := j.Spec.RunOpts()
 	tables := map[string]experiments.Table{}
@@ -478,6 +532,15 @@ func (s *Server) finalize(j *Job, terminal events.Event, ctr *telemetry.Counter)
 	s.bus.Emit(terminal)
 	j.Bus.Emit(terminal)
 	j.finish()
+	// The WAL records the terminal transition after the event is on the
+	// buses; a crash in between replays as "still running" and the job
+	// re-runs — at-least-once, which the content-addressed cache makes
+	// idempotent.
+	st := j.Status()
+	s.index.append(indexRecord{
+		Op: string(st.State), ID: j.ID, Detail: st.Error, TMS: st.FinishedTMS,
+	})
+	s.maybeCompactIndex()
 	// Job-completion SLO: a finished job is good when its wall time met
 	// the threshold, a failed job is bad, and a cancellation — client's
 	// choice or a drain — is nobody's breach and is not observed.
@@ -507,10 +570,118 @@ func (s *Server) journalPath() string {
 	return ""
 }
 
-// Drain is the graceful-shutdown protocol: stop admitting, journal
-// every job still queued (for a later -resume), let running jobs
-// finish, and — if ctx expires first — cancel them and wait for the
-// unwind. Returns how many specs were journaled.
+// indexPath resolves where the crash-safe job index lives.
+func (s *Server) indexPath() string {
+	if s.opts.IndexPath != "" {
+		return s.opts.IndexPath
+	}
+	if s.opts.CacheDir != "" {
+		return filepath.Join(s.opts.CacheDir, "serve.index.ndjson")
+	}
+	return ""
+}
+
+// maybeCompactIndex compacts the WAL once enough records accumulated.
+func (s *Server) maybeCompactIndex() {
+	if s.index.shouldCompact() {
+		s.compactIndex()
+	}
+}
+
+// compactIndex rewrites the WAL as one snapshot record per known job.
+// The gather callback runs under the index lock; every transition takes
+// the job's mutex before its record is appended (which would block on
+// that same index lock), so the snapshot always reflects at least
+// every state whose record made it to the WAL — compaction can
+// duplicate a transition, never lose one.
+func (s *Server) compactIndex() {
+	s.index.compactWith(func() []indexRecord {
+		var recs []indexRecord
+		seen := map[string]bool{}
+		for _, j := range s.Jobs() {
+			recs = append(recs, j.indexSnapshot())
+			seen[j.ID] = true
+		}
+		// Jobs replayed but not yet applied by Resume (or never applied,
+		// when the operator skipped -resume) must survive the rewrite.
+		s.mu.Lock()
+		recovered := s.recovered
+		s.mu.Unlock()
+		for _, r := range recovered {
+			if seen[r.id] {
+				continue
+			}
+			spec := r.spec
+			recs = append(recs, indexRecord{
+				Op: opSnapshot, ID: r.id, Fingerprint: r.fingerprint, TraceID: r.trace,
+				Spec: &spec, State: r.state, Detail: r.detail,
+				CreatedTMS: r.createdTMS, StartedTMS: r.startedTMS, FinishedTMS: r.finishedTMS,
+			})
+		}
+		sort.Slice(recs, func(i, j int) bool { return jobIDNum(recs[i].ID) < jobIDNum(recs[j].ID) })
+		return recs
+	})
+}
+
+// tablesFor returns a job's tables, re-materializing a restored
+// completed job's results through the shared cache first. The sweep
+// already ran to completion once, so the engine resolves every job from
+// the content-addressed store and the job's ledger shows executed=0 —
+// unless eviction or corruption removed objects, in which case they are
+// recomputed (slower, still byte-identical).
+func (s *Server) tablesFor(j *Job) (map[string]experiments.Table, []string, error) {
+	if j.needsMaterialize() {
+		if err := s.materialize(j); err != nil {
+			return nil, nil, err
+		}
+	}
+	tables, runs := j.Tables()
+	return tables, runs, nil
+}
+
+// materialize re-runs a restored job's spec through the shared cache
+// and attaches the tables, text, and engine ledger to the job.
+// Single-flight per job via rematMu; concurrent requests for the same
+// restored job wait for the first materialization.
+func (s *Server) materialize(j *Job) error {
+	j.rematMu.Lock()
+	defer j.rematMu.Unlock()
+	if !j.needsMaterialize() {
+		return nil
+	}
+	eng := engine.New(engine.Options{
+		Workers:    s.opts.Workers,
+		Cache:      s.cache,
+		Retries:    s.opts.Retries,
+		JobTimeout: s.opts.JobTimeout,
+		Metrics:    s.opts.Metrics,
+	})
+	opts, err := j.Spec.RunOpts()
+	if err != nil {
+		return err
+	}
+	opts.Metrics = s.opts.Metrics
+	opts.Eng = eng
+	opts.Ctx = s.baseCtx
+	tables := map[string]experiments.Table{}
+	for _, k := range j.Spec.Run {
+		tab, rerr := experiments.Run(k, opts)
+		if rerr != nil {
+			return fmt.Errorf("serve: re-materialize %s: %w", j.ID, rerr)
+		}
+		tables[k] = tab
+	}
+	j.setMaterialized(eng.Status(), tables)
+	return nil
+}
+
+// Drain is the graceful-shutdown protocol: stop admitting, cancel and
+// journal every job still queued (for a later -resume), let running
+// jobs finish, and — if ctx expires first — cancel them and wait for
+// the unwind. Jobs that were running when the drain began and did NOT
+// finish (the deadline canceled them) are journaled too, marked
+// interrupted, so a drain during execution is resumable rather than
+// only a quiet-queue drain. Returns how many specs were journaled.
 func (s *Server) Drain(ctx context.Context) (int, error) {
 	s.mu.Lock()
 	if s.draining {
@@ -529,6 +700,14 @@ drain:
 		}
 	}
 	close(s.queue)
+	// Snapshot what is running right now: if the deadline cancels any
+	// of these, their specs join the journal as interrupted.
+	var runningAtDrain []*Job
+	for _, id := range s.order {
+		if j := s.jobs[id]; j != nil && j.State() == StateRunning {
+			runningAtDrain = append(runningAtDrain, j)
+		}
+	}
 	s.mu.Unlock()
 
 	specs := make([]journalEntry, 0, len(leftovers))
@@ -540,18 +719,6 @@ drain:
 		if j.markCanceledIfQueued("drain") {
 			specs = append(specs, journalEntry{Spec: j.Spec, TraceID: j.TraceID})
 			s.finalize(j, events.Event{Type: events.ServeJobCanceled, Name: j.ID, Detail: "drain"}, s.tel.canceled)
-		}
-	}
-
-	var journalErr error
-	if len(specs) > 0 {
-		if path := s.journalPath(); path != "" {
-			journalErr = writeJournal(path, specs)
-			if journalErr == nil {
-				log.Infof("serve: journaled %d queued spec(s) to %s (submit with -resume)", len(specs), path)
-			}
-		} else {
-			journalErr = fmt.Errorf("serve: %d queued spec(s) dropped: no journal path (set -cache-dir)", len(specs))
 		}
 	}
 
@@ -568,27 +735,60 @@ drain:
 		s.baseCancel(fmt.Errorf("serve: drain deadline: %w", context.Cause(ctx)))
 		<-finished
 	}
+
+	// Now the runners are quiet: any running-at-drain job that ended
+	// canceled was interrupted by the deadline, not by a client, and
+	// its spec is resumable work.
+	interrupted := 0
+	for _, j := range runningAtDrain {
+		if j.State() == StateCanceled {
+			specs = append(specs, journalEntry{Spec: j.Spec, TraceID: j.TraceID, Interrupted: true})
+			interrupted++
+		}
+	}
+
+	var journalErr error
+	if len(specs) > 0 {
+		if path := s.journalPath(); path != "" {
+			journalErr = writeJournal(path, specs)
+			if journalErr == nil {
+				log.Infof("serve: journaled %d spec(s) (%d interrupted mid-run) to %s (submit with -resume)",
+					len(specs), interrupted, path)
+			}
+		} else {
+			journalErr = fmt.Errorf("serve: %d spec(s) dropped (%d interrupted mid-run): no journal path (set -cache-dir)",
+				len(specs), interrupted)
+		}
+	}
+
+	// Leave a tidy index behind: one snapshot per job, terminal states
+	// all recorded, so the next boot replays O(jobs) lines.
+	s.compactIndex()
 	return len(specs), journalErr
 }
 
-// Resume re-admits the specs a previous drain journaled and removes the
-// journal. Call before serving traffic.
+// Resume rebuilds state from the previous process: first the crash-safe
+// job index (terminal jobs become queryable restored jobs; jobs that
+// were queued or running at the crash are re-queued under their
+// original IDs), then the drain journal, if one exists, is re-admitted
+// as fresh jobs. Call before serving traffic. Returns how many jobs
+// were (re-)queued for execution.
 func (s *Server) Resume() (int, error) {
+	n := s.applyRecovered()
 	path := s.journalPath()
 	if path == "" {
-		return 0, nil
+		return n, nil
 	}
 	specs, err := readJournal(path)
 	if err != nil {
 		if errors.Is(err, fs.ErrNotExist) {
-			return 0, nil
+			return n, nil
 		}
-		return 0, err
+		return n, err
 	}
 	if err := os.Remove(path); err != nil {
-		return 0, fmt.Errorf("serve: remove journal: %w", err)
+		return n, fmt.Errorf("serve: remove journal: %w", err)
 	}
-	n := 0
 	for _, entry := range specs {
 		norm, err := entry.Normalize()
 		if err != nil {
@@ -612,12 +812,90 @@ func (s *Server) Resume() (int, error) {
 	return n, nil
 }
 
+// applyRecovered installs the jobs the index replay found. Terminal
+// jobs become restored entries in the job table — queryable across the
+// restart, results lazily re-materialized from the shared cache. Jobs
+// the index last saw queued or running were interrupted by the crash:
+// they are re-queued under their ORIGINAL IDs and traces, so a client
+// polling a pre-crash job handle watches it run again rather than
+// getting a 404. Returns how many jobs were re-queued.
+func (s *Server) applyRecovered() int {
+	s.mu.Lock()
+	recovered := s.recovered
+	s.recovered = nil
+	if len(recovered) == 0 || s.draining {
+		s.mu.Unlock()
+		return 0
+	}
+	restored, requeued := 0, 0
+	var queued []*Job
+	for _, r := range recovered {
+		if _, exists := s.jobs[r.id]; exists {
+			continue
+		}
+		// Keep the job's original trace so pre-crash and post-crash
+		// telemetry correlate; a record without one mints a fresh trace.
+		tc := s.tgen.NewContext()
+		if tid, err := tracectx.ParseTraceID(r.trace); err == nil {
+			tc.TraceID = tid
+		}
+		if State(r.state).Terminal() {
+			j := newRestoredJob(r, s.opts.RingCap, tc)
+			j.Bus.Instrument(s.opts.Metrics)
+			s.jobs[j.ID] = j
+			s.order = append(s.order, j.ID)
+			restored++
+			continue
+		}
+		// Queued or running at the crash: re-run. The content-addressed
+		// cache makes the replay idempotent — finished experiments of a
+		// half-done sweep are served from disk, not recomputed.
+		j := newJob(r.id, r.fingerprint, r.spec, s.baseCtx, s.opts.RingCap, tc)
+		j.Bus.Instrument(s.opts.Metrics)
+		select {
+		case s.queue <- j:
+		default:
+			log.Errorf("serve: resume: queue full, dropping recovered job %s (spec stays in the index)", r.id)
+			// Put it back so compaction keeps its record and a later
+			// restart can try again.
+			s.recovered = append(s.recovered, r)
+			continue
+		}
+		s.jobs[j.ID] = j
+		s.order = append(s.order, j.ID)
+		if s.active[j.Fingerprint] == nil {
+			s.active[j.Fingerprint] = j
+		}
+		queued = append(queued, j)
+		requeued++
+	}
+	s.mu.Unlock()
+
+	for _, j := range queued {
+		s.tel.queueDepth.Add(1)
+		s.bus.Emit(events.Event{Type: events.ServeJobRecovered, Name: j.ID, Detail: "requeued", TraceID: j.TraceID})
+		j.Bus.Emit(events.Event{Type: events.ServeJobRecovered, Name: j.ID, Detail: "requeued"})
+		s.index.append(indexRecord{Op: opRequeued, ID: j.ID, TMS: time.Now().UnixMilli()})
+	}
+	if restored > 0 || requeued > 0 {
+		log.Infof("serve: recovered %d job(s) from the index (%d restored, %d re-queued)",
+			restored+requeued, restored, requeued)
+		s.bus.Emit(events.Event{Type: events.ServeJobRecovered, Detail: "restored", N: int64(restored)})
+		// One snapshot per job leaves the WAL tidy for the next boot.
+		s.compactIndex()
+	}
+	return requeued
+}
+
 // journalEntry is one drained job: its spec plus the correlation trace
 // ID the resume re-attaches. Spec embeds flat, so a v1 journal written
 // before trace IDs existed still parses (TraceID stays "").
 type journalEntry struct {
 	Spec
 	TraceID string `json:"trace_id,omitempty"`
+	// Interrupted marks a spec whose job was running when the drain
+	// deadline canceled it — resumable work, not a client cancellation.
+	Interrupted bool `json:"interrupted,omitempty"`
 }
 
 // journalFile is the on-disk drain journal (hifi_serve_journal_v1).

@@ -396,6 +396,9 @@ func TestDrainJournalsQueueAndResumeReplays(t *testing.T) {
 	}
 
 	// Same cache dir → same journal path; the successor re-admits both.
+	// The crash-safe index ALSO restores the two drain-canceled jobs as
+	// queryable terminal entries, so the successor's table holds four:
+	// the restored shells plus the re-admitted live jobs.
 	opts2 := testOptions(t)
 	opts2.CacheDir = opts.CacheDir
 	srv2 := newTestServer(t, opts2)
@@ -407,14 +410,26 @@ func TestDrainJournalsQueueAndResumeReplays(t *testing.T) {
 		t.Fatalf("resume re-admitted %d spec(s), want 2", n)
 	}
 	jobs := srv2.Jobs()
-	if len(jobs) != 2 {
-		t.Fatalf("successor has %d job(s), want 2", len(jobs))
+	if len(jobs) != 4 {
+		t.Fatalf("successor has %d job(s), want 4 (2 restored canceled + 2 re-admitted)", len(jobs))
 	}
+	restored, live := 0, 0
 	for _, j := range jobs {
+		if j.Status().Restored {
+			restored++
+			if st := j.State(); st != StateCanceled {
+				t.Fatalf("restored job %s is %s, want canceled", j.ID, st)
+			}
+			continue
+		}
+		live++
 		waitDone(t, j)
 		if st := j.State(); st != StateDone {
 			t.Fatalf("resumed job %s ended %s (%s)", j.ID, st, j.Status().Error)
 		}
+	}
+	if restored != 2 || live != 2 {
+		t.Fatalf("successor split restored=%d live=%d, want 2/2", restored, live)
 	}
 	// The journal is consumed: a second resume finds nothing.
 	if n, err := srv2.Resume(); err != nil || n != 0 {

@@ -25,6 +25,11 @@ const (
 	// successfully within the threshold. Failures are bad; client or
 	// drain cancellations are nobody's breach and are not observed.
 	sloJobCompletion = "job_completion"
+	// sloIndexDurability: fraction of job-index WAL appends that reached
+	// disk. A burn here means job state is no longer crash-safe (the
+	// daemon keeps serving from memory — see "graceful degradation" in
+	// docs/serve.md).
+	sloIndexDurability = "index_durability"
 )
 
 // defaultObjectives is the served SLO set when Options.SLOObjectives is
@@ -47,6 +52,11 @@ func defaultObjectives() []slo.Objective {
 			Help:      "jobs that finish successfully within 5 minutes of starting",
 			Target:    0.95,
 			LatencyMS: (5 * time.Minute).Milliseconds(),
+		},
+		{
+			Name:   sloIndexDurability,
+			Help:   "job-index WAL appends that reached disk (crash-safety of job state)",
+			Target: 0.999,
 		},
 	}
 }

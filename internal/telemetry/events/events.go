@@ -87,6 +87,11 @@ const (
 	ServeJobFinished Type = "serve.job.finished" // MS: job wall time, N: experiments run
 	ServeJobFailed   Type = "serve.job.failed"   // Detail: the error
 	ServeJobCanceled Type = "serve.job.canceled" // Detail: "client" | "drain"
+	// ServeJobRecovered narrates restart recovery from the crash-safe
+	// job index: Detail is "restored" (a completed job whose status is
+	// queryable again) or "requeued" (a job that was queued or running
+	// when the previous process died and will run again).
+	ServeJobRecovered Type = "serve.job.recovered" // Detail: "restored" | "requeued"
 
 	// Bench regressions (cmd/hifi-bench -compare): one per breached gate.
 	BenchRegression Type = "bench.regression" // Name: benchmark, Detail: reason, V: ratio

@@ -25,6 +25,7 @@ type HealthState struct {
 	phase     string
 	inFlight  func() int
 	eventsSeq func() uint64
+	degraded  func() []string
 }
 
 // NewHealthState starts the uptime clock now.
@@ -64,6 +65,18 @@ func (h *HealthState) SetEventsSeq(f func() uint64) {
 	h.mu.Unlock()
 }
 
+// SetDegraded supplies the degradation probe: a func returning the
+// names of subsystems currently running in degraded mode (empty or nil
+// when fully healthy). Nil-safe; f may be nil to detach.
+func (h *HealthState) SetDegraded(f func() []string) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	h.degraded = f
+	h.mu.Unlock()
+}
+
 // healthBody is the /healthz JSON document.
 type healthBody struct {
 	Status   string `json:"status"`
@@ -71,6 +84,11 @@ type healthBody struct {
 	Phase    string `json:"phase,omitempty"`
 	InFlight int    `json:"jobs_in_flight"`
 	Events   uint64 `json:"events_seq"`
+	// Degraded lists subsystems running in degraded mode (e.g. a job
+	// index that stopped persisting after ENOSPC). Status stays "ok" —
+	// the probe contract is liveness, not fitness — so orchestrators
+	// don't restart-loop a daemon that is still serving.
+	Degraded []string `json:"degraded,omitempty"`
 }
 
 // WriteJSON renders the health document. A nil state still writes a
@@ -82,13 +100,16 @@ func (h *HealthState) WriteJSON(w io.Writer) error {
 		body.UptimeMS = time.Since(h.start).Milliseconds()
 		h.mu.Lock()
 		body.Phase = h.phase
-		inFlight, eventsSeq := h.inFlight, h.eventsSeq
+		inFlight, eventsSeq, degraded := h.inFlight, h.eventsSeq, h.degraded
 		h.mu.Unlock()
 		if inFlight != nil {
 			body.InFlight = inFlight()
 		}
 		if eventsSeq != nil {
 			body.Events = eventsSeq()
+		}
+		if degraded != nil {
+			body.Degraded = degraded()
 		}
 	}
 	b, err := json.Marshal(body)

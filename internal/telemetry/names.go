@@ -63,6 +63,11 @@ const (
 	MetricEngineCacheCorrupt   = "hifi_engine_cache_corrupt_total"
 	MetricEngineJournalSkipped = "hifi_engine_journal_skipped_total"
 	MetricEngineJobTimeouts    = "hifi_engine_job_timeouts_total"
+	// Cache lifecycle under a -cache-max-bytes budget: objects evicted
+	// access-ordered, and the accounted size of the objects tree. See
+	// docs/engine.md ("cache size budgets & eviction").
+	MetricEngineCacheEvictions = "hifi_engine_cache_evictions_total"
+	MetricEngineCacheBytes     = "hifi_engine_cache_bytes"
 	// Per-job resource accounting: process CPU, allocation, and GC work
 	// attributed to executed jobs (approximate under parallel workers —
 	// the counters are process-global). See docs/perf.md.
@@ -88,6 +93,15 @@ const (
 	MetricServeCanceled      = "hifi_serve_jobs_canceled_total"
 	MetricServeQueueDepth    = "hifi_serve_queue_depth"
 	MetricServeRunning       = "hifi_serve_jobs_running"
+
+	// Crash-safe job index (internal/serve/index.go): the append-only
+	// hifi_serve_index_v1 WAL's write/replay/compaction ledger. See
+	// docs/serve.md ("Restart recovery & the job index").
+	MetricServeIndexRecords     = "hifi_serve_index_records_total"
+	MetricServeIndexWriteErrors = "hifi_serve_index_write_errors_total"
+	MetricServeIndexReplayed    = "hifi_serve_index_replayed_total"
+	MetricServeIndexSkipped     = "hifi_serve_index_skipped_total"
+	MetricServeIndexCompactions = "hifi_serve_index_compactions_total"
 
 	// HTTP request plane (internal/serve middleware): per-route RED
 	// metrics — request counters labelled {route,code}, error counters

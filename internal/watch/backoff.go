@@ -1,0 +1,64 @@
+package watch
+
+// Reconnect pacing shared by the SSE followers and the poll fallback.
+// A fixed 1s retry hammers a server that is down for minutes and — when
+// many dashboards watch the same daemon — reconnects them all in
+// lockstep. The backoff here is exponential with a cap, and jittered
+// deterministically (a hash of the attempt number, not a global RNG):
+// retry schedules are reproducible in tests and logs, yet two clients
+// that started at different attempts still spread out.
+
+import "time"
+
+// backoff computes successive reconnect delays: base·2^(attempt-1),
+// capped, with a deterministic ±25% jitter. The zero value is unusable;
+// build one with newReconnectBackoff.
+type backoff struct {
+	base    time.Duration
+	cap     time.Duration
+	attempt uint64
+}
+
+// newReconnectBackoff is the client-side default: 500ms, 1s, 2s, …
+// capped at 15s.
+func newReconnectBackoff() *backoff {
+	return &backoff{base: 500 * time.Millisecond, cap: 15 * time.Second}
+}
+
+// next returns the delay before the upcoming retry and advances the
+// schedule.
+func (b *backoff) next() time.Duration {
+	b.attempt++
+	shift := b.attempt - 1
+	if shift > 6 {
+		shift = 6 // 2^6·base already exceeds any sane cap
+	}
+	d := b.base << shift
+	if d > b.cap || d <= 0 {
+		d = b.cap
+	}
+	// ±25% deterministic jitter: the same attempt number always jitters
+	// the same way, but successive attempts land on different offsets.
+	span := int64(d) / 2 // jitter window width (25% each side)
+	if span > 0 {
+		off := int64(splitmix64(b.attempt) % uint64(span))
+		d = d - time.Duration(span)/2 + time.Duration(off)
+	}
+	if d < b.base/2 {
+		d = b.base / 2
+	}
+	return d
+}
+
+// reset restarts the schedule after a successful connection, so the
+// next outage begins at the base delay again.
+func (b *backoff) reset() { b.attempt = 0 }
+
+// splitmix64 is the SplitMix64 mixing function — a full-avalanche hash
+// good enough to decorrelate jitter across attempts without any state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

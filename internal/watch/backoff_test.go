@@ -1,0 +1,57 @@
+package watch
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBackoffGrowsAndCaps(t *testing.T) {
+	b := newReconnectBackoff()
+	prevCeil := time.Duration(0)
+	for attempt := 1; attempt <= 12; attempt++ {
+		d := b.next()
+		// Nominal delay for this attempt before jitter.
+		shift := attempt - 1
+		if shift > 6 {
+			shift = 6
+		}
+		nominal := b.base << shift
+		if nominal > b.cap {
+			nominal = b.cap
+		}
+		lo, hi := nominal*3/4, nominal*5/4
+		if d < lo || d > hi {
+			t.Fatalf("attempt %d: delay %v outside jitter window [%v, %v]", attempt, d, lo, hi)
+		}
+		if hi > prevCeil {
+			prevCeil = hi
+		}
+	}
+	// Deep into the schedule the delay is pinned near the cap, never
+	// runaway.
+	if d := b.next(); d > b.cap*5/4 {
+		t.Fatalf("capped delay %v exceeds %v", d, b.cap*5/4)
+	}
+}
+
+func TestBackoffResetRestartsSchedule(t *testing.T) {
+	b := newReconnectBackoff()
+	for i := 0; i < 8; i++ {
+		b.next()
+	}
+	b.reset()
+	if d := b.next(); d > b.base*5/4 {
+		t.Fatalf("first delay after reset is %v, want near base %v", d, b.base)
+	}
+}
+
+// The jitter is a hash of the attempt number: two clients (or two runs
+// of a test) walking the same schedule see the same delays.
+func TestBackoffDeterministic(t *testing.T) {
+	a, b := newReconnectBackoff(), newReconnectBackoff()
+	for i := 0; i < 10; i++ {
+		if da, db := a.next(), b.next(); da != db {
+			t.Fatalf("attempt %d: %v != %v", i+1, da, db)
+		}
+	}
+}

@@ -59,10 +59,14 @@ func FollowJob(ctx context.Context, server, id string, apply func(events.Event))
 		gap      bool
 		terminal bool
 	)
+	retry := newReconnectBackoff()
 	wrapped := func(e events.Event) {
 		if gap || terminal {
 			return
 		}
+		// An applied event means the connection works: the next outage
+		// starts the backoff schedule from the base delay again.
+		retry.reset()
 		if e.Seq > cursor+1 {
 			// The ring wrapped past us: events between cursor and e.Seq
 			// are gone for good.
@@ -92,7 +96,7 @@ func FollowJob(ctx context.Context, server, id string, apply func(events.Event))
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(time.Second):
+		case <-time.After(retry.next()):
 		}
 	}
 }
@@ -105,11 +109,11 @@ func PollJob(ctx context.Context, server, id string, every time.Duration, onStat
 		every = time.Second
 	}
 	url := JobStatusURL(server, id)
-	tick := time.NewTicker(every)
-	defer tick.Stop()
+	retry := newReconnectBackoff()
 	fails := 0
 	for {
 		st, err := fetchStatus(ctx, url)
+		wait := every
 		if err != nil {
 			if ctx.Err() != nil {
 				return ctx.Err()
@@ -117,8 +121,12 @@ func PollJob(ctx context.Context, server, id string, every time.Duration, onStat
 			if fails++; fails >= pollFailLimit {
 				return fmt.Errorf("watch: polling %s: %w", url, err)
 			}
+			// A failing poll backs off like a failing SSE connection:
+			// an unreachable server is probed gently, not per-interval.
+			wait = retry.next()
 		} else {
 			fails = 0
+			retry.reset()
 			onStatus(st)
 			if st.State.Terminal() {
 				return nil
@@ -127,7 +135,7 @@ func PollJob(ctx context.Context, server, id string, every time.Duration, onStat
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-tick.C:
+		case <-time.After(wait):
 		}
 	}
 }

@@ -99,16 +99,23 @@ func TailFile(ctx context.Context, path string, onHeader func(events.Header), ap
 // connection errors are retried, not returned.
 func FollowSSE(ctx context.Context, url string, apply func(events.Event)) error {
 	var lastID uint64
+	retry := newReconnectBackoff()
 	for {
+		before := lastID
 		err := streamSSE(ctx, url, &lastID, apply)
 		if ctx.Err() != nil {
 			return ctx.Err()
+		}
+		if lastID > before {
+			// Events flowed on that connection: start the next outage's
+			// backoff schedule from the base delay.
+			retry.reset()
 		}
 		_ = err // transient: reconnect with the replay cursor
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(time.Second):
+		case <-time.After(retry.next()):
 		}
 	}
 }
